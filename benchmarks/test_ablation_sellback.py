@@ -1,0 +1,60 @@
+"""Ablation C: the sell-back divisor W.
+
+Section 2.3 introduces ``W >= 1``: customers are paid ``p_h / W`` for
+energy sold back.  A small W makes selling attractive (aggressive
+net-metering participation); ``W -> infinity`` effectively disables
+selling.  This ablation sweeps W and measures the community's sold
+energy and grid PAR.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.netmetering.trading import net_position
+from repro.scheduling.game import SchedulingGame
+
+W_VALUES = (1.0, 1.5, 2.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def sweep_results(environment):
+    results = {}
+    for w in W_VALUES:
+        game = SchedulingGame(
+            environment.community,
+            environment.clean_prices,
+            sellback_divisor=w,
+            config=environment.config.game,
+        )
+        result = game.solve(rng=np.random.default_rng(3))
+        sold_total = 0.0
+        for state, count in zip(result.states, result.counts):
+            _, sold = net_position(state.trading)
+            sold_total += count * sold.sum()
+        results[w] = {
+            "sold_kwh": sold_total,
+            "grid_par": float(
+                result.grid_demand.max() / result.grid_demand.mean()
+            ),
+        }
+    return results
+
+
+def test_sellback_sweep(sweep_results, benchmark):
+    def run():
+        return {w: r["sold_kwh"] for w, r in sweep_results.items()}
+
+    sold = benchmark.pedantic(run, rounds=1, iterations=1)
+    for w in W_VALUES:
+        report(f"Ablation C: energy sold at W={w}", 0.0, sold[w])
+        benchmark.extra_info[f"sold_w{w}"] = sold[w]
+    # Selling must not increase as the sell-back payment shrinks.
+    assert sold[1.0] >= sold[4.0] - 1e-6
+
+
+def test_sellback_par_recorded(sweep_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for w, result in sweep_results.items():
+        report(f"Ablation C: grid PAR at W={w}", 0.0, result["grid_par"])
+        assert result["grid_par"] >= 1.0

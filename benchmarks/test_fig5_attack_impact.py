@@ -1,0 +1,72 @@
+"""Figure 5: impact of the zero-price cyberattack.
+
+Paper: manipulating the guideline price to zero between 16:00 and 17:00
+concentrates the community load into the free window; the attacked load's
+PAR is 1.9037 — 29.50% above the unaware prediction (1.4700) and 36.11%
+above the aware prediction (1.3986).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.attacks.pricing import ZeroPriceAttack
+from repro.detection.single_event import CommunityResponseSimulator
+
+PAPER_PAR_FIG5B = 1.9037
+PAPER_INCREASE_VS_AWARE = 0.3611
+
+
+@pytest.fixture(scope="module")
+def truth_simulator(environment):
+    return CommunityResponseSimulator(
+        environment.community,
+        config=environment.config.game,
+        sellback_divisor=environment.config.pricing.sellback_divisor,
+        seed=3,
+    )
+
+
+def test_fig5b_attacked_par(environment, truth_simulator, benchmark):
+    """Community response to the 16:00-17:00 zero-price attack."""
+    attack = ZeroPriceAttack(start_slot=16, end_slot=17)
+    attacked_prices = attack.apply(environment.clean_prices)
+
+    def run():
+        return truth_simulator.grid_par(attacked_prices)
+
+    par_value = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Fig5b attacked PAR", PAPER_PAR_FIG5B, par_value)
+    benchmark.extra_info["paper_par"] = PAPER_PAR_FIG5B
+    benchmark.extra_info["measured_par"] = par_value
+    # The attack must blow the PAR far out of the benign band.
+    benign = truth_simulator.grid_par(environment.clean_prices)
+    assert par_value > benign + 0.25
+
+
+def test_fig5b_peak_lands_in_attack_window(environment, truth_simulator, benchmark):
+    """The load peak forms at the manipulated slots, as in Fig. 5(b)."""
+    attack = ZeroPriceAttack(start_slot=16, end_slot=17)
+    result = benchmark.pedantic(
+        lambda: truth_simulator.response(attack.apply(environment.clean_prices)),
+        rounds=1,
+        iterations=1,
+    )
+    peak_slot = int(np.argmax(result.grid_demand))
+    assert peak_slot in (16, 17)
+
+
+def test_fig5b_relative_increase(environment, truth_simulator, benchmark):
+    """Attack-over-benign increase is of the paper's order (36.11%)."""
+    attack = ZeroPriceAttack(start_slot=16, end_slot=17)
+    attacked, benign = benchmark.pedantic(
+        lambda: (
+            truth_simulator.grid_par(attack.apply(environment.clean_prices)),
+            truth_simulator.grid_par(environment.aware_prices),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    increase = (attacked - benign) / benign
+    report("Fig5 relative PAR increase vs aware", PAPER_INCREASE_VS_AWARE, increase)
+    assert increase > 0.2

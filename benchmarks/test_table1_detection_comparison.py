@@ -1,0 +1,85 @@
+"""Table 1: PAR and labor cost under the three detection policies.
+
+Paper:
+
+=======================  ============  ==========  ========
+quantity                 No Detection  Unaware     Aware
+=======================  ============  ==========  ========
+PAR                      1.6509        1.5422      1.4112
+Normalized labor cost    --            1.0000      1.0067
+=======================  ============  ==========  ========
+
+The aware detector reduces the PAR by 8.49% relative to the unaware one
+at a 0.67% labor premium.  The reproduction targets the ordering: the
+realized PAR falls monotonically from no-detection through unaware to
+aware.  Numbers are means over ``SCENARIO_SEEDS``.
+"""
+
+from benchmarks.conftest import report
+from repro.metrics.cost import normalized_labor_cost
+
+PAPER = {
+    "none": 1.6509,
+    "unaware": 1.5422,
+    "aware": 1.4112,
+}
+
+
+def test_table1_par_rows(scenario_aggregates, benchmark):
+    def run():
+        return {
+            kind: aggregate.mean_par.mean
+            for kind, aggregate in scenario_aggregates.items()
+        }
+
+    pars = benchmark.pedantic(run, rounds=1, iterations=1)
+    for kind in ("none", "unaware", "aware"):
+        report(f"Table1 PAR [{kind}]", PAPER[kind], pars[kind])
+        benchmark.extra_info[f"paper_{kind}"] = PAPER[kind]
+        benchmark.extra_info[f"measured_{kind}"] = pars[kind]
+    # The paper's ordering: detection reduces PAR, awareness reduces it more.
+    assert pars["aware"] < pars["none"]
+    assert pars["unaware"] < pars["none"]
+    assert pars["aware"] <= pars["unaware"] + 0.02
+
+
+def test_table1_labor_cost(scenario_aggregates, benchmark):
+    """Labor cost comparison (paper: aware/unaware = 1.0067).
+
+    The aware detector catches more campaigns, so it dispatches at least
+    as much repair labor; the paper found a 0.67% premium.
+    """
+    unaware_cost, aware_cost = benchmark.pedantic(
+        lambda: (
+            scenario_aggregates["unaware"].labor_cost.mean,
+            scenario_aggregates["aware"].labor_cost.mean,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert scenario_aggregates["none"].labor_cost.mean == 0.0
+    if unaware_cost > 0:
+        ratio = normalized_labor_cost(aware_cost, unaware_cost)
+        report("Table1 normalized labor cost (aware)", 1.0067, ratio)
+        assert ratio >= 0.8
+
+
+def test_table1_detection_reduces_compromise_time(scenario_aggregates, benchmark):
+    """Detected-and-repaired fleets spend less time compromised."""
+    none_hacked = benchmark.pedantic(
+        lambda: scenario_aggregates["none"].mean_hacked.mean,
+        rounds=1,
+        iterations=1,
+    )
+    assert scenario_aggregates["aware"].mean_hacked.mean < none_hacked
+    assert scenario_aggregates["unaware"].mean_hacked.mean <= none_hacked
+
+
+def test_table1_awareness_shortens_exposure(scenario_aggregates, benchmark):
+    """The aware detector clears compromises faster than the unaware one
+    (this is what produces the PAR column's ordering)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert (
+        scenario_aggregates["aware"].mean_hacked.mean
+        <= scenario_aggregates["unaware"].mean_hacked.mean
+    )

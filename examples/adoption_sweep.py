@@ -1,0 +1,76 @@
+"""Impact assessment: detection quality vs net-metering penetration.
+
+The paper's title question, asked as a sweep: as PV/battery adoption
+grows from 0% to 80%, how do the aware and unaware detectors' observation
+accuracies move?  At zero adoption the two coincide (there is no net
+metering to be unaware of); the gap opens with penetration.
+
+Runtime note: every sweep cell runs a one-day monitored scenario, so this
+example takes a few minutes at its default scale.
+
+Run:  python examples/adoption_sweep.py  [--customers N]
+"""
+
+import argparse
+
+from repro.core.presets import bench_preset
+from repro.reporting.tables import fixed_table
+from repro.simulation.sweep import sweep_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--customers", type=int, default=40)
+    args = parser.parse_args()
+
+    config = bench_preset().with_updates(n_customers=args.customers)
+    values = (0.0, 0.25, 0.5, 0.75)
+    print(f"sweeping pv_adoption over {values} ({args.customers} customers)...")
+    result = sweep_scenario(
+        config,
+        parameter="pv_adoption",
+        values=values,
+        detectors=("aware", "unaware"),
+        n_slots=24,
+        calibration_trials=10,
+        seed=2015,
+    )
+
+    aware = dict(result.series("aware", "observation_accuracy"))
+    unaware = dict(result.series("unaware", "observation_accuracy"))
+    aware_par = dict(result.series("aware", "mean_par"))
+    unaware_par = dict(result.series("unaware", "mean_par"))
+    rows = [
+        [
+            f"{value:.2f}",
+            f"{aware[value]:.2%}",
+            f"{unaware[value]:.2%}",
+            f"{aware[value] - unaware[value]:+.2%}",
+            f"{aware_par[value]:.3f}",
+            f"{unaware_par[value]:.3f}",
+        ]
+        for value in values
+    ]
+    print()
+    print(
+        fixed_table(
+            [
+                "adoption",
+                "acc(aware)",
+                "acc(unaware)",
+                "gap",
+                "PAR(aware)",
+                "PAR(unaware)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: the awareness gap is a net-metering phenomenon — it"
+        "\nvanishes at zero adoption and widens with penetration, which is"
+        "\nthe paper's core impact claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Attack impact study: reproduce the Figures 3-5 narrative.
+
+Builds the evaluation day of Section 5, compares the unaware (ref. [8])
+and aware guideline-price predictions against the received price, then
+sweeps the zero-price attack over strengths and windows to map the PAR
+damage surface.
+
+Run:  python examples/attack_impact_study.py  [--customers N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attacks.pricing import PeakIncreaseAttack, ZeroPriceAttack
+from repro.core.presets import bench_preset
+from repro.data.community import build_community
+from repro.data.pricing import (
+    GuidelinePriceModel,
+    baseline_demand_profile,
+    generate_history,
+)
+from repro.detection.single_event import CommunityResponseSimulator
+from repro.metrics.errors import rmse
+from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--customers", type=int, default=60)
+    args = parser.parse_args()
+
+    config = bench_preset().with_updates(n_customers=args.customers)
+    rng = np.random.default_rng(config.seed)
+    community = build_community(config, rng=rng)
+    demand = baseline_demand_profile(config.time) * config.n_customers
+    price_model = GuidelinePriceModel(
+        config=config.pricing, n_customers=config.n_customers
+    )
+    history = generate_history(
+        rng,
+        n_customers=config.n_customers,
+        pricing=config.pricing,
+        solar=config.solar,
+        mean_pv_per_customer_kw=config.solar.peak_kw * config.pv_adoption,
+    )
+    renewable = community.total_pv
+    clean = price_model.price(demand, renewable, rng=rng)
+
+    p_unaware = UnawarePricePredictor().fit(history).predict_day()
+    p_aware = (
+        AwarePricePredictor()
+        .fit(history)
+        .predict_day(demand_forecast=demand, renewable_forecast=renewable)
+    )
+    print("=== Figures 3a / 4a: prediction quality ===")
+    print(f"unaware RMSE : {rmse(clean, p_unaware):.5f}")
+    print(f"aware RMSE   : {rmse(clean, p_aware):.5f}")
+
+    truth = CommunityResponseSimulator(
+        community, config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor, seed=3,
+    )
+    unaware_model = CommunityResponseSimulator(
+        community.without_net_metering(), config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor, seed=3,
+    )
+    print("\n=== Figures 3b / 4b: predicted load PAR (paper: 1.4700 / 1.3986) ===")
+    print(f"unaware predicted PAR : {unaware_model.grid_par(p_unaware):.4f}")
+    print(f"aware predicted PAR   : {truth.grid_par(p_aware):.4f}")
+    print(f"actual benign PAR     : {truth.grid_par(clean):.4f}")
+
+    print("\n=== Figure 5: zero price 16:00-17:00 (paper: PAR 1.9037) ===")
+    attacked = truth.response(ZeroPriceAttack(16, 17).apply(clean))
+    par = float(attacked.grid_demand.max() / attacked.grid_demand.mean())
+    print(f"attacked PAR          : {par:.4f}")
+    print("attacked grid profile :", np.round(attacked.grid_demand, 1))
+
+    print("\n=== Damage surface: strength x window sweep ===")
+    print(f"{'window':>10} " + " ".join(f"s={s:.1f}" for s in (0.4, 0.7, 1.0)))
+    for start in (8, 12, 16, 20):
+        row = []
+        for strength in (0.4, 0.7, 1.0):
+            attack = PeakIncreaseAttack(start, start + 1, strength=strength)
+            row.append(truth.grid_par(attack.apply(clean)))
+        print(
+            f"{start:>6}-{start + 1:<3} "
+            + " ".join(f"{value:5.3f}" for value in row)
+        )
+
+
+if __name__ == "__main__":
+    main()

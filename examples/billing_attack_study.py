@@ -1,0 +1,82 @@
+"""Billing impact of pricing cyberattacks.
+
+Ref. [8] of the paper identifies two attack objectives: raising the peak
+(grid instability) and raising the customers' electricity bill.  This
+example quantifies both on one community: the community schedules
+against a manipulated guideline price, is billed at the real-time price
+its own response produces, and pays for the spike it was tricked into.
+
+Run:  python examples/billing_attack_study.py
+"""
+
+import numpy as np
+
+from repro.attacks.pricing import BillIncreaseAttack, ZeroPriceAttack
+from repro.billing.bills import attack_bill_impact, community_bills
+from repro.billing.realtime import RealTimePriceModel
+from repro.core.presets import bench_preset
+from repro.data.community import build_community
+from repro.data.pricing import GuidelinePriceModel, baseline_demand_profile
+from repro.reporting.ascii import render_profile
+from repro.reporting.tables import fixed_table
+from repro.scheduling.game import SchedulingGame
+
+
+def main() -> None:
+    config = bench_preset().with_updates(n_customers=60)
+    rng = np.random.default_rng(config.seed)
+    community = build_community(config, rng=rng)
+    demand = baseline_demand_profile(config.time) * config.n_customers
+    guideline_model = GuidelinePriceModel(
+        config=config.pricing, n_customers=config.n_customers
+    )
+    clean = guideline_model.price(demand, community.total_pv, rng=rng)
+    realtime = RealTimePriceModel(
+        config=config.pricing, n_customers=config.n_customers, surge_exponent=1.5
+    )
+
+    def solve(prices):
+        return SchedulingGame(
+            community,
+            prices,
+            sellback_divisor=config.pricing.sellback_divisor,
+            config=config.game,
+        ).solve(rng=np.random.default_rng(3))
+
+    print("solving benign community response...")
+    benign = solve(clean)
+    print(render_profile(benign.grid_demand, label="benign"))
+
+    attacks = {
+        "zero 16-17": ZeroPriceAttack(16, 17),
+        "zero 11-12": ZeroPriceAttack(11, 12),
+        "bill x2 (12-14)": BillIncreaseAttack(12, 14, inflation=2.0),
+    }
+    rows = []
+    for name, attack in attacks.items():
+        print(f"solving response to {name}...")
+        attacked = solve(attack.apply(clean))
+        par = float(attacked.grid_demand.max() / attacked.grid_demand.mean())
+        impact = attack_bill_impact(benign, attacked, realtime)
+        rows.append([name, f"{par:.4f}", f"{impact * 100:+.1f}%"])
+        print(render_profile(attacked.grid_demand, label=name[:12]))
+
+    benign_par = float(benign.grid_demand.max() / benign.grid_demand.mean())
+    rows.insert(0, ["(benign)", f"{benign_par:.4f}", "+0.0%"])
+    print()
+    print(fixed_table(["attack", "grid PAR", "bill impact"], rows))
+
+    print("\nper-archetype bills (benign day, first five):")
+    cost_model = SchedulingGame(
+        community, clean, sellback_divisor=config.pricing.sellback_divisor,
+        config=config.game,
+    ).cost_model
+    for i, bill in enumerate(community_bills(benign, cost_model)[:5]):
+        print(
+            f"  archetype {i}: bought {bill.purchases_kwh:5.1f} kWh, "
+            f"sold {bill.sales_kwh:4.1f} kWh, net ${bill.total:7.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Detection-aware attacker study (extension of the paper's threat model).
+
+If the attacker knows the detector's PAR threshold, how much billing
+damage can it still do while staying invisible?  Sweeps the stealth
+planner across thresholds, mapping the residual-exposure curve — the
+security margin the paper's framework leaves on the table.
+
+Run:  python examples/stealthy_attacker.py
+"""
+
+import numpy as np
+
+from repro.attacks.stealth import plan_stealthy_attack
+from repro.billing.realtime import RealTimePriceModel
+from repro.core.presets import bench_preset
+from repro.data.community import build_community
+from repro.data.pricing import GuidelinePriceModel, baseline_demand_profile
+from repro.detection.single_event import CommunityResponseSimulator
+from repro.reporting.tables import fixed_table
+
+
+def main() -> None:
+    config = bench_preset().with_updates(n_customers=60)
+    rng = np.random.default_rng(config.seed)
+    community = build_community(config, rng=rng)
+    demand = baseline_demand_profile(config.time) * config.n_customers
+    price_model = GuidelinePriceModel(
+        config=config.pricing, n_customers=config.n_customers
+    )
+    clean = price_model.price(demand, community.total_pv, rng=rng)
+    simulator = CommunityResponseSimulator(
+        community,
+        config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor,
+        seed=3,
+    )
+    billing = RealTimePriceModel(
+        config=config.pricing, n_customers=config.n_customers, surge_exponent=1.5
+    )
+
+    rows = []
+    for threshold in (0.02, 0.05, 0.10, 0.20, 0.40):
+        plan = plan_stealthy_attack(
+            simulator,
+            clean,
+            threshold=threshold,
+            price_model=billing,
+            strengths=np.linspace(0.1, 0.9, 9),
+            window_starts=np.arange(8, 21, 2),
+            safety_margin=config.detection.margin_noise_std,
+        )
+        if plan.found:
+            attack = plan.attack
+            description = (
+                f"s={attack.strength:.1f} [{attack.start_slot},{attack.end_slot}]"
+            )
+        else:
+            description = "(none undetectable)"
+        rows.append(
+            [
+                f"{threshold:.2f}",
+                description,
+                f"{plan.margin:+.3f}",
+                f"{plan.bill_damage * 100:+.2f}%",
+            ]
+        )
+    print("residual exposure vs detector threshold (delta_P):\n")
+    print(
+        fixed_table(
+            ["delta_P", "best hidden attack", "PAR margin", "bill damage"], rows
+        )
+    )
+    print(
+        "\nReading: tighter thresholds shrink the attacker's hidden-damage"
+        "\nbudget; the paper's detector leaves only the sub-threshold band."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Detector threshold study: how to pick delta_P.
+
+Sweeps the single-event PAR threshold for the aware and unaware
+detectors, printing tp/fp operating points, AUCs and the Youden-optimal
+thresholds.  Shows directly why the net-metering-unaware detector cannot
+be fixed by retuning the threshold: its whole margin distribution is
+offset.
+
+Run:  python examples/threshold_study.py
+"""
+
+import numpy as np
+
+from repro.attacks.hacking import MeterHackingProcess
+from repro.core.presets import bench_preset
+from repro.data.community import build_community
+from repro.data.pricing import (
+    GuidelinePriceModel,
+    baseline_demand_profile,
+    generate_history,
+)
+from repro.detection.roc import sweep_thresholds
+from repro.detection.single_event import (
+    CommunityResponseSimulator,
+    SingleEventDetector,
+)
+from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
+from repro.reporting.tables import fixed_table
+
+
+def main() -> None:
+    config = bench_preset().with_updates(n_customers=60)
+    rng = np.random.default_rng(config.seed)
+    community = build_community(config, rng=rng)
+    demand = baseline_demand_profile(config.time) * config.n_customers
+    price_model = GuidelinePriceModel(
+        config=config.pricing, n_customers=config.n_customers
+    )
+    history = generate_history(
+        rng,
+        n_customers=config.n_customers,
+        pricing=config.pricing,
+        solar=config.solar,
+        mean_pv_per_customer_kw=config.solar.peak_kw * config.pv_adoption,
+    )
+    clean = price_model.price(demand, community.total_pv, rng=rng)
+    p_aware = (
+        AwarePricePredictor()
+        .fit(history)
+        .predict_day(demand_forecast=demand, renewable_forecast=community.total_pv)
+    )
+    p_unaware = UnawarePricePredictor().fit(history).predict_day()
+
+    truth = CommunityResponseSimulator(
+        community, config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor, seed=3,
+    )
+    unaware_model = CommunityResponseSimulator(
+        community.without_net_metering(), config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor, seed=3,
+    )
+    sampler = MeterHackingProcess(
+        config.detection.n_monitored_meters,
+        config.detection.hack_probability,
+        rng=np.random.default_rng(11),
+    )
+    detectors = {
+        "aware": SingleEventDetector(
+            truth, p_aware,
+            threshold=config.detection.par_threshold,
+            margin_noise_std=config.detection.margin_noise_std,
+        ),
+        "unaware": SingleEventDetector(
+            truth, p_unaware, predicted_simulator=unaware_model,
+            threshold=config.detection.par_threshold,
+            margin_noise_std=config.detection.margin_noise_std,
+        ),
+    }
+
+    thresholds = np.linspace(-0.05, 0.5, 12)
+    for name, detector in detectors.items():
+        print(f"\n=== {name} detector ===")
+        sweep = sweep_thresholds(
+            detector, clean, sampler,
+            thresholds=thresholds, n_trials=20, rng=np.random.default_rng(5),
+        )
+        print(
+            f"benign margins  : mean {sweep.benign_margins.mean():+.3f} "
+            f"std {sweep.benign_margins.std():.3f}"
+        )
+        print(
+            f"attacked margins: mean {sweep.attacked_margins.mean():+.3f} "
+            f"std {sweep.attacked_margins.std():.3f}"
+        )
+        rows = [
+            [f"{p.threshold:+.3f}", f"{p.tp_rate:.2f}", f"{p.fp_rate:.2f}", f"{p.youden_j:+.2f}"]
+            for p in sweep.points
+        ]
+        print(fixed_table(["delta_P", "tp", "fp", "J"], rows))
+        best = sweep.best_by_youden()
+        print(f"AUC = {sweep.auc():.3f}; best delta_P = {best.threshold:+.3f} (J={best.youden_j:+.2f})")
+
+
+if __name__ == "__main__":
+    main()

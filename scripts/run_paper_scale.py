@@ -1,0 +1,141 @@
+"""Run the full paper-scale experiment suite (500 customers).
+
+The benchmark harness defaults to ``bench_preset()`` (120 customers) so
+every figure regenerates in minutes.  This script runs the same pipeline
+at the paper's published scale — expect on the order of an hour on a
+laptop, dominated by the scheduling-game solves.
+
+Usage:
+    python scripts/run_paper_scale.py [--slots 48] [--seeds 2015 7] [--out DIR]
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks.pricing import ZeroPriceAttack
+from repro.core.presets import paper_preset
+from repro.data.community import build_community
+from repro.data.pricing import (
+    GuidelinePriceModel,
+    baseline_demand_profile,
+    generate_history,
+)
+from repro.detection.single_event import CommunityResponseSimulator
+from repro.metrics.cost import LaborCostModel, normalized_labor_cost
+from repro.metrics.errors import rmse
+from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
+from repro.reporting.tables import ComparisonRow, comparison_table
+from repro.simulation.aggregate import run_aggregate_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=48)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[2015, 7])
+    parser.add_argument("--out", type=Path, default=Path("paper_scale_results"))
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    config = paper_preset()
+    rng = np.random.default_rng(config.seed)
+    started = time.time()
+
+    print(f"building the {config.n_customers}-customer community...")
+    community = build_community(config, rng=rng)
+    demand = baseline_demand_profile(config.time) * config.n_customers
+    price_model = GuidelinePriceModel(
+        config=config.pricing, n_customers=config.n_customers
+    )
+    history = generate_history(
+        rng,
+        n_customers=config.n_customers,
+        pricing=config.pricing,
+        solar=config.solar,
+        mean_pv_per_customer_kw=config.solar.peak_kw * config.pv_adoption,
+    )
+    clean = price_model.price(demand, community.total_pv, rng=rng)
+    p_unaware = UnawarePricePredictor().fit(history).predict_day()
+    p_aware = (
+        AwarePricePredictor()
+        .fit(history)
+        .predict_day(demand_forecast=demand, renewable_forecast=community.total_pv)
+    )
+
+    truth = CommunityResponseSimulator(
+        community, config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor, seed=3,
+    )
+    unaware_model = CommunityResponseSimulator(
+        community.without_net_metering(), config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor, seed=3,
+    )
+
+    rows = [
+        ComparisonRow("Fig3a unaware price RMSE", None, rmse(clean, p_unaware)),
+        ComparisonRow("Fig4a aware price RMSE", None, rmse(clean, p_aware)),
+        ComparisonRow("Fig3b unaware predicted PAR", 1.4700, unaware_model.grid_par(p_unaware)),
+        ComparisonRow("Fig4b aware predicted PAR", 1.3986, truth.grid_par(p_aware)),
+        ComparisonRow("actual benign PAR", None, truth.grid_par(clean)),
+        ComparisonRow(
+            "Fig5b attacked PAR", 1.9037,
+            truth.grid_par(ZeroPriceAttack(16, 17).apply(clean)),
+        ),
+    ]
+    print(comparison_table(rows, title="Figures 3-5 at paper scale"))
+
+    labor = LaborCostModel(
+        fixed_cost=config.detection.repair_fixed_cost,
+        per_meter_cost=config.detection.repair_cost_per_meter,
+    )
+    paper = {"none": 1.6509, "unaware": 1.5422, "aware": 1.4112}
+    accuracy_paper = {"aware": 0.9514, "unaware": 0.6595}
+    summary = {}
+    aggregates = {}
+    for kind in ("none", "unaware", "aware"):
+        print(f"\nrunning {kind} scenarios over seeds {args.seeds}...")
+        aggregate = run_aggregate_scenario(
+            config, detector=kind, seeds=tuple(args.seeds), n_slots=args.slots
+        )
+        aggregates[kind] = aggregate
+        summary[kind] = {
+            "observation_accuracy": aggregate.observation_accuracy.mean,
+            "mean_par": aggregate.mean_par.mean,
+            "labor_cost": aggregate.labor_cost.mean,
+        }
+
+    rows = []
+    for kind in ("aware", "unaware"):
+        rows.append(
+            ComparisonRow(
+                f"Fig6 accuracy ({kind})",
+                accuracy_paper[kind],
+                summary[kind]["observation_accuracy"],
+            )
+        )
+    for kind in ("none", "unaware", "aware"):
+        rows.append(
+            ComparisonRow(f"Table1 PAR ({kind})", paper[kind], summary[kind]["mean_par"])
+        )
+    if summary["unaware"]["labor_cost"] > 0:
+        rows.append(
+            ComparisonRow(
+                "Table1 normalized labor (aware)",
+                1.0067,
+                normalized_labor_cost(
+                    summary["aware"]["labor_cost"], summary["unaware"]["labor_cost"]
+                ),
+            )
+        )
+    print()
+    print(comparison_table(rows, title="Figure 6 / Table 1 at paper scale"))
+
+    (args.out / "summary.json").write_text(json.dumps(summary, indent=2))
+    print(f"\nwrote {args.out / 'summary.json'}; total {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Pricing cyberattack models and the stochastic meter-hacking process."""
+
+from repro.attacks.hacking import HackedMeter, MeterHackingProcess
+from repro.attacks.stealth import StealthPlan, plan_stealthy_attack
+from repro.attacks.pricing import (
+    BillIncreaseAttack,
+    PeakIncreaseAttack,
+    PricingAttack,
+    ScalingAttack,
+    ZeroPriceAttack,
+)
+
+__all__ = [
+    "BillIncreaseAttack",
+    "HackedMeter",
+    "MeterHackingProcess",
+    "PeakIncreaseAttack",
+    "PricingAttack",
+    "ScalingAttack",
+    "StealthPlan",
+    "ZeroPriceAttack",
+    "plan_stealthy_attack",
+]

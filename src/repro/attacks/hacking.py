@@ -1,0 +1,206 @@
+"""Stochastic meter-hacking process for the long-term scenario.
+
+The POMDP's hidden state is the number of hacked smart meters.  This
+module provides the ground-truth dynamics: at every slot each clean meter
+is compromised independently with probability ``hack_probability``; a
+compromised meter stays compromised (and keeps receiving manipulated
+prices) until a repair dispatch fixes it.
+
+Compromises belong to a *campaign*: one attacker manipulates the
+guideline price one way (a
+:class:`~repro.attacks.pricing.PeakIncreaseAttack` with random window and
+strength), and every meter it compromises receives the same manipulated
+price — which is what makes the community load pile into one window and
+the PAR climb as the campaign spreads (Table 1's "No Detection" column).
+A new campaign, with a freshly drawn attack, starts after each repair
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.attacks.pricing import PeakIncreaseAttack, PricingAttack
+
+
+@dataclass(frozen=True)
+class HackedMeter:
+    """One compromised meter and the attack installed on it."""
+
+    meter_id: int
+    attack: PricingAttack
+    hacked_at_slot: int
+
+
+class MeterHackingProcess:
+    """Ground-truth compromise dynamics over a fleet of monitored meters.
+
+    Parameters
+    ----------
+    n_meters:
+        Fleet size (the POMDP's ``N``).
+    hack_probability:
+        Per-slot, per-clean-meter compromise probability ``q``.
+    slots_per_day:
+        Used to place attack windows within the day.
+    strength_range:
+        Attack strengths are drawn uniformly from this interval; weaker
+        attacks produce smaller PAR deviations and are harder to detect.
+    window_hours:
+        Attack window length range (in slots) for fresh compromises.
+    window_hour_range:
+        Hours of the day (start-inclusive, end-exclusive) attack windows
+        may occupy.
+    rng:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        n_meters: int,
+        hack_probability: float,
+        *,
+        slots_per_day: int = 24,
+        strength_range: tuple[float, float] = (0.3, 0.65),
+        window_hours: tuple[int, int] = (1, 2),
+        window_hour_range: tuple[int, int] = (9, 21),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_meters < 1:
+            raise ValueError(f"n_meters must be >= 1, got {n_meters}")
+        if not 0.0 <= hack_probability <= 1.0:
+            raise ValueError(f"hack_probability must be in [0, 1], got {hack_probability}")
+        lo, hi = strength_range
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError(f"strength_range must satisfy 0 <= lo <= hi <= 1, got {strength_range}")
+        wlo, whi = window_hours
+        if not 1 <= wlo <= whi <= slots_per_day:
+            raise ValueError(
+                f"window_hours must satisfy 1 <= lo <= hi <= {slots_per_day}, got {window_hours}"
+            )
+        plo, phi = window_hour_range
+        if not 0 <= plo < phi <= slots_per_day:
+            raise ValueError(
+                f"window_hour_range must satisfy 0 <= lo < hi <= {slots_per_day}, "
+                f"got {window_hour_range}"
+            )
+        if phi - plo < whi:
+            raise ValueError(
+                "window_hour_range too narrow for the widest attack window"
+            )
+        self.n_meters = n_meters
+        self.hack_probability = hack_probability
+        self.slots_per_day = slots_per_day
+        self.strength_range = (float(lo), float(hi))
+        self.window_hours = (int(wlo), int(whi))
+        self.window_hour_range = (int(plo), int(phi))
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._hacked: dict[int, HackedMeter] = {}
+        self._slot = 0
+        self._campaign_attack: PeakIncreaseAttack | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def hacked_meters(self) -> tuple[HackedMeter, ...]:
+        """Currently compromised meters, ordered by meter id."""
+        return tuple(self._hacked[i] for i in sorted(self._hacked))
+
+    @property
+    def n_hacked(self) -> int:
+        """The POMDP's true state ``s``."""
+        return len(self._hacked)
+
+    @property
+    def hacked_mask(self) -> NDArray[np.bool_]:
+        """Boolean compromise mask over the fleet."""
+        mask = np.zeros(self.n_meters, dtype=bool)
+        for meter_id in self._hacked:
+            mask[meter_id] = True
+        return mask
+
+    @property
+    def campaign_attack(self) -> PeakIncreaseAttack | None:
+        """The attack every current compromise installs (None before the
+        first compromise of a campaign)."""
+        return self._campaign_attack
+
+    # ------------------------------------------------------------------
+    def step(self) -> tuple[HackedMeter, ...]:
+        """Advance one slot; returns the meters compromised this slot."""
+        fresh = []
+        for meter_id in range(self.n_meters):
+            if meter_id in self._hacked:
+                continue
+            if self._rng.random() < self.hack_probability:
+                if self._campaign_attack is None:
+                    self._campaign_attack = self.draw_attack()
+                meter = HackedMeter(
+                    meter_id=meter_id,
+                    attack=self._campaign_attack,
+                    hacked_at_slot=self._slot,
+                )
+                self._hacked[meter_id] = meter
+                fresh.append(meter)
+        self._slot += 1
+        return tuple(fresh)
+
+    def repair_all(self) -> int:
+        """Fix every compromised meter; returns how many were repaired.
+
+        Ends the current campaign: the next compromise draws a fresh
+        attack.
+        """
+        repaired = len(self._hacked)
+        self._hacked.clear()
+        self._campaign_attack = None
+        return repaired
+
+    def new_campaign(self) -> None:
+        """Roll the campaign attack (e.g. at a day boundary).
+
+        Guideline prices are daily vectors, so the attacker re-manipulates
+        each new day's price.  Compromised meters stay compromised; they
+        simply install the fresh manipulation.
+        """
+        if not self._hacked:
+            self._campaign_attack = None
+            return
+        self._campaign_attack = self.draw_attack()
+        self._hacked = {
+            meter_id: HackedMeter(
+                meter_id=meter.meter_id,
+                attack=self._campaign_attack,
+                hacked_at_slot=meter.hacked_at_slot,
+            )
+            for meter_id, meter in self._hacked.items()
+        }
+
+    def received_price(self, meter_id: int, prices: NDArray[np.float64]) -> NDArray[np.float64]:
+        """The price vector meter ``meter_id`` receives (manipulated if hacked)."""
+        if not 0 <= meter_id < self.n_meters:
+            raise IndexError(f"meter_id {meter_id} out of range [0, {self.n_meters})")
+        meter = self._hacked.get(meter_id)
+        if meter is None:
+            return np.asarray(prices, dtype=float).copy()
+        return meter.attack.apply(prices)
+
+    # ------------------------------------------------------------------
+    def draw_attack(self) -> PeakIncreaseAttack:
+        """Sample a fresh attack from the process's attack distribution.
+
+        Windows land inside ``window_hour_range``: an attacker gains
+        nothing by discounting hours when no deferrable load is awake to
+        chase the fake price.
+        """
+        width = int(self._rng.integers(self.window_hours[0], self.window_hours[1] + 1))
+        lo, hi = self.window_hour_range
+        start = int(self._rng.integers(lo, hi - width + 1))
+        strength = float(self._rng.uniform(*self.strength_range))
+        return PeakIncreaseAttack(
+            start_slot=start,
+            end_slot=start + width - 1,
+            strength=strength,
+        )

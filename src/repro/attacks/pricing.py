@@ -1,0 +1,147 @@
+"""Guideline-price manipulation attacks (Section 4, and the paper's ref. [8]).
+
+A pricing cyberattack tampers with the guideline-price vector a hacked
+smart meter *receives*; the household's scheduler then chases the fake
+prices.  Two canonical attacks from ref. [8] are modelled, plus the
+zeroing attack the paper uses in Figure 5:
+
+- :class:`ZeroPriceAttack` / :class:`ScalingAttack` (peak-increase family):
+  make a window look artificially cheap so deferrable load piles into it.
+- :class:`PeakIncreaseAttack`: the parameterized version — scale a window
+  down by a strength factor (strength 1 == zeroing).
+- :class:`BillIncreaseAttack`: inflate prices outside the victim's typical
+  cheap window so the scheduler moves load to genuinely expensive slots.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+
+def _validated_prices(prices: ArrayLike) -> NDArray[np.float64]:
+    p = np.asarray(prices, dtype=float)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError(f"prices must be a non-empty 1-D array, got shape {p.shape}")
+    if np.any(~np.isfinite(p)) or np.any(p < 0):
+        raise ValueError("prices must be finite and >= 0")
+    return p
+
+
+class PricingAttack(abc.ABC):
+    """A deterministic transformation of a received guideline-price vector."""
+
+    @abc.abstractmethod
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        """Return the manipulated price vector (input is not modified)."""
+
+    def window_mask(self, horizon: int) -> NDArray[np.bool_]:
+        """Slots touched by the attack; default: all slots."""
+        return np.ones(horizon, dtype=bool)
+
+
+@dataclass(frozen=True)
+class _WindowedAttack(PricingAttack):
+    """Shared validation for attacks acting on a slot window."""
+
+    start_slot: int
+    end_slot: int
+
+    def __post_init__(self) -> None:
+        if self.start_slot < 0:
+            raise ValueError(f"start_slot must be >= 0, got {self.start_slot}")
+        if self.end_slot < self.start_slot:
+            raise ValueError(
+                f"end_slot {self.end_slot} before start_slot {self.start_slot}"
+            )
+
+    def window_mask(self, horizon: int) -> NDArray[np.bool_]:
+        if self.end_slot >= horizon:
+            raise ValueError(
+                f"attack window [{self.start_slot}, {self.end_slot}] outside "
+                f"horizon {horizon}"
+            )
+        mask = np.zeros(horizon, dtype=bool)
+        mask[self.start_slot : self.end_slot + 1] = True
+        return mask
+
+
+@dataclass(frozen=True)
+class ZeroPriceAttack(_WindowedAttack):
+    """Set the price to zero inside a window (the Figure 5 attack).
+
+    The paper zeroes 16:00-17:00; on an hourly grid that is
+    ``ZeroPriceAttack(start_slot=16, end_slot=17)``.
+    """
+
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        p = _validated_prices(prices).copy()
+        p[self.window_mask(p.size)] = 0.0
+        return p
+
+
+@dataclass(frozen=True)
+class ScalingAttack(_WindowedAttack):
+    """Multiply the price inside a window by a constant factor."""
+
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor < 0:
+            raise ValueError(f"factor must be >= 0, got {self.factor}")
+
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        p = _validated_prices(prices).copy()
+        mask = self.window_mask(p.size)
+        p[mask] = p[mask] * self.factor
+        return p
+
+
+@dataclass(frozen=True)
+class PeakIncreaseAttack(_WindowedAttack):
+    """Strength-parameterized cheap-window attack.
+
+    ``strength`` in [0, 1] interpolates between no manipulation (0) and
+    full zeroing (1): the window price is scaled by ``1 - strength``.
+    Variable-strength attacks are what the long-term scenario draws, so
+    detection margins straddle the threshold realistically.
+    """
+
+    strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.strength <= 1.0:
+            raise ValueError(f"strength must be in [0, 1], got {self.strength}")
+
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        p = _validated_prices(prices).copy()
+        mask = self.window_mask(p.size)
+        p[mask] = p[mask] * (1.0 - self.strength)
+        return p
+
+
+@dataclass(frozen=True)
+class BillIncreaseAttack(_WindowedAttack):
+    """Inflate prices *outside* the window to herd load into it.
+
+    Ref. [8]'s bill attack: the victim's scheduler flees the inflated
+    slots, concentrating consumption where the real price is high.
+    """
+
+    inflation: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inflation < 1.0:
+            raise ValueError(f"inflation must be >= 1, got {self.inflation}")
+
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        p = _validated_prices(prices).copy()
+        mask = self.window_mask(p.size)
+        p[~mask] = p[~mask] * self.inflation
+        return p

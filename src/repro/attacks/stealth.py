@@ -1,0 +1,125 @@
+"""Detection-aware (stealthy) attack planning.
+
+A natural extension of the paper's threat model: an attacker who knows
+the detector's PAR threshold ``delta_P`` picks the strongest manipulation
+whose induced PAR increase stays *below* it.  The planner sweeps the
+attack family against the community response simulator and returns the
+maximum-damage undetectable attack — quantifying the residual exposure
+that remains even with a perfectly calibrated detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.attacks.pricing import PeakIncreaseAttack
+from repro.billing.realtime import RealTimePriceModel
+from repro.detection.single_event import CommunityResponseSimulator
+
+
+@dataclass(frozen=True)
+class StealthPlan:
+    """The best undetectable attack found, with its damage accounting."""
+
+    attack: PeakIncreaseAttack | None
+    margin: float
+    bill_damage: float
+    evaluated: int
+
+    @property
+    def found(self) -> bool:
+        return self.attack is not None
+
+
+def plan_stealthy_attack(
+    simulator: CommunityResponseSimulator,
+    clean_prices: NDArray[np.float64],
+    *,
+    threshold: float,
+    price_model: RealTimePriceModel,
+    strengths: NDArray[np.float64] | None = None,
+    window_starts: NDArray[np.int_] | None = None,
+    window_width: int = 2,
+    safety_margin: float = 0.0,
+) -> StealthPlan:
+    """Find the maximum-bill-damage attack whose PAR margin stays hidden.
+
+    Parameters
+    ----------
+    simulator:
+        The community response model the attacker (pessimistically)
+        assumes the detector uses.
+    clean_prices:
+        The genuine guideline-price vector being manipulated.
+    threshold:
+        The detector's ``delta_P``.
+    price_model:
+        Real-time billing model used to score damage (relative bill
+        increase of the manipulated response).
+    strengths, window_starts, window_width:
+        The attack family swept; defaults cover strengths 0.1-0.9 and all
+        windows of ``window_width`` slots.
+    safety_margin:
+        Extra headroom the attacker keeps below the threshold (to survive
+        detector measurement noise).
+
+    Returns
+    -------
+    The best plan; ``plan.found`` is False when every candidate would be
+    detected.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    if safety_margin < 0:
+        raise ValueError(f"safety_margin must be >= 0, got {safety_margin}")
+    prices = np.asarray(clean_prices, dtype=float)
+    horizon = prices.size
+    if strengths is None:
+        strengths = np.linspace(0.1, 0.9, 9)
+    if window_starts is None:
+        window_starts = np.arange(0, horizon - window_width + 1, 2)
+
+    benign = simulator.response(prices)
+    benign_par = float(benign.grid_demand.max() / benign.grid_demand.mean())
+    benign_bill = float(
+        (price_model.price(benign.grid_demand) * benign.grid_demand).sum()
+    )
+    if benign_bill <= 0:
+        raise ValueError("benign bill must be positive to score damage")
+
+    best_attack: PeakIncreaseAttack | None = None
+    best_margin = 0.0
+    best_damage = 0.0
+    evaluated = 0
+    for start in np.asarray(window_starts, dtype=int):
+        for strength in np.asarray(strengths, dtype=float):
+            attack = PeakIncreaseAttack(
+                start_slot=int(start),
+                end_slot=int(start) + window_width - 1,
+                strength=float(strength),
+            )
+            response = simulator.response(attack.apply(prices))
+            evaluated += 1
+            margin = (
+                float(response.grid_demand.max() / response.grid_demand.mean())
+                - benign_par
+            )
+            if margin > threshold - safety_margin:
+                continue  # would be detected
+            bill = float(
+                (price_model.price(response.grid_demand) * response.grid_demand).sum()
+            )
+            damage = (bill - benign_bill) / benign_bill
+            if damage > best_damage:
+                best_damage = damage
+                best_margin = margin
+                best_attack = attack
+    return StealthPlan(
+        attack=best_attack,
+        margin=best_margin,
+        bill_damage=best_damage,
+        evaluated=evaluated,
+    )

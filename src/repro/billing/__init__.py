@@ -1,0 +1,27 @@
+"""Billing: real-time pricing and customer bill accounting.
+
+Section 1 of the paper distinguishes two pricing schemes: *real time
+pricing* bills customers for past usage while *guideline pricing* steers
+the smart home schedulers.  Pricing cyberattacks monetize through the
+bill (ref. [8]'s bill-increase attack) and destabilize through the PAR;
+this subpackage provides the billing side: an ex-post real-time price
+derived from the realized community demand, per-customer bills under the
+quadratic net-metering tariff, and the attack-impact accounting used by
+the billing example and ablation bench.
+"""
+
+from repro.billing.bills import (
+    BillBreakdown,
+    attack_bill_impact,
+    community_bills,
+    customer_bill,
+)
+from repro.billing.realtime import RealTimePriceModel
+
+__all__ = [
+    "BillBreakdown",
+    "RealTimePriceModel",
+    "attack_bill_impact",
+    "community_bills",
+    "customer_bill",
+]

@@ -1,0 +1,110 @@
+"""Per-customer bill accounting under the net-metering tariff.
+
+A bill decomposes into energy purchases (paid at the community-demand-
+scaled price), sell-back credits (paid at the partial rate ``p/W``) and
+the net total.  :func:`attack_bill_impact` quantifies ref. [8]'s
+bill-increase objective: how much more the community pays when it
+schedules against a manipulated guideline price but is billed at the
+real-time price its own manipulated response produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.billing.realtime import RealTimePriceModel
+from repro.netmetering.cost import NetMeteringCostModel
+from repro.netmetering.trading import net_position
+from repro.scheduling.game import GameResult
+
+
+@dataclass(frozen=True)
+class BillBreakdown:
+    """One customer's (or archetype's) daily bill."""
+
+    purchases_kwh: float
+    sales_kwh: float
+    energy_charge: float
+    sellback_credit: float
+
+    def __post_init__(self) -> None:
+        if self.purchases_kwh < 0 or self.sales_kwh < 0:
+            raise ValueError("energy quantities must be >= 0")
+        if self.energy_charge < 0 or self.sellback_credit < 0:
+            raise ValueError("charge and credit are magnitudes, must be >= 0")
+
+    @property
+    def total(self) -> float:
+        """Net amount owed (negative when credits dominate)."""
+        return self.energy_charge - self.sellback_credit
+
+
+def customer_bill(
+    trading: ArrayLike,
+    others_trading: ArrayLike,
+    cost_model: NetMeteringCostModel,
+) -> BillBreakdown:
+    """Bill one customer given everyone else's trading (Eqn. 2 split).
+
+    The charge/credit split mirrors the cost model's buying and selling
+    branches; their difference equals
+    :meth:`NetMeteringCostModel.customer_cost`.
+    """
+    y = np.asarray(trading, dtype=float)
+    per_slot = cost_model.customer_cost_per_slot(y, np.asarray(others_trading))
+    bought, sold = net_position(y)
+    return BillBreakdown(
+        purchases_kwh=float(bought.sum()),
+        sales_kwh=float(sold.sum()),
+        energy_charge=float(per_slot[per_slot > 0].sum()),
+        sellback_credit=float(-per_slot[per_slot < 0].sum()),
+    )
+
+
+def community_bills(
+    result: GameResult,
+    cost_model: NetMeteringCostModel,
+) -> tuple[BillBreakdown, ...]:
+    """Per-archetype bills for a converged game outcome."""
+    total = result.community_trading
+    bills = []
+    for state, count in zip(result.states, result.counts):
+        others = total - count * state.trading
+        # Bill one instance; siblings are identical.
+        bills.append(customer_bill(state.trading, others, cost_model))
+    return tuple(bills)
+
+
+def attack_bill_impact(
+    benign: GameResult,
+    attacked: GameResult,
+    price_model: RealTimePriceModel,
+) -> float:
+    """Relative community bill increase caused by a pricing attack.
+
+    Both outcomes are billed at the *real-time* price implied by their own
+    realized grid demand: the attacked community's load spike raises the
+    spike slots' real-time price, and the mis-scheduled load pays it.
+
+    Returns
+    -------
+    ``(attacked_bill - benign_bill) / benign_bill``; positive values mean
+    the attack cost the community money — the paper's ref. [8] "increase
+    the customer electricity bill" effect.
+    """
+    benign_bill = _realtime_community_bill(benign, price_model)
+    attacked_bill = _realtime_community_bill(attacked, price_model)
+    if benign_bill <= 0:
+        raise ValueError(f"benign bill must be > 0, got {benign_bill}")
+    return (attacked_bill - benign_bill) / benign_bill
+
+
+def _realtime_community_bill(
+    result: GameResult, price_model: RealTimePriceModel
+) -> float:
+    demand = result.grid_demand
+    prices = price_model.price(demand)
+    return float((prices * demand).sum())

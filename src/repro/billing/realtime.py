@@ -1,0 +1,63 @@
+"""Ex-post real-time pricing.
+
+The utility bills customers with the *real-time* price, set after the
+fact from the demand the community actually drew — unlike the guideline
+price, which is the day-ahead steering signal.  A pricing cyberattack
+that piles load into one slot therefore raises the real-time price of
+that slot, and everyone scheduled there pays for the spike: this is how
+the manipulated guideline price becomes monetary damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.core.config import PricingConfig
+
+
+@dataclass(frozen=True)
+class RealTimePriceModel:
+    """Realized-demand pricing ``p_rt = base + slope * net_demand / N``.
+
+    Parameters
+    ----------
+    config:
+        Shares the guideline model's base/slope so the two schemes agree
+        in expectation; the real-time price simply uses *realized* rather
+        than anticipated demand.
+    n_customers:
+        Community size normalizing the per-customer demand.
+    surge_exponent:
+        Optional convexity: values > 1 make price spikes grow faster than
+        linearly in demand, the standard scarcity-pricing stylization.
+    """
+
+    config: PricingConfig
+    n_customers: int
+    surge_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_customers < 1:
+            raise ValueError(f"n_customers must be >= 1, got {self.n_customers}")
+        if self.surge_exponent < 1.0:
+            raise ValueError(
+                f"surge_exponent must be >= 1, got {self.surge_exponent}"
+            )
+
+    def price(self, realized_grid_demand: ArrayLike) -> NDArray[np.float64]:
+        """Real-time price per slot for a realized grid-demand profile."""
+        demand = np.asarray(realized_grid_demand, dtype=float)
+        if demand.ndim != 1 or demand.size == 0:
+            raise ValueError(
+                f"realized demand must be a non-empty 1-D array, got {demand.shape}"
+            )
+        if np.any(~np.isfinite(demand)) or np.any(demand < 0):
+            raise ValueError("realized demand must be finite and >= 0")
+        per_customer = demand / self.n_customers
+        return (
+            self.config.base_price
+            + self.config.demand_slope * per_customer**self.surge_exponent
+        )

@@ -1,0 +1,223 @@
+"""Command-line experiment runner.
+
+Regenerates each of the paper's evaluation artifacts from the terminal:
+
+    python -m repro fig3            # unaware prediction + PAR
+    python -m repro fig4            # aware prediction + PAR
+    python -m repro fig5            # zero-price attack impact
+    python -m repro fig6            # observation-accuracy comparison
+    python -m repro table1          # three-policy comparison
+    python -m repro all             # everything above
+
+Common options: ``--preset {smoke,bench,paper}``, ``--seed N``,
+``--slots H`` (fig6/table1 horizon), ``--json PATH`` (dump scenario
+results).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks.pricing import ZeroPriceAttack
+from repro.core.config import CommunityConfig
+from repro.core.presets import bench_preset, paper_preset, smoke_preset
+from repro.data.community import build_community
+from repro.data.pricing import (
+    GuidelinePriceModel,
+    baseline_demand_profile,
+    generate_history,
+)
+from repro.detection.single_event import CommunityResponseSimulator
+from repro.metrics.cost import LaborCostModel, normalized_labor_cost
+from repro.metrics.errors import rmse
+from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
+from repro.reporting.ascii import render_profile
+from repro.reporting.tables import ComparisonRow, comparison_table
+from repro.simulation.results import save_scenario
+from repro.simulation.scenario import run_long_term_scenario
+
+PRESETS = {
+    "smoke": smoke_preset,
+    "bench": bench_preset,
+    "paper": paper_preset,
+}
+
+
+class _Environment:
+    """Lazily built shared artifacts for the figure commands."""
+
+    def __init__(self, config: CommunityConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.community = build_community(config, rng=rng)
+        self.demand = baseline_demand_profile(config.time) * config.n_customers
+        self.renewable = self.community.total_pv
+        price_model = GuidelinePriceModel(
+            config=config.pricing, n_customers=config.n_customers
+        )
+        self.history = generate_history(
+            rng,
+            n_customers=config.n_customers,
+            pricing=config.pricing,
+            solar=config.solar,
+            mean_pv_per_customer_kw=config.solar.peak_kw * config.pv_adoption,
+        )
+        self.clean_prices = price_model.price(self.demand, self.renewable, rng=rng)
+        self.unaware_prices = UnawarePricePredictor().fit(self.history).predict_day()
+        self.aware_prices = (
+            AwarePricePredictor()
+            .fit(self.history)
+            .predict_day(
+                demand_forecast=self.demand, renewable_forecast=self.renewable
+            )
+        )
+        self.truth_sim = CommunityResponseSimulator(
+            self.community,
+            config=config.game,
+            sellback_divisor=config.pricing.sellback_divisor,
+            seed=3,
+        )
+        self.unaware_sim = CommunityResponseSimulator(
+            self.community.without_net_metering(),
+            config=config.game,
+            sellback_divisor=config.pricing.sellback_divisor,
+            seed=3,
+        )
+
+
+def _cmd_fig3(env: _Environment) -> None:
+    print(render_profile(env.clean_prices, label="received"))
+    print(render_profile(env.unaware_prices, label="predicted"))
+    rows = [
+        ComparisonRow(
+            "price RMSE (unaware)",
+            None,
+            rmse(env.clean_prices, env.unaware_prices),
+        ),
+        ComparisonRow(
+            "Fig3b predicted PAR", 1.4700, env.unaware_sim.grid_par(env.unaware_prices)
+        ),
+    ]
+    print(comparison_table(rows, title="Figure 3 — unaware prediction"))
+
+
+def _cmd_fig4(env: _Environment) -> None:
+    print(render_profile(env.clean_prices, label="received"))
+    print(render_profile(env.aware_prices, label="predicted"))
+    rows = [
+        ComparisonRow(
+            "price RMSE (aware)", None, rmse(env.clean_prices, env.aware_prices)
+        ),
+        ComparisonRow(
+            "Fig4b predicted PAR", 1.3986, env.truth_sim.grid_par(env.aware_prices)
+        ),
+        ComparisonRow(
+            "actual benign PAR", None, env.truth_sim.grid_par(env.clean_prices)
+        ),
+    ]
+    print(comparison_table(rows, title="Figure 4 — aware prediction"))
+
+
+def _cmd_fig5(env: _Environment) -> None:
+    attack = ZeroPriceAttack(start_slot=16, end_slot=17)
+    attacked = env.truth_sim.response(attack.apply(env.clean_prices))
+    print(render_profile(attacked.grid_demand, label="attacked"))
+    print(
+        render_profile(
+            env.truth_sim.response(env.clean_prices).grid_demand, label="benign"
+        )
+    )
+    par_value = float(attacked.grid_demand.max() / attacked.grid_demand.mean())
+    rows = [ComparisonRow("Fig5b attacked PAR", 1.9037, par_value)]
+    print(comparison_table(rows, title="Figure 5 — zero-price attack"))
+
+
+def _cmd_fig6(env: _Environment, *, slots: int, json_dir: Path | None) -> None:
+    rows = []
+    paper = {"aware": 0.9514, "unaware": 0.6595}
+    for kind in ("aware", "unaware"):
+        result = run_long_term_scenario(env.config, detector=kind, n_slots=slots)
+        rows.append(
+            ComparisonRow(
+                f"observation accuracy ({kind})",
+                paper[kind],
+                result.observation_accuracy,
+            )
+        )
+        if json_dir is not None:
+            save_scenario(result, json_dir / f"fig6_{kind}.json")
+    print(comparison_table(rows, title="Figure 6 — observation accuracy"))
+
+
+def _cmd_table1(env: _Environment, *, slots: int, json_dir: Path | None) -> None:
+    paper = {"none": 1.6509, "unaware": 1.5422, "aware": 1.4112}
+    labor = LaborCostModel(
+        fixed_cost=env.config.detection.repair_fixed_cost,
+        per_meter_cost=env.config.detection.repair_cost_per_meter,
+    )
+    results = {}
+    rows = []
+    for kind in ("none", "unaware", "aware"):
+        result = run_long_term_scenario(env.config, detector=kind, n_slots=slots)
+        results[kind] = result
+        rows.append(ComparisonRow(f"PAR ({kind})", paper[kind], result.mean_par))
+        if json_dir is not None:
+            save_scenario(result, json_dir / f"table1_{kind}.json")
+    unaware_cost = results["unaware"].labor_cost(labor)
+    if unaware_cost > 0:
+        rows.append(
+            ComparisonRow(
+                "normalized labor (aware)",
+                1.0067,
+                normalized_labor_cost(results["aware"].labor_cost(labor), unaware_cost),
+            )
+        )
+    print(comparison_table(rows, title="Table 1 — detection comparison"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAC'15 net-metering detection reproduction"
+    )
+    parser.add_argument(
+        "command",
+        choices=("fig3", "fig4", "fig5", "fig6", "table1", "all"),
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="bench")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--slots", type=int, default=48)
+    parser.add_argument(
+        "--json", type=Path, default=None, help="directory for JSON result dumps"
+    )
+    args = parser.parse_args(argv)
+
+    config = PRESETS[args.preset]()
+    if args.seed is not None:
+        config = config.with_updates(seed=args.seed)
+    if args.json is not None:
+        args.json.mkdir(parents=True, exist_ok=True)
+
+    env = _Environment(config)
+    commands = {
+        "fig3": lambda: _cmd_fig3(env),
+        "fig4": lambda: _cmd_fig4(env),
+        "fig5": lambda: _cmd_fig5(env),
+        "fig6": lambda: _cmd_fig6(env, slots=args.slots, json_dir=args.json),
+        "table1": lambda: _cmd_table1(env, slots=args.slots, json_dir=args.json),
+    }
+    if args.command == "all":
+        for name, command in commands.items():
+            print(f"\n===== {name} =====")
+            command()
+    else:
+        commands[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

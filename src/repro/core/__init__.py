@@ -1,0 +1,32 @@
+"""Core configuration and the integrated detection framework facade."""
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    PricingConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.core.framework import DetectionFramework, FrameworkResult
+from repro.core.presets import (
+    bench_preset,
+    paper_preset,
+    smoke_preset,
+)
+
+__all__ = [
+    "BatteryConfig",
+    "CommunityConfig",
+    "DetectionConfig",
+    "DetectionFramework",
+    "FrameworkResult",
+    "GameConfig",
+    "PricingConfig",
+    "SolarConfig",
+    "TimeGrid",
+    "bench_preset",
+    "paper_preset",
+    "smoke_preset",
+]

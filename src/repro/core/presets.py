@@ -1,0 +1,59 @@
+"""Experiment presets at three scales.
+
+- :func:`paper_preset` — the paper's setup: 500 customers, hourly grid.
+- :func:`bench_preset` — the default for the benchmark harness: a smaller
+  community with the same structure, so every table and figure regenerates
+  in seconds while preserving the comparisons' shape.
+- :func:`smoke_preset` — minimal, for fast unit/integration tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    TimeGrid,
+)
+
+
+def paper_preset(*, seed: int = 2015) -> CommunityConfig:
+    """The paper's simulation scale (500 customers, 24 slots/day)."""
+    return CommunityConfig(
+        n_customers=500,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        seed=seed,
+    )
+
+
+def bench_preset(*, seed: int = 2015) -> CommunityConfig:
+    """Benchmark-harness scale: same structure, faster to solve."""
+    return CommunityConfig(
+        n_customers=120,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        game=GameConfig(max_rounds=6, ce_iterations=10, ce_samples=40),
+        detection=DetectionConfig(n_monitored_meters=10),
+        seed=seed,
+    )
+
+
+def smoke_preset(*, seed: int = 7) -> CommunityConfig:
+    """Tiny configuration for fast tests."""
+    return CommunityConfig(
+        n_customers=12,
+        appliances_per_customer=(2, 3),
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        game=GameConfig(
+            max_rounds=3,
+            inner_iterations=1,
+            ce_samples=16,
+            ce_elites=4,
+            ce_iterations=4,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4),
+        seed=seed,
+    )

@@ -1,0 +1,39 @@
+"""Synthetic data: appliance fleets, PV generation and guideline pricing.
+
+The paper's customer setup follows its refs. [7, 8], whose exact appliance
+parameters are not published; this package provides seeded generators that
+produce the same *structure* (schedulable tasks with energy requirements,
+deadline windows and discrete power levels; day-peaked stochastic PV;
+quasi-periodic guideline prices driven by net community demand).  See
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.data.appliances import (
+    APPLIANCE_CATALOG,
+    ApplianceTemplate,
+    generate_tasks,
+)
+from repro.data.community import build_community
+from repro.data.pricing import (
+    GuidelinePriceModel,
+    PriceHistory,
+    baseline_demand_profile,
+    generate_history,
+)
+from repro.data.solar import clear_sky_profile, generate_pv
+from repro.data.weather import DEFAULT_WEATHER, WeatherModel
+
+__all__ = [
+    "APPLIANCE_CATALOG",
+    "ApplianceTemplate",
+    "DEFAULT_WEATHER",
+    "GuidelinePriceModel",
+    "PriceHistory",
+    "WeatherModel",
+    "baseline_demand_profile",
+    "build_community",
+    "clear_sky_profile",
+    "generate_history",
+    "generate_pv",
+    "generate_tasks",
+]

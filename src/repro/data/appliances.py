@@ -1,0 +1,224 @@
+"""Synthetic appliance-fleet generator.
+
+Templates mirror the deferrable household loads used throughout the smart
+home scheduling literature (and the paper's refs. [6, 8]): wet appliances,
+EV charging, water heating and similar tasks with an energy requirement, a
+permitted window and a small set of discrete power levels.  All energies
+are multiples of 0.25 kWh so the DP scheduler's discretization is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import TimeGrid
+from repro.scheduling.appliance import ApplianceTask
+
+ENERGY_QUANTUM = 0.25
+"""All task energies and power levels are multiples of this (kWh / kW)."""
+
+
+@dataclass(frozen=True)
+class ApplianceTemplate:
+    """Randomizable description of one appliance category.
+
+    Hours are hour-of-day floats; the generator converts them to slots on
+    the target :class:`~repro.core.config.TimeGrid` and jitters the window
+    inside ``start_jitter_hours``.
+    """
+
+    name: str
+    power_levels: tuple[float, ...]
+    energy_range_kwh: tuple[float, float]
+    earliest_hour: float
+    latest_hour: float
+    min_window_hours: float
+    start_jitter_hours: float = 2.0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.energy_range_kwh
+        if not 0 < lo <= hi:
+            raise ValueError(f"{self.name}: bad energy range ({lo}, {hi})")
+        if not 0 <= self.earliest_hour < self.latest_hour <= 24:
+            raise ValueError(
+                f"{self.name}: bad window ({self.earliest_hour}, {self.latest_hour})"
+            )
+        if self.min_window_hours <= 0:
+            raise ValueError(f"{self.name}: min_window_hours must be > 0")
+        for p in self.power_levels:
+            if abs(p / ENERGY_QUANTUM - round(p / ENERGY_QUANTUM)) > 1e-9:
+                raise ValueError(
+                    f"{self.name}: power level {p} not a multiple of {ENERGY_QUANTUM}"
+                )
+        nonzero = [p for p in self.power_levels if p > 0]
+        if not nonzero:
+            raise ValueError(f"{self.name}: needs at least one nonzero power level")
+        smallest = min(nonzero)
+        for p in nonzero:
+            if abs(p / smallest - round(p / smallest)) > 1e-9:
+                raise ValueError(
+                    f"{self.name}: level {p} is not a multiple of the smallest "
+                    f"level {smallest}; generated energies would be unreachable"
+                )
+
+
+APPLIANCE_CATALOG: tuple[ApplianceTemplate, ...] = (
+    ApplianceTemplate(
+        name="dishwasher",
+        power_levels=(0.0, 0.5, 1.0),
+        energy_range_kwh=(0.5, 1.0),
+        earliest_hour=20.0,
+        latest_hour=24.0,
+        min_window_hours=3.0,
+        start_jitter_hours=1.0,
+    ),
+    ApplianceTemplate(
+        name="washing_machine",
+        power_levels=(0.0, 0.5, 1.0),
+        energy_range_kwh=(0.5, 1.0),
+        earliest_hour=9.0,
+        latest_hour=15.0,
+        min_window_hours=5.0,
+    ),
+    ApplianceTemplate(
+        name="clothes_dryer",
+        power_levels=(0.0, 0.5, 1.0),
+        energy_range_kwh=(0.75, 1.5),
+        earliest_hour=20.0,
+        latest_hour=24.0,
+        min_window_hours=3.0,
+        start_jitter_hours=1.0,
+    ),
+    ApplianceTemplate(
+        name="ev_charger_evening",
+        power_levels=(0.0, 0.5, 1.0),
+        energy_range_kwh=(1.5, 2.5),
+        earliest_hour=19.0,
+        latest_hour=24.0,
+        min_window_hours=5.0,
+        start_jitter_hours=1.0,
+    ),
+    ApplianceTemplate(
+        name="ev_charger_overnight",
+        power_levels=(0.0, 0.5, 1.0),
+        energy_range_kwh=(1.5, 3.0),
+        earliest_hour=0.0,
+        latest_hour=7.0,
+        min_window_hours=6.0,
+        start_jitter_hours=1.0,
+    ),
+    ApplianceTemplate(
+        name="water_heater",
+        power_levels=(0.0, 0.5, 1.0),
+        energy_range_kwh=(0.75, 1.5),
+        earliest_hour=6.0,
+        latest_hour=14.0,
+        min_window_hours=6.0,
+        start_jitter_hours=1.0,
+    ),
+    ApplianceTemplate(
+        name="pool_pump",
+        power_levels=(0.0, 0.25, 0.5),
+        energy_range_kwh=(1.0, 2.0),
+        earliest_hour=8.0,
+        latest_hour=16.0,
+        min_window_hours=8.0,
+    ),
+    ApplianceTemplate(
+        name="hvac_precool",
+        power_levels=(0.0, 0.5, 1.0),
+        energy_range_kwh=(0.75, 1.5),
+        earliest_hour=12.0,
+        latest_hour=17.0,
+        min_window_hours=6.0,
+    ),
+    ApplianceTemplate(
+        name="freezer_cycle",
+        power_levels=(0.0, 0.25, 0.5),
+        energy_range_kwh=(0.5, 1.0),
+        earliest_hour=0.0,
+        latest_hour=10.0,
+        min_window_hours=8.0,
+        start_jitter_hours=1.0,
+    ),
+    ApplianceTemplate(
+        name="robot_vacuum",
+        power_levels=(0.0, 0.25, 0.5),
+        energy_range_kwh=(0.25, 0.75),
+        earliest_hour=9.0,
+        latest_hour=15.0,
+        min_window_hours=4.0,
+    ),
+)
+
+
+def _quantize(value: float, quantum: float = ENERGY_QUANTUM) -> float:
+    """Round a value to the given quantum grid."""
+    return round(value / quantum) * quantum
+
+
+def generate_tasks(
+    rng: np.random.Generator,
+    time: TimeGrid,
+    n_tasks: int,
+    *,
+    catalog: tuple[ApplianceTemplate, ...] = APPLIANCE_CATALOG,
+    day: int = 0,
+) -> tuple[ApplianceTask, ...]:
+    """Sample a feasible appliance fleet for one household-day.
+
+    Templates are drawn without replacement first (one of each before any
+    repeats), windows are jittered and clipped to the day, and energies are
+    re-quantized and capped so every produced task passes
+    :meth:`ApplianceTask.check_feasible`.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    if not catalog:
+        raise ValueError("catalog must not be empty")
+    indices: list[int] = []
+    while len(indices) < n_tasks:
+        fresh = rng.permutation(len(catalog)).tolist()
+        indices.extend(fresh)
+    indices = indices[:n_tasks]
+
+    tasks = []
+    for serial, index in enumerate(indices):
+        template = catalog[index]
+        jitter = rng.uniform(-template.start_jitter_hours, template.start_jitter_hours)
+        start_hour = min(
+            max(template.earliest_hour + jitter, 0.0),
+            24.0 - template.min_window_hours,
+        )
+        end_hour = min(
+            max(template.latest_hour + jitter, start_hour + template.min_window_hours),
+            24.0,
+        )
+        start_slot = time.slot_of_hour(start_hour, day=day)
+        # latest_hour is the exclusive end of the window: an end hour of
+        # 18.0 permits the 17:00-18:00 slot but not the 18:00-19:00 one.
+        end_slot = time.slot_of_hour(min(end_hour, 24.0) - 1e-9, day=day)
+        end_slot = max(end_slot, start_slot)
+        window_slots = end_slot - start_slot + 1
+
+        # Quantize the energy to the smallest nonzero level's per-slot
+        # energy: every catalog level is a multiple of it, so any such
+        # multiple within the window capacity is exactly reachable.
+        quantum = template.power_levels[1] * time.hours_per_slot
+        energy = _quantize(rng.uniform(*template.energy_range_kwh), quantum)
+        capacity = window_slots * template.power_levels[-1] * time.hours_per_slot
+        max_energy = int(capacity / quantum) * quantum
+        energy = max(quantum, min(energy, max(max_energy, quantum)))
+
+        task = ApplianceTask(
+            name=f"{template.name}_{serial}",
+            power_levels=template.power_levels,
+            energy_kwh=energy,
+            earliest_start=start_slot,
+            deadline=end_slot,
+        )
+        task.check_feasible(time.horizon, slot_hours=time.hours_per_slot)
+        tasks.append(task)
+    return tuple(tasks)

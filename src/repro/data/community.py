@@ -1,0 +1,78 @@
+"""Community builder: assembles archetype customers from the generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import BatteryConfig, CommunityConfig
+from repro.data.appliances import generate_tasks
+from repro.data.pricing import household_base_load_profile
+from repro.data.solar import generate_pv
+from repro.scheduling.customer import Customer
+from repro.scheduling.game import Community
+
+DEFAULT_MAX_ARCHETYPES = 32
+"""Archetype cap: communities larger than this are built as weighted
+archetypes (identical instances share one best-response computation),
+which keeps the paper's 500-customer game tractable."""
+
+
+def build_community(
+    config: CommunityConfig,
+    *,
+    rng: np.random.Generator | None = None,
+    max_archetypes: int = DEFAULT_MAX_ARCHETYPES,
+) -> Community:
+    """Build a seeded community matching a :class:`CommunityConfig`.
+
+    Customers are grouped into at most ``max_archetypes`` archetypes with
+    near-equal multiplicities.  PV adoption assigns panels and batteries to
+    the first ``pv_adoption`` fraction of archetypes (weighted by count);
+    the remainder are plain consumers.
+    """
+    if max_archetypes < 1:
+        raise ValueError(f"max_archetypes must be >= 1, got {max_archetypes}")
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    n_archetypes = min(config.n_customers, max_archetypes)
+    counts = _split_counts(config.n_customers, n_archetypes)
+
+    customers = []
+    adopters_needed = round(config.pv_adoption * config.n_customers)
+    adopters_assigned = 0
+    lo, hi = config.appliances_per_customer
+    base_profile = household_base_load_profile(config.time)
+    for index, count in enumerate(counts):
+        n_tasks = int(rng.integers(lo, hi + 1))
+        tasks = generate_tasks(rng, config.time, n_tasks)
+        base_scale = float(rng.uniform(0.75, 1.25))
+        base_load = base_profile * base_scale * np.exp(
+            rng.normal(0.0, 0.05, size=base_profile.shape)
+        )
+        adopt = adopters_assigned < adopters_needed
+        if adopt:
+            adopters_assigned += count
+            peak = config.solar.peak_kw * float(rng.uniform(0.7, 1.3))
+            pv = generate_pv(rng, config.time, config.solar, peak_kw=peak)
+            battery = config.battery
+        else:
+            pv = np.zeros(config.time.horizon)
+            battery = BatteryConfig(capacity_kwh=0.0, initial_kwh=0.0)
+        customers.append(
+            Customer(
+                customer_id=index,
+                tasks=tasks,
+                battery=battery,
+                pv=tuple(pv),
+                base_load=tuple(base_load),
+            )
+        )
+    return Community(customers=tuple(customers), counts=tuple(counts))
+
+
+def _split_counts(total: int, parts: int) -> list[int]:
+    """Split ``total`` into ``parts`` near-equal positive integers."""
+    if parts < 1 or total < parts:
+        raise ValueError(f"cannot split {total} into {parts} positive parts")
+    base = total // parts
+    remainder = total % parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]

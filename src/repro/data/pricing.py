@@ -1,0 +1,207 @@
+"""Synthetic guideline-price history.
+
+The utility designs the guideline price from the anticipated *net* demand
+of the community (Section 4 of the paper: "net metering changes the grid
+energy demand, which is considered by the utility when designing the
+guideline price").  We model
+
+    p_h = base + slope * max(D_h - V_h, 0) / N + noise
+
+where ``D`` is gross community demand, ``V`` community renewable
+generation and ``N`` the number of customers.  Histories contain an
+optional pre-net-metering era (``V = 0``) followed by a net-metering era;
+a price-lag-only predictor trained on such a history systematically
+misses the weather-dependent midday price gap, which is exactly the
+mismatch Figure 3 of the paper illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.config import PricingConfig, SolarConfig, TimeGrid
+from repro.data.solar import clear_sky_profile
+from repro.data.weather import DEFAULT_WEATHER, WeatherModel
+
+
+def baseline_demand_profile(time: TimeGrid) -> NDArray[np.float64]:
+    """Per-customer gross demand shape (kWh per slot), one day tiled.
+
+    A classic residential double-peak: a morning shoulder around 7-9 h and
+    a dominant evening peak around 18-21 h over a nonzero base load.
+    """
+    hours = np.array(
+        [time.hour_of_slot(s) + time.hours_per_slot / 2 for s in range(time.horizon)]
+    )
+    base = 0.60
+    morning = 0.25 * np.exp(-0.5 * ((hours - 8.0) / 1.6) ** 2)
+    evening = 0.60 * np.exp(-0.5 * ((hours - 19.5) / 2.8) ** 2)
+    midday = 0.45 * np.exp(-0.5 * ((hours - 13.5) / 2.2) ** 2)
+    return (base + morning + midday + evening) * time.hours_per_slot
+
+
+def household_base_load_profile(time: TimeGrid) -> NDArray[np.float64]:
+    """Per-customer non-schedulable consumption (kWh per slot), one day tiled.
+
+    Refrigeration and standby form a flat floor; lighting and cooking add
+    morning and evening bumps.  This is the portion of
+    :func:`baseline_demand_profile` that the smart home controller cannot
+    move; the deferrable appliances sit on top of it.
+    """
+    hours = np.array(
+        [time.hour_of_slot(s) + time.hours_per_slot / 2 for s in range(time.horizon)]
+    )
+    floor = 0.42
+    morning = 0.22 * np.exp(-0.5 * ((hours - 7.5) / 1.4) ** 2)
+    evening = 0.55 * np.exp(-0.5 * ((hours - 19.0) / 2.0) ** 2)
+    return (floor + morning + evening) * time.hours_per_slot
+
+
+@dataclass(frozen=True)
+class GuidelinePriceModel:
+    """Maps community net demand to the utility's guideline price."""
+
+    config: PricingConfig
+    n_customers: int
+
+    def __post_init__(self) -> None:
+        if self.n_customers < 1:
+            raise ValueError(f"n_customers must be >= 1, got {self.n_customers}")
+
+    def price(
+        self,
+        demand: NDArray[np.float64],
+        renewable: NDArray[np.float64],
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> NDArray[np.float64]:
+        """Guideline price per slot for given gross demand and renewables.
+
+        Noise is added only when ``rng`` is provided; prices are floored at
+        one tenth of the base price (the utility never posts a zero price —
+        a zero received price is the signature of the Fig. 5 attack).
+        """
+        d = np.asarray(demand, dtype=float)
+        v = np.asarray(renewable, dtype=float)
+        if d.shape != v.shape or d.ndim != 1:
+            raise ValueError(f"demand/renewable shape mismatch: {d.shape} vs {v.shape}")
+        if np.any(d < 0) or np.any(v < 0):
+            raise ValueError("demand and renewable must be non-negative")
+        net = np.maximum(d - v, 0.0) / self.n_customers
+        p = self.config.base_price + self.config.demand_slope * net
+        if rng is not None and self.config.noise_std > 0:
+            p = p + rng.normal(0.0, self.config.noise_std, size=p.shape)
+        return np.maximum(p, self.config.base_price * 0.1)
+
+
+@dataclass(frozen=True)
+class PriceHistory:
+    """A multi-day record of prices, demand and renewable generation.
+
+    Arrays are aligned per slot over ``n_days * slots_per_day`` entries.
+    ``nm_active`` marks the slots belonging to the net-metering era.
+    """
+
+    prices: NDArray[np.float64]
+    demand: NDArray[np.float64]
+    renewable: NDArray[np.float64]
+    nm_active: NDArray[np.bool_]
+    slots_per_day: int
+
+    def __post_init__(self) -> None:
+        n = self.prices.shape[0]
+        for name, arr in (
+            ("demand", self.demand),
+            ("renewable", self.renewable),
+            ("nm_active", self.nm_active),
+        ):
+            if arr.shape != (n,):
+                raise ValueError(f"{name} shape {arr.shape} != prices shape {(n,)}")
+        if self.slots_per_day < 1 or n % self.slots_per_day != 0:
+            raise ValueError(
+                f"history length {n} not a multiple of slots_per_day {self.slots_per_day}"
+            )
+
+    @property
+    def n_days(self) -> int:
+        return self.prices.shape[0] // self.slots_per_day
+
+    @property
+    def net_demand(self) -> NDArray[np.float64]:
+        """Community net demand ``D - V`` per slot (may be negative)."""
+        return self.demand - self.renewable
+
+    def day(self, index: int) -> "PriceHistory":
+        """Single-day slice."""
+        if not 0 <= index < self.n_days:
+            raise IndexError(f"day {index} out of range [0, {self.n_days})")
+        sl = slice(index * self.slots_per_day, (index + 1) * self.slots_per_day)
+        return PriceHistory(
+            prices=self.prices[sl],
+            demand=self.demand[sl],
+            renewable=self.renewable[sl],
+            nm_active=self.nm_active[sl],
+            slots_per_day=self.slots_per_day,
+        )
+
+
+def generate_history(
+    rng: np.random.Generator,
+    *,
+    n_customers: int,
+    pricing: PricingConfig,
+    solar: SolarConfig,
+    slots_per_day: int = 24,
+    n_days_pre_nm: int = 15,
+    n_days_nm: int = 15,
+    mean_pv_per_customer_kw: float = 2.0,
+    demand_noise: float = 0.05,
+    weather: WeatherModel = DEFAULT_WEATHER,
+) -> PriceHistory:
+    """Generate a two-era guideline-price history.
+
+    The first ``n_days_pre_nm`` days have no renewable generation; the
+    remaining ``n_days_nm`` days include community PV output with
+    day-to-day weather variation.  Demand shapes get multiplicative
+    lognormal-ish noise per slot plus a per-day scale factor.
+    """
+    if n_days_pre_nm < 0 or n_days_nm < 0:
+        raise ValueError("day counts must be >= 0")
+    total_days = n_days_pre_nm + n_days_nm
+    if total_days == 0:
+        raise ValueError("history must contain at least one day")
+    day_grid = TimeGrid(slots_per_day=slots_per_day, n_days=1)
+    base_demand = baseline_demand_profile(day_grid) * n_customers
+    envelope = clear_sky_profile(day_grid, solar)
+    model = GuidelinePriceModel(config=pricing, n_customers=n_customers)
+
+    prices, demand, renewable, nm_flags = [], [], [], []
+    for day in range(total_days):
+        in_nm_era = day >= n_days_pre_nm
+        day_scale = rng.normal(1.0, 0.04)
+        d = base_demand * max(day_scale, 0.5)
+        d = d * np.exp(rng.normal(0.0, demand_noise, size=d.shape))
+        if in_nm_era:
+            # High-variance weather: the day-to-day PV swing is what makes
+            # the midday price gap unpredictable from price lags alone.
+            factor = weather.daily_factor(rng)
+            v = envelope * mean_pv_per_customer_kw * n_customers * factor
+            v = v * day_grid.hours_per_slot
+        else:
+            v = np.zeros_like(d)
+        p = model.price(d, v, rng=rng)
+        prices.append(p)
+        demand.append(d)
+        renewable.append(v)
+        nm_flags.append(np.full(slots_per_day, in_nm_era))
+
+    return PriceHistory(
+        prices=np.concatenate(prices),
+        demand=np.concatenate(demand),
+        renewable=np.concatenate(renewable),
+        nm_active=np.concatenate(nm_flags),
+        slots_per_day=slots_per_day,
+    )

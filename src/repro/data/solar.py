@@ -1,0 +1,77 @@
+"""Synthetic PV generation.
+
+Clear-sky output follows a sine bell between sunrise and sunset, scaled by
+the panel's peak rating.  Cloud cover is a mean-reverting (AR(1))
+attenuation process in [0, 1]; consecutive slots are correlated, matching
+the way real irradiance deviates from the clear-sky envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.config import SolarConfig, TimeGrid
+
+
+def clear_sky_profile(time: TimeGrid, config: SolarConfig) -> NDArray[np.float64]:
+    """Clear-sky generation fraction per slot over the whole horizon.
+
+    Returns values in [0, 1]: zero outside daylight, a sine bell peaking
+    midway between sunrise and sunset.
+    """
+    hours = np.array([time.hour_of_slot(s) for s in range(time.horizon)])
+    # Evaluate the bell at the slot midpoint for fairness on coarse grids.
+    hours = hours + time.hours_per_slot / 2.0
+    daylight = config.sunset_hour - config.sunrise_hour
+    phase = (hours - config.sunrise_hour) / daylight
+    profile = np.where(
+        (phase >= 0.0) & (phase <= 1.0),
+        np.sin(np.pi * np.clip(phase, 0.0, 1.0)),
+        0.0,
+    )
+    return profile
+
+
+def generate_pv(
+    rng: np.random.Generator,
+    time: TimeGrid,
+    config: SolarConfig,
+    *,
+    peak_kw: float | None = None,
+) -> NDArray[np.float64]:
+    """One stochastic PV generation trace (kWh per slot).
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    time:
+        Target grid; traces span the full horizon (all days).
+    config:
+        Solar model parameters.
+    peak_kw:
+        Overrides ``config.peak_kw`` (used to diversify archetypes).
+
+    Returns
+    -------
+    Non-negative array of shape ``(horizon,)``.
+    """
+    peak = config.peak_kw if peak_kw is None else float(peak_kw)
+    if peak < 0:
+        raise ValueError(f"peak_kw must be >= 0, got {peak}")
+    envelope = clear_sky_profile(time, config) * peak * time.hours_per_slot
+    if peak == 0.0:
+        return np.zeros(time.horizon)
+    attenuation = np.empty(time.horizon)
+    level = 1.0 - abs(rng.normal(0.0, config.cloud_volatility))
+    for h in range(time.horizon):
+        shock = rng.normal(0.0, config.cloud_volatility)
+        level = (
+            config.cloud_reversion * 1.0
+            + (1.0 - config.cloud_reversion) * level
+            + shock
+        )
+        level = min(max(level, 0.0), 1.0)
+        attenuation[h] = level
+    return envelope * attenuation

@@ -1,0 +1,73 @@
+"""Day-to-day weather process.
+
+One source of truth for the daily PV attenuation factor used by the
+history generator, the scenario engine and the examples.  The factor is
+Beta-distributed on [0, 1]: 1.0 is a perfectly clear day, 0 a blackout
+overcast.  Its *variance* is a first-order quantity for the paper's
+story — it is exactly the day-to-day swing that makes the midday price
+gap unlearnable from price lags alone (Figure 3a's mismatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+
+@dataclass(frozen=True)
+class WeatherModel:
+    """Beta-distributed daily clear-sky attenuation.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Beta-distribution shape parameters.  The defaults (2, 2) give a
+        symmetric, high-variance climate (mean 0.5, sd ~0.22) — cloudy
+        and sunny days are both common, which is what stresses the
+        price-lag-only predictor.
+    """
+
+    alpha: float = 2.0
+    beta: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError(
+                f"shape parameters must be > 0, got ({self.alpha}, {self.beta})"
+            )
+
+    @property
+    def mean(self) -> float:
+        """Expected daily attenuation."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def std(self) -> float:
+        """Day-to-day attenuation spread."""
+        a, b = self.alpha, self.beta
+        return float(np.sqrt(a * b / ((a + b) ** 2 * (a + b + 1))))
+
+    def daily_factor(self, rng: np.random.Generator) -> float:
+        """One day's attenuation factor in [0, 1]."""
+        return float(np.clip(rng.beta(self.alpha, self.beta), 0.0, 1.0))
+
+    def sample_days(self, rng: np.random.Generator, n_days: int) -> NDArray[np.float64]:
+        """A sequence of independent daily factors."""
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        return np.clip(rng.beta(self.alpha, self.beta, size=n_days), 0.0, 1.0)
+
+    def sunny_quantile(self, q: float = 0.9) -> float:
+        """The attenuation of an unusually sunny day (used by the figure
+        benchmarks, which evaluate on a clear day as the paper's plots do)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        from scipy import stats
+
+        return float(stats.beta.ppf(q, self.alpha, self.beta))
+
+
+DEFAULT_WEATHER = WeatherModel()
+"""The climate shared by the history generator and the scenario engine."""

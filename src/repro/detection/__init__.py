@@ -1,0 +1,47 @@
+"""Cyberattack detection: single-event (SVR + PAR) and long-term (POMDP)."""
+
+from repro.detection.long_term import LongTermDetector, MonitoringStep
+from repro.detection.policies import (
+    AlwaysRepair,
+    NeverRepair,
+    ObservationThreshold,
+    PeriodicRepair,
+)
+from repro.detection.pomdp import PomdpModel, build_detection_pomdp
+from repro.detection.single_event import (
+    CommunityResponseSimulator,
+    SingleEventDetection,
+    SingleEventDetector,
+)
+from repro.detection.roc import (
+    ThresholdOperatingPoint,
+    ThresholdSweep,
+    sweep_thresholds,
+)
+from repro.detection.solvers import (
+    BeliefFilter,
+    PbviPolicy,
+    QmdpPolicy,
+    value_iteration_mdp,
+)
+
+__all__ = [
+    "AlwaysRepair",
+    "BeliefFilter",
+    "CommunityResponseSimulator",
+    "LongTermDetector",
+    "MonitoringStep",
+    "NeverRepair",
+    "ObservationThreshold",
+    "PbviPolicy",
+    "PeriodicRepair",
+    "PomdpModel",
+    "QmdpPolicy",
+    "SingleEventDetection",
+    "SingleEventDetector",
+    "ThresholdOperatingPoint",
+    "ThresholdSweep",
+    "build_detection_pomdp",
+    "sweep_thresholds",
+    "value_iteration_mdp",
+]

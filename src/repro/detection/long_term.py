@@ -1,0 +1,113 @@
+"""POMDP-based long-term detection loop (Section 4.2, Figure 2).
+
+The long-term detector consumes the single-event layer's per-slot flag
+counts as POMDP observations, maintains an exact belief over the number
+of hacked meters, and picks monitor/repair actions with a POMDP policy
+(QMDP by default).  Repairs are reported back to the caller, who applies
+them to the ground-truth hacking process and charges labor cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.detection.pomdp import MONITOR, REPAIR, PomdpModel
+from repro.detection.solvers import BeliefFilter, QmdpPolicy
+
+
+class PomdpPolicy(Protocol):
+    """Anything mapping a belief to an action index (QMDP, PBVI, ...)."""
+
+    def action(self, belief: NDArray[np.float64]) -> int: ...
+
+
+@dataclass(frozen=True)
+class MonitoringStep:
+    """One slot of the long-term detection loop."""
+
+    slot: int
+    observation: int
+    action: int
+    belief_mean: float
+
+    @property
+    def repaired(self) -> bool:
+        return self.action == REPAIR
+
+
+class LongTermDetector:
+    """Belief-tracking monitor over a fleet of smart meters.
+
+    Parameters
+    ----------
+    model:
+        The monitoring POMDP (see
+        :func:`repro.detection.pomdp.build_detection_pomdp`).
+    policy:
+        Action selector; defaults to a :class:`QmdpPolicy` on ``model``.
+    """
+
+    def __init__(self, model: PomdpModel, *, policy: PomdpPolicy | None = None) -> None:
+        self.model = model
+        self.policy = policy if policy is not None else QmdpPolicy(model)
+        self._filter = BeliefFilter(model)
+        self._last_action = MONITOR
+        self._slot = 0
+        self._steps: list[MonitoringStep] = []
+
+    @property
+    def belief(self) -> NDArray[np.float64]:
+        return self._filter.belief
+
+    @property
+    def steps(self) -> tuple[MonitoringStep, ...]:
+        """Full monitoring trace so far."""
+        return tuple(self._steps)
+
+    @property
+    def n_repairs(self) -> int:
+        """Number of repair dispatches issued so far."""
+        return sum(1 for step in self._steps if step.repaired)
+
+    def reset(self) -> None:
+        """Forget all history and return to the all-clean belief."""
+        self._filter.reset()
+        self._last_action = MONITOR
+        self._slot = 0
+        self._steps = []
+
+    def step(self, observation: int) -> MonitoringStep:
+        """Consume one observation and decide the next action.
+
+        Parameters
+        ----------
+        observation:
+            Flag count from the single-event layer, in
+            ``[0, n_observations)``.
+
+        Returns
+        -------
+        The recorded step; ``step.repaired`` tells the caller to fix the
+        fleet (and reset the ground-truth process).
+        """
+        if not 0 <= observation < self.model.n_observations:
+            raise ValueError(
+                f"observation {observation} out of range "
+                f"[0, {self.model.n_observations})"
+            )
+        self._filter.update(self._last_action, observation)
+        action = self.policy.action(self._filter.belief)
+        step = MonitoringStep(
+            slot=self._slot,
+            observation=observation,
+            action=action,
+            belief_mean=self._filter.expected_state(),
+        )
+        self._steps.append(step)
+        self._last_action = action
+        self._slot += 1
+        return step

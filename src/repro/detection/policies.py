@@ -1,0 +1,78 @@
+"""Heuristic monitoring policies (baselines for the POMDP ablation).
+
+The paper's long-term detector picks monitor/repair actions with a POMDP
+policy.  These baselines bracket it:
+
+- :class:`NeverRepair` — the "No Detection" column of Table 1;
+- :class:`AlwaysRepair` — an upper bound on labor spending;
+- :class:`PeriodicRepair` — calendar-based truck rolls, ignoring all
+  observations;
+- :class:`ObservationThreshold` — repair when the belief-expected number
+  of hacked meters crosses a fixed level (a simple certainty-equivalent
+  rule).
+
+All expose the same ``action(belief)`` interface as
+:class:`~repro.detection.solvers.QmdpPolicy`, so they plug directly into
+:class:`~repro.detection.long_term.LongTermDetector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.detection.pomdp import MONITOR, REPAIR
+
+
+class NeverRepair:
+    """Monitor forever; attacks persist (Table 1's no-detection column)."""
+
+    def action(self, belief: NDArray[np.float64]) -> int:
+        return MONITOR
+
+
+class AlwaysRepair:
+    """Dispatch a crew every slot, regardless of evidence."""
+
+    def action(self, belief: NDArray[np.float64]) -> int:
+        return REPAIR
+
+
+class PeriodicRepair:
+    """Repair every ``period`` slots on a fixed calendar.
+
+    Stateful: each ``action`` call advances the internal clock, matching
+    how :class:`LongTermDetector` invokes policies once per slot.
+    """
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = period
+        self._clock = 0
+
+    def action(self, belief: NDArray[np.float64]) -> int:
+        self._clock += 1
+        if self._clock >= self.period:
+            self._clock = 0
+            return REPAIR
+        return MONITOR
+
+
+class ObservationThreshold:
+    """Repair when the posterior mean hacked count reaches ``threshold``.
+
+    A certainty-equivalent simplification of the POMDP policy: it uses
+    the belief (so it benefits from the filter) but ignores the value of
+    future information and the repair economics.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+
+    def action(self, belief: NDArray[np.float64]) -> int:
+        b = np.asarray(belief, dtype=float)
+        expected = float(b @ np.arange(b.size))
+        return REPAIR if expected >= self.threshold else MONITOR

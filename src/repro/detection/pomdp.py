@@ -1,0 +1,201 @@
+"""POMDP model for long-term cyberattack monitoring (Section 4.2).
+
+The decision problem ``<S, O, A, T, R, Omega>``:
+
+- **States** ``s_i``: exactly ``i`` of the ``N`` monitored smart meters
+  are hacked, ``i = 0..N``.
+- **Observations** ``o_i``: the single-event layer flags ``i`` meters.
+- **Actions**: ``a_0`` (keep monitoring) and ``a_1`` (dispatch a crew to
+  check and fix every hacked meter).
+- **Transitions**: under monitoring, each clean meter is compromised with
+  probability ``q`` per slot (binomial growth); a repair resets the fleet
+  and fresh compromises then accrue from zero.
+- **Observation function**: each hacked meter is flagged with the
+  single-event true-positive rate ``d`` and each clean meter with the
+  false-positive rate ``f``; the flag count is the convolution of the two
+  binomials.  ``d`` and ``f`` are *trained on historical data* — in this
+  reproduction they are measured from Monte-Carlo runs of the actual
+  single-event detector (see :mod:`repro.simulation.calibration`).
+- **Rewards**: every hacked meter costs ``damage_per_meter`` per slot; a
+  repair costs a fixed dispatch fee plus a per-meter labor fee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+from scipy import stats
+
+MONITOR = 0
+"""Action index: ignore the alarm and keep monitoring (the paper's a_0)."""
+
+REPAIR = 1
+"""Action index: check and fix the hacked meters (the paper's a_1)."""
+
+
+@dataclass(frozen=True)
+class PomdpModel:
+    """A finite POMDP in dense-array form.
+
+    Attributes
+    ----------
+    transitions:
+        ``T[a, s, s']``, rows over ``s'`` summing to 1.
+    observations:
+        ``Omega[a, s', o]``: probability of observing ``o`` after action
+        ``a`` lands in state ``s'``; rows over ``o`` summing to 1.
+    rewards:
+        ``R[a, s]``: expected immediate reward of taking ``a`` in ``s``.
+    discount:
+        Discount factor in (0, 1).
+    """
+
+    transitions: NDArray[np.float64]
+    observations: NDArray[np.float64]
+    rewards: NDArray[np.float64]
+    discount: float
+
+    def __post_init__(self) -> None:
+        t, omega, r = self.transitions, self.observations, self.rewards
+        if t.ndim != 3 or t.shape[1] != t.shape[2]:
+            raise ValueError(f"transitions must be (A, S, S), got {t.shape}")
+        n_actions, n_states, _ = t.shape
+        if omega.ndim != 3 or omega.shape[0] != n_actions or omega.shape[1] != n_states:
+            raise ValueError(
+                f"observations must be ({n_actions}, {n_states}, O), got {omega.shape}"
+            )
+        if r.shape != (n_actions, n_states):
+            raise ValueError(
+                f"rewards must be ({n_actions}, {n_states}), got {r.shape}"
+            )
+        if not 0 < self.discount < 1:
+            raise ValueError(f"discount must be in (0, 1), got {self.discount}")
+        if np.any(t < -1e-12) or np.any(omega < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        if not np.allclose(t.sum(axis=2), 1.0, atol=1e-8):
+            raise ValueError("transition rows must sum to 1")
+        if not np.allclose(omega.sum(axis=2), 1.0, atol=1e-8):
+            raise ValueError("observation rows must sum to 1")
+
+    @property
+    def n_actions(self) -> int:
+        return self.transitions.shape[0]
+
+    @property
+    def n_states(self) -> int:
+        return self.transitions.shape[1]
+
+    @property
+    def n_observations(self) -> int:
+        return self.observations.shape[2]
+
+    def initial_belief(self) -> NDArray[np.float64]:
+        """Point mass on the all-clean state ``s_0``."""
+        belief = np.zeros(self.n_states)
+        belief[0] = 1.0
+        return belief
+
+
+def _snap_probability(p: float) -> float:
+    """Snap subnormal-magnitude probabilities to exact 0/1.
+
+    ``scipy.stats.binom.pmf`` overflows internally on denormalized
+    probabilities (e.g. 1e-309); rates that close to the boundary are
+    indistinguishable from the boundary anyway.
+    """
+    if p < 1e-12:
+        return 0.0
+    if p > 1.0 - 1e-12:
+        return 1.0
+    return p
+
+
+def _flag_count_pmf(
+    n_hacked: int,
+    n_clean: int,
+    tp_rate: float,
+    fp_rate: float,
+) -> NDArray[np.float64]:
+    """PMF of the flagged-meter count: Binom(s, d) + Binom(n - s, f)."""
+    tp = _snap_probability(tp_rate)
+    fp = _snap_probability(fp_rate)
+    hacked_pmf = stats.binom.pmf(np.arange(n_hacked + 1), n_hacked, tp)
+    clean_pmf = stats.binom.pmf(np.arange(n_clean + 1), n_clean, fp)
+    return np.convolve(hacked_pmf, clean_pmf)
+
+
+def build_detection_pomdp(
+    n_meters: int,
+    *,
+    hack_probability: float,
+    tp_rate: float,
+    fp_rate: float,
+    damage_per_meter: float = 1.0,
+    repair_fixed_cost: float = 2.0,
+    repair_cost_per_meter: float = 1.0,
+    discount: float = 0.92,
+) -> PomdpModel:
+    """Assemble the monitoring POMDP for a fleet of ``n_meters`` meters.
+
+    Parameters
+    ----------
+    n_meters:
+        Fleet size; states and observations run ``0..n_meters``.
+    hack_probability:
+        Per-slot compromise probability of each clean meter.
+    tp_rate, fp_rate:
+        Single-event detector quality: per-meter flag probabilities for
+        hacked and clean meters respectively.
+    damage_per_meter:
+        Per-slot loss caused by each hacked meter (mis-scheduled load,
+        billing damage).
+    repair_fixed_cost, repair_cost_per_meter:
+        Labor economics of a repair dispatch.
+    discount:
+        POMDP discount factor.
+    """
+    if n_meters < 1:
+        raise ValueError(f"n_meters must be >= 1, got {n_meters}")
+    if not 0 <= hack_probability <= 1:
+        raise ValueError(f"hack_probability must be in [0, 1], got {hack_probability}")
+    for name, rate in (("tp_rate", tp_rate), ("fp_rate", fp_rate)):
+        if not 0 <= rate <= 1:
+            raise ValueError(f"{name} must be in [0, 1], got {rate}")
+    if damage_per_meter < 0 or repair_fixed_cost < 0 or repair_cost_per_meter < 0:
+        raise ValueError("costs must be >= 0")
+
+    n_states = n_meters + 1
+    states = np.arange(n_states)
+    hack_probability = _snap_probability(hack_probability)
+
+    transitions = np.zeros((2, n_states, n_states))
+    for s in range(n_states):
+        clean = n_meters - s
+        growth = stats.binom.pmf(np.arange(clean + 1), clean, hack_probability)
+        transitions[MONITOR, s, s : s + clean + 1] = growth
+        # Repair fixes everything, then fresh compromises accrue from zero.
+        from_zero = stats.binom.pmf(np.arange(n_meters + 1), n_meters, hack_probability)
+        transitions[REPAIR, s, :] = from_zero
+
+    observations = np.zeros((2, n_states, n_states))
+    for s in range(n_states):
+        pmf = _flag_count_pmf(s, n_meters - s, tp_rate, fp_rate)[:n_states]
+        # Guard against numeric truncation of the convolution tail.
+        observations[:, s, :] = pmf / pmf.sum()
+
+    rewards = np.zeros((2, n_states))
+    rewards[MONITOR] = -damage_per_meter * states
+    rewards[REPAIR] = (
+        -damage_per_meter * states
+        - repair_fixed_cost
+        - repair_cost_per_meter * states
+    )
+
+    return PomdpModel(
+        transitions=transitions,
+        observations=observations,
+        rewards=rewards,
+        discount=discount,
+    )

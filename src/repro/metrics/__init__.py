@@ -1,0 +1,35 @@
+"""Evaluation metrics: PAR, detection accuracy, labor cost, forecast errors."""
+
+from repro.metrics.accuracy import (
+    ClassificationCounts,
+    confusion_counts,
+    detection_rates,
+    observation_accuracy,
+    per_meter_accuracy,
+)
+from repro.metrics.cost import LaborCostModel, normalized_labor_cost
+from repro.metrics.errors import mae, mape, rmse, smape
+from repro.metrics.par import (
+    par,
+    par_increase,
+    par_series,
+    relative_par_increase,
+)
+
+__all__ = [
+    "ClassificationCounts",
+    "LaborCostModel",
+    "confusion_counts",
+    "detection_rates",
+    "mae",
+    "mape",
+    "normalized_labor_cost",
+    "observation_accuracy",
+    "par",
+    "par_increase",
+    "par_series",
+    "per_meter_accuracy",
+    "relative_par_increase",
+    "rmse",
+    "smape",
+]

@@ -1,0 +1,116 @@
+"""Detection-accuracy metrics for the long-term monitoring scenario.
+
+Figure 6 of the paper reports *observation accuracy*: how well the
+single-event layer's per-slot observation (number of meters flagged as
+hacked) matches the true number of hacked meters.  We expose both the
+strict count-match accuracy and the per-meter classification accuracy;
+the latter is the quantity the paper averages to 95.14% / 65.95%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+
+@dataclass(frozen=True)
+class ClassificationCounts:
+    """Per-meter confusion counts accumulated over a monitoring run."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of meter-slot pairs classified correctly."""
+        if self.total == 0:
+            raise ValueError("no observations accumulated")
+        return (self.true_positives + self.true_negatives) / self.total
+
+    @property
+    def true_positive_rate(self) -> float:
+        """Detection rate d = TP / (TP + FN); NaN-free (raises on empty)."""
+        positives = self.true_positives + self.false_negatives
+        if positives == 0:
+            raise ValueError("no positive (hacked) meter-slots observed")
+        return self.true_positives / positives
+
+    @property
+    def false_positive_rate(self) -> float:
+        """False-alarm rate f = FP / (FP + TN)."""
+        negatives = self.false_positives + self.true_negatives
+        if negatives == 0:
+            raise ValueError("no negative (clean) meter-slots observed")
+        return self.false_positives / negatives
+
+    def merged(self, other: "ClassificationCounts") -> "ClassificationCounts":
+        """Combine counts from two runs."""
+        return ClassificationCounts(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            true_negatives=self.true_negatives + other.true_negatives,
+            false_negatives=self.false_negatives + other.false_negatives,
+        )
+
+
+def confusion_counts(truth: ArrayLike, flagged: ArrayLike) -> ClassificationCounts:
+    """Accumulate per-meter confusion counts.
+
+    Parameters
+    ----------
+    truth:
+        Boolean array, shape ``(slots, meters)`` (or 1-D): true hacked state.
+    flagged:
+        Boolean array of the same shape: detector flags.
+    """
+    t = np.asarray(truth, dtype=bool)
+    f = np.asarray(flagged, dtype=bool)
+    if t.shape != f.shape:
+        raise ValueError(f"shape mismatch: truth {t.shape} vs flagged {f.shape}")
+    if t.size == 0:
+        raise ValueError("empty inputs")
+    return ClassificationCounts(
+        true_positives=int(np.sum(t & f)),
+        false_positives=int(np.sum(~t & f)),
+        true_negatives=int(np.sum(~t & ~f)),
+        false_negatives=int(np.sum(t & ~f)),
+    )
+
+
+def per_meter_accuracy(truth: ArrayLike, flagged: ArrayLike) -> float:
+    """Average per-meter classification accuracy (the Fig. 6 metric)."""
+    return confusion_counts(truth, flagged).accuracy
+
+
+def observation_accuracy(true_counts: ArrayLike, observed_counts: ArrayLike) -> float:
+    """Fraction of slots whose observed hacked-meter count is exactly right."""
+    s = np.asarray(true_counts, dtype=int)
+    o = np.asarray(observed_counts, dtype=int)
+    if s.shape != o.shape:
+        raise ValueError(f"shape mismatch: {s.shape} vs {o.shape}")
+    if s.size == 0:
+        raise ValueError("empty inputs")
+    return float(np.mean(s == o))
+
+
+def detection_rates(truth: ArrayLike, flagged: ArrayLike) -> tuple[float, float]:
+    """Return ``(true_positive_rate, false_positive_rate)``.
+
+    Convenience wrapper used to fit the POMDP observation model
+    ``Omega(o | s)`` from historical single-event detector output.
+    """
+    counts = confusion_counts(truth, flagged)
+    return counts.true_positive_rate, counts.false_positive_rate

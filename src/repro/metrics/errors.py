@@ -1,0 +1,48 @@
+"""Forecast-error metrics for the price and load predictors."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+
+def _validated(actual: ArrayLike, predicted: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: actual {a.shape} vs predicted {p.shape}")
+    if a.size == 0:
+        raise ValueError("empty inputs")
+    if np.any(~np.isfinite(a)) or np.any(~np.isfinite(p)):
+        raise ValueError("inputs contain NaN or infinite values")
+    return a, p
+
+
+def rmse(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Root-mean-square error."""
+    a, p = _validated(actual, predicted)
+    return float(np.sqrt(np.mean((a - p) ** 2)))
+
+
+def mae(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Mean absolute error."""
+    a, p = _validated(actual, predicted)
+    return float(np.mean(np.abs(a - p)))
+
+
+def mape(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Mean absolute percentage error (requires strictly nonzero actuals)."""
+    a, p = _validated(actual, predicted)
+    if np.any(a == 0):
+        raise ValueError("mape undefined when actual contains zeros; use smape")
+    return float(np.mean(np.abs((a - p) / a)))
+
+
+def smape(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Symmetric MAPE in [0, 2]; robust to zeros in either series."""
+    a, p = _validated(actual, predicted)
+    denom = (np.abs(a) + np.abs(p)) / 2.0
+    mask = denom > 0
+    if not np.any(mask):
+        return 0.0
+    return float(np.mean(np.abs(a[mask] - p[mask]) / denom[mask]))

@@ -1,0 +1,94 @@
+"""Peak-to-average ratio (PAR) metrics.
+
+The paper uses PAR as the primary grid-stability indicator: pricing
+cyberattacks concentrate community load into the manipulated cheap slots,
+raising the peak relative to the mean.  All detection decisions compare the
+PAR of the load scheduled under the *received* guideline price to the PAR
+under the *predicted* price.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+
+def par(load: ArrayLike) -> float:
+    """Peak-to-average ratio of a load profile.
+
+    Parameters
+    ----------
+    load:
+        Non-negative energy load per slot, shape ``(H,)``.
+
+    Returns
+    -------
+    float
+        ``max(load) / mean(load)``.  Always >= 1 for non-negative input
+        with a positive mean.
+
+    Raises
+    ------
+    ValueError
+        If the profile is empty, contains negatives/NaN, or has zero mean.
+    """
+    profile = np.asarray(load, dtype=float)
+    if profile.ndim != 1 or profile.size == 0:
+        raise ValueError(f"load must be a non-empty 1-D array, got shape {profile.shape}")
+    if np.any(~np.isfinite(profile)):
+        raise ValueError("load contains NaN or infinite values")
+    if np.any(profile < 0):
+        raise ValueError("load must be non-negative")
+    mean = float(profile.mean())
+    if mean <= 0.0:
+        raise ValueError("load mean must be positive to define PAR")
+    return float(profile.max()) / mean
+
+
+def par_series(load: ArrayLike, window: int) -> NDArray[np.float64]:
+    """Rolling PAR over consecutive non-overlapping windows.
+
+    Useful for the multi-day (48 h) long-term scenarios: the PAR is reported
+    per day rather than across the whole horizon.
+
+    Parameters
+    ----------
+    load:
+        Load per slot, shape ``(H,)`` with ``H`` divisible by ``window``.
+    window:
+        Window length in slots (e.g. 24 for daily PAR on an hourly grid).
+    """
+    profile = np.asarray(load, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if profile.ndim != 1 or profile.size == 0:
+        raise ValueError("load must be a non-empty 1-D array")
+    if profile.size % window != 0:
+        raise ValueError(
+            f"load length {profile.size} is not divisible by window {window}"
+        )
+    blocks = profile.reshape(-1, window)
+    return np.array([par(block) for block in blocks])
+
+
+def par_increase(received_par: float, predicted_par: float) -> float:
+    """Absolute PAR increase used in the single-event detection rule.
+
+    The paper reports an attack when
+    ``par_increase(P_r, P_p) > delta_P``.
+    """
+    if not np.isfinite(received_par) or not np.isfinite(predicted_par):
+        raise ValueError("PAR values must be finite")
+    return float(received_par - predicted_par)
+
+
+def relative_par_increase(received_par: float, baseline_par: float) -> float:
+    """Relative PAR increase ``(P_r - P_b) / P_b``.
+
+    Matches the percentage comparisons quoted in the paper's Section 5
+    (e.g. the attack PAR 1.9037 is 36.11% above the aware-prediction PAR
+    1.3986).
+    """
+    if baseline_par <= 0:
+        raise ValueError(f"baseline_par must be > 0, got {baseline_par}")
+    return (received_par - baseline_par) / baseline_par

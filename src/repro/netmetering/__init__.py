@@ -1,0 +1,21 @@
+"""Net metering: battery dynamics, energy trading and the quadratic cost model."""
+
+from repro.netmetering.battery import (
+    BatteryViolation,
+    clamp_trajectory,
+    validate_trajectory,
+)
+from repro.netmetering.cost import NetMeteringCostModel
+from repro.netmetering.trading import (
+    net_position,
+    trading_amounts,
+)
+
+__all__ = [
+    "BatteryViolation",
+    "NetMeteringCostModel",
+    "clamp_trajectory",
+    "net_position",
+    "trading_amounts",
+    "validate_trajectory",
+]

@@ -1,0 +1,106 @@
+"""Battery storage dynamics (Eqn. 1 of the paper).
+
+A battery trajectory is the vector ``b = (b^1, ..., b^{H+1})`` of stored
+energy at the *start* of each slot, with ``b^1`` the initial charge.  The
+storage evolves as ``b^{h+1} = b^h + theta^h + y^h - l^h`` where ``theta``
+is PV generation, ``y`` the grid trading amount and ``l`` the household
+load; equivalently, choosing the trajectory fixes the trading amounts
+(see :mod:`repro.netmetering.trading`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.core.config import BatteryConfig
+
+
+class BatteryViolation(ValueError):
+    """Raised when a trajectory violates capacity or rate constraints."""
+
+
+def validate_trajectory(
+    trajectory: ArrayLike,
+    spec: BatteryConfig,
+    *,
+    slot_hours: float = 1.0,
+    tol: float = 1e-6,
+) -> NDArray[np.float64]:
+    """Check a battery trajectory against its spec.
+
+    Parameters
+    ----------
+    trajectory:
+        Stored energy (kWh) at the start of each slot, shape ``(H+1,)``.
+    spec:
+        Capacity and rate limits.
+    slot_hours:
+        Slot duration; rate limits are per hour.
+
+    Returns
+    -------
+    The validated trajectory as a float array.
+
+    Raises
+    ------
+    BatteryViolation
+        On any capacity, rate or initial-condition violation.
+    """
+    b = np.asarray(trajectory, dtype=float)
+    if b.ndim != 1 or b.size < 2:
+        raise BatteryViolation(
+            f"trajectory must be 1-D with length >= 2, got shape {b.shape}"
+        )
+    if np.any(~np.isfinite(b)):
+        raise BatteryViolation("trajectory contains NaN or infinite values")
+    if abs(b[0] - spec.initial_kwh) > tol:
+        raise BatteryViolation(
+            f"trajectory starts at {b[0]} but spec.initial_kwh is {spec.initial_kwh}"
+        )
+    if np.any(b < -tol) or np.any(b > spec.capacity_kwh + tol):
+        raise BatteryViolation(
+            f"storage outside [0, {spec.capacity_kwh}]: "
+            f"min={b.min():.4f}, max={b.max():.4f}"
+        )
+    deltas = np.diff(b)
+    max_charge = spec.max_charge_kw * slot_hours
+    max_discharge = spec.max_discharge_kw * slot_hours
+    if np.any(deltas > max_charge + tol):
+        raise BatteryViolation(
+            f"charge rate exceeded: max delta {deltas.max():.4f} > {max_charge}"
+        )
+    if np.any(-deltas > max_discharge + tol):
+        raise BatteryViolation(
+            f"discharge rate exceeded: max delta {(-deltas).max():.4f} > {max_discharge}"
+        )
+    return b
+
+
+def clamp_trajectory(
+    trajectory: ArrayLike,
+    spec: BatteryConfig,
+    *,
+    slot_hours: float = 1.0,
+) -> NDArray[np.float64]:
+    """Project an arbitrary trajectory onto the feasible set.
+
+    Projection runs forward in time: each storage value is clipped to the
+    capacity box and to the reachable interval given the previous value and
+    the charge/discharge rate limits.  ``b[0]`` is pinned to the spec's
+    initial charge.  Used to repair cross-entropy samples.
+    """
+    b = np.array(trajectory, dtype=float)
+    if b.ndim != 1 or b.size < 2:
+        raise BatteryViolation(
+            f"trajectory must be 1-D with length >= 2, got shape {b.shape}"
+        )
+    b = np.nan_to_num(b, nan=spec.initial_kwh, posinf=spec.capacity_kwh, neginf=0.0)
+    b[0] = spec.initial_kwh
+    max_charge = spec.max_charge_kw * slot_hours
+    max_discharge = spec.max_discharge_kw * slot_hours
+    for h in range(1, b.size):
+        lo = max(0.0, b[h - 1] - max_discharge)
+        hi = min(spec.capacity_kwh, b[h - 1] + max_charge)
+        b[h] = min(max(b[h], lo), hi)
+    return b

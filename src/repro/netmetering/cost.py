@@ -1,0 +1,176 @@
+"""Quadratic net-metering cost model (Eqns. 2-3 of the paper).
+
+The community is billed quadratically: the total monetary cost of the
+community in slot ``h`` is ``p_h * (sum_n y_n^h)^2``.  Customer ``n``'s
+share in slot ``h`` is
+
+    C_n^h = p_h       * (Y_h) * y_n^h        if y_n^h >= 0  (buying)
+    C_n^h = (p_h / W) * (Y_h) * y_n^h        if y_n^h <  0  (selling)
+
+where ``Y_h = sum_i y_i^h`` is the community trading total and ``W >= 1``
+is the sell-back divisor: the utility pays only ``p_h / W`` per unit for
+energy sold back, keeping the difference as the cost of supporting net
+metering.  The selling branch is *rewarding* (negative cost) whenever the
+community is a net buyer (``Y_h > 0``): the customer is paid the partial
+rate times the demand-scaled price.  Note the paper's Eqn. (2) carries a
+leading minus on the selling branch which, read literally, *charges*
+customers for selling whenever ``Y_h > 0`` — contradicting its own text
+("the utility pays the customer with the rate p_h/W").  We implement the
+sign the text describes.
+
+One guard is added on top: the community total entering the price is
+floored at zero.  When the community as a whole exports (``Y_h < 0``)
+there is no neighbor demand to serve, so neither billing nor sell-back
+money flows ("the energy sold by a customer could be consumed by some
+neighbors in the same community", Section 2.2).  The floor also removes
+the runaway where deeper joint export would otherwise grow the per-unit
+sell-back payment without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+
+@dataclass(frozen=True)
+class NetMeteringCostModel:
+    """Vectorized cost evaluation for one guideline-price vector.
+
+    Parameters
+    ----------
+    prices:
+        Guideline price per slot ``p_h``, shape ``(H,)``; must be >= 0.
+    sellback_divisor:
+        The paper's ``W >= 1``.
+    """
+
+    prices: tuple[float, ...]
+    sellback_divisor: float = 2.0
+
+    def __post_init__(self) -> None:
+        p = tuple(float(v) for v in self.prices)
+        object.__setattr__(self, "prices", p)
+        if len(p) == 0:
+            raise ValueError("prices must be non-empty")
+        if any(not np.isfinite(v) or v < 0 for v in p):
+            raise ValueError("prices must be finite and >= 0")
+        if self.sellback_divisor < 1:
+            raise ValueError(
+                f"sellback_divisor must be >= 1, got {self.sellback_divisor}"
+            )
+
+    @property
+    def horizon(self) -> int:
+        return len(self.prices)
+
+    @property
+    def price_array(self) -> NDArray[np.float64]:
+        return np.asarray(self.prices, dtype=float)
+
+    def community_cost(self, total_trading: ArrayLike) -> float:
+        """Total community billing ``sum_h p_h * max(Y_h, 0)^2``.
+
+        When ``Y_h <= 0`` the community as a whole exports; no billing
+        money flows (see the module docstring's floor rationale).
+        """
+        y = self._validated(total_trading)
+        p = self.price_array
+        cost = p * np.maximum(y, 0.0) ** 2
+        return float(cost.sum())
+
+    def customer_cost(
+        self,
+        trading: ArrayLike,
+        others_trading: ArrayLike,
+    ) -> float:
+        """Customer's total cost given everyone else's trading (Eqn. 2)."""
+        return float(self.customer_cost_per_slot(trading, others_trading).sum())
+
+    def customer_cost_per_slot(
+        self,
+        trading: ArrayLike,
+        others_trading: ArrayLike,
+        *,
+        multiplicity: int = 1,
+    ) -> NDArray[np.float64]:
+        """Per-slot customer cost ``C_n^h`` (Eqn. 2), vectorized.
+
+        With ``multiplicity > 1``, the customer is one of that many
+        identical archetype instances moving in lockstep:
+        ``others_trading`` must then exclude *all* instances, and the
+        community total becomes ``others + multiplicity * y`` while the
+        customer is still billed for its own quantity ``y``.
+        """
+        if multiplicity < 1:
+            raise ValueError(f"multiplicity must be >= 1, got {multiplicity}")
+        y = self._validated(trading)
+        y_others = self._validated(others_trading)
+        p = self.price_array
+        total = np.maximum(y_others + multiplicity * y, 0.0)
+        buying = y >= 0
+        return np.where(
+            buying,
+            p * total * y,
+            (p / self.sellback_divisor) * total * y,
+        )
+
+    def marginal_cost_table(
+        self,
+        base_trading: ArrayLike,
+        others_trading: ArrayLike,
+        levels: ArrayLike,
+        *,
+        multiplicity: int = 1,
+        slot_hours: float = 1.0,
+    ) -> NDArray[np.float64]:
+        """Incremental cost of adding appliance load on top of a base position.
+
+        For the DP scheduler: entry ``[h, j]`` is the cost increase of the
+        customer running an appliance at ``levels[j]`` kW in slot ``h``,
+        given that the customer's other trading is ``base_trading[h]`` and
+        the rest of the community trades ``others_trading[h]``.
+
+        With ``multiplicity > 1`` (archetype communities), all identical
+        instances move together: ``others_trading`` must exclude all of
+        them, and the community total seen by the price is
+        ``others + multiplicity * y`` while the instance pays for its own
+        quantity only.  Pricing the herd move is what keeps the
+        best-response dynamics stable.
+
+        Returns
+        -------
+        Array of shape ``(H, n_levels)``.
+        """
+        if multiplicity < 1:
+            raise ValueError(f"multiplicity must be >= 1, got {multiplicity}")
+        y0 = self._validated(base_trading)
+        y_others = self._validated(others_trading)
+        lv = np.asarray(levels, dtype=float) * slot_hours
+        if lv.ndim != 1:
+            raise ValueError(f"levels must be 1-D, got shape {lv.shape}")
+        base_cost = self.customer_cost_per_slot(
+            y0, y_others, multiplicity=multiplicity
+        )
+        # shape (H, n_levels): candidate trading after adding each level
+        y_new = y0[:, None] + lv[None, :]
+        p = self.price_array[:, None]
+        total = np.maximum(y_others[:, None] + multiplicity * y_new, 0.0)
+        cost_new = np.where(
+            y_new >= 0,
+            p * total * y_new,
+            (p / self.sellback_divisor) * total * y_new,
+        )
+        return cost_new - base_cost[:, None]
+
+    def _validated(self, values: ArrayLike) -> NDArray[np.float64]:
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != (self.horizon,):
+            raise ValueError(
+                f"expected shape ({self.horizon},), got {arr.shape}"
+            )
+        if np.any(~np.isfinite(arr)):
+            raise ValueError("values contain NaN or infinite entries")
+        return arr

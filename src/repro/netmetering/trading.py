@@ -1,0 +1,62 @@
+"""Energy trading amounts (Eqn. 1 rearranged).
+
+The trading amount ``y_n^h`` is the energy the customer exchanges with the
+grid in slot ``h``: positive when buying, negative when selling.  Given a
+load profile, PV generation and a battery trajectory, the trading amounts
+follow deterministically from the battery balance equation:
+
+    b^{h+1} = b^h + theta^h + y^h - l^h
+    =>  y^h = l^h + (b^{h+1} - b^h) - theta^h
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+
+def trading_amounts(
+    load: ArrayLike,
+    pv: ArrayLike,
+    trajectory: ArrayLike,
+) -> NDArray[np.float64]:
+    """Per-slot grid trading amounts ``y`` implied by the battery balance.
+
+    Parameters
+    ----------
+    load:
+        Household consumption per slot (kWh), shape ``(H,)``.
+    pv:
+        PV generation per slot (kWh), shape ``(H,)``.
+    trajectory:
+        Battery storage at the start of each slot, shape ``(H+1,)``.
+
+    Returns
+    -------
+    Trading amounts of shape ``(H,)``: > 0 buys from the grid, < 0 sells.
+    """
+    l = np.asarray(load, dtype=float)
+    theta = np.asarray(pv, dtype=float)
+    b = np.asarray(trajectory, dtype=float)
+    if l.ndim != 1:
+        raise ValueError(f"load must be 1-D, got shape {l.shape}")
+    if theta.shape != l.shape:
+        raise ValueError(f"pv shape {theta.shape} != load shape {l.shape}")
+    if b.shape != (l.size + 1,):
+        raise ValueError(
+            f"trajectory must have shape ({l.size + 1},), got {b.shape}"
+        )
+    return l + np.diff(b) - theta
+
+
+def net_position(trading: ArrayLike) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
+    """Split trading amounts into purchases and sales.
+
+    Returns
+    -------
+    (bought, sold):
+        ``bought[h] = max(y[h], 0)`` and ``sold[h] = max(-y[h], 0)``, both
+        non-negative arrays of the input shape.
+    """
+    y = np.asarray(trading, dtype=float)
+    return np.maximum(y, 0.0), np.maximum(-y, 0.0)

@@ -1,0 +1,24 @@
+"""Stochastic optimization: cross-entropy method and ablation baselines."""
+
+from repro.optimization.annealing import simulated_annealing
+from repro.optimization.baselines import (
+    coordinate_descent,
+    projected_gradient,
+    random_search,
+)
+from repro.optimization.battery import BatteryOptimizer, BatteryProblem
+from repro.optimization.cross_entropy import (
+    CrossEntropyOptimizer,
+    OptimizationResult,
+)
+
+__all__ = [
+    "BatteryOptimizer",
+    "BatteryProblem",
+    "CrossEntropyOptimizer",
+    "OptimizationResult",
+    "coordinate_descent",
+    "projected_gradient",
+    "random_search",
+    "simulated_annealing",
+]

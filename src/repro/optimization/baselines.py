@@ -1,0 +1,196 @@
+"""Baseline optimizers for the cross-entropy ablation (Ablation A).
+
+These deliberately simple methods put the CE optimizer's sample efficiency
+in context on the non-convex battery cost:
+
+- :func:`random_search` — uniform sampling over the box;
+- :func:`coordinate_descent` — cyclic one-dimensional grid refinement;
+- :func:`projected_gradient` — finite-difference gradient steps with box
+  projection (finds local minima of the piecewise-quadratic cost only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.optimization.cross_entropy import OptimizationResult, Projection
+
+Objective = Callable[[NDArray[np.float64]], float]
+
+
+def _check_bounds(lower: ArrayLike, upper: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
+    lo = np.atleast_1d(np.asarray(lower, dtype=float))
+    hi = np.atleast_1d(np.asarray(upper, dtype=float))
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ValueError(f"bounds must be matching 1-D arrays: {lo.shape} vs {hi.shape}")
+    if np.any(lo > hi):
+        raise ValueError("lower bound exceeds upper bound")
+    return lo, hi
+
+
+def random_search(
+    objective: Objective,
+    lower: ArrayLike,
+    upper: ArrayLike,
+    *,
+    n_samples: int = 500,
+    rng: np.random.Generator | None = None,
+    projection: Projection | None = None,
+) -> OptimizationResult:
+    """Uniform random sampling over the box; returns the best sample."""
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    lo, hi = _check_bounds(lower, upper)
+    rng = rng if rng is not None else np.random.default_rng()
+    best_x = (lo + hi) / 2.0
+    if projection is not None:
+        best_x = projection(best_x)
+    best_f = objective(best_x)
+    for _ in range(n_samples):
+        x = rng.uniform(lo, hi)
+        if projection is not None:
+            x = projection(x)
+        f = objective(x)
+        if f < best_f:
+            best_f, best_x = f, x
+    return OptimizationResult(
+        x=best_x,
+        fun=float(best_f),
+        n_evaluations=n_samples + 1,
+        n_iterations=1,
+        converged=False,
+    )
+
+
+def coordinate_descent(
+    objective: Objective,
+    lower: ArrayLike,
+    upper: ArrayLike,
+    *,
+    x0: ArrayLike | None = None,
+    n_grid: int = 9,
+    n_sweeps: int = 6,
+    projection: Projection | None = None,
+) -> OptimizationResult:
+    """Cyclic coordinate minimization on a per-coordinate grid.
+
+    Each sweep visits every coordinate and replaces it with the best of
+    ``n_grid`` evenly spaced candidate values (keeping the others fixed).
+    Stops early when a sweep makes no improvement.
+    """
+    if n_grid < 2:
+        raise ValueError(f"n_grid must be >= 2, got {n_grid}")
+    if n_sweeps < 1:
+        raise ValueError(f"n_sweeps must be >= 1, got {n_sweeps}")
+    lo, hi = _check_bounds(lower, upper)
+    x = (
+        np.clip(np.asarray(x0, dtype=float), lo, hi)
+        if x0 is not None
+        else (lo + hi) / 2.0
+    )
+    if projection is not None:
+        x = projection(x)
+    best_f = objective(x)
+    n_evaluations = 1
+    history = [float(best_f)]
+    for _ in range(n_sweeps):
+        improved = False
+        for i in range(lo.size):
+            candidates = np.linspace(lo[i], hi[i], n_grid)
+            for value in candidates:
+                trial = x.copy()
+                trial[i] = value
+                if projection is not None:
+                    trial = projection(trial)
+                f = objective(trial)
+                n_evaluations += 1
+                if f < best_f - 1e-12:
+                    best_f, x = f, trial
+                    improved = True
+        history.append(float(best_f))
+        if not improved:
+            break
+    return OptimizationResult(
+        x=x,
+        fun=float(best_f),
+        n_evaluations=n_evaluations,
+        n_iterations=len(history) - 1,
+        converged=not improved,
+        history=tuple(history),
+    )
+
+
+def projected_gradient(
+    objective: Objective,
+    lower: ArrayLike,
+    upper: ArrayLike,
+    *,
+    x0: ArrayLike | None = None,
+    step: float = 0.1,
+    n_iterations: int = 100,
+    fd_epsilon: float = 1e-4,
+    projection: Projection | None = None,
+) -> OptimizationResult:
+    """Finite-difference projected gradient descent with backtracking.
+
+    A local method: on the non-convex battery cost it converges to the
+    nearest local minimum, which is exactly the failure mode the paper's
+    cross-entropy choice avoids.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step}")
+    if n_iterations < 1:
+        raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+    lo, hi = _check_bounds(lower, upper)
+    x = (
+        np.clip(np.asarray(x0, dtype=float), lo, hi)
+        if x0 is not None
+        else (lo + hi) / 2.0
+    )
+    if projection is not None:
+        x = projection(x)
+    f = objective(x)
+    n_evaluations = 1
+    history = [float(f)]
+    converged = False
+    for _ in range(n_iterations):
+        grad = np.zeros_like(x)
+        for i in range(x.size):
+            bumped = x.copy()
+            bumped[i] = min(x[i] + fd_epsilon, hi[i])
+            actual_eps = bumped[i] - x[i]
+            if actual_eps == 0.0:
+                bumped[i] = max(x[i] - fd_epsilon, lo[i])
+                actual_eps = bumped[i] - x[i]
+            if actual_eps == 0.0:
+                continue
+            grad[i] = (objective(bumped) - f) / actual_eps
+            n_evaluations += 1
+        current_step = step
+        improved = False
+        for _ in range(8):
+            trial = np.clip(x - current_step * grad, lo, hi)
+            if projection is not None:
+                trial = projection(trial)
+            f_trial = objective(trial)
+            n_evaluations += 1
+            if f_trial < f - 1e-12:
+                x, f = trial, f_trial
+                improved = True
+                break
+            current_step /= 2.0
+        history.append(float(f))
+        if not improved:
+            converged = True
+            break
+    return OptimizationResult(
+        x=x,
+        fun=float(f),
+        n_evaluations=n_evaluations,
+        n_iterations=len(history) - 1,
+        converged=converged,
+        history=tuple(history),
+    )

@@ -1,0 +1,184 @@
+"""Feature engineering for guideline-price prediction.
+
+Two featurizations are provided, matching the paper's two predictors:
+
+- **Unaware** (the method of ref. [8]): price history only — same-slot
+  lags from the previous days, a same-slot rolling mean, and a smooth
+  hour-of-day encoding.
+- **Aware** (this paper, the ``G(p, V, D)`` model): everything above plus
+  the community *net demand* ``D - V`` — the same-slot net-demand lag and,
+  crucially, the net-demand forecast for the target slot itself (the paper
+  assumes renewable generation "approximately known in advance through
+  prediction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.data.pricing import PriceHistory
+
+MIN_HISTORY_DAYS = 3
+"""Day-ahead lags need at least two full prior days plus a target day."""
+
+
+@dataclass(frozen=True)
+class FeatureMatrix:
+    """A supervised dataset: one row per slot, with names for debugging."""
+
+    features: NDArray[np.float64]
+    targets: NDArray[np.float64]
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
+        if self.targets.shape != (self.features.shape[0],):
+            raise ValueError(
+                f"targets shape {self.targets.shape} inconsistent with "
+                f"features {self.features.shape}"
+            )
+        if len(self.names) != self.features.shape[1]:
+            raise ValueError(
+                f"{len(self.names)} names for {self.features.shape[1]} columns"
+            )
+
+
+def _hour_encoding(slot_in_day: NDArray[np.int_], slots_per_day: int) -> NDArray[np.float64]:
+    angle = 2.0 * np.pi * slot_in_day / slots_per_day
+    return np.stack([np.sin(angle), np.cos(angle)], axis=1)
+
+
+def _same_slot_mean(series: NDArray[np.float64], slots_per_day: int, upto_day: int, slot: int) -> float:
+    """Mean of ``series`` at ``slot`` over all days strictly before ``upto_day``."""
+    values = [series[d * slots_per_day + slot] for d in range(upto_day)]
+    return float(np.mean(values))
+
+
+def _base_rows(
+    history: PriceHistory,
+    day: int,
+    include_net_demand: bool,
+) -> tuple[NDArray[np.float64], tuple[str, ...]]:
+    """Feature rows for all slots of ``day`` (one full day ahead of lags)."""
+    spd = history.slots_per_day
+    slots = np.arange(spd)
+    price = history.prices
+    rows = [
+        price[(day - 1) * spd + slots],  # same slot, previous day
+        price[(day - 2) * spd + slots],  # same slot, two days back
+        np.array([_same_slot_mean(price, spd, day, s) for s in slots]),
+    ]
+    names = ["price_lag_1d", "price_lag_2d", "price_same_slot_mean"]
+    hour = _hour_encoding(slots, spd)
+    rows.extend([hour[:, 0], hour[:, 1]])
+    names.extend(["hour_sin", "hour_cos"])
+    if include_net_demand:
+        net = history.net_demand
+        rows.append(net[(day - 1) * spd + slots])
+        names.append("net_demand_lag_1d")
+    return np.stack(rows, axis=1), tuple(names)
+
+
+def unaware_feature_dataset(history: PriceHistory) -> FeatureMatrix:
+    """Training set for the price-lag-only predictor (ref. [8])."""
+    if history.n_days < MIN_HISTORY_DAYS:
+        raise ValueError(
+            f"need >= {MIN_HISTORY_DAYS} history days, got {history.n_days}"
+        )
+    spd = history.slots_per_day
+    blocks, targets = [], []
+    names: tuple[str, ...] = ()
+    for day in range(2, history.n_days):
+        rows, names = _base_rows(history, day, include_net_demand=False)
+        blocks.append(rows)
+        targets.append(history.prices[day * spd : (day + 1) * spd])
+    return FeatureMatrix(
+        features=np.concatenate(blocks),
+        targets=np.concatenate(targets),
+        names=names,
+    )
+
+
+def aware_feature_dataset(history: PriceHistory) -> FeatureMatrix:
+    """Training set for the net-metering-aware ``G(p, V, D)`` predictor.
+
+    Adds the lagged net demand and the *target-slot* net demand (known to
+    the utility when it designs the price, and approximately known to the
+    predictor through demand and renewable forecasts).
+    """
+    if history.n_days < MIN_HISTORY_DAYS:
+        raise ValueError(
+            f"need >= {MIN_HISTORY_DAYS} history days, got {history.n_days}"
+        )
+    spd = history.slots_per_day
+    blocks, targets = [], []
+    names: tuple[str, ...] = ()
+    for day in range(2, history.n_days):
+        rows, base_names = _base_rows(history, day, include_net_demand=True)
+        slots = np.arange(spd)
+        target_net = history.net_demand[day * spd + slots]
+        rows = np.concatenate([rows, target_net[:, None]], axis=1)
+        names = base_names + ("net_demand_target",)
+        blocks.append(rows)
+        targets.append(history.prices[day * spd : (day + 1) * spd])
+    return FeatureMatrix(
+        features=np.concatenate(blocks),
+        targets=np.concatenate(targets),
+        names=names,
+    )
+
+
+def unaware_features_for_day(history: PriceHistory) -> NDArray[np.float64]:
+    """Prediction features for the day immediately after the history."""
+    if history.n_days < 2:
+        raise ValueError("need at least two history days for day-ahead lags")
+    extended = _extend_with_placeholder_day(history)
+    rows, _ = _base_rows(extended, extended.n_days - 1, include_net_demand=False)
+    return rows
+
+
+def aware_features_for_day(
+    history: PriceHistory,
+    *,
+    demand_forecast: NDArray[np.float64],
+    renewable_forecast: NDArray[np.float64],
+) -> NDArray[np.float64]:
+    """Aware prediction features for the day after the history.
+
+    ``demand_forecast`` and ``renewable_forecast`` are the target-day
+    community forecasts, shape ``(slots_per_day,)``.
+    """
+    if history.n_days < 2:
+        raise ValueError("need at least two history days for day-ahead lags")
+    spd = history.slots_per_day
+    d = np.asarray(demand_forecast, dtype=float)
+    v = np.asarray(renewable_forecast, dtype=float)
+    if d.shape != (spd,) or v.shape != (spd,):
+        raise ValueError(
+            f"forecasts must have shape ({spd},), got {d.shape} and {v.shape}"
+        )
+    extended = _extend_with_placeholder_day(history)
+    rows, _ = _base_rows(extended, extended.n_days - 1, include_net_demand=True)
+    target_net = d - v
+    return np.concatenate([rows, target_net[:, None]], axis=1)
+
+
+def _extend_with_placeholder_day(history: PriceHistory) -> PriceHistory:
+    """Append one placeholder day so ``_base_rows`` can index lags for it.
+
+    The placeholder values are never read: ``_base_rows(day)`` only reads
+    strictly earlier days.
+    """
+    spd = history.slots_per_day
+    pad = np.zeros(spd)
+    return PriceHistory(
+        prices=np.concatenate([history.prices, pad]),
+        demand=np.concatenate([history.demand, pad]),
+        renewable=np.concatenate([history.renewable, pad]),
+        nm_active=np.concatenate([history.nm_active, np.ones(spd, dtype=bool)]),
+        slots_per_day=spd,
+    )

@@ -1,0 +1,83 @@
+"""Net-metering-aware community energy-load prediction (Section 3).
+
+Given a guideline-price vector, the community's future load is predicted
+by *solving the scheduling game* (Algorithm 1): every customer is assumed
+to cost-minimize, so the game's fixed point is the forecast.  The
+net-metering-unaware variant solves the same game on the stripped
+community (no PV, no batteries) — the prediction model of the paper's
+ref. [8].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.core.config import GameConfig
+from repro.metrics.par import par
+from repro.scheduling.game import Community, GameResult, SchedulingGame
+
+
+@dataclass(frozen=True)
+class LoadPrediction:
+    """A predicted community load profile plus diagnostics."""
+
+    load: NDArray[np.float64]
+    grid_demand: NDArray[np.float64]
+    aware: bool
+    game: GameResult
+
+    @property
+    def par(self) -> float:
+        """Peak-to-average ratio of the predicted consumption."""
+        return par(self.load)
+
+    @property
+    def grid_par(self) -> float:
+        """Peak-to-average ratio of the predicted grid purchases."""
+        return par(self.grid_demand)
+
+
+def predict_community_load(
+    community: Community,
+    prices: ArrayLike,
+    *,
+    aware: bool = True,
+    sellback_divisor: float = 2.0,
+    config: GameConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> LoadPrediction:
+    """Predict the community load under a guideline-price vector.
+
+    Parameters
+    ----------
+    community:
+        The community model (with PV/battery specs).
+    prices:
+        Guideline price per slot, shape ``(horizon,)``.
+    aware:
+        When False, PV panels and batteries are stripped before solving —
+        the net-metering-unaware prediction of ref. [8].
+    sellback_divisor:
+        The paper's ``W``.
+    config:
+        Game convergence controls.
+    rng:
+        Randomness for the cross-entropy battery optimizer.
+    """
+    target = community if aware else community.without_net_metering()
+    game = SchedulingGame(
+        target,
+        np.asarray(prices, dtype=float),
+        sellback_divisor=sellback_divisor,
+        config=config,
+    )
+    result = game.solve(rng=rng)
+    return LoadPrediction(
+        load=result.community_load,
+        grid_demand=result.grid_demand,
+        aware=aware,
+        game=result,
+    )

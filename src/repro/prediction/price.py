@@ -1,0 +1,118 @@
+"""Guideline-price predictors (Section 4.1 of the paper).
+
+Both predictors wrap the scratch-built
+:class:`~repro.prediction.svr.SupportVectorRegressor`; they differ only in
+featurization:
+
+- :class:`UnawarePricePredictor` reproduces the state-of-the-art method of
+  the paper's ref. [8]: SVR on the price history alone.  Trained on a
+  mixed pre/post-net-metering history it predicts the *average* daily
+  shape and misses the weather-driven midday price gap.
+- :class:`AwarePricePredictor` is the paper's contribution: SVR on the
+  ``G(p, V, D)`` series, whose target-slot net-demand feature lets it
+  track the gap.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.data.pricing import PriceHistory
+from repro.prediction.features import (
+    aware_feature_dataset,
+    aware_features_for_day,
+    unaware_feature_dataset,
+    unaware_features_for_day,
+)
+from repro.prediction.svr import SupportVectorRegressor
+
+
+class PricePredictor(abc.ABC):
+    """Common interface: fit on a history, predict the next day's prices."""
+
+    def __init__(self, *, svr: SupportVectorRegressor | None = None) -> None:
+        self._svr = svr if svr is not None else SupportVectorRegressor()
+        self._history: PriceHistory | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._history is not None
+
+    @property
+    def history(self) -> PriceHistory:
+        if self._history is None:
+            raise RuntimeError("predictor not fitted")
+        return self._history
+
+    @abc.abstractmethod
+    def fit(self, history: PriceHistory) -> "PricePredictor":
+        """Train the underlying SVR on the history."""
+
+    @abc.abstractmethod
+    def predict_day(
+        self,
+        *,
+        demand_forecast: ArrayLike | None = None,
+        renewable_forecast: ArrayLike | None = None,
+    ) -> NDArray[np.float64]:
+        """Predict the guideline price for the day after the history."""
+
+    @staticmethod
+    def _floored(prices: NDArray[np.float64]) -> NDArray[np.float64]:
+        """Prices are physically non-negative; clip tiny negative SVR output."""
+        return np.maximum(prices, 0.0)
+
+
+class UnawarePricePredictor(PricePredictor):
+    """SVR on price lags only — the paper's ref. [8] baseline."""
+
+    def fit(self, history: PriceHistory) -> "UnawarePricePredictor":
+        dataset = unaware_feature_dataset(history)
+        self._svr.fit(dataset.features, dataset.targets)
+        self._history = history
+        return self
+
+    def predict_day(
+        self,
+        *,
+        demand_forecast: ArrayLike | None = None,
+        renewable_forecast: ArrayLike | None = None,
+    ) -> NDArray[np.float64]:
+        """Forecasts are accepted for interface parity but ignored."""
+        features = unaware_features_for_day(self.history)
+        return self._floored(self._svr.predict(features))
+
+
+class AwarePricePredictor(PricePredictor):
+    """SVR on the net-metering-aware ``G(p, V, D)`` series."""
+
+    def fit(self, history: PriceHistory) -> "AwarePricePredictor":
+        dataset = aware_feature_dataset(history)
+        self._svr.fit(dataset.features, dataset.targets)
+        self._history = history
+        return self
+
+    def predict_day(
+        self,
+        *,
+        demand_forecast: ArrayLike | None = None,
+        renewable_forecast: ArrayLike | None = None,
+    ) -> NDArray[np.float64]:
+        """Predict using the target day's demand and renewable forecasts.
+
+        Both forecasts are required: the aware model's defining feature is
+        the target-slot net demand.
+        """
+        if demand_forecast is None or renewable_forecast is None:
+            raise ValueError(
+                "aware prediction requires demand_forecast and renewable_forecast"
+            )
+        features = aware_features_for_day(
+            self.history,
+            demand_forecast=np.asarray(demand_forecast, dtype=float),
+            renewable_forecast=np.asarray(renewable_forecast, dtype=float),
+        )
+        return self._floored(self._svr.predict(features))

@@ -1,0 +1,139 @@
+"""Day-ahead renewable generation forecasting.
+
+Section 2.2 of the paper assumes the PV output theta "is approximately
+known in advance through prediction".  This module makes that assumption
+explicit and testable: a clear-sky-plus-persistence forecaster produces
+the renewable forecast the aware price predictor consumes, and its error
+model supports the forecast-error sensitivity ablation (how much
+renewable forecast error the detection advantage survives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.core.config import SolarConfig, TimeGrid
+from repro.data.pricing import PriceHistory
+from repro.data.solar import clear_sky_profile
+
+
+@dataclass(frozen=True)
+class RenewableForecast:
+    """A day-ahead community PV forecast with its uncertainty estimate."""
+
+    expected: NDArray[np.float64]
+    std: NDArray[np.float64]
+
+    def __post_init__(self) -> None:
+        if self.expected.shape != self.std.shape or self.expected.ndim != 1:
+            raise ValueError(
+                f"expected/std shape mismatch: {self.expected.shape} vs {self.std.shape}"
+            )
+        if np.any(self.expected < 0) or np.any(self.std < 0):
+            raise ValueError("forecast and uncertainty must be >= 0")
+
+    def sample(self, rng: np.random.Generator) -> NDArray[np.float64]:
+        """One stochastic realization consistent with the uncertainty."""
+        draw = self.expected + rng.normal(0.0, 1.0) * self.std
+        return np.maximum(draw, 0.0)
+
+
+class ClearSkyPersistenceForecaster:
+    """Forecast tomorrow's community PV from history and the clear-sky bound.
+
+    The estimate blends two classical components:
+
+    - *persistence*: tomorrow's weather factor resembles the recent days'
+      (mean attenuation of the last ``persistence_days`` history days);
+    - *clear-sky shape*: the within-day profile follows the deterministic
+      clear-sky bell, which the weather factor scales.
+
+    The uncertainty is the empirical spread of the recent weather factors
+    times the clear-sky envelope.
+    """
+
+    def __init__(
+        self,
+        time: TimeGrid,
+        solar: SolarConfig,
+        *,
+        persistence_days: int = 5,
+    ) -> None:
+        if persistence_days < 1:
+            raise ValueError(f"persistence_days must be >= 1, got {persistence_days}")
+        self.time = time
+        self.solar = solar
+        self.persistence_days = persistence_days
+        self._envelope = clear_sky_profile(time, solar)
+
+    def forecast(
+        self,
+        history: PriceHistory,
+        *,
+        peak_community_kw: float,
+    ) -> RenewableForecast:
+        """Day-ahead forecast from the tail of a price history.
+
+        Parameters
+        ----------
+        history:
+            Must contain at least one net-metering-era day with nonzero
+            renewables (otherwise the forecast is zero with zero spread —
+            the pre-net-metering regime).
+        peak_community_kw:
+            Clear-sky community peak rating; scales the envelope.
+        """
+        if peak_community_kw < 0:
+            raise ValueError(
+                f"peak_community_kw must be >= 0, got {peak_community_kw}"
+            )
+        spd = history.slots_per_day
+        if spd != self.time.slots_per_day:
+            raise ValueError(
+                f"history slots_per_day {spd} != forecaster grid "
+                f"{self.time.slots_per_day}"
+            )
+        envelope = self._envelope[: spd] * peak_community_kw * self.time.hours_per_slot
+        factors = self._recent_weather_factors(history, envelope)
+        if factors.size == 0:
+            zero = np.zeros(spd)
+            return RenewableForecast(expected=zero, std=zero)
+        mean_factor = float(factors.mean())
+        std_factor = float(factors.std()) if factors.size > 1 else 0.25
+        return RenewableForecast(
+            expected=envelope * mean_factor,
+            std=envelope * std_factor,
+        )
+
+    def _recent_weather_factors(
+        self, history: PriceHistory, envelope: NDArray[np.float64]
+    ) -> NDArray[np.float64]:
+        """Per-day attenuation factors of the most recent renewable days."""
+        peak_slots = envelope > envelope.max() * 0.5
+        if not np.any(peak_slots):
+            return np.array([])
+        factors = []
+        for day in range(history.n_days - 1, -1, -1):
+            sliced = history.day(day)
+            if not sliced.nm_active.any() or sliced.renewable.sum() == 0:
+                continue
+            ratio = sliced.renewable[peak_slots] / envelope[peak_slots]
+            factors.append(float(np.clip(ratio.mean(), 0.0, 1.5)))
+            if len(factors) == self.persistence_days:
+                break
+        return np.asarray(factors[::-1])
+
+
+def forecast_error_rmse(
+    forecast: RenewableForecast, actual: ArrayLike
+) -> float:
+    """RMSE of a forecast against the realized generation."""
+    realized = np.asarray(actual, dtype=float)
+    if realized.shape != forecast.expected.shape:
+        raise ValueError(
+            f"actual shape {realized.shape} != forecast {forecast.expected.shape}"
+        )
+    return float(np.sqrt(np.mean((forecast.expected - realized) ** 2)))

@@ -1,0 +1,13 @@
+"""Terminal reporting: ASCII profiles and paper-vs-measured tables."""
+
+from repro.reporting.ascii import bar_chart, render_profile, sparkline
+from repro.reporting.tables import ComparisonRow, comparison_table, fixed_table
+
+__all__ = [
+    "ComparisonRow",
+    "bar_chart",
+    "comparison_table",
+    "fixed_table",
+    "render_profile",
+    "sparkline",
+]

@@ -1,0 +1,71 @@
+"""ASCII renderings of daily profiles for terminal-first workflows.
+
+The reproduction environment has no plotting stack, so the examples and
+the CLI render load/price profiles as unicode sparklines and horizontal
+bar charts — enough to eyeball the midday price gap of Figure 3 or the
+attack spike of Figure 5 directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: ArrayLike) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise ValueError(f"values must be a non-empty 1-D array, got {data.shape}")
+    if np.any(~np.isfinite(data)):
+        raise ValueError("values must be finite")
+    lo, hi = float(data.min()), float(data.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * data.size
+    scaled = (data - lo) / (hi - lo) * (len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def render_profile(
+    values: ArrayLike,
+    *,
+    label: str = "",
+    width: int = 48,
+) -> str:
+    """Sparkline with range annotation, e.g. for a 24-slot load profile."""
+    data = np.asarray(values, dtype=float)
+    line = sparkline(data)
+    if data.size > width:
+        # Downsample by averaging consecutive chunks.
+        chunks = np.array_split(data, width)
+        line = sparkline(np.array([chunk.mean() for chunk in chunks]))
+    prefix = f"{label:>12} " if label else ""
+    return f"{prefix}{line}  [{data.min():.3g}, {data.max():.3g}]"
+
+
+def bar_chart(
+    labels: list[str],
+    values: ArrayLike,
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    data = np.asarray(values, dtype=float)
+    if len(labels) != data.size:
+        raise ValueError(f"{len(labels)} labels for {data.size} values")
+    if data.size == 0:
+        raise ValueError("empty chart")
+    if np.any(~np.isfinite(data)) or np.any(data < 0):
+        raise ValueError("bar values must be finite and >= 0")
+    peak = float(data.max())
+    label_width = max(len(label) for label in labels)
+    rows = []
+    for label, value in zip(labels, data):
+        length = 0 if peak == 0 else int(round(value / peak * width))
+        rows.append(
+            f"{label:>{label_width}} |{'█' * length:<{width}}| {value:.4g}{unit}"
+        )
+    return "\n".join(rows)

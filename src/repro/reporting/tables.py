@@ -1,0 +1,80 @@
+"""Paper-vs-measured comparison tables.
+
+The benchmark harness and the CLI print the same fixed-width rows the
+paper's Table 1 uses, annotated with the deviation from the published
+number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One reproduced quantity."""
+
+    label: str
+    paper: float | None
+    measured: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.measured):
+            raise ValueError(f"{self.label}: measured value must be finite")
+        if self.paper is not None and not np.isfinite(self.paper):
+            raise ValueError(f"{self.label}: paper value must be finite")
+
+    @property
+    def deviation(self) -> float | None:
+        """Relative deviation from the paper's number (None if unpublished
+        or the paper value is zero)."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+def comparison_table(rows: list[ComparisonRow], *, title: str = "") -> str:
+    """Render paper-vs-measured rows as a fixed-width table."""
+    if not rows:
+        raise ValueError("need at least one row")
+    label_width = max(len(row.label) for row in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'quantity':<{label_width}}  {'paper':>10}  {'measured':>10}  {'dev.':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        paper = f"{row.paper:10.4f}" if row.paper is not None else f"{'--':>10}"
+        deviation = (
+            f"{row.deviation * 100:+7.1f}%" if row.deviation is not None else f"{'--':>8}"
+        )
+        lines.append(
+            f"{row.label:<{label_width}}  {paper}  {row.measured:10.4f}  {deviation}"
+        )
+    return "\n".join(lines)
+
+
+def fixed_table(
+    header: list[str],
+    rows: list[list[str]],
+) -> str:
+    """Minimal fixed-width table for arbitrary string content."""
+    if not rows:
+        raise ValueError("need at least one row")
+    if any(len(row) != len(header) for row in rows):
+        raise ValueError("every row must match the header width")
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(f"{cell:>{width}}" for cell, width in zip(cells, widths))
+
+    lines = [fmt(header), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

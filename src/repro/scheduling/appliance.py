@@ -1,0 +1,180 @@
+"""Appliance task model (Section 2.1 of the paper).
+
+An appliance task ``m`` must consume exactly ``E_m`` kWh, choosing one of a
+discrete set of power levels ``X_m`` (kW) in every slot of its permitted
+window ``[alpha_m, beta_m]`` and zero outside it.  Slots are assumed to be
+one hour long, so a power level of ``x`` kW consumes ``x`` kWh in a slot;
+a different slot duration is handled by the scheduler via a multiplicative
+factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+
+class InfeasibleTaskError(ValueError):
+    """Raised when a task cannot meet its energy requirement in its window."""
+
+
+def _unit_of(values: tuple[float, ...], *, tol: float = 1e-9) -> float:
+    """Greatest common divisor of a tuple of non-negative floats.
+
+    Used to discretize energy for the DP scheduler.  Values must be
+    (approximately) integer multiples of some unit >= ``tol``.
+    """
+    unit = 0.0
+    for v in values:
+        if v < 0:
+            raise ValueError(f"negative value {v}")
+        if v < tol:
+            continue
+        if unit == 0.0:
+            unit = v
+        else:
+            # Float GCD via math.gcd on a scaled-integer representation.
+            scale = 10**6
+            a = round(unit * scale)
+            b = round(v * scale)
+            unit = math.gcd(a, b) / scale
+    if unit == 0.0:
+        raise ValueError("all values are zero; no unit defined")
+    return unit
+
+
+@dataclass(frozen=True)
+class ApplianceTask:
+    """A schedulable household task.
+
+    Parameters
+    ----------
+    name:
+        Human-readable appliance label (e.g. ``"dishwasher"``).
+    power_levels:
+        Allowed power levels in kW.  Must contain 0 (the appliance can
+        idle inside its window) and be strictly increasing.
+    energy_kwh:
+        Required total energy consumption ``E_m``.
+    earliest_start:
+        First slot (inclusive) in which the appliance may run, ``alpha_m``.
+    deadline:
+        Last slot (inclusive) by which the task must finish, ``beta_m``.
+    """
+
+    name: str
+    power_levels: tuple[float, ...]
+    energy_kwh: float
+    earliest_start: int
+    deadline: int
+
+    def __post_init__(self) -> None:
+        levels = tuple(float(p) for p in self.power_levels)
+        object.__setattr__(self, "power_levels", levels)
+        if len(levels) < 2:
+            raise ValueError(f"{self.name}: need at least two power levels (incl. 0)")
+        if levels[0] != 0.0:
+            raise ValueError(f"{self.name}: power_levels must start with 0")
+        if any(b <= a for a, b in zip(levels, levels[1:])):
+            raise ValueError(f"{self.name}: power_levels must be strictly increasing")
+        if self.energy_kwh <= 0:
+            raise ValueError(f"{self.name}: energy_kwh must be > 0, got {self.energy_kwh}")
+        if self.earliest_start < 0:
+            raise ValueError(f"{self.name}: earliest_start must be >= 0")
+        if self.deadline < self.earliest_start:
+            raise ValueError(
+                f"{self.name}: deadline {self.deadline} before "
+                f"earliest_start {self.earliest_start}"
+            )
+
+    @property
+    def max_power(self) -> float:
+        """Largest selectable power level in kW."""
+        return self.power_levels[-1]
+
+    @property
+    def window_slots(self) -> int:
+        """Number of slots in the permitted window (inclusive bounds)."""
+        return self.deadline - self.earliest_start + 1
+
+    def window_mask(self, horizon: int) -> NDArray[np.bool_]:
+        """Boolean mask of length ``horizon``: True inside the window."""
+        if self.deadline >= horizon:
+            raise InfeasibleTaskError(
+                f"{self.name}: deadline {self.deadline} outside horizon {horizon}"
+            )
+        mask = np.zeros(horizon, dtype=bool)
+        mask[self.earliest_start : self.deadline + 1] = True
+        return mask
+
+    def energy_unit(self, *, slot_hours: float = 1.0) -> float:
+        """Discretization unit (kWh) shared by all levels and ``E_m``."""
+        per_slot_energies = tuple(p * slot_hours for p in self.power_levels)
+        return _unit_of(per_slot_energies + (self.energy_kwh,))
+
+    def check_feasible(self, horizon: int, *, slot_hours: float = 1.0) -> None:
+        """Raise :class:`InfeasibleTaskError` if the requirement is unreachable.
+
+        Checks the capacity bound (window x max power) and the
+        discretization bound (``E_m`` must be a multiple of the unit).
+        """
+        if self.deadline >= horizon:
+            raise InfeasibleTaskError(
+                f"{self.name}: deadline {self.deadline} outside horizon {horizon}"
+            )
+        capacity = self.window_slots * self.max_power * slot_hours
+        if self.energy_kwh > capacity + 1e-9:
+            raise InfeasibleTaskError(
+                f"{self.name}: requires {self.energy_kwh} kWh but window capacity "
+                f"is only {capacity} kWh"
+            )
+        unit = self.energy_unit(slot_hours=slot_hours)
+        ratio = self.energy_kwh / unit
+        if abs(ratio - round(ratio)) > 1e-6:
+            raise InfeasibleTaskError(
+                f"{self.name}: energy {self.energy_kwh} is not a multiple of the "
+                f"discretization unit {unit}"
+            )
+
+
+@dataclass(frozen=True)
+class ApplianceSchedule:
+    """A realized per-slot power assignment for one task."""
+
+    task: ApplianceTask
+    power: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "power", tuple(float(p) for p in self.power))
+
+    @property
+    def load(self) -> NDArray[np.float64]:
+        """Per-slot power draw as an array (kW)."""
+        return np.asarray(self.power, dtype=float)
+
+    def energy(self, *, slot_hours: float = 1.0) -> float:
+        """Total energy consumed by the schedule in kWh."""
+        return float(np.sum(self.load) * slot_hours)
+
+    def validate(self, *, slot_hours: float = 1.0, tol: float = 1e-6) -> None:
+        """Raise ``ValueError`` if the schedule violates the task constraints."""
+        horizon = len(self.power)
+        mask = self.task.window_mask(horizon)
+        levels = set(self.task.power_levels)
+        for h, p in enumerate(self.power):
+            if not mask[h] and p != 0.0:
+                raise ValueError(
+                    f"{self.task.name}: nonzero power {p} outside window at slot {h}"
+                )
+            if min(abs(p - lv) for lv in levels) > tol:
+                raise ValueError(
+                    f"{self.task.name}: power {p} at slot {h} is not an allowed level"
+                )
+        if abs(self.energy(slot_hours=slot_hours) - self.task.energy_kwh) > tol:
+            raise ValueError(
+                f"{self.task.name}: schedule energy {self.energy(slot_hours=slot_hours)} "
+                f"!= requirement {self.task.energy_kwh}"
+            )

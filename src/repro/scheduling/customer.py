@@ -1,0 +1,167 @@
+"""Customer model: an appliance fleet plus a PV panel and a battery.
+
+A :class:`Customer` is the static description (tasks, battery spec, PV
+forecast); a :class:`CustomerState` is one strategy profile in the game —
+an appliance schedule per task plus a battery trajectory — from which the
+load, trading and cost follow deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.core.config import BatteryConfig
+from repro.netmetering.trading import trading_amounts
+from repro.scheduling.appliance import ApplianceSchedule, ApplianceTask
+
+
+@dataclass(frozen=True)
+class Customer:
+    """Static description of one household (or household archetype).
+
+    Parameters
+    ----------
+    customer_id:
+        Stable identifier within the community.
+    tasks:
+        The appliance tasks to be scheduled each horizon.
+    battery:
+        Battery capacity/rate spec; a zero-capacity spec models a customer
+        without storage.
+    pv:
+        Forecast PV generation per slot in kWh, shape ``(H,)``.  All-zero
+        for customers without panels.
+    base_load:
+        Non-schedulable consumption per slot in kWh (refrigeration,
+        lighting, cooking at fixed times).  Empty tuple means all-zero.
+    """
+
+    customer_id: int
+    tasks: tuple[ApplianceTask, ...]
+    battery: BatteryConfig
+    pv: tuple[float, ...]
+    base_load: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "pv", tuple(float(v) for v in self.pv))
+        if self.customer_id < 0:
+            raise ValueError(f"customer_id must be >= 0, got {self.customer_id}")
+        if not self.tasks:
+            raise ValueError(f"customer {self.customer_id}: needs at least one task")
+        if any(v < 0 for v in self.pv):
+            raise ValueError(f"customer {self.customer_id}: PV generation must be >= 0")
+        horizon = len(self.pv)
+        if not self.base_load:
+            object.__setattr__(self, "base_load", tuple(0.0 for _ in range(horizon)))
+        else:
+            object.__setattr__(
+                self, "base_load", tuple(float(v) for v in self.base_load)
+            )
+        if len(self.base_load) != horizon:
+            raise ValueError(
+                f"customer {self.customer_id}: base_load length "
+                f"{len(self.base_load)} != horizon {horizon}"
+            )
+        if any(v < 0 for v in self.base_load):
+            raise ValueError(f"customer {self.customer_id}: base_load must be >= 0")
+        for task in self.tasks:
+            task.check_feasible(horizon)
+
+    @property
+    def horizon(self) -> int:
+        return len(self.pv)
+
+    @property
+    def pv_array(self) -> NDArray[np.float64]:
+        return np.asarray(self.pv, dtype=float)
+
+    @property
+    def base_load_array(self) -> NDArray[np.float64]:
+        return np.asarray(self.base_load, dtype=float)
+
+    @property
+    def total_task_energy(self) -> float:
+        """Total appliance energy requirement in kWh."""
+        return sum(task.energy_kwh for task in self.tasks)
+
+    @property
+    def has_net_metering(self) -> bool:
+        """True when the customer can generate or store energy."""
+        return self.battery.capacity_kwh > 0 or any(v > 0 for v in self.pv)
+
+    def without_net_metering(self) -> "Customer":
+        """A copy with PV and battery removed (the unaware-prediction model)."""
+        return replace(
+            self,
+            battery=BatteryConfig(capacity_kwh=0.0, initial_kwh=0.0),
+            pv=tuple(0.0 for _ in self.pv),
+        )
+
+
+@dataclass(frozen=True)
+class CustomerState:
+    """One strategy profile for a customer.
+
+    ``battery_decision`` is the trajectory tail ``(b^2, ..., b^{H+1})``;
+    the initial charge comes from the customer's battery spec.
+    """
+
+    customer: Customer
+    schedules: tuple[ApplianceSchedule, ...]
+    battery_decision: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedules", tuple(self.schedules))
+        object.__setattr__(
+            self, "battery_decision", tuple(float(v) for v in self.battery_decision)
+        )
+        if len(self.schedules) != len(self.customer.tasks):
+            raise ValueError(
+                f"customer {self.customer.customer_id}: {len(self.schedules)} schedules "
+                f"for {len(self.customer.tasks)} tasks"
+            )
+        if len(self.battery_decision) != self.customer.horizon:
+            raise ValueError(
+                f"customer {self.customer.customer_id}: battery decision length "
+                f"{len(self.battery_decision)} != horizon {self.customer.horizon}"
+            )
+
+    @property
+    def load(self) -> NDArray[np.float64]:
+        """Household consumption per slot ``l_n^h`` in kWh.
+
+        The sum of the non-schedulable base load and every appliance
+        schedule (hourly slots: kW power levels are kWh per slot).
+        """
+        total = self.customer.base_load_array.copy()
+        for schedule in self.schedules:
+            total += schedule.load
+        return total
+
+    @property
+    def battery_trajectory(self) -> NDArray[np.float64]:
+        """Full trajectory ``(b^1, ..., b^{H+1})`` including initial charge."""
+        return np.concatenate(
+            ([self.customer.battery.initial_kwh], np.asarray(self.battery_decision))
+        )
+
+    @property
+    def trading(self) -> NDArray[np.float64]:
+        """Grid trading amounts ``y_n^h`` implied by Eqn. (1)."""
+        return trading_amounts(self.load, self.customer.pv_array, self.battery_trajectory)
+
+    def with_schedule(self, task_index: int, schedule: ApplianceSchedule) -> "CustomerState":
+        """Replace one appliance schedule."""
+        if not 0 <= task_index < len(self.schedules):
+            raise IndexError(f"task_index {task_index} out of range")
+        schedules = list(self.schedules)
+        schedules[task_index] = schedule
+        return replace(self, schedules=tuple(schedules))
+
+    def with_battery(self, decision: ArrayLike) -> "CustomerState":
+        """Replace the battery decision vector."""
+        return replace(self, battery_decision=tuple(np.asarray(decision, dtype=float)))

@@ -1,0 +1,165 @@
+"""Dynamic-programming appliance scheduler (ref. [6] of the paper).
+
+Given a per-slot, per-level incremental cost table, the scheduler finds the
+power-level assignment that exactly meets the task's energy requirement at
+minimum total cost.  The DP state is ``(slot, remaining energy units)``;
+energy is discretized on the task's greatest-common-divisor unit so the
+recursion is exact.
+
+The cost table is what couples the scheduler to the quadratic net-metering
+pricing: the game layer (:mod:`repro.scheduling.game`) computes, for every
+slot and level, the *marginal* community cost of running the appliance at
+that level on top of the rest of the customer's trading position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.scheduling.appliance import ApplianceSchedule, ApplianceTask, InfeasibleTaskError
+
+CostFunction = Callable[[int, float], float]
+"""Incremental cost of running at power ``x`` (kW) in slot ``h``."""
+
+_INF = np.inf
+
+
+@dataclass(frozen=True)
+class DpDiagnostics:
+    """Bookkeeping from one scheduler invocation."""
+
+    n_states: int
+    n_slots: int
+    optimal_cost: float
+
+
+def _build_cost_table(
+    task: ApplianceTask,
+    horizon: int,
+    cost: CostFunction,
+) -> NDArray[np.float64]:
+    """Evaluate the cost callable into a dense (horizon, n_levels) table."""
+    table = np.zeros((horizon, len(task.power_levels)))
+    for h in range(horizon):
+        for j, level in enumerate(task.power_levels):
+            table[h, j] = cost(h, level)
+    return table
+
+
+def schedule_appliance_table(
+    task: ApplianceTask,
+    cost_table: NDArray[np.float64],
+    *,
+    slot_hours: float = 1.0,
+) -> tuple[ApplianceSchedule, DpDiagnostics]:
+    """Optimal schedule from a dense cost table.
+
+    Parameters
+    ----------
+    task:
+        The appliance task to schedule.
+    cost_table:
+        Array of shape ``(horizon, n_levels)``: ``cost_table[h, j]`` is the
+        incremental cost of running ``task.power_levels[j]`` in slot ``h``.
+        Rows outside the task window are ignored (the level is forced to 0).
+    slot_hours:
+        Slot duration in hours; per-slot energy is ``level * slot_hours``.
+
+    Returns
+    -------
+    (schedule, diagnostics)
+        The cost-minimal feasible schedule and DP bookkeeping.
+
+    Raises
+    ------
+    InfeasibleTaskError
+        If no assignment meets the energy requirement.
+    """
+    horizon, n_levels = cost_table.shape
+    if n_levels != len(task.power_levels):
+        raise ValueError(
+            f"cost_table has {n_levels} level columns but task has "
+            f"{len(task.power_levels)} power levels"
+        )
+    task.check_feasible(horizon, slot_hours=slot_hours)
+
+    unit = task.energy_unit(slot_hours=slot_hours)
+    level_units = np.array(
+        [round(p * slot_hours / unit) for p in task.power_levels], dtype=int
+    )
+    required_units = round(task.energy_kwh / unit)
+    mask = task.window_mask(horizon)
+
+    # value[r] = minimal cost to consume exactly r units in slots [h, horizon).
+    # Iterate h from the last slot backwards.
+    n_states = required_units + 1
+    value = np.full(n_states, _INF)
+    value[0] = 0.0
+    # choice[h, r] = level index chosen at slot h when r units remain.
+    choice = np.zeros((horizon, n_states), dtype=np.int16)
+
+    for h in range(horizon - 1, -1, -1):
+        if not mask[h]:
+            # Outside the window the appliance must idle; value carries over.
+            choice[h, :] = 0
+            continue
+        best = np.full(n_states, _INF)
+        best_choice = np.zeros(n_states, dtype=np.int16)
+        for j, du in enumerate(level_units):
+            cost_j = cost_table[h, j]
+            if not np.isfinite(cost_j):
+                continue
+            if du == 0:
+                candidate = value + cost_j
+            else:
+                candidate = np.full(n_states, _INF)
+                candidate[du:] = value[:-du] + cost_j if du < n_states else _INF
+            improved = candidate < best
+            best[improved] = candidate[improved]
+            best_choice[improved] = j
+        value = best
+        choice[h, :] = best_choice
+
+    if not np.isfinite(value[required_units]):
+        raise InfeasibleTaskError(
+            f"{task.name}: no feasible schedule for {task.energy_kwh} kWh "
+            f"in window [{task.earliest_start}, {task.deadline}]"
+        )
+
+    # Backtrack from the full requirement at slot 0.
+    power = np.zeros(horizon)
+    remaining = required_units
+    for h in range(horizon):
+        if not mask[h]:
+            continue
+        j = int(choice[h, remaining])
+        power[h] = task.power_levels[j]
+        remaining -= int(level_units[j])
+    if remaining != 0:
+        raise AssertionError(
+            f"{task.name}: backtracking left {remaining} units unassigned"
+        )
+
+    schedule = ApplianceSchedule(task=task, power=tuple(power))
+    diagnostics = DpDiagnostics(
+        n_states=n_states,
+        n_slots=horizon,
+        optimal_cost=float(value[required_units]),
+    )
+    return schedule, diagnostics
+
+
+def schedule_appliance(
+    task: ApplianceTask,
+    cost: CostFunction,
+    horizon: int,
+    *,
+    slot_hours: float = 1.0,
+) -> tuple[ApplianceSchedule, DpDiagnostics]:
+    """Optimal schedule from a cost callable (wraps the table variant)."""
+    table = _build_cost_table(task, horizon, cost)
+    return schedule_appliance_table(task, table, slot_hours=slot_hours)

@@ -1,0 +1,328 @@
+"""The net-metering-aware energy consumption scheduling game (Section 3.1).
+
+Every customer minimizes their own monetary cost (Problem **P1**) given
+everyone else's trading totals; the solution concept is the iterative
+best-response loop of Algorithm 1:
+
+- outer loop: cycle over customers until the community trading vector
+  stops changing;
+- per customer, inner loop: alternate the dynamic-programming appliance
+  scheduler (power levels ``x_m^h`` with the battery fixed) and the
+  cross-entropy battery optimizer (trajectory ``b_n^h`` with appliances
+  fixed).
+
+Communities are described as weighted *archetypes*: ``counts[a]`` identical
+instances share the strategy of ``customers[a]``.  Instances of the same
+archetype best-respond against the whole community minus one instance,
+exactly as independent players would, but the fixed point is computed once
+per archetype — this is what makes the paper's 500-customer community
+tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.core.config import GameConfig
+from repro.netmetering.cost import NetMeteringCostModel
+from repro.optimization.battery import BatteryOptimizer, BatteryProblem
+from repro.scheduling.customer import Customer, CustomerState
+from repro.scheduling.dp import schedule_appliance_table
+
+
+@dataclass(frozen=True)
+class Community:
+    """A weighted collection of customer archetypes."""
+
+    customers: tuple[Customer, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "customers", tuple(self.customers))
+        object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+        if not self.customers:
+            raise ValueError("community must have at least one customer archetype")
+        if len(self.counts) != len(self.customers):
+            raise ValueError(
+                f"{len(self.counts)} counts for {len(self.customers)} archetypes"
+            )
+        if any(c < 1 for c in self.counts):
+            raise ValueError("archetype counts must be >= 1")
+        horizons = {c.horizon for c in self.customers}
+        if len(horizons) != 1:
+            raise ValueError(f"customers disagree on horizon: {sorted(horizons)}")
+
+    @property
+    def horizon(self) -> int:
+        return self.customers[0].horizon
+
+    @property
+    def n_customers(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def total_pv(self) -> NDArray[np.float64]:
+        """Community renewable generation ``Theta_h`` per slot."""
+        total = np.zeros(self.horizon)
+        for customer, count in zip(self.customers, self.counts):
+            total += count * customer.pv_array
+        return total
+
+    def without_net_metering(self) -> "Community":
+        """The same community with PV and batteries stripped."""
+        return Community(
+            customers=tuple(c.without_net_metering() for c in self.customers),
+            counts=self.counts,
+        )
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Converged (or truncated) outcome of the scheduling game."""
+
+    states: tuple[CustomerState, ...]
+    counts: tuple[int, ...]
+    rounds: int
+    converged: bool
+    residuals: tuple[float, ...] = field(default=())
+
+    @property
+    def horizon(self) -> int:
+        return self.states[0].customer.horizon
+
+    @property
+    def community_load(self) -> NDArray[np.float64]:
+        """Total consumption ``L_h = sum_n l_n^h`` per slot."""
+        total = np.zeros(self.horizon)
+        for state, count in zip(self.states, self.counts):
+            total += count * state.load
+        return total
+
+    @property
+    def community_trading(self) -> NDArray[np.float64]:
+        """Total grid trading ``Y_h = sum_n y_n^h`` per slot."""
+        total = np.zeros(self.horizon)
+        for state, count in zip(self.states, self.counts):
+            total += count * state.trading
+        return total
+
+    @property
+    def grid_demand(self) -> NDArray[np.float64]:
+        """Energy purchased from the utility per slot (clamped at zero)."""
+        return np.maximum(self.community_trading, 0.0)
+
+
+class SchedulingGame:
+    """Iterative best-response solver for one guideline-price vector."""
+
+    def __init__(
+        self,
+        community: Community,
+        prices: ArrayLike,
+        *,
+        sellback_divisor: float = 2.0,
+        config: GameConfig | None = None,
+    ) -> None:
+        prices_arr = np.asarray(prices, dtype=float)
+        if prices_arr.shape != (community.horizon,):
+            raise ValueError(
+                f"prices must have shape ({community.horizon},), got {prices_arr.shape}"
+            )
+        self.community = community
+        self.config = config if config is not None else GameConfig()
+        # Hourly slots: a kW power level consumes that many kWh per slot,
+        # which keeps appliance loads, PV and trading in the same unit.
+        self.slot_hours = 1.0
+        self.cost_model = NetMeteringCostModel(
+            prices=tuple(prices_arr), sellback_divisor=sellback_divisor
+        )
+        self._battery_optimizer = BatteryOptimizer(
+            n_samples=self.config.ce_samples,
+            n_elites=self.config.ce_elites,
+            n_iterations=self.config.ce_iterations,
+            smoothing=self.config.ce_smoothing,
+        )
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def initial_state(self, customer: Customer) -> CustomerState:
+        """Greedy warm start: price-only scheduling, idle battery."""
+        horizon = customer.horizon
+        prices = self.cost_model.price_array
+        schedules = []
+        for task in customer.tasks:
+            levels = np.asarray(task.power_levels)
+            table = prices[:, None] * levels[None, :] * self.slot_hours
+            schedule, _ = schedule_appliance_table(
+                task, table, slot_hours=self.slot_hours
+            )
+            schedules.append(schedule)
+        decision = np.full(horizon, customer.battery.initial_kwh)
+        return CustomerState(
+            customer=customer,
+            schedules=tuple(schedules),
+            battery_decision=tuple(decision),
+        )
+
+    # ------------------------------------------------------------------
+    # Best response
+    # ------------------------------------------------------------------
+    def best_response(
+        self,
+        state: CustomerState,
+        others_trading: NDArray[np.float64],
+        rng: np.random.Generator,
+        *,
+        multiplicity: int = 1,
+        hysteresis_scale: float = 1.0,
+    ) -> CustomerState:
+        """One inner-loop pass of Algorithm 1 for a single customer.
+
+        Alternates DP appliance scheduling (battery fixed) and CE battery
+        optimization (appliances fixed) ``config.inner_iterations`` times.
+
+        ``others_trading`` must exclude all ``multiplicity`` instances of
+        the archetype; the herd move of identical instances is priced
+        inside the marginal tables (see
+        :meth:`NetMeteringCostModel.marginal_cost_table`).
+
+        ``hysteresis_scale`` anneals the acceptance threshold: the outer
+        loop raises it round by round, so best-response cycling between
+        near-equal strategies dies out and the dynamics terminate at an
+        epsilon-equilibrium (the scheduling game has no exact potential,
+        so plain best response may cycle forever).
+        """
+        threshold_rate = self.config.hysteresis * hysteresis_scale
+        customer = state.customer
+        for _ in range(self.config.inner_iterations):
+            # The acceptance threshold is a fraction of the customer's
+            # whole daily bill: relative-to-move thresholds fail when a
+            # move's own marginal cost is near zero (flat cost valleys
+            # created by battery arbitrage), which is exactly where
+            # best-response cycling lives.
+            reference = abs(
+                float(
+                    self.cost_model.customer_cost_per_slot(
+                        state.trading, others_trading, multiplicity=multiplicity
+                    ).sum()
+                )
+            ) + 1e-9
+            threshold = threshold_rate * reference
+            # Line 4: appliance schedules via DP, one task at a time.
+            for index, task in enumerate(customer.tasks):
+                base_trading = state.trading - state.schedules[index].load * self.slot_hours
+                table = self.cost_model.marginal_cost_table(
+                    base_trading,
+                    others_trading,
+                    np.asarray(task.power_levels),
+                    multiplicity=multiplicity,
+                    slot_hours=self.slot_hours,
+                )
+                # Deterministic per-(customer, task) jitter breaks cost
+                # ties: a zero-price attack makes whole windows exactly
+                # free, and without it every customer's DP would herd into
+                # the same slot of the window.
+                jitter_rng = np.random.default_rng(
+                    (customer.customer_id * 1_000_003 + index) % (2**32)
+                )
+                table = table + jitter_rng.uniform(0.0, 1e-6, size=table.shape)
+                table[:, 0] = 0.0  # idling stays exactly free
+                schedule, diagnostics = schedule_appliance_table(
+                    task, table, slot_hours=self.slot_hours
+                )
+                current_cost = self._schedule_cost(
+                    table, task, state.schedules[index]
+                )
+                improvement = current_cost - diagnostics.optimal_cost
+                if improvement > threshold:
+                    state = state.with_schedule(index, schedule)
+            # Line 5: battery trajectory via cross-entropy optimization.
+            if customer.battery.capacity_kwh > 0:
+                problem = BatteryProblem(
+                    load=tuple(state.load),
+                    pv=customer.pv,
+                    others_trading=tuple(others_trading),
+                    spec=customer.battery,
+                    cost_model=self.cost_model,
+                    slot_hours=self.slot_hours,
+                    multiplicity=multiplicity,
+                )
+                # A per-customer deterministic seed makes the CE step a
+                # function of its inputs, so the best-response map has
+                # fixed points the outer loop can actually reach.
+                ce_rng = np.random.default_rng(customer.customer_id + 7919)
+                result = self._battery_optimizer.optimize(
+                    problem, x0=np.asarray(state.battery_decision), rng=ce_rng
+                )
+                current_cost = problem.cost(np.asarray(state.battery_decision))
+                # Accept only clear improvements: chasing CE sampling noise
+                # keeps the outer loop from converging.
+                improvement = current_cost - result.fun
+                if improvement > threshold:
+                    state = state.with_battery(result.x)
+        return state
+
+    @staticmethod
+    def _schedule_cost(
+        table: NDArray[np.float64],
+        task,
+        schedule,
+    ) -> float:
+        """Cost of an existing schedule under a fresh marginal table."""
+        level_index = {level: j for j, level in enumerate(task.power_levels)}
+        total = 0.0
+        for h, power in enumerate(schedule.power):
+            total += table[h, level_index[power]]
+        return total
+
+    # ------------------------------------------------------------------
+    # Outer loop
+    # ------------------------------------------------------------------
+    def solve(self, *, rng: np.random.Generator | None = None) -> GameResult:
+        """Run Algorithm 1 to (approximate) convergence."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        states = [self.initial_state(c) for c in self.community.customers]
+        counts = self.community.counts
+        tradings = [s.trading for s in states]
+        total = np.zeros(self.community.horizon)
+        for y, count in zip(tradings, counts):
+            total += count * y
+
+        residuals: list[float] = []
+        converged = False
+        rounds = 0
+        for rounds in range(1, self.config.max_rounds + 1):
+            max_delta = 0.0
+            order = rng.permutation(len(states))
+            for index in order:
+                state, count = states[index], counts[index]
+                others = total - count * tradings[index]
+                new_state = self.best_response(
+                    state,
+                    others,
+                    rng,
+                    multiplicity=count,
+                    hysteresis_scale=float(rounds),
+                )
+                new_trading = new_state.trading
+                delta = float(np.max(np.abs(new_trading - tradings[index])))
+                max_delta = max(max_delta, delta)
+                total = total + count * (new_trading - tradings[index])
+                states[index] = new_state
+                tradings[index] = new_trading
+            residuals.append(max_delta)
+            if max_delta < self.config.convergence_tol:
+                converged = True
+                break
+
+        return GameResult(
+            states=tuple(states),
+            counts=counts,
+            rounds=rounds,
+            converged=converged,
+            residuals=tuple(residuals),
+        )

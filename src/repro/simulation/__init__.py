@@ -1,0 +1,31 @@
+"""Scenario engine: multi-day monitored community simulations."""
+
+from repro.simulation.aggregate import (
+    AggregateMetric,
+    AggregateResult,
+    run_aggregate_scenario,
+)
+from repro.simulation.calibration import SingleEventRates, measure_single_event_rates
+from repro.simulation.results import load_scenario, save_scenario
+from repro.simulation.scenario import (
+    DetectorKind,
+    ScenarioResult,
+    run_long_term_scenario,
+)
+from repro.simulation.sweep import SweepPoint, SweepResult, sweep_scenario
+
+__all__ = [
+    "AggregateMetric",
+    "AggregateResult",
+    "DetectorKind",
+    "ScenarioResult",
+    "SingleEventRates",
+    "SweepPoint",
+    "SweepResult",
+    "load_scenario",
+    "measure_single_event_rates",
+    "run_aggregate_scenario",
+    "run_long_term_scenario",
+    "save_scenario",
+    "sweep_scenario",
+]

@@ -1,0 +1,92 @@
+"""Multi-seed aggregation of scenario runs.
+
+A 48-hour scenario sees only a couple of attack campaigns, so single-run
+metrics carry real variance.  This module repeats scenarios across seeds
+and reports mean and spread — the numbers EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CommunityConfig
+from repro.metrics.cost import LaborCostModel
+from repro.simulation.scenario import DetectorKind, ScenarioResult, run_long_term_scenario
+
+
+@dataclass(frozen=True)
+class AggregateMetric:
+    """Mean and spread of one metric across seeds."""
+
+    mean: float
+    std: float
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "AggregateMetric":
+        if not values:
+            raise ValueError("need at least one value")
+        arr = np.asarray(values, dtype=float)
+        return cls(mean=float(arr.mean()), std=float(arr.std()), values=tuple(arr))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={len(self.values)})"
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Aggregated outcomes of one detector variant across seeds."""
+
+    detector: DetectorKind
+    observation_accuracy: AggregateMetric
+    mean_par: AggregateMetric
+    labor_cost: AggregateMetric
+    n_repairs: AggregateMetric
+    mean_hacked: AggregateMetric
+    runs: tuple[ScenarioResult, ...]
+
+
+def run_aggregate_scenario(
+    config: CommunityConfig,
+    *,
+    detector: DetectorKind,
+    seeds: tuple[int, ...],
+    n_slots: int = 48,
+    calibration_trials: int = 30,
+) -> AggregateResult:
+    """Run the long-term scenario once per seed and aggregate the metrics."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    labor_model = LaborCostModel(
+        fixed_cost=config.detection.repair_fixed_cost,
+        per_meter_cost=config.detection.repair_cost_per_meter,
+    )
+    runs = [
+        run_long_term_scenario(
+            config,
+            detector=detector,
+            n_slots=n_slots,
+            calibration_trials=calibration_trials,
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    return AggregateResult(
+        detector=detector,
+        observation_accuracy=AggregateMetric.from_values(
+            [run.observation_accuracy for run in runs]
+        ),
+        mean_par=AggregateMetric.from_values([run.mean_par for run in runs]),
+        labor_cost=AggregateMetric.from_values(
+            [run.labor_cost(labor_model) for run in runs]
+        ),
+        n_repairs=AggregateMetric.from_values(
+            [float(run.n_repairs) for run in runs]
+        ),
+        mean_hacked=AggregateMetric.from_values(
+            [run.mean_hacked for run in runs]
+        ),
+        runs=tuple(runs),
+    )

@@ -1,0 +1,98 @@
+"""Monte-Carlo calibration of the single-event detector.
+
+The POMDP observation function requires the per-meter true-positive and
+false-positive rates of the single-event layer ("trained based on the
+historical data" in the paper).  This module measures them the honest
+way: by running the actual PAR-comparison detector against clean and
+attacked price vectors drawn from the same distributions the long-term
+scenario uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.attacks.hacking import MeterHackingProcess
+from repro.detection.single_event import SingleEventDetector
+
+
+@dataclass(frozen=True)
+class SingleEventRates:
+    """Measured detector quality over a calibration run."""
+
+    tp_rate: float
+    fp_rate: float
+    n_attacked_trials: int
+    n_clean_trials: int
+
+    def __post_init__(self) -> None:
+        for name, rate in (("tp_rate", self.tp_rate), ("fp_rate", self.fp_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.n_attacked_trials < 1 or self.n_clean_trials < 1:
+            raise ValueError("calibration needs at least one trial of each kind")
+
+    def clipped(self, *, floor: float = 0.02, ceil: float = 0.98) -> "SingleEventRates":
+        """Rates clipped away from 0/1 so the POMDP stays well-conditioned.
+
+        A measured rate of exactly 0 or 1 makes some observations
+        impossible under the model; any model-reality mismatch then breaks
+        the belief update.  Clipping encodes the usual Laplace caution.
+        """
+        return SingleEventRates(
+            tp_rate=float(np.clip(self.tp_rate, floor, ceil)),
+            fp_rate=float(np.clip(self.fp_rate, floor, ceil)),
+            n_attacked_trials=self.n_attacked_trials,
+            n_clean_trials=self.n_clean_trials,
+        )
+
+
+def measure_single_event_rates(
+    detector: SingleEventDetector,
+    clean_prices: NDArray[np.float64],
+    hacking: MeterHackingProcess,
+    *,
+    n_trials: int = 60,
+    rng: np.random.Generator | None = None,
+) -> SingleEventRates:
+    """Estimate per-meter TP/FP rates of a single-event detector.
+
+    Parameters
+    ----------
+    detector:
+        The detector under calibration (already bound to its predicted
+        prices).
+    clean_prices:
+        The genuine guideline-price vector for the calibration day.
+    hacking:
+        Used only as an attack *sampler* (its ``draw_attack``
+        distribution defines attack difficulty); its state is untouched.
+    n_trials:
+        Number of attacked and clean checks each.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    prices = np.asarray(clean_prices, dtype=float)
+
+    tp_hits = 0
+    for _ in range(n_trials):
+        attack = hacking.draw_attack()
+        attacked = attack.apply(prices)
+        if detector.check(attacked, rng=rng).flagged:
+            tp_hits += 1
+
+    fp_hits = 0
+    for _ in range(n_trials):
+        if detector.check(prices, rng=rng).flagged:
+            fp_hits += 1
+
+    return SingleEventRates(
+        tp_rate=tp_hits / n_trials,
+        fp_rate=fp_hits / n_trials,
+        n_attacked_trials=n_trials,
+        n_clean_trials=n_trials,
+    )

@@ -1,0 +1,72 @@
+"""Serialization of scenario results.
+
+Long-running experiments (the 48-hour scenarios, parameter sweeps) save
+their outcomes as JSON so the CLI and downstream analyses can compare
+runs without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.simulation.scenario import ScenarioResult
+
+SCHEMA_VERSION = 1
+
+
+def scenario_to_dict(result: ScenarioResult) -> dict[str, Any]:
+    """JSON-serializable representation of a scenario run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "detector": result.detector,
+        "slots_per_day": result.slots_per_day,
+        "tp_rate": result.tp_rate,
+        "fp_rate": result.fp_rate,
+        "truth": result.truth.astype(int).tolist(),
+        "flags": result.flags.astype(int).tolist(),
+        "observations": result.observations.tolist(),
+        "repairs": result.repairs.astype(int).tolist(),
+        "repaired_counts": result.repaired_counts.tolist(),
+        "realized_grid": result.realized_grid.tolist(),
+        "summary": {
+            "observation_accuracy": result.observation_accuracy,
+            "mean_par": result.mean_par,
+            "n_repairs": result.n_repairs,
+            "mean_hacked": result.mean_hacked,
+        },
+    }
+
+
+def scenario_from_dict(payload: dict[str, Any]) -> ScenarioResult:
+    """Rebuild a :class:`ScenarioResult` from its JSON representation."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    return ScenarioResult(
+        detector=payload["detector"],
+        truth=np.asarray(payload["truth"], dtype=bool),
+        flags=np.asarray(payload["flags"], dtype=bool),
+        observations=np.asarray(payload["observations"], dtype=int),
+        repairs=np.asarray(payload["repairs"], dtype=bool),
+        repaired_counts=np.asarray(payload["repaired_counts"], dtype=int),
+        realized_grid=np.asarray(payload["realized_grid"], dtype=float),
+        slots_per_day=int(payload["slots_per_day"]),
+        tp_rate=float(payload["tp_rate"]),
+        fp_rate=float(payload["fp_rate"]),
+    )
+
+
+def save_scenario(result: ScenarioResult, path: str | Path) -> None:
+    """Write a scenario result to a JSON file."""
+    Path(path).write_text(json.dumps(scenario_to_dict(result), indent=2))
+
+
+def load_scenario(path: str | Path) -> ScenarioResult:
+    """Read a scenario result from a JSON file."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,60 @@
+"""Tests for multi-seed scenario aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.aggregate import AggregateMetric, run_aggregate_scenario
+
+
+class TestAggregateMetric:
+    def test_from_values(self):
+        metric = AggregateMetric.from_values([1.0, 2.0, 3.0])
+        assert metric.mean == pytest.approx(2.0)
+        assert metric.std == pytest.approx(np.std([1.0, 2.0, 3.0]))
+        assert metric.values == (1.0, 2.0, 3.0)
+
+    def test_single_value(self):
+        metric = AggregateMetric.from_values([4.2])
+        assert metric.mean == 4.2
+        assert metric.std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AggregateMetric.from_values([])
+
+    def test_str_format(self):
+        text = str(AggregateMetric.from_values([1.0, 2.0]))
+        assert "±" in text and "n=2" in text
+
+
+class TestRunAggregateScenario:
+    def test_aggregates_across_seeds(self, tiny_config):
+        result = run_aggregate_scenario(
+            tiny_config,
+            detector="none",
+            seeds=(1, 2),
+            n_slots=24,
+            calibration_trials=3,
+        )
+        assert result.detector == "none"
+        assert len(result.runs) == 2
+        assert len(result.observation_accuracy.values) == 2
+        assert result.labor_cost.mean == 0.0  # no repairs without detection
+        assert 1.0 <= result.mean_par.mean
+
+    def test_seeds_produce_different_runs(self, tiny_config):
+        result = run_aggregate_scenario(
+            tiny_config,
+            detector="none",
+            seeds=(1, 2),
+            n_slots=24,
+            calibration_trials=3,
+        )
+        a, b = result.runs
+        assert not np.array_equal(a.truth, b.truth)
+
+    def test_rejects_empty_seeds(self, tiny_config):
+        with pytest.raises(ValueError):
+            run_aggregate_scenario(
+                tiny_config, detector="none", seeds=(), n_slots=24
+            )

@@ -1,0 +1,82 @@
+"""Tests for the simulated-annealing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.optimization.annealing import simulated_annealing
+
+
+def sphere(x: np.ndarray) -> float:
+    return float(np.sum((x - 0.6) ** 2))
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            simulated_annealing(sphere, [1.0], [0.0])
+
+    def test_bad_cooling(self):
+        with pytest.raises(ValueError):
+            simulated_annealing(sphere, [0.0], [1.0], cooling=1.0)
+
+    def test_bad_temperature(self):
+        with pytest.raises(ValueError):
+            simulated_annealing(sphere, [0.0], [1.0], initial_temperature=0.0)
+
+    def test_bad_x0_shape(self):
+        with pytest.raises(ValueError, match="x0"):
+            simulated_annealing(sphere, np.zeros(2), np.ones(2), x0=[0.5])
+
+
+class TestOptimization:
+    def test_convex_optimum(self, rng):
+        result = simulated_annealing(
+            sphere, np.zeros(2), np.ones(2), n_iterations=2000, rng=rng
+        )
+        np.testing.assert_allclose(result.x, 0.6, atol=0.05)
+        assert result.n_evaluations == 2001
+
+    def test_escapes_local_minimum(self, rng):
+        """A double well with the start in the shallow basin."""
+
+        def double_well(x):
+            return float(
+                ((x[0] - 0.2) ** 2) * ((x[0] - 0.9) ** 2) + 0.1 * x[0]
+            )
+
+        result = simulated_annealing(
+            double_well,
+            [0.0],
+            [1.0],
+            x0=[0.95],
+            n_iterations=3000,
+            initial_temperature=0.5,
+            rng=rng,
+        )
+        assert result.x[0] < 0.5  # crossed into the deeper well at 0.2
+
+    def test_history_monotone(self, rng):
+        result = simulated_annealing(
+            sphere, np.zeros(3), np.ones(3), n_iterations=200, rng=rng
+        )
+        history = np.array(result.history)
+        assert np.all(np.diff(history) <= 1e-12)
+
+    def test_projection_respected(self, rng):
+        result = simulated_annealing(
+            sphere,
+            np.zeros(1),
+            np.ones(1),
+            n_iterations=300,
+            rng=rng,
+            projection=lambda x: np.round(x * 2) / 2,
+        )
+        assert result.x[0] in (0.0, 0.5, 1.0)
+
+    def test_respects_box(self, rng):
+        result = simulated_annealing(
+            lambda x: -float(np.sum(x)), np.zeros(3), np.ones(3),
+            n_iterations=500, rng=rng,
+        )
+        assert np.all(result.x <= 1.0 + 1e-12)
+        np.testing.assert_allclose(result.x, 1.0, atol=0.05)

@@ -1,0 +1,135 @@
+"""Tests for the appliance task model and schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scheduling.appliance import (
+    ApplianceSchedule,
+    ApplianceTask,
+    InfeasibleTaskError,
+    _unit_of,
+)
+
+
+class TestUnitOf:
+    def test_simple_gcd(self):
+        assert _unit_of((0.5, 1.0, 1.5)) == pytest.approx(0.5)
+
+    def test_quarters(self):
+        assert _unit_of((0.25, 1.0)) == pytest.approx(0.25)
+
+    def test_ignores_zeros(self):
+        assert _unit_of((0.0, 2.0)) == pytest.approx(2.0)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            _unit_of((0.0, 0.0))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            _unit_of((-1.0,))
+
+
+class TestApplianceTask:
+    def test_valid_construction(self, simple_task):
+        assert simple_task.max_power == 1.0
+        assert simple_task.window_slots == 6
+
+    def test_levels_must_start_with_zero(self):
+        with pytest.raises(ValueError, match="start with 0"):
+            ApplianceTask("x", (0.5, 1.0), 1.0, 0, 5)
+
+    def test_levels_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            ApplianceTask("x", (0.0, 1.0, 1.0), 1.0, 0, 5)
+
+    def test_positive_energy(self):
+        with pytest.raises(ValueError, match="energy"):
+            ApplianceTask("x", (0.0, 1.0), 0.0, 0, 5)
+
+    def test_deadline_after_start(self):
+        with pytest.raises(ValueError, match="deadline"):
+            ApplianceTask("x", (0.0, 1.0), 1.0, 5, 4)
+
+    def test_window_mask(self, simple_task):
+        mask = simple_task.window_mask(24)
+        assert mask.sum() == 6
+        assert mask[18] and mask[23]
+        assert not mask[17]
+
+    def test_window_mask_outside_horizon(self, simple_task):
+        with pytest.raises(InfeasibleTaskError):
+            simple_task.window_mask(20)
+
+    def test_check_feasible_capacity(self):
+        task = ApplianceTask("x", (0.0, 1.0), 5.0, 0, 2)
+        with pytest.raises(InfeasibleTaskError, match="capacity"):
+            task.check_feasible(24)
+
+    def test_check_feasible_ok(self, simple_task):
+        simple_task.check_feasible(24)
+
+    def test_energy_unit(self, simple_task):
+        assert simple_task.energy_unit() == pytest.approx(0.5)
+
+    @given(
+        energy_units=st.integers(min_value=1, max_value=12),
+        start=st.integers(min_value=0, max_value=10),
+        width=st.integers(min_value=5, max_value=13),
+    )
+    def test_feasibility_check_consistent(self, energy_units, start, width):
+        """check_feasible accepts exactly when capacity allows."""
+        energy = energy_units * 0.5
+        task = ApplianceTask(
+            "prop", (0.0, 0.5, 1.0), energy, start, start + width
+        )
+        capacity = (width + 1) * 1.0
+        if energy <= capacity:
+            task.check_feasible(24)
+        else:
+            with pytest.raises(InfeasibleTaskError):
+                task.check_feasible(24)
+
+
+class TestApplianceSchedule:
+    def test_energy(self, simple_task):
+        power = [0.0] * 24
+        power[18] = 1.0
+        power[19] = 1.0
+        schedule = ApplianceSchedule(task=simple_task, power=tuple(power))
+        assert schedule.energy() == pytest.approx(2.0)
+        schedule.validate()
+
+    def test_validate_rejects_outside_window(self, simple_task):
+        power = [0.0] * 24
+        power[0] = 1.0
+        power[18] = 1.0
+        schedule = ApplianceSchedule(task=simple_task, power=tuple(power))
+        with pytest.raises(ValueError, match="outside window"):
+            schedule.validate()
+
+    def test_validate_rejects_bad_level(self, simple_task):
+        power = [0.0] * 24
+        power[18] = 0.7
+        power[19] = 1.0
+        power[20] = 0.3
+        schedule = ApplianceSchedule(task=simple_task, power=tuple(power))
+        with pytest.raises(ValueError, match="level"):
+            schedule.validate()
+
+    def test_validate_rejects_wrong_energy(self, simple_task):
+        power = [0.0] * 24
+        power[18] = 1.0
+        schedule = ApplianceSchedule(task=simple_task, power=tuple(power))
+        with pytest.raises(ValueError, match="energy"):
+            schedule.validate()
+
+    def test_load_array(self, simple_task):
+        power = [0.0] * 24
+        power[20] = 1.0
+        power[21] = 1.0
+        schedule = ApplianceSchedule(task=simple_task, power=tuple(power))
+        assert isinstance(schedule.load, np.ndarray)
+        assert schedule.load[20] == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the pricing attack models."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.pricing import (
+    BillIncreaseAttack,
+    PeakIncreaseAttack,
+    ScalingAttack,
+    ZeroPriceAttack,
+)
+
+PRICES = np.linspace(0.02, 0.05, 24)
+
+
+class TestZeroPriceAttack:
+    def test_paper_fig5_window(self):
+        """The Figure 5 attack zeroes 16:00-17:00."""
+        attack = ZeroPriceAttack(start_slot=16, end_slot=17)
+        out = attack.apply(PRICES)
+        assert out[16] == 0.0
+        assert out[17] == 0.0
+        np.testing.assert_array_equal(out[:16], PRICES[:16])
+        np.testing.assert_array_equal(out[18:], PRICES[18:])
+
+    def test_input_not_modified(self):
+        original = PRICES.copy()
+        ZeroPriceAttack(0, 5).apply(PRICES)
+        np.testing.assert_array_equal(PRICES, original)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="end_slot"):
+            ZeroPriceAttack(5, 4)
+        with pytest.raises(ValueError, match="start_slot"):
+            ZeroPriceAttack(-1, 4)
+
+    def test_window_outside_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            ZeroPriceAttack(20, 30).apply(PRICES)
+
+    def test_rejects_bad_prices(self):
+        with pytest.raises(ValueError):
+            ZeroPriceAttack(0, 1).apply(np.array([0.1, -0.2]))
+        with pytest.raises(ValueError):
+            ZeroPriceAttack(0, 1).apply(np.array([np.nan, 0.2]))
+
+
+class TestScalingAttack:
+    def test_scales_window(self):
+        attack = ScalingAttack(start_slot=2, end_slot=3, factor=0.5)
+        out = attack.apply(PRICES)
+        assert out[2] == pytest.approx(PRICES[2] * 0.5)
+        assert out[4] == PRICES[4]
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            ScalingAttack(0, 1, factor=-0.1)
+
+
+class TestPeakIncreaseAttack:
+    def test_strength_one_equals_zeroing(self):
+        a = PeakIncreaseAttack(10, 12, strength=1.0).apply(PRICES)
+        b = ZeroPriceAttack(10, 12).apply(PRICES)
+        np.testing.assert_array_equal(a, b)
+
+    def test_strength_zero_is_identity(self):
+        out = PeakIncreaseAttack(10, 12, strength=0.0).apply(PRICES)
+        np.testing.assert_array_equal(out, PRICES)
+
+    def test_intermediate_strength(self):
+        out = PeakIncreaseAttack(10, 10, strength=0.4).apply(PRICES)
+        assert out[10] == pytest.approx(PRICES[10] * 0.6)
+
+    def test_strength_validation(self):
+        with pytest.raises(ValueError, match="strength"):
+            PeakIncreaseAttack(0, 1, strength=1.5)
+
+    def test_window_mask(self):
+        mask = PeakIncreaseAttack(3, 5).window_mask(10)
+        assert mask.sum() == 3
+        assert mask[3] and mask[5] and not mask[6]
+
+
+class TestBillIncreaseAttack:
+    def test_inflates_outside_window(self):
+        attack = BillIncreaseAttack(start_slot=10, end_slot=12, inflation=2.0)
+        out = attack.apply(PRICES)
+        np.testing.assert_array_equal(out[10:13], PRICES[10:13])
+        np.testing.assert_allclose(out[:10], PRICES[:10] * 2.0)
+        np.testing.assert_allclose(out[13:], PRICES[13:] * 2.0)
+
+    def test_rejects_deflation(self):
+        with pytest.raises(ValueError, match="inflation"):
+            BillIncreaseAttack(0, 1, inflation=0.5)

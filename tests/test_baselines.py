@@ -1,0 +1,101 @@
+"""Tests for the ablation baseline optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.optimization.baselines import (
+    coordinate_descent,
+    projected_gradient,
+    random_search,
+)
+
+
+def sphere(x: np.ndarray) -> float:
+    return float(np.sum((x - 0.4) ** 2))
+
+
+class TestRandomSearch:
+    def test_finds_rough_optimum(self, rng):
+        result = random_search(sphere, np.zeros(2), np.ones(2), n_samples=2000, rng=rng)
+        assert result.fun < 0.01
+
+    def test_respects_bounds(self, rng):
+        result = random_search(sphere, np.zeros(3), np.ones(3), n_samples=50, rng=rng)
+        assert np.all(result.x >= 0.0) and np.all(result.x <= 1.0)
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            random_search(sphere, [0.0], [1.0], n_samples=0)
+
+    def test_projection_hook(self, rng):
+        result = random_search(
+            sphere,
+            np.zeros(1),
+            np.ones(1),
+            n_samples=100,
+            rng=rng,
+            projection=lambda x: np.round(x),
+        )
+        assert result.x[0] in (0.0, 1.0)
+
+
+class TestCoordinateDescent:
+    def test_exact_on_grid(self):
+        result = coordinate_descent(
+            sphere, np.zeros(2), np.ones(2), n_grid=11, n_sweeps=4
+        )
+        np.testing.assert_allclose(result.x, 0.4, atol=1e-9)
+
+    def test_early_stop_flag(self):
+        result = coordinate_descent(
+            sphere, np.zeros(1), np.ones(1), n_grid=11, n_sweeps=10
+        )
+        assert result.converged
+        assert result.n_iterations < 10
+
+    def test_x0_respected(self):
+        result = coordinate_descent(
+            sphere, np.zeros(2), np.ones(2), x0=[0.4, 0.4], n_grid=3, n_sweeps=1
+        )
+        assert result.fun <= sphere(np.array([0.4, 0.4])) + 1e-12
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            coordinate_descent(sphere, [0.0], [1.0], n_grid=1)
+
+
+class TestProjectedGradient:
+    def test_converges_on_convex(self):
+        result = projected_gradient(
+            sphere, np.zeros(2), np.ones(2), x0=[0.9, 0.1], step=0.5, n_iterations=200
+        )
+        np.testing.assert_allclose(result.x, 0.4, atol=1e-2)
+
+    def test_stuck_in_local_minimum(self):
+        """The documented failure mode on non-convex costs: PG stays in the
+        basin it starts in, unlike cross-entropy."""
+
+        def double_well(x):
+            return float(((x[0] - 0.2) ** 2) * ((x[0] - 0.9) ** 2) + 0.05 * x[0])
+
+        result = projected_gradient(
+            double_well, [0.0], [1.0], x0=[0.95], step=0.05, n_iterations=100
+        )
+        assert result.x[0] > 0.6  # stayed near the worse well at 0.9
+
+    def test_boundary_clipping(self):
+        result = projected_gradient(
+            lambda x: float(np.sum(x)), np.zeros(2), np.ones(2), x0=[0.5, 0.5]
+        )
+        np.testing.assert_allclose(result.x, 0.0, atol=1e-6)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            projected_gradient(sphere, [0.0], [1.0], step=0.0)
+
+    def test_history_monotone(self):
+        result = projected_gradient(
+            sphere, np.zeros(2), np.ones(2), x0=[1.0, 0.0], n_iterations=50
+        )
+        history = np.array(result.history)
+        assert np.all(np.diff(history) <= 1e-12)

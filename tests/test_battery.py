@@ -1,0 +1,149 @@
+"""Tests for battery trajectory validation, projection and trading."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import BatteryConfig
+from repro.netmetering.battery import (
+    BatteryViolation,
+    clamp_trajectory,
+    validate_trajectory,
+)
+from repro.netmetering.trading import net_position, trading_amounts
+
+SPEC = BatteryConfig(
+    capacity_kwh=2.0, initial_kwh=0.5, max_charge_kw=1.0, max_discharge_kw=1.0
+)
+
+
+class TestValidateTrajectory:
+    def test_accepts_feasible(self):
+        b = np.array([0.5, 1.0, 2.0, 1.5, 0.5])
+        out = validate_trajectory(b, SPEC)
+        np.testing.assert_allclose(out, b)
+
+    def test_rejects_wrong_initial(self):
+        with pytest.raises(BatteryViolation, match="initial"):
+            validate_trajectory([0.0, 0.5], SPEC)
+
+    def test_rejects_over_capacity(self):
+        with pytest.raises(BatteryViolation, match="storage"):
+            validate_trajectory([0.5, 1.5, 2.5], SPEC)
+
+    def test_rejects_negative(self):
+        with pytest.raises(BatteryViolation, match="storage"):
+            validate_trajectory([0.5, -0.5], SPEC)
+
+    def test_rejects_charge_rate(self):
+        with pytest.raises(BatteryViolation, match="charge"):
+            validate_trajectory([0.5, 2.0], SPEC)
+
+    def test_rejects_discharge_rate(self):
+        with pytest.raises(BatteryViolation, match="discharge"):
+            validate_trajectory([0.5, 1.5, 0.0], SPEC)
+
+    def test_rejects_nan(self):
+        with pytest.raises(BatteryViolation, match="NaN"):
+            validate_trajectory([0.5, np.nan], SPEC)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(BatteryViolation, match="1-D"):
+            validate_trajectory([0.5], SPEC)
+
+
+class TestClampTrajectory:
+    def test_identity_on_feasible(self):
+        b = np.array([0.5, 1.0, 1.5, 1.0])
+        np.testing.assert_allclose(clamp_trajectory(b, SPEC), b)
+
+    def test_pins_initial(self):
+        out = clamp_trajectory([9.0, 1.0], SPEC)
+        assert out[0] == SPEC.initial_kwh
+
+    def test_projection_feasible(self):
+        raw = np.array([0.5, 5.0, -3.0, 2.0, 0.0])
+        out = clamp_trajectory(raw, SPEC)
+        validate_trajectory(out, SPEC)
+
+    def test_handles_nan_inf(self):
+        raw = np.array([0.5, np.nan, np.inf, -np.inf])
+        out = clamp_trajectory(raw, SPEC)
+        validate_trajectory(out, SPEC)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=26),
+            elements=st.floats(-10, 10),
+        )
+    )
+    def test_projection_always_feasible(self, raw):
+        out = clamp_trajectory(raw, SPEC)
+        validate_trajectory(out, SPEC)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=16),
+            elements=st.floats(-5, 5),
+        )
+    )
+    def test_projection_idempotent(self, raw):
+        once = clamp_trajectory(raw, SPEC)
+        twice = clamp_trajectory(once, SPEC)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestTradingAmounts:
+    def test_balance_identity(self):
+        """y = l + diff(b) - theta (Eqn. 1 rearranged)."""
+        load = np.array([1.0, 2.0, 1.5])
+        pv = np.array([0.5, 1.0, 0.0])
+        b = np.array([0.0, 0.5, 0.0, 0.5])
+        y = trading_amounts(load, pv, b)
+        np.testing.assert_allclose(y, [1.0, 0.5, 2.0])
+
+    def test_no_battery_no_pv(self):
+        load = np.array([1.0, 2.0])
+        y = trading_amounts(load, np.zeros(2), np.zeros(3))
+        np.testing.assert_allclose(y, load)
+
+    def test_selling_when_pv_exceeds(self):
+        y = trading_amounts([0.5], [2.0], [0.0, 0.0])
+        assert y[0] == pytest.approx(-1.5)
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            trading_amounts([1.0], [1.0, 2.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            trading_amounts([1.0], [1.0], [0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        arrays(np.float64, 6, elements=st.floats(0, 5)),
+        arrays(np.float64, 6, elements=st.floats(0, 5)),
+        arrays(np.float64, 7, elements=st.floats(0, 3)),
+    )
+    def test_energy_conservation(self, load, pv, b):
+        """Total purchases equal consumption plus storage gain minus PV."""
+        y = trading_amounts(load, pv, b)
+        lhs = y.sum()
+        rhs = load.sum() + (b[-1] - b[0]) - pv.sum()
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+class TestNetPosition:
+    def test_split(self):
+        bought, sold = net_position([1.0, -2.0, 0.0])
+        np.testing.assert_allclose(bought, [1.0, 0.0, 0.0])
+        np.testing.assert_allclose(sold, [0.0, 2.0, 0.0])
+
+    def test_reconstruction(self):
+        y = np.array([1.5, -0.5, 0.0, 3.0])
+        bought, sold = net_position(y)
+        np.testing.assert_allclose(bought - sold, y)

@@ -1,0 +1,95 @@
+"""Tests for single-event rate calibration."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.hacking import MeterHackingProcess
+from repro.core.config import GameConfig
+from repro.detection.single_event import (
+    CommunityResponseSimulator,
+    SingleEventDetector,
+)
+from repro.scheduling.game import Community
+from repro.simulation.calibration import SingleEventRates, measure_single_event_rates
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=2,
+    inner_iterations=1,
+    ce_samples=8,
+    ce_elites=2,
+    ce_iterations=2,
+    convergence_tol=0.1,
+)
+
+
+class TestSingleEventRates:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleEventRates(tp_rate=1.2, fp_rate=0.0, n_attacked_trials=1, n_clean_trials=1)
+        with pytest.raises(ValueError):
+            SingleEventRates(tp_rate=0.5, fp_rate=0.0, n_attacked_trials=0, n_clean_trials=1)
+
+    def test_clipping(self):
+        rates = SingleEventRates(
+            tp_rate=1.0, fp_rate=0.0, n_attacked_trials=10, n_clean_trials=10
+        ).clipped()
+        assert rates.tp_rate == pytest.approx(0.98)
+        assert rates.fp_rate == pytest.approx(0.02)
+
+    def test_clipping_preserves_interior(self):
+        rates = SingleEventRates(
+            tp_rate=0.7, fp_rate=0.2, n_attacked_trials=5, n_clean_trials=5
+        ).clipped()
+        assert rates.tp_rate == 0.7
+        assert rates.fp_rate == 0.2
+
+
+class TestMeasureRates:
+    @pytest.fixture
+    def detector(self):
+        community = Community(
+            customers=(make_customer(0), make_customer(1)), counts=(5, 5)
+        )
+        simulator = CommunityResponseSimulator(community, config=FAST, seed=1)
+        return SingleEventDetector(
+            simulator,
+            np.full(HORIZON, 0.03),
+            threshold=0.05,
+            margin_noise_std=0.01,
+        )
+
+    def test_rates_measured(self, detector):
+        hacking = MeterHackingProcess(
+            4, 0.1, rng=np.random.default_rng(0), strength_range=(0.9, 1.0),
+            window_hours=(3, 3), window_hour_range=(17, 23),
+        )
+        rates = measure_single_event_rates(
+            detector,
+            np.full(HORIZON, 0.03),
+            hacking,
+            n_trials=6,
+            rng=np.random.default_rng(1),
+        )
+        assert 0.0 <= rates.fp_rate <= 1.0
+        assert rates.n_attacked_trials == 6
+        # Strong evening attacks on a clean baseline must mostly register.
+        assert rates.tp_rate >= 0.5
+
+    def test_clean_baseline_low_fp(self, detector):
+        hacking = MeterHackingProcess(4, 0.1, rng=np.random.default_rng(0))
+        rates = measure_single_event_rates(
+            detector,
+            np.full(HORIZON, 0.03),
+            hacking,
+            n_trials=6,
+            rng=np.random.default_rng(2),
+        )
+        assert rates.fp_rate <= 0.5
+
+    def test_trial_validation(self, detector):
+        hacking = MeterHackingProcess(4, 0.1)
+        with pytest.raises(ValueError):
+            measure_single_event_rates(
+                detector, np.full(HORIZON, 0.03), hacking, n_trials=0
+            )

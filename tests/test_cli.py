@@ -1,0 +1,70 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import PRESETS, main
+
+
+class TestArgumentHandling:
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_presets_registered(self):
+        assert set(PRESETS) == {"smoke", "bench", "paper"}
+
+
+class TestFigureCommands:
+    def test_fig3_smoke(self, capsys):
+        assert main(["fig3", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Fig3b predicted PAR" in out
+        assert "1.4700" in out  # the paper target appears in the table
+
+    def test_fig4_smoke(self, capsys):
+        assert main(["fig4", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "1.3986" in out
+
+    def test_fig5_smoke(self, capsys):
+        assert main(["fig5", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "attacked" in out
+
+    def test_seed_override_changes_numbers(self, capsys):
+        main(["fig3", "--preset", "smoke", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig3", "--preset", "smoke", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestScenarioCommands:
+    def test_fig6_smoke_with_json(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "fig6",
+                    "--preset",
+                    "smoke",
+                    "--slots",
+                    "24",
+                    "--json",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "observation accuracy" in out
+        assert (tmp_path / "fig6_aware.json").exists()
+        assert (tmp_path / "fig6_unaware.json").exists()
+
+    def test_table1_smoke(self, capsys):
+        assert main(["table1", "--preset", "smoke", "--slots", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "PAR (none)" in out

@@ -1,0 +1,48 @@
+"""Extended CLI tests: the 'all' command and reporting integration."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAllCommand:
+    def test_all_runs_every_figure(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "all",
+                    "--preset",
+                    "smoke",
+                    "--slots",
+                    "24",
+                    "--json",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for marker in ("===== fig3 =====", "===== fig5 =====", "===== table1 ====="):
+            assert marker in out
+        # scenario dumps written for fig6 and table1
+        names = {p.name for p in tmp_path.iterdir()}
+        assert {"fig6_aware.json", "table1_none.json"} <= names
+
+    def test_json_dumps_are_loadable(self, capsys, tmp_path):
+        main(["fig6", "--preset", "smoke", "--slots", "24", "--json", str(tmp_path)])
+        capsys.readouterr()
+        from repro.simulation.results import load_scenario
+
+        result = load_scenario(tmp_path / "fig6_unaware.json")
+        assert result.detector == "unaware"
+        assert result.n_slots == 24
+
+    def test_json_payload_schema(self, capsys, tmp_path):
+        main(["fig6", "--preset", "smoke", "--slots", "24", "--json", str(tmp_path)])
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "fig6_aware.json").read_text())
+        assert payload["schema_version"] == 1
+        assert "summary" in payload
+        assert 0.0 <= payload["summary"]["observation_accuracy"] <= 1.0

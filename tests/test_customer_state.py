@@ -1,0 +1,144 @@
+"""Tests for the customer and strategy-profile model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BatteryConfig
+from repro.scheduling.appliance import ApplianceSchedule
+from repro.scheduling.customer import Customer, CustomerState
+from tests.conftest import HORIZON, make_customer
+
+
+def idle_state(customer: Customer) -> CustomerState:
+    """All appliances off-pattern-minimal state used as a fixture base."""
+    schedules = []
+    for task in customer.tasks:
+        power = np.zeros(HORIZON)
+        # run at max power from the window start until the energy is met
+        remaining = task.energy_kwh
+        for h in range(task.earliest_start, task.deadline + 1):
+            step = min(task.max_power, remaining)
+            # snap to an allowed level
+            level = max(p for p in task.power_levels if p <= step + 1e-9)
+            power[h] = level
+            remaining -= level
+            if remaining <= 1e-9:
+                break
+        schedules.append(ApplianceSchedule(task=task, power=tuple(power)))
+    return CustomerState(
+        customer=customer,
+        schedules=tuple(schedules),
+        battery_decision=tuple(
+            np.full(HORIZON, customer.battery.initial_kwh)
+        ),
+    )
+
+
+class TestCustomer:
+    def test_basic_properties(self, small_customer):
+        assert small_customer.horizon == HORIZON
+        assert small_customer.total_task_energy == pytest.approx(4.5)
+        assert not small_customer.has_net_metering
+
+    def test_nm_customer(self, nm_customer):
+        assert nm_customer.has_net_metering
+        stripped = nm_customer.without_net_metering()
+        assert not stripped.has_net_metering
+        np.testing.assert_array_equal(stripped.pv_array, 0.0)
+        assert stripped.battery.capacity_kwh == 0.0
+
+    def test_base_load_defaults_to_zero(self):
+        customer = make_customer(base=0.0)
+        np.testing.assert_array_equal(customer.base_load_array, 0.0)
+
+    def test_rejects_empty_tasks(self, battery_spec):
+        with pytest.raises(ValueError, match="task"):
+            Customer(customer_id=0, tasks=(), battery=battery_spec, pv=(0.0,) * 24)
+
+    def test_rejects_negative_pv(self, small_customer):
+        with pytest.raises(ValueError, match="PV"):
+            Customer(
+                customer_id=0,
+                tasks=small_customer.tasks,
+                battery=small_customer.battery,
+                pv=(-1.0,) * 24,
+            )
+
+    def test_rejects_base_load_length(self, small_customer):
+        with pytest.raises(ValueError, match="base_load"):
+            Customer(
+                customer_id=0,
+                tasks=small_customer.tasks,
+                battery=small_customer.battery,
+                pv=(0.0,) * 24,
+                base_load=(0.5,) * 23,
+            )
+
+
+class TestCustomerState:
+    def test_load_includes_base(self, small_customer):
+        state = idle_state(small_customer)
+        load = state.load
+        assert load.shape == (HORIZON,)
+        # base 0.5 everywhere plus scheduled appliance energy
+        assert np.all(load >= 0.5 - 1e-9)
+        assert load.sum() == pytest.approx(
+            0.5 * HORIZON + small_customer.total_task_energy
+        )
+
+    def test_trading_equals_load_without_nm(self, small_customer):
+        state = idle_state(small_customer)
+        np.testing.assert_allclose(state.trading, state.load)
+
+    def test_trading_subtracts_pv(self, nm_customer):
+        state = idle_state(nm_customer)
+        np.testing.assert_allclose(
+            state.trading, state.load - nm_customer.pv_array, atol=1e-12
+        )
+
+    def test_battery_trajectory_prepends_initial(self, nm_customer):
+        state = idle_state(nm_customer)
+        trajectory = state.battery_trajectory
+        assert trajectory.shape == (HORIZON + 1,)
+        assert trajectory[0] == nm_customer.battery.initial_kwh
+
+    def test_with_schedule_replaces(self, small_customer):
+        state = idle_state(small_customer)
+        new_power = np.zeros(HORIZON)
+        new_power[10] = 1.0
+        new_power[11] = 0.5
+        new_schedule = ApplianceSchedule(
+            task=small_customer.tasks[0], power=tuple(new_power)
+        )
+        updated = state.with_schedule(0, new_schedule)
+        assert updated.schedules[0] is new_schedule
+        assert updated.schedules[1] is state.schedules[1]
+
+    def test_with_schedule_bad_index(self, small_customer):
+        state = idle_state(small_customer)
+        with pytest.raises(IndexError):
+            state.with_schedule(5, state.schedules[0])
+
+    def test_with_battery_replaces(self, nm_customer):
+        state = idle_state(nm_customer)
+        decision = np.linspace(0.5, 1.0, HORIZON)
+        updated = state.with_battery(decision)
+        np.testing.assert_allclose(updated.battery_decision, decision)
+
+    def test_schedule_count_validation(self, small_customer):
+        state = idle_state(small_customer)
+        with pytest.raises(ValueError, match="schedules"):
+            CustomerState(
+                customer=small_customer,
+                schedules=state.schedules[:1],
+                battery_decision=state.battery_decision,
+            )
+
+    def test_battery_length_validation(self, small_customer):
+        state = idle_state(small_customer)
+        with pytest.raises(ValueError, match="battery"):
+            CustomerState(
+                customer=small_customer,
+                schedules=state.schedules,
+                battery_decision=(0.0,) * 5,
+            )

@@ -1,0 +1,235 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PricingConfig, SolarConfig, TimeGrid
+from repro.data.appliances import (
+    APPLIANCE_CATALOG,
+    ENERGY_QUANTUM,
+    ApplianceTemplate,
+    generate_tasks,
+)
+from repro.data.community import _split_counts, build_community
+from repro.data.pricing import (
+    GuidelinePriceModel,
+    baseline_demand_profile,
+    generate_history,
+    household_base_load_profile,
+)
+from repro.data.solar import clear_sky_profile, generate_pv
+
+
+class TestApplianceTemplates:
+    def test_catalog_is_valid(self):
+        for template in APPLIANCE_CATALOG:
+            assert template.power_levels[0] == 0.0
+            assert template.energy_range_kwh[0] > 0
+
+    def test_template_rejects_bad_energy(self):
+        with pytest.raises(ValueError, match="energy"):
+            ApplianceTemplate("x", (0.0, 1.0), (0.0, 1.0), 0, 10, 2)
+
+    def test_template_rejects_nonmultiple_levels(self):
+        with pytest.raises(ValueError, match="multiple"):
+            ApplianceTemplate("x", (0.0, 0.5, 0.8), (1.0, 2.0), 0, 10, 2)
+
+
+class TestGenerateTasks:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_tasks=st.integers(1, 8),
+    )
+    def test_all_tasks_feasible(self, seed, n_tasks):
+        rng = np.random.default_rng(seed)
+        grid = TimeGrid(slots_per_day=24, n_days=1)
+        tasks = generate_tasks(rng, grid, n_tasks)
+        assert len(tasks) == n_tasks
+        for task in tasks:
+            task.check_feasible(grid.horizon)
+
+    def test_energies_on_quantum_grid(self, rng, time_grid):
+        for task in generate_tasks(rng, time_grid, 6):
+            ratio = task.energy_kwh / ENERGY_QUANTUM
+            assert abs(ratio - round(ratio)) < 1e-9
+
+    def test_template_diversity(self, rng, time_grid):
+        """Drawing as many tasks as templates uses each exactly once."""
+        tasks = generate_tasks(rng, time_grid, len(APPLIANCE_CATALOG))
+        bases = {t.name.rsplit("_", 1)[0] for t in tasks}
+        assert len(bases) == len(APPLIANCE_CATALOG)
+
+    def test_rejects_zero_tasks(self, rng, time_grid):
+        with pytest.raises(ValueError):
+            generate_tasks(rng, time_grid, 0)
+
+
+class TestSolar:
+    def test_clear_sky_zero_at_night(self, time_grid):
+        profile = clear_sky_profile(time_grid, SolarConfig())
+        assert profile[0] == 0.0
+        assert profile[23] == 0.0
+        assert profile.max() > 0.9
+
+    def test_clear_sky_peaks_midday(self, time_grid):
+        profile = clear_sky_profile(time_grid, SolarConfig())
+        assert 10 <= int(np.argmax(profile)) <= 14
+
+    def test_generate_pv_nonnegative(self, rng, time_grid):
+        pv = generate_pv(rng, time_grid, SolarConfig(peak_kw=1.0))
+        assert np.all(pv >= 0.0)
+        assert np.all(pv <= 1.0 + 1e-9)
+
+    def test_zero_peak_all_zero(self, rng, time_grid):
+        pv = generate_pv(rng, time_grid, SolarConfig(peak_kw=1.0), peak_kw=0.0)
+        np.testing.assert_array_equal(pv, 0.0)
+
+    def test_rejects_negative_peak(self, rng, time_grid):
+        with pytest.raises(ValueError):
+            generate_pv(rng, time_grid, SolarConfig(), peak_kw=-1.0)
+
+    def test_cloud_noise_varies_traces(self, time_grid):
+        a = generate_pv(np.random.default_rng(1), time_grid, SolarConfig())
+        b = generate_pv(np.random.default_rng(2), time_grid, SolarConfig())
+        assert not np.allclose(a, b)
+
+
+class TestDemandProfiles:
+    def test_positive_everywhere(self, time_grid):
+        assert np.all(baseline_demand_profile(time_grid) > 0)
+        assert np.all(household_base_load_profile(time_grid) > 0)
+
+    def test_evening_peak(self, time_grid):
+        demand = baseline_demand_profile(time_grid)
+        assert 17 <= int(np.argmax(demand)) <= 21
+
+    def test_base_below_total(self, time_grid):
+        """Non-schedulable base is a portion of gross demand."""
+        assert np.all(
+            household_base_load_profile(time_grid)
+            <= baseline_demand_profile(time_grid) + 1e-9
+        )
+
+
+class TestGuidelinePriceModel:
+    def test_price_increases_with_net_demand(self):
+        model = GuidelinePriceModel(config=PricingConfig(), n_customers=100)
+        low = model.price(np.full(4, 50.0), np.zeros(4))
+        high = model.price(np.full(4, 150.0), np.zeros(4))
+        assert np.all(high > low)
+
+    def test_renewables_lower_price(self):
+        model = GuidelinePriceModel(config=PricingConfig(), n_customers=100)
+        without = model.price(np.full(4, 100.0), np.zeros(4))
+        with_pv = model.price(np.full(4, 100.0), np.full(4, 60.0))
+        assert np.all(with_pv < without)
+
+    def test_price_floor(self):
+        config = PricingConfig()
+        model = GuidelinePriceModel(config=config, n_customers=100)
+        prices = model.price(np.zeros(4), np.full(4, 1000.0))
+        assert np.all(prices >= config.base_price * 0.1)
+
+    def test_rejects_negative_demand(self):
+        model = GuidelinePriceModel(config=PricingConfig(), n_customers=10)
+        with pytest.raises(ValueError):
+            model.price(np.array([-1.0]), np.array([0.0]))
+
+
+class TestGenerateHistory:
+    def test_era_structure(self, rng):
+        history = generate_history(
+            rng,
+            n_customers=50,
+            pricing=PricingConfig(),
+            solar=SolarConfig(),
+            n_days_pre_nm=3,
+            n_days_nm=2,
+        )
+        assert history.n_days == 5
+        assert not history.nm_active[: 3 * 24].any()
+        assert history.nm_active[3 * 24 :].all()
+        assert np.all(history.renewable[: 3 * 24] == 0.0)
+
+    def test_day_slicing(self, rng):
+        history = generate_history(
+            rng,
+            n_customers=50,
+            pricing=PricingConfig(),
+            solar=SolarConfig(),
+            n_days_pre_nm=2,
+            n_days_nm=2,
+        )
+        day = history.day(3)
+        assert day.n_days == 1
+        np.testing.assert_array_equal(day.prices, history.prices[72:96])
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            generate_history(
+                rng,
+                n_customers=10,
+                pricing=PricingConfig(),
+                solar=SolarConfig(),
+                n_days_pre_nm=0,
+                n_days_nm=0,
+            )
+
+
+class TestBuildCommunity:
+    def test_counts_sum_to_population(self, tiny_config, rng):
+        community = build_community(tiny_config, rng=rng)
+        assert community.n_customers == tiny_config.n_customers
+
+    def test_archetype_cap(self, tiny_config, rng):
+        community = build_community(tiny_config, rng=rng, max_archetypes=3)
+        assert len(community.customers) == 3
+
+    def test_pv_adoption_fraction(self, tiny_config, rng):
+        community = build_community(tiny_config.with_updates(pv_adoption=0.5), rng=rng)
+        adopters = sum(
+            count
+            for customer, count in zip(community.customers, community.counts)
+            if customer.has_net_metering
+        )
+        assert adopters == pytest.approx(0.5 * tiny_config.n_customers, abs=2)
+
+    def test_zero_adoption(self, tiny_config, rng):
+        community = build_community(tiny_config.with_updates(pv_adoption=0.0), rng=rng)
+        assert not any(c.has_net_metering for c in community.customers)
+        np.testing.assert_array_equal(community.total_pv, 0.0)
+
+    def test_deterministic_given_seed(self, tiny_config):
+        a = build_community(tiny_config, rng=np.random.default_rng(5))
+        b = build_community(tiny_config, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.total_pv, b.total_pv)
+        assert [c.tasks for c in a.customers] == [c.tasks for c in b.customers]
+
+
+class TestSplitCounts:
+    def test_even_split(self):
+        assert _split_counts(10, 5) == [2, 2, 2, 2, 2]
+
+    def test_remainder_spread(self):
+        assert _split_counts(11, 3) == [4, 4, 3]
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            _split_counts(2, 3)
+
+    @given(
+        total=st.integers(1, 500),
+        parts=st.integers(1, 40),
+    )
+    def test_split_properties(self, total, parts):
+        if total < parts:
+            with pytest.raises(ValueError):
+                _split_counts(total, parts)
+            return
+        counts = _split_counts(total, parts)
+        assert sum(counts) == total
+        assert len(counts) == parts
+        assert max(counts) - min(counts) <= 1

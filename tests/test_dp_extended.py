@@ -1,0 +1,95 @@
+"""Extended DP scheduler tests: slot durations, interactions, diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.appliance import ApplianceTask, InfeasibleTaskError
+from repro.scheduling.dp import DpDiagnostics, schedule_appliance_table
+
+
+class TestSlotHours:
+    def test_half_hour_slots(self):
+        """With 30-minute slots a 1 kW level delivers 0.5 kWh per slot."""
+        task = ApplianceTask("t", (0.0, 1.0), 2.0, 0, 7)
+        table = np.zeros((8, 2))
+        table[:, 1] = [5, 1, 1, 1, 1, 5, 5, 5]
+        schedule, _ = schedule_appliance_table(task, table, slot_hours=0.5)
+        # needs 4 slots at 1 kW to reach 2 kWh
+        assert sum(p > 0 for p in schedule.power) == 4
+        assert schedule.power[1] == 1.0 and schedule.power[4] == 1.0
+
+    def test_slot_hours_feasibility(self):
+        """Halving the slot duration halves the window capacity."""
+        task = ApplianceTask("t", (0.0, 1.0), 5.0, 0, 7)
+        task.check_feasible(8, slot_hours=1.0)
+        with pytest.raises(InfeasibleTaskError):
+            task.check_feasible(8, slot_hours=0.5)
+
+
+class TestDiagnostics:
+    def test_fields(self, simple_task):
+        table = np.zeros((24, 3))
+        _, diag = schedule_appliance_table(simple_task, table)
+        assert isinstance(diag, DpDiagnostics)
+        assert diag.n_slots == 24
+        assert diag.n_states == int(simple_task.energy_kwh / 0.5) + 1
+        assert diag.optimal_cost == 0.0
+
+    def test_cost_additivity(self):
+        """Optimal cost of two independent tasks on disjoint windows equals
+        the sum of the individual optima."""
+        rng = np.random.default_rng(3)
+        task_a = ApplianceTask("a", (0.0, 1.0), 2.0, 0, 5)
+        task_b = ApplianceTask("b", (0.0, 1.0), 3.0, 10, 17)
+        table = rng.uniform(0, 1, size=(24, 2))
+        table[:, 0] = 0.0
+        _, diag_a = schedule_appliance_table(task_a, table)
+        _, diag_b = schedule_appliance_table(task_b, table)
+        combined = ApplianceTask("ab", (0.0, 1.0), 5.0, 0, 17)
+        _, diag_ab = schedule_appliance_table(combined, table)
+        # the merged window can only do at least as well
+        assert diag_ab.optimal_cost <= diag_a.optimal_cost + diag_b.optimal_cost + 1e-9
+
+
+class TestLevelSubsets:
+    def test_intermediate_levels_used_when_cheaper(self):
+        """A convex per-slot cost rewards spreading at low power."""
+        task = ApplianceTask("t", (0.0, 0.5, 1.0), 2.0, 0, 7)
+        table = np.zeros((8, 3))
+        table[:, 1] = 1.0  # cost of 0.5 kW
+        table[:, 2] = 3.0  # cost of 1.0 kW is superlinear
+        schedule, diag = schedule_appliance_table(task, table)
+        # four half-power slots (cost 4) beat two full-power (cost 6)
+        assert diag.optimal_cost == pytest.approx(4.0)
+        assert all(p in (0.0, 0.5) for p in schedule.power)
+
+    def test_concentration_when_subadditive(self):
+        """A concave per-slot cost rewards concentration at high power."""
+        task = ApplianceTask("t", (0.0, 0.5, 1.0), 2.0, 0, 7)
+        table = np.zeros((8, 3))
+        table[:, 1] = 1.0
+        table[:, 2] = 1.5  # doubling power costs only 1.5x
+        schedule, diag = schedule_appliance_table(task, table)
+        assert diag.optimal_cost == pytest.approx(3.0)
+        assert sum(p == 1.0 for p in schedule.power) == 2
+
+
+class TestWindowEdges:
+    def test_single_slot_window(self):
+        task = ApplianceTask("t", (0.0, 2.0), 2.0, 5, 5)
+        table = np.zeros((24, 2))
+        schedule, _ = schedule_appliance_table(task, table)
+        assert schedule.power[5] == 2.0
+        assert schedule.energy() == 2.0
+
+    def test_window_at_horizon_end(self):
+        task = ApplianceTask("t", (0.0, 1.0), 1.0, 23, 23)
+        table = np.zeros((24, 2))
+        schedule, _ = schedule_appliance_table(task, table)
+        assert schedule.power[23] == 1.0
+
+    def test_zero_cost_ties_still_meet_energy(self):
+        task = ApplianceTask("t", (0.0, 0.5, 1.0), 3.0, 2, 20)
+        table = np.zeros((24, 3))
+        schedule, _ = schedule_appliance_table(task, table)
+        schedule.validate()

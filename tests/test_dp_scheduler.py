@@ -1,0 +1,120 @@
+"""Tests for the dynamic-programming appliance scheduler.
+
+The key property: the DP returns the *exact* optimum, checked against
+brute-force enumeration on small instances (including hypothesis-driven
+random cost tables).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.appliance import ApplianceTask, InfeasibleTaskError
+from repro.scheduling.dp import schedule_appliance, schedule_appliance_table
+
+
+def brute_force_optimum(task: ApplianceTask, cost_table: np.ndarray) -> float:
+    """Enumerate every feasible assignment; return the minimal cost."""
+    horizon = cost_table.shape[0]
+    window = range(task.earliest_start, task.deadline + 1)
+    best = np.inf
+    for combo in itertools.product(range(len(task.power_levels)), repeat=len(window)):
+        energy = sum(task.power_levels[j] for j in combo)
+        if abs(energy - task.energy_kwh) > 1e-9:
+            continue
+        cost = sum(cost_table[h, j] for h, j in zip(window, combo))
+        # levels outside the window are zero; add their level-0 cost
+        cost += sum(
+            cost_table[h, 0] for h in range(horizon) if h not in window
+        )
+        best = min(best, cost)
+    return best
+
+
+class TestDpOptimality:
+    def test_matches_brute_force_simple(self):
+        task = ApplianceTask("t", (0.0, 1.0, 2.0), 3.0, 2, 5)
+        rng = np.random.default_rng(0)
+        table = rng.uniform(0.0, 1.0, size=(8, 3))
+        table[:, 0] = 0.0
+        schedule, diag = schedule_appliance_table(task, table)
+        schedule.validate()
+        assert diag.optimal_cost == pytest.approx(brute_force_optimum(task, table))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_matches_brute_force_random(self, seed):
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, 3))
+        width = int(rng.integers(2, 5))
+        energy = float(rng.integers(1, width + 1))
+        task = ApplianceTask("t", (0.0, 0.5, 1.0), energy, start, start + width)
+        table = rng.uniform(-0.5, 1.0, size=(start + width + 2, 3))
+        table[:, 0] = 0.0
+        schedule, diag = schedule_appliance_table(task, table)
+        schedule.validate()
+        assert diag.optimal_cost == pytest.approx(
+            brute_force_optimum(task, table), abs=1e-9
+        )
+
+    def test_prefers_cheap_slots(self, simple_task):
+        prices = np.full(24, 1.0)
+        prices[20] = 0.0
+        prices[21] = 0.0
+        levels = np.asarray(simple_task.power_levels)
+        table = prices[:, None] * levels[None, :]
+        schedule, _ = schedule_appliance_table(simple_task, table)
+        assert schedule.power[20] == 1.0
+        assert schedule.power[21] == 1.0
+        assert schedule.energy() == pytest.approx(2.0)
+
+    def test_forced_schedule(self, tight_task):
+        """Window capacity equals the requirement: max power everywhere."""
+        table = np.random.default_rng(1).uniform(0, 1, size=(24, 2))
+        schedule, _ = schedule_appliance_table(tight_task, table)
+        assert all(schedule.power[h] == 1.0 for h in range(5, 8))
+
+    def test_negative_costs_attract(self, simple_task):
+        """Selling-branch rewards (negative marginal cost) pull load in."""
+        levels = np.asarray(simple_task.power_levels)
+        table = np.ones((24, 3)) * levels[None, :]
+        table[19, 1] = -1.0
+        table[19, 2] = -2.5
+        schedule, diag = schedule_appliance_table(simple_task, table)
+        assert schedule.power[19] == 1.0
+        assert diag.optimal_cost < 0
+
+
+class TestDpValidation:
+    def test_infeasible_requirement(self):
+        task = ApplianceTask("t", (0.0, 1.0), 8.0, 0, 3)
+        with pytest.raises(InfeasibleTaskError):
+            schedule_appliance_table(task, np.zeros((24, 2)))
+
+    def test_level_count_mismatch(self, simple_task):
+        with pytest.raises(ValueError, match="level"):
+            schedule_appliance_table(simple_task, np.zeros((24, 5)))
+
+    def test_unreachable_energy_unit(self):
+        """Energy not composable from levels is rejected."""
+        task = ApplianceTask("t", (0.0, 1.0, 2.0), 2.5, 0, 5)
+        with pytest.raises(InfeasibleTaskError):
+            schedule_appliance_table(task, np.zeros((24, 3)))
+
+    def test_callable_interface(self, simple_task):
+        schedule, diag = schedule_appliance(
+            simple_task, lambda h, x: 0.1 * x, 24
+        )
+        schedule.validate()
+        assert diag.optimal_cost == pytest.approx(0.1 * 2.0)
+
+    def test_infinite_cost_blocks_slot(self, simple_task):
+        levels = np.asarray(simple_task.power_levels)
+        table = np.ones((24, 3)) * levels[None, :]
+        table[18:22, 1:] = np.inf  # only 22, 23 usable
+        schedule, _ = schedule_appliance_table(simple_task, table)
+        assert schedule.power[22] == 1.0
+        assert schedule.power[23] == 1.0

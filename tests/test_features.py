@@ -1,0 +1,111 @@
+"""Tests for the price-prediction featurization."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PricingConfig, SolarConfig
+from repro.data.pricing import PriceHistory, generate_history
+from repro.prediction.features import (
+    aware_feature_dataset,
+    aware_features_for_day,
+    unaware_feature_dataset,
+    unaware_features_for_day,
+)
+
+
+@pytest.fixture
+def history(rng) -> PriceHistory:
+    return generate_history(
+        rng,
+        n_customers=50,
+        pricing=PricingConfig(),
+        solar=SolarConfig(peak_kw=0.7),
+        n_days_pre_nm=4,
+        n_days_nm=4,
+    )
+
+
+class TestUnawareDataset:
+    def test_shapes(self, history):
+        dataset = unaware_feature_dataset(history)
+        expected_rows = (history.n_days - 2) * history.slots_per_day
+        assert dataset.features.shape == (expected_rows, 5)
+        assert dataset.targets.shape == (expected_rows,)
+        assert len(dataset.names) == 5
+
+    def test_lag_feature_values(self, history):
+        dataset = unaware_feature_dataset(history)
+        spd = history.slots_per_day
+        # first row corresponds to day 2, slot 0: lag_1d = day 1 slot 0
+        assert dataset.features[0, 0] == pytest.approx(history.prices[spd])
+        assert dataset.features[0, 1] == pytest.approx(history.prices[0])
+        assert dataset.targets[0] == pytest.approx(history.prices[2 * spd])
+
+    def test_rejects_short_history(self, history):
+        with pytest.raises(ValueError, match="history days"):
+            unaware_feature_dataset(history.day(0))
+
+    def test_no_renewable_columns(self, history):
+        dataset = unaware_feature_dataset(history)
+        assert all("net_demand" not in name for name in dataset.names)
+
+
+class TestAwareDataset:
+    def test_has_net_demand_columns(self, history):
+        dataset = aware_feature_dataset(history)
+        assert "net_demand_lag_1d" in dataset.names
+        assert "net_demand_target" in dataset.names
+
+    def test_target_net_demand_feature(self, history):
+        dataset = aware_feature_dataset(history)
+        spd = history.slots_per_day
+        target_col = dataset.names.index("net_demand_target")
+        assert dataset.features[0, target_col] == pytest.approx(
+            history.net_demand[2 * spd]
+        )
+
+
+class TestPredictionFeatures:
+    def test_unaware_day_shape(self, history):
+        rows = unaware_features_for_day(history)
+        assert rows.shape == (history.slots_per_day, 5)
+
+    def test_unaware_day_uses_last_days(self, history):
+        rows = unaware_features_for_day(history)
+        spd = history.slots_per_day
+        assert rows[0, 0] == pytest.approx(history.prices[-spd])
+        assert rows[0, 1] == pytest.approx(history.prices[-2 * spd])
+
+    def test_aware_day_requires_forecasts(self, history):
+        spd = history.slots_per_day
+        demand = np.full(spd, 100.0)
+        renewable = np.full(spd, 20.0)
+        rows = aware_features_for_day(
+            history, demand_forecast=demand, renewable_forecast=renewable
+        )
+        assert rows.shape == (spd, 7)
+        np.testing.assert_allclose(rows[:, -1], 80.0)
+
+    def test_aware_day_shape_validation(self, history):
+        with pytest.raises(ValueError, match="forecasts"):
+            aware_features_for_day(
+                history,
+                demand_forecast=np.ones(3),
+                renewable_forecast=np.ones(3),
+            )
+
+    def test_consistency_between_training_and_prediction(self, history):
+        """Prediction-time rows are built exactly like training rows: the
+        features for the last history day (as a training target) match the
+        prediction features computed from the truncated history."""
+        spd = history.slots_per_day
+        truncated = PriceHistory(
+            prices=history.prices[:-spd],
+            demand=history.demand[:-spd],
+            renewable=history.renewable[:-spd],
+            nm_active=history.nm_active[:-spd],
+            slots_per_day=spd,
+        )
+        rows = unaware_features_for_day(truncated)
+        dataset = unaware_feature_dataset(history)
+        np.testing.assert_allclose(rows, dataset.features[-spd:])

@@ -1,0 +1,124 @@
+"""Integration tests for the DetectionFramework facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import DetectionFramework, SampledDay
+
+
+@pytest.fixture(scope="module")
+def framework(request):
+    from repro.core.config import (
+        BatteryConfig,
+        CommunityConfig,
+        DetectionConfig,
+        GameConfig,
+        SolarConfig,
+        TimeGrid,
+    )
+
+    config = CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4),
+        seed=21,
+    )
+    return DetectionFramework(config, aware=True).train()
+
+
+class TestLifecycle:
+    def test_untrained_raises(self):
+        from repro.core.presets import smoke_preset
+
+        fw = DetectionFramework(smoke_preset())
+        with pytest.raises(RuntimeError, match="train"):
+            fw.predict_price()
+        with pytest.raises(RuntimeError, match="train"):
+            fw.history
+
+    def test_community_lazy_build(self, framework):
+        community = framework.community
+        assert community.n_customers == framework.config.n_customers
+        assert framework.community is community  # cached
+
+    def test_history_available_after_train(self, framework):
+        assert framework.history.n_days >= 3
+
+
+class TestPerDayPipeline:
+    def test_sample_day_shapes(self, framework):
+        day = framework.sample_day(weather=0.8)
+        assert isinstance(day, SampledDay)
+        for arr in (
+            day.demand_forecast,
+            day.renewable_forecast,
+            day.clean_prices,
+            day.predicted_prices,
+        ):
+            assert arr.shape == (24,)
+        assert np.all(day.clean_prices > 0)
+
+    def test_sample_day_weather_validation(self, framework):
+        with pytest.raises(ValueError, match="weather"):
+            framework.sample_day(weather=1.5)
+
+    def test_predict_load(self, framework):
+        day = framework.sample_day(weather=0.7)
+        prediction = framework.predict_load(day.predicted_prices)
+        assert prediction.load.shape == (24,)
+        assert prediction.par >= 1.0
+        assert prediction.aware
+
+    def test_detect_single_event_benign(self, framework):
+        day = framework.sample_day(weather=0.6)
+        detector = framework.single_event_detector(day.predicted_prices)
+        detection = detector.check(day.predicted_prices)
+        # received == predicted gives exactly zero PAR margin (plus noise)
+        assert abs(detection.margin) < 0.2
+
+    def test_detect_single_event_attack(self, framework):
+        from repro.attacks.pricing import ZeroPriceAttack
+
+        day = framework.sample_day(weather=0.6)
+        detector = framework.single_event_detector(day.predicted_prices)
+        attacked = ZeroPriceAttack(18, 20).apply(day.clean_prices)
+        clean_margin = detector.check(day.clean_prices).margin
+        attacked_margin = detector.check(attacked).margin
+        assert attacked_margin >= clean_margin - 0.05
+
+
+class TestUnawareVariant:
+    def test_unaware_predictor_trains(self):
+        from repro.core.config import CommunityConfig, GameConfig, TimeGrid
+
+        config = CommunityConfig(
+            n_customers=6,
+            appliances_per_customer=(2, 2),
+            time=TimeGrid(),
+            game=GameConfig(
+                max_rounds=2,
+                inner_iterations=1,
+                ce_samples=8,
+                ce_elites=2,
+                ce_iterations=2,
+            ),
+            seed=31,
+        )
+        fw = DetectionFramework(config, aware=False).train()
+        prices = fw.predict_price()
+        assert prices.shape == (24,)
+        assert np.all(prices >= 0)

@@ -1,0 +1,74 @@
+"""Framework facade tests for the unaware variant and long-term surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.core.framework import DetectionFramework, FrameworkResult
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.6),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=41,
+    )
+
+
+class TestUnawareDetectorConstruction:
+    def test_unaware_detector_uses_stripped_model(self, config):
+        framework = DetectionFramework(config, aware=False).train()
+        day = framework.sample_day(weather=0.7)
+        detector = framework.single_event_detector(day.predicted_prices)
+        # the predicted-side simulator models no net metering
+        predicted_sim_community = detector.simulator.community
+        assert any(c.has_net_metering for c in predicted_sim_community.customers)
+        # received side is the true community; P_p comes from the stripped
+        # model, so the two PARs generally differ
+        assert detector.predicted_par > 0
+
+    def test_aware_detector_shares_one_simulator(self, config):
+        framework = DetectionFramework(config, aware=True).train()
+        day = framework.sample_day(weather=0.7)
+        a = framework.single_event_detector(day.predicted_prices)
+        b = framework.single_event_detector(day.predicted_prices)
+        assert a.simulator is b.simulator  # memoized across detectors
+
+
+class TestLongTermSurface:
+    def test_run_long_term_returns_result(self, config):
+        framework = DetectionFramework(config, aware=True).train()
+        result = framework.run_long_term(n_slots=24)
+        assert isinstance(result, FrameworkResult)
+        assert 0.0 <= result.observation_accuracy <= 1.0
+        assert result.mean_par >= 1.0
+        assert result.labor_cost >= 0.0
+        assert result.n_repairs == result.scenario.n_repairs
+
+    def test_unaware_long_term_runs(self, config):
+        framework = DetectionFramework(config, aware=False).train()
+        result = framework.run_long_term(n_slots=24)
+        assert result.scenario.detector == "unaware"

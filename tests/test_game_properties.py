@@ -1,0 +1,98 @@
+"""Property-based tests on the scheduling game across random prices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import GameConfig
+from repro.scheduling.game import Community, SchedulingGame
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=2,
+    inner_iterations=1,
+    ce_samples=8,
+    ce_elites=2,
+    ce_iterations=2,
+    convergence_tol=0.1,
+)
+
+price_vectors = arrays(
+    np.float64, HORIZON, elements=st.floats(min_value=0.005, max_value=0.1)
+)
+
+
+@pytest.fixture(scope="module")
+def community():
+    return Community(customers=(make_customer(0), make_customer(1)), counts=(3, 3))
+
+
+class TestGameUnderRandomPrices:
+    @settings(max_examples=10, deadline=None)
+    @given(prices=price_vectors)
+    def test_energy_conservation_holds(self, community, prices):
+        result = SchedulingGame(community, prices, config=FAST).solve(
+            rng=np.random.default_rng(0)
+        )
+        expected = sum(
+            count * (c.base_load_array.sum() + c.total_task_energy)
+            for c, count in zip(community.customers, community.counts)
+        )
+        assert result.community_load.sum() == pytest.approx(expected, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(prices=price_vectors)
+    def test_schedules_feasible(self, community, prices):
+        result = SchedulingGame(community, prices, config=FAST).solve(
+            rng=np.random.default_rng(0)
+        )
+        for state in result.states:
+            for schedule in state.schedules:
+                schedule.validate()
+
+    @settings(max_examples=10, deadline=None)
+    @given(prices=price_vectors)
+    def test_grid_demand_nonnegative_and_finite(self, community, prices):
+        result = SchedulingGame(community, prices, config=FAST).solve(
+            rng=np.random.default_rng(0)
+        )
+        grid = result.grid_demand
+        assert np.all(np.isfinite(grid))
+        assert np.all(grid >= 0.0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        prices=price_vectors,
+        scale=st.floats(min_value=0.5, max_value=3.0),
+    )
+    def test_price_scale_invariance(self, community, prices, scale):
+        """Scaling every price equally leaves the equilibrium load
+        unchanged (the quadratic game's argmin is scale-invariant)."""
+        a = SchedulingGame(community, prices, config=FAST).solve(
+            rng=np.random.default_rng(0)
+        )
+        b = SchedulingGame(community, prices * scale, config=FAST).solve(
+            rng=np.random.default_rng(0)
+        )
+        np.testing.assert_allclose(a.community_load, b.community_load, atol=1e-6)
+
+    @settings(max_examples=8, deadline=None)
+    @given(prices=price_vectors)
+    def test_residuals_trend_downward(self, community, prices):
+        """Best-response residuals never grow over the final rounds."""
+        config = GameConfig(
+            max_rounds=4,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=1e-6,
+        )
+        result = SchedulingGame(community, prices, config=config).solve(
+            rng=np.random.default_rng(0)
+        )
+        residuals = result.residuals
+        if len(residuals) >= 2:
+            assert residuals[-1] <= residuals[0] + 1e-9

@@ -1,0 +1,122 @@
+"""Tests for the stochastic meter-hacking process."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.hacking import MeterHackingProcess
+
+
+def make_process(q=0.5, n=6, seed=0, **kwargs) -> MeterHackingProcess:
+    return MeterHackingProcess(n, q, rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_meters(self):
+        with pytest.raises(ValueError):
+            MeterHackingProcess(0, 0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            MeterHackingProcess(5, 1.5)
+
+    def test_rejects_bad_strength_range(self):
+        with pytest.raises(ValueError, match="strength"):
+            MeterHackingProcess(5, 0.1, strength_range=(0.9, 0.5))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            MeterHackingProcess(5, 0.1, window_hours=(0, 3))
+
+
+class TestDynamics:
+    def test_monotone_compromise_without_repair(self):
+        process = make_process()
+        previous = 0
+        for _ in range(10):
+            process.step()
+            assert process.n_hacked >= previous
+            previous = process.n_hacked
+
+    def test_all_hacked_with_certainty(self):
+        process = make_process(q=1.0)
+        process.step()
+        assert process.n_hacked == 6
+
+    def test_never_hacked_with_zero_probability(self):
+        process = make_process(q=0.0)
+        for _ in range(20):
+            process.step()
+        assert process.n_hacked == 0
+
+    def test_repair_resets(self):
+        process = make_process(q=1.0)
+        process.step()
+        repaired = process.repair_all()
+        assert repaired == 6
+        assert process.n_hacked == 0
+        assert process.hacked_meters == ()
+
+    def test_hacked_mask_consistent(self):
+        process = make_process(q=0.7)
+        process.step()
+        mask = process.hacked_mask
+        assert mask.sum() == process.n_hacked
+        for meter in process.hacked_meters:
+            assert mask[meter.meter_id]
+
+    def test_fresh_meters_reported(self):
+        process = make_process(q=1.0)
+        fresh = process.step()
+        assert len(fresh) == 6
+        assert process.step() == ()
+
+    def test_attack_persists_until_repair(self):
+        process = make_process(q=1.0, n=1)
+        process.step()
+        attack_before = process.hacked_meters[0].attack
+        process.step()
+        assert process.hacked_meters[0].attack is attack_before
+
+
+class TestReceivedPrice:
+    def test_clean_meter_gets_original(self):
+        process = make_process(q=0.0)
+        prices = np.linspace(0.02, 0.05, 24)
+        out = process.received_price(0, prices)
+        np.testing.assert_array_equal(out, prices)
+        assert out is not prices  # defensive copy
+
+    def test_hacked_meter_gets_manipulated(self):
+        process = make_process(q=1.0)
+        process.step()
+        prices = np.linspace(0.02, 0.05, 24)
+        out = process.received_price(0, prices)
+        assert not np.array_equal(out, prices)
+        assert np.all(out <= prices + 1e-12)  # peak-increase attacks only lower
+
+    def test_meter_id_range(self):
+        process = make_process()
+        with pytest.raises(IndexError):
+            process.received_price(6, np.zeros(24))
+
+
+class TestDrawAttack:
+    def test_attack_parameters_in_range(self):
+        process = make_process(strength_range=(0.3, 0.8), window_hours=(2, 4))
+        for _ in range(50):
+            attack = process.draw_attack()
+            assert 0.3 <= attack.strength <= 0.8
+            width = attack.end_slot - attack.start_slot + 1
+            assert 2 <= width <= 4
+            assert 0 <= attack.start_slot
+            assert attack.end_slot < 24
+
+    def test_statistical_compromise_rate(self):
+        """Empirical per-slot hack rate matches the configured probability."""
+        hits = 0
+        trials = 400
+        for seed in range(trials):
+            process = make_process(q=0.3, n=1, seed=seed)
+            process.step()
+            hits += process.n_hacked
+        assert hits / trials == pytest.approx(0.3, abs=0.06)

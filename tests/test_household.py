@@ -1,0 +1,97 @@
+"""Tests for the single-household response simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BatteryConfig, GameConfig
+from repro.scheduling.household import HouseholdResponseSimulator
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=2,
+    inner_iterations=1,
+    ce_samples=12,
+    ce_elites=3,
+    ce_iterations=4,
+)
+
+
+@pytest.fixture
+def plain_household():
+    return HouseholdResponseSimulator(make_customer(0), game_config=FAST)
+
+
+@pytest.fixture
+def nm_household():
+    customer = make_customer(
+        1,
+        battery=BatteryConfig(
+            capacity_kwh=2.0, initial_kwh=0.0, max_charge_kw=1.0, max_discharge_kw=1.0
+        ),
+        pv_peak=0.8,
+    )
+    return HouseholdResponseSimulator(customer, game_config=FAST)
+
+
+def prices(value: float = 0.03) -> np.ndarray:
+    return np.full(HORIZON, value)
+
+
+class TestLoadResponse:
+    def test_includes_base_and_tasks(self, plain_household):
+        load = plain_household.load_response(prices())
+        customer = plain_household.customer
+        assert load.sum() == pytest.approx(
+            customer.base_load_array.sum() + customer.total_task_energy
+        )
+
+    def test_chases_cheap_slots(self, plain_household):
+        p = prices()
+        p[10:12] = 0.001  # inside the washer window (8-15)
+        load = plain_household.load_response(p)
+        flat_load = plain_household.load_response(prices())
+        assert load[10:12].sum() >= flat_load[10:12].sum()
+
+    def test_cached(self, plain_household):
+        a = plain_household.load_response(prices())
+        b = plain_household.load_response(prices())
+        np.testing.assert_array_equal(a, b)
+        # defensive copies: mutating the result must not poison the cache
+        a[0] = 99.0
+        c = plain_household.load_response(prices())
+        assert c[0] != 99.0
+
+    def test_shape_validation(self, plain_household):
+        with pytest.raises(ValueError, match="prices"):
+            plain_household.load_response(np.ones(5))
+
+
+class TestNetResponse:
+    def test_plain_household_net_equals_load(self, plain_household):
+        p = prices()
+        np.testing.assert_array_equal(
+            plain_household.net_response(p), plain_household.load_response(p)
+        )
+
+    def test_nm_household_nets_out_pv(self, nm_household):
+        p = prices()
+        net = nm_household.net_response(p)
+        load = nm_household.load_response(p)
+        # daytime PV means buying less (or selling) at midday
+        assert net[10:15].sum() < load[10:15].sum()
+
+    def test_negative_prices_handled(self, nm_household):
+        p = prices()
+        p[16] = 0.0
+        net = nm_household.net_response(p)
+        assert np.all(np.isfinite(net))
+
+    def test_energy_balance(self, nm_household):
+        """Net purchases = load + battery gain - PV over the day."""
+        p = prices()
+        net = nm_household.net_response(p)
+        load = nm_household.load_response(p)
+        pv = nm_household.customer.pv_array
+        battery_gain = net.sum() - (load.sum() - pv.sum())
+        capacity = nm_household.customer.battery.capacity_kwh
+        assert -1e-9 <= battery_gain <= capacity + 1e-9

@@ -1,0 +1,72 @@
+"""Tests for the game-based community load prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GameConfig
+from repro.prediction.load import predict_community_load
+from repro.scheduling.game import Community
+from tests.conftest import HORIZON, make_customer
+from repro.core.config import BatteryConfig
+
+FAST = GameConfig(
+    max_rounds=2,
+    inner_iterations=1,
+    ce_samples=8,
+    ce_elites=2,
+    ce_iterations=2,
+    convergence_tol=0.1,
+)
+
+
+@pytest.fixture
+def community():
+    nm = make_customer(
+        1,
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        pv_peak=0.6,
+    )
+    return Community(customers=(make_customer(0), nm), counts=(4, 4))
+
+
+class TestPredictCommunityLoad:
+    def test_aware_prediction(self, community, rng):
+        prediction = predict_community_load(
+            community, np.full(HORIZON, 0.03), aware=True, config=FAST, rng=rng
+        )
+        assert prediction.aware
+        assert prediction.load.shape == (HORIZON,)
+        assert prediction.par >= 1.0
+        assert prediction.grid_par >= 1.0
+
+    def test_unaware_strips_net_metering(self, community, rng):
+        prediction = predict_community_load(
+            community, np.full(HORIZON, 0.03), aware=False, config=FAST, rng=rng
+        )
+        assert not prediction.aware
+        # without PV or batteries, grid demand equals consumption
+        np.testing.assert_allclose(prediction.grid_demand, prediction.load)
+
+    def test_aware_grid_differs_from_load(self, community, rng):
+        prediction = predict_community_load(
+            community, np.full(HORIZON, 0.03), aware=True, config=FAST, rng=rng
+        )
+        assert not np.allclose(prediction.grid_demand, prediction.load)
+
+    def test_energy_conserved(self, community, rng):
+        prediction = predict_community_load(
+            community, np.full(HORIZON, 0.03), aware=True, config=FAST, rng=rng
+        )
+        expected = sum(
+            count * (c.base_load_array.sum() + c.total_task_energy)
+            for c, count in zip(community.customers, community.counts)
+        )
+        assert prediction.load.sum() == pytest.approx(expected)
+
+    def test_game_result_attached(self, community, rng):
+        prediction = predict_community_load(
+            community, np.full(HORIZON, 0.03), aware=True, config=FAST, rng=rng
+        )
+        assert prediction.game.rounds >= 1

@@ -1,0 +1,75 @@
+"""Extended load-prediction tests: aware/unaware structural relations."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BatteryConfig, GameConfig
+from repro.prediction.load import predict_community_load
+from repro.scheduling.game import Community
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=2, inner_iterations=1, ce_samples=8, ce_elites=2, ce_iterations=2
+)
+
+BATTERY = BatteryConfig(
+    capacity_kwh=1.5, initial_kwh=0.0, max_charge_kw=0.75, max_discharge_kw=0.75
+)
+
+
+@pytest.fixture(scope="module")
+def community():
+    plain = make_customer(0)
+    solar = make_customer(1, battery=BATTERY, pv_peak=0.7)
+    return Community(customers=(plain, solar), counts=(4, 4))
+
+
+class TestAwareUnawareRelations:
+    def test_unaware_ignores_nm_by_construction(self, community, rng):
+        """The unaware prediction is bit-identical to an aware prediction on
+        the stripped community."""
+        prices = np.full(HORIZON, 0.03)
+        unaware = predict_community_load(
+            community, prices, aware=False, config=FAST,
+            rng=np.random.default_rng(1),
+        )
+        stripped = predict_community_load(
+            community.without_net_metering(), prices, aware=True, config=FAST,
+            rng=np.random.default_rng(1),
+        )
+        np.testing.assert_allclose(unaware.load, stripped.load)
+        np.testing.assert_allclose(unaware.grid_demand, stripped.grid_demand)
+
+    def test_aware_buys_less_total_energy(self, community, rng):
+        """PV self-consumption means aware grid totals are lower."""
+        prices = np.full(HORIZON, 0.03)
+        aware = predict_community_load(
+            community, prices, aware=True, config=FAST, rng=rng
+        )
+        unaware = predict_community_load(
+            community, prices, aware=False, config=FAST,
+            rng=np.random.default_rng(0),
+        )
+        assert aware.grid_demand.sum() < unaware.grid_demand.sum()
+
+    def test_consumption_total_identical(self, community, rng):
+        """Both variants schedule the same appliance energy — only the grid
+        position differs."""
+        prices = np.full(HORIZON, 0.03)
+        aware = predict_community_load(
+            community, prices, aware=True, config=FAST, rng=rng
+        )
+        unaware = predict_community_load(
+            community, prices, aware=False, config=FAST,
+            rng=np.random.default_rng(0),
+        )
+        assert aware.load.sum() == pytest.approx(unaware.load.sum())
+
+    def test_sellback_divisor_passes_through(self, community, rng):
+        prices = np.full(HORIZON, 0.03)
+        generous = predict_community_load(
+            community, prices, aware=True, config=FAST,
+            sellback_divisor=1.0, rng=np.random.default_rng(2),
+        )
+        assert generous.load.shape == (HORIZON,)
+        assert generous.par >= 1.0

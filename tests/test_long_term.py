@@ -1,0 +1,109 @@
+"""Tests for the POMDP-driven long-term monitoring loop."""
+
+import numpy as np
+import pytest
+
+from repro.detection.long_term import LongTermDetector, MonitoringStep
+from repro.detection.pomdp import MONITOR, REPAIR, build_detection_pomdp
+from repro.detection.solvers import PbviPolicy
+
+
+@pytest.fixture
+def model():
+    return build_detection_pomdp(
+        5,
+        hack_probability=0.1,
+        tp_rate=0.9,
+        fp_rate=0.05,
+        damage_per_meter=1.5,
+        repair_fixed_cost=2.0,
+        repair_cost_per_meter=1.0,
+        discount=0.9,
+    )
+
+
+class TestLongTermDetector:
+    def test_initial_state(self, model):
+        detector = LongTermDetector(model)
+        assert detector.n_repairs == 0
+        assert detector.steps == ()
+        assert detector.belief[0] == 1.0
+
+    def test_quiet_observations_keep_monitoring(self, model):
+        detector = LongTermDetector(model)
+        for _ in range(6):
+            step = detector.step(0)
+        assert all(s.action == MONITOR for s in detector.steps)
+        assert step.belief_mean < 0.6
+
+    def test_loud_observations_trigger_repair(self, model):
+        detector = LongTermDetector(model)
+        actions = [detector.step(5).action for _ in range(4)]
+        assert REPAIR in actions
+
+    def test_belief_mean_tracks_observations(self, model):
+        detector = LongTermDetector(model)
+        low = detector.step(0).belief_mean
+        high = detector.step(5).belief_mean
+        assert high > low
+
+    def test_observation_range_validation(self, model):
+        detector = LongTermDetector(model)
+        with pytest.raises(ValueError):
+            detector.step(6)
+        with pytest.raises(ValueError):
+            detector.step(-1)
+
+    def test_reset(self, model):
+        detector = LongTermDetector(model)
+        detector.step(5)
+        detector.reset()
+        assert detector.steps == ()
+        assert detector.belief[0] == 1.0
+
+    def test_trace_slots_increment(self, model):
+        detector = LongTermDetector(model)
+        for i in range(5):
+            step = detector.step(1)
+            assert step.slot == i
+
+    def test_repair_counter(self, model):
+        detector = LongTermDetector(model)
+        for _ in range(8):
+            detector.step(5)
+        assert detector.n_repairs == sum(s.repaired for s in detector.steps)
+        assert detector.n_repairs >= 1
+
+    def test_pbvi_policy_plugs_in(self, model):
+        policy = PbviPolicy(model, n_beliefs=24, n_backups=10)
+        detector = LongTermDetector(model, policy=policy)
+        actions = [detector.step(5).action for _ in range(4)]
+        assert REPAIR in actions
+
+    def test_noisy_detector_is_more_hesitant(self):
+        """With an uninformative observation channel the belief follows the
+        hacking prior, so a burst of flags triggers repair later (or not at
+        all) compared to a sharp channel."""
+
+        def repairs_with(fp):
+            model = build_detection_pomdp(
+                5,
+                hack_probability=0.02,
+                tp_rate=0.9,
+                fp_rate=fp,
+                damage_per_meter=1.0,
+                repair_fixed_cost=2.0,
+                discount=0.9,
+            )
+            detector = LongTermDetector(model)
+            return sum(detector.step(3).repaired for _ in range(6))
+
+        assert repairs_with(0.55) <= repairs_with(0.05)
+
+
+class TestMonitoringStep:
+    def test_repaired_property(self):
+        step = MonitoringStep(slot=0, observation=2, action=REPAIR, belief_mean=1.5)
+        assert step.repaired
+        step = MonitoringStep(slot=0, observation=2, action=MONITOR, belief_mean=1.5)
+        assert not step.repaired

@@ -1,0 +1,108 @@
+"""Tests for detection-accuracy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.accuracy import (
+    ClassificationCounts,
+    confusion_counts,
+    detection_rates,
+    observation_accuracy,
+    per_meter_accuracy,
+)
+
+
+class TestClassificationCounts:
+    def test_accuracy(self):
+        counts = ClassificationCounts(
+            true_positives=8, false_positives=2, true_negatives=85, false_negatives=5
+        )
+        assert counts.total == 100
+        assert counts.accuracy == pytest.approx(0.93)
+
+    def test_rates(self):
+        counts = ClassificationCounts(
+            true_positives=9, false_positives=1, true_negatives=99, false_negatives=1
+        )
+        assert counts.true_positive_rate == pytest.approx(0.9)
+        assert counts.false_positive_rate == pytest.approx(0.01)
+
+    def test_empty_raises(self):
+        counts = ClassificationCounts(0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            _ = counts.accuracy
+
+    def test_no_positives_raises(self):
+        counts = ClassificationCounts(0, 1, 5, 0)
+        with pytest.raises(ValueError):
+            _ = counts.true_positive_rate
+
+    def test_merged(self):
+        a = ClassificationCounts(1, 2, 3, 4)
+        b = ClassificationCounts(10, 20, 30, 40)
+        merged = a.merged(b)
+        assert merged == ClassificationCounts(11, 22, 33, 44)
+
+
+class TestConfusionCounts:
+    def test_perfect(self):
+        truth = np.array([[True, False], [False, True]])
+        counts = confusion_counts(truth, truth)
+        assert counts.true_positives == 2
+        assert counts.true_negatives == 2
+        assert counts.false_positives == 0
+        assert counts.false_negatives == 0
+
+    def test_all_wrong(self):
+        truth = np.array([True, False, True])
+        flagged = ~truth
+        counts = confusion_counts(truth, flagged)
+        assert counts.accuracy == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            confusion_counts(np.array([True]), np.array([True, False]))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            confusion_counts(np.array([], dtype=bool), np.array([], dtype=bool))
+
+    @given(
+        arrays(np.bool_, (6, 4)),
+        arrays(np.bool_, (6, 4)),
+    )
+    def test_counts_partition_total(self, truth, flagged):
+        counts = confusion_counts(truth, flagged)
+        assert counts.total == truth.size
+        assert 0.0 <= counts.accuracy <= 1.0
+
+
+class TestPerMeterAccuracy:
+    def test_matches_paper_metric_semantics(self):
+        """Fraction of meter-slot pairs classified correctly."""
+        truth = np.zeros((10, 10), dtype=bool)
+        truth[:, 0] = True
+        flagged = np.zeros((10, 10), dtype=bool)
+        assert per_meter_accuracy(truth, flagged) == pytest.approx(0.9)
+
+
+class TestObservationAccuracy:
+    def test_exact_count_match(self):
+        assert observation_accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+        assert observation_accuracy([0, 1, 2], [0, 1, 3]) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            observation_accuracy([1], [1, 2])
+
+
+class TestDetectionRates:
+    def test_rates_tuple(self):
+        truth = np.array([True, True, False, False])
+        flagged = np.array([True, False, True, False])
+        tp, fp = detection_rates(truth, flagged)
+        assert tp == pytest.approx(0.5)
+        assert fp == pytest.approx(0.5)

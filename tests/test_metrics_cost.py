@@ -1,0 +1,43 @@
+"""Tests for labor-cost accounting."""
+
+import pytest
+
+from repro.metrics.cost import LaborCostModel, normalized_labor_cost
+
+
+class TestLaborCostModel:
+    def test_dispatch_cost(self):
+        model = LaborCostModel(fixed_cost=2.0, per_meter_cost=1.0)
+        assert model.dispatch_cost(0) == 2.0
+        assert model.dispatch_cost(3) == 5.0
+
+    def test_total_cost(self):
+        model = LaborCostModel(fixed_cost=2.0, per_meter_cost=0.5)
+        assert model.total_cost([1, 2, 3]) == pytest.approx(3 * 2.0 + 0.5 * 6)
+
+    def test_total_cost_empty(self):
+        assert LaborCostModel().total_cost([]) == 0.0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            LaborCostModel(fixed_cost=-1.0)
+
+    def test_rejects_negative_repairs(self):
+        with pytest.raises(ValueError):
+            LaborCostModel().dispatch_cost(-1)
+        with pytest.raises(ValueError):
+            LaborCostModel().total_cost([1, -2])
+
+
+class TestNormalizedLaborCost:
+    def test_paper_table1_value(self):
+        """Table 1: aware labor is 1.0067x the unaware baseline."""
+        assert normalized_labor_cost(10.067, 10.0) == pytest.approx(1.0067)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalized_labor_cost(1.0, 0.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            normalized_labor_cost(-1.0, 1.0)

@@ -1,0 +1,71 @@
+"""Tests for forecast-error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.errors import mae, mape, rmse, smape
+
+
+class TestRmse:
+    def test_zero_for_perfect(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert rmse(a, a) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            rmse([np.nan], [1.0])
+
+    @given(
+        arrays(np.float64, 12, elements=st.floats(-1e3, 1e3)),
+        arrays(np.float64, 12, elements=st.floats(-1e3, 1e3)),
+    )
+    def test_rmse_at_least_mae(self, a, b):
+        """RMSE >= MAE by Jensen's inequality."""
+        assert rmse(a, b) >= mae(a, b) - 1e-9
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_symmetry(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([2.0, 3.0])
+        assert mae(a, b) == mae(b, a)
+
+
+class TestMape:
+    def test_known_value(self):
+        assert mape([2.0, 4.0], [1.0, 5.0]) == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_rejects_zero_actual(self):
+        with pytest.raises(ValueError, match="smape"):
+            mape([0.0, 1.0], [1.0, 1.0])
+
+
+class TestSmape:
+    def test_zero_for_perfect(self):
+        assert smape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_bounded_by_two(self):
+        assert smape([1.0], [-1.0]) <= 2.0
+
+    def test_handles_zeros(self):
+        assert smape([0.0, 0.0], [0.0, 0.0]) == 0.0
+
+    @given(
+        arrays(np.float64, 8, elements=st.floats(0.0, 100.0)),
+        arrays(np.float64, 8, elements=st.floats(0.0, 100.0)),
+    )
+    def test_smape_range(self, a, b):
+        assert 0.0 <= smape(a, b) <= 2.0 + 1e-9

@@ -1,0 +1,111 @@
+"""Unit and property tests for the PAR metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.par import par, par_increase, par_series, relative_par_increase
+
+
+class TestPar:
+    def test_flat_profile_has_par_one(self):
+        assert par(np.full(24, 3.0)) == pytest.approx(1.0)
+
+    def test_single_spike(self):
+        load = np.ones(10)
+        load[3] = 10.0
+        assert par(load) == pytest.approx(10.0 / 1.9)
+
+    def test_scale_invariance(self):
+        load = np.array([1.0, 2.0, 3.0, 4.0])
+        assert par(load) == pytest.approx(par(load * 7.5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            par(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            par(np.array([1.0, -0.1, 2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            par(np.array([1.0, np.nan]))
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ValueError, match="mean"):
+            par(np.zeros(5))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            par(np.ones((2, 3)))
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=48),
+            elements=st.floats(min_value=0.01, max_value=1e6),
+        )
+    )
+    def test_par_at_least_one(self, load):
+        """PAR >= 1 for any positive profile (max >= mean)."""
+        assert par(load) >= 1.0 - 1e-12
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=24),
+            elements=st.floats(min_value=0.01, max_value=1e3),
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_par_scale_invariant_property(self, load, scale):
+        assert par(load * scale) == pytest.approx(par(load), rel=1e-9)
+
+
+class TestParSeries:
+    def test_daily_windows(self):
+        day1 = np.ones(24)
+        day2 = np.ones(24)
+        day2[12] = 5.0
+        series = par_series(np.concatenate([day1, day2]), window=24)
+        assert series.shape == (2,)
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] > 1.0
+
+    def test_rejects_nondivisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            par_series(np.ones(25), window=24)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            par_series(np.ones(24), window=0)
+
+
+class TestParIncrease:
+    def test_basic(self):
+        assert par_increase(1.9, 1.4) == pytest.approx(0.5)
+
+    def test_negative_when_received_flatter(self):
+        assert par_increase(1.2, 1.5) == pytest.approx(-0.3)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            par_increase(np.inf, 1.0)
+
+
+class TestRelativeParIncrease:
+    def test_paper_fig5_vs_fig4(self):
+        """The paper quotes (1.9037 - 1.3986) / 1.3986 = 36.11%."""
+        value = relative_par_increase(1.9037, 1.3986)
+        assert value == pytest.approx(0.3611, abs=1e-3)
+
+    def test_paper_fig5_vs_fig3(self):
+        value = relative_par_increase(1.9037, 1.4700)
+        assert value == pytest.approx(0.2950, abs=1e-3)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_par_increase(1.5, 0.0)

@@ -1,0 +1,134 @@
+"""Integration tests across the net-metering stack.
+
+These tie together battery dynamics, trading, the cost model and the
+game: the economic behaviours the paper's Section 2-3 model implies
+(arbitrage direction, PV self-consumption, sell-back limits) must emerge
+from the composed system, not just from unit-level formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BatteryConfig, GameConfig
+from repro.netmetering.trading import net_position
+from repro.scheduling.game import Community, SchedulingGame
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=3,
+    inner_iterations=1,
+    ce_samples=16,
+    ce_elites=4,
+    ce_iterations=6,
+    convergence_tol=0.05,
+)
+
+BATTERY = BatteryConfig(
+    capacity_kwh=2.0, initial_kwh=0.0, max_charge_kw=1.0, max_discharge_kw=1.0
+)
+
+
+def solve(community, prices, *, w=2.0, seed=0):
+    game = SchedulingGame(community, prices, sellback_divisor=w, config=FAST)
+    return game.solve(rng=np.random.default_rng(seed)), game
+
+
+class TestArbitrageDirection:
+    def test_battery_charges_cheap_discharges_expensive(self):
+        """A two-tier tariff moves stored energy from the cheap half of the
+        day into the expensive evening."""
+        customer = make_customer(0, battery=BATTERY)
+        community = Community(customers=(customer,), counts=(8,))
+        prices = np.full(HORIZON, 0.01)
+        prices[17:22] = 0.08
+        result, _ = solve(community, prices)
+        trajectory = result.states[0].battery_trajectory
+        # stored energy exists before the expensive block...
+        assert trajectory[17] > 0.3
+        # ...and is drawn down across it
+        assert trajectory[22] < trajectory[17]
+
+    def test_flat_price_battery_smooths_demand(self):
+        """Even at a flat posted price the quadratic tariff rewards
+        valley-filling: battery activity must not make the customer's
+        trading profile rougher than the no-battery profile."""
+        with_battery = make_customer(0, battery=BATTERY)
+        without = make_customer(0)
+        prices = np.full(HORIZON, 0.03)
+        result_b, _ = solve(Community(customers=(with_battery,), counts=(8,)), prices)
+        result_n, _ = solve(Community(customers=(without,), counts=(8,)), prices)
+        roughness_b = np.std(result_b.states[0].trading)
+        roughness_n = np.std(result_n.states[0].trading)
+        assert roughness_b <= roughness_n + 0.05
+
+    def test_battery_rate_limits_respected_in_game(self):
+        customer = make_customer(0, battery=BATTERY)
+        community = Community(customers=(customer,), counts=(8,))
+        result, _ = solve(community, np.full(HORIZON, 0.03))
+        deltas = np.diff(result.states[0].battery_trajectory)
+        assert np.all(deltas <= BATTERY.max_charge_kw + 1e-9)
+        assert np.all(-deltas <= BATTERY.max_discharge_kw + 1e-9)
+
+
+class TestPvInteraction:
+    def test_pv_reduces_total_purchases(self):
+        base = make_customer(0)
+        solar = make_customer(1, pv_peak=0.8)
+        result_base, _ = solve(
+            Community(customers=(base,), counts=(8,)), np.full(HORIZON, 0.03)
+        )
+        result_solar, _ = solve(
+            Community(customers=(solar,), counts=(8,)), np.full(HORIZON, 0.03)
+        )
+        assert (
+            result_solar.grid_demand.sum() < result_base.grid_demand.sum()
+        )
+
+    def test_midday_pv_shaves_midday_demand(self):
+        solar = make_customer(1, pv_peak=0.8)
+        community = Community(customers=(solar,), counts=(8,))
+        result, _ = solve(community, np.full(HORIZON, 0.03))
+        grid = result.grid_demand
+        assert grid[11:15].mean() < grid[0:4].mean() + 0.5
+
+
+class TestSellbackEconomics:
+    def test_lower_w_sells_at_least_as_much(self):
+        """W = 1 (full price) never sells less than W = 4 (quarter price)."""
+        solar = make_customer(
+            1,
+            battery=BATTERY,
+            pv_peak=1.5,
+            base=0.2,
+        )
+        community = Community(customers=(solar,), counts=(6,))
+        prices = np.full(HORIZON, 0.03)
+
+        def total_sold(w):
+            result, _ = solve(community, prices, w=w)
+            sold = 0.0
+            for state, count in zip(result.states, result.counts):
+                _, s = net_position(state.trading)
+                sold += count * s.sum()
+            return sold
+
+        assert total_sold(1.0) >= total_sold(4.0) - 1e-6
+
+    def test_community_cost_consistency(self):
+        """Summed per-customer costs equal the community quadratic bill
+        when everyone is buying (no sell-back wedge)."""
+        community = Community(
+            customers=(make_customer(0), make_customer(1)), counts=(3, 3)
+        )
+        result, game = solve(community, np.full(HORIZON, 0.03))
+        total = result.community_trading
+        if np.all(total >= 0):
+            summed = 0.0
+            for state, count in zip(result.states, result.counts):
+                others = total - state.trading
+                summed += count * game.cost_model.customer_cost(
+                    state.trading, others
+                )
+            assert summed == pytest.approx(
+                game.cost_model.community_cost(total), rel=1e-6
+            )

@@ -1,0 +1,89 @@
+"""Tests for the heuristic monitoring policies."""
+
+import numpy as np
+import pytest
+
+from repro.detection.long_term import LongTermDetector
+from repro.detection.policies import (
+    AlwaysRepair,
+    NeverRepair,
+    ObservationThreshold,
+    PeriodicRepair,
+)
+from repro.detection.pomdp import MONITOR, REPAIR, build_detection_pomdp
+
+
+@pytest.fixture
+def belief():
+    b = np.zeros(6)
+    b[3] = 1.0
+    return b
+
+
+class TestSimplePolicies:
+    def test_never_repair(self, belief):
+        assert NeverRepair().action(belief) == MONITOR
+
+    def test_always_repair(self, belief):
+        assert AlwaysRepair().action(belief) == REPAIR
+
+
+class TestPeriodicRepair:
+    def test_cadence(self, belief):
+        policy = PeriodicRepair(period=3)
+        actions = [policy.action(belief) for _ in range(9)]
+        assert actions == [MONITOR, MONITOR, REPAIR] * 3
+
+    def test_period_one_is_always(self, belief):
+        policy = PeriodicRepair(period=1)
+        assert all(policy.action(belief) == REPAIR for _ in range(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicRepair(period=0)
+
+
+class TestObservationThreshold:
+    def test_below_threshold_monitors(self):
+        policy = ObservationThreshold(threshold=2.0)
+        belief = np.array([0.5, 0.5, 0.0, 0.0])
+        assert policy.action(belief) == MONITOR
+
+    def test_at_threshold_repairs(self):
+        policy = ObservationThreshold(threshold=2.0)
+        belief = np.array([0.0, 0.0, 1.0, 0.0])
+        assert policy.action(belief) == REPAIR
+
+    def test_zero_threshold_always_repairs(self):
+        policy = ObservationThreshold(threshold=0.0)
+        assert policy.action(np.array([1.0, 0.0])) == REPAIR
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObservationThreshold(threshold=-1.0)
+
+
+class TestPoliciesInDetectorLoop:
+    @pytest.fixture
+    def model(self):
+        return build_detection_pomdp(
+            4, hack_probability=0.2, tp_rate=0.9, fp_rate=0.05
+        )
+
+    def test_never_repair_in_loop(self, model):
+        detector = LongTermDetector(model, policy=NeverRepair())
+        for _ in range(6):
+            detector.step(4)
+        assert detector.n_repairs == 0
+
+    def test_periodic_in_loop(self, model):
+        detector = LongTermDetector(model, policy=PeriodicRepair(period=2))
+        for _ in range(6):
+            detector.step(0)
+        assert detector.n_repairs == 3
+
+    def test_threshold_policy_responds_to_observations(self, model):
+        detector = LongTermDetector(model, policy=ObservationThreshold(1.5))
+        quiet = [detector.step(0).repaired for _ in range(3)]
+        loud = [detector.step(4).repaired for _ in range(3)]
+        assert sum(loud) > sum(quiet)

@@ -1,0 +1,206 @@
+"""Tests for the POMDP model, belief filter and solvers."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.detection.pomdp import (
+    MONITOR,
+    REPAIR,
+    PomdpModel,
+    _flag_count_pmf,
+    build_detection_pomdp,
+)
+from repro.detection.solvers import (
+    BeliefFilter,
+    PbviPolicy,
+    QmdpPolicy,
+    value_iteration_mdp,
+)
+
+
+@pytest.fixture
+def model() -> PomdpModel:
+    return build_detection_pomdp(
+        4,
+        hack_probability=0.1,
+        tp_rate=0.9,
+        fp_rate=0.05,
+        damage_per_meter=1.0,
+        repair_fixed_cost=2.0,
+        repair_cost_per_meter=1.0,
+        discount=0.9,
+    )
+
+
+class TestFlagCountPmf:
+    def test_sums_to_one(self):
+        pmf = _flag_count_pmf(3, 5, 0.8, 0.1)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf.shape == (9,)
+
+    def test_perfect_detector(self):
+        pmf = _flag_count_pmf(3, 5, 1.0, 0.0)
+        assert pmf[3] == pytest.approx(1.0)
+
+    def test_matches_binomial_when_no_clean(self):
+        pmf = _flag_count_pmf(4, 0, 0.7, 0.5)
+        np.testing.assert_allclose(pmf, stats.binom.pmf(np.arange(5), 4, 0.7))
+
+
+class TestBuildDetectionPomdp:
+    def test_shapes(self, model):
+        assert model.n_states == 5
+        assert model.n_actions == 2
+        assert model.n_observations == 5
+
+    def test_transition_rows_stochastic(self, model):
+        np.testing.assert_allclose(model.transitions.sum(axis=2), 1.0)
+
+    def test_monitor_growth_only(self, model):
+        """Under monitoring the hacked count never decreases."""
+        t = model.transitions[MONITOR]
+        for s in range(model.n_states):
+            assert t[s, :s].sum() == pytest.approx(0.0)
+
+    def test_repair_resets_then_reinfects(self, model):
+        """Repair rows are the fresh-compromise distribution from zero."""
+        t = model.transitions[REPAIR]
+        expected = stats.binom.pmf(np.arange(5), 4, 0.1)
+        for s in range(model.n_states):
+            np.testing.assert_allclose(t[s], expected, atol=1e-12)
+
+    def test_rewards_structure(self, model):
+        assert model.rewards[MONITOR, 0] == 0.0
+        assert model.rewards[MONITOR, 3] == -3.0
+        assert model.rewards[REPAIR, 0] == -2.0
+        assert model.rewards[REPAIR, 3] == -3.0 - 2.0 - 3.0
+
+    def test_validation_catches_bad_rows(self, model):
+        bad = model.transitions.copy()
+        bad[0, 0, 0] += 0.5
+        with pytest.raises(ValueError, match="transition rows"):
+            PomdpModel(
+                transitions=bad,
+                observations=model.observations,
+                rewards=model.rewards,
+                discount=model.discount,
+            )
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            build_detection_pomdp(3, hack_probability=0.1, tp_rate=1.2, fp_rate=0.0)
+
+
+class TestValueIteration:
+    def test_q_values_negative(self, model):
+        q = value_iteration_mdp(model)
+        assert q.shape == (2, 5)
+        assert np.all(q <= 1e-9)
+
+    def test_monitor_preferred_when_clean(self, model):
+        q = value_iteration_mdp(model)
+        assert q[MONITOR, 0] > q[REPAIR, 0]
+
+    def test_repair_preferred_when_saturated(self, model):
+        q = value_iteration_mdp(model)
+        assert q[REPAIR, 4] > q[MONITOR, 4]
+
+    def test_zero_damage_never_repair(self):
+        model = build_detection_pomdp(
+            3, hack_probability=0.2, tp_rate=0.9, fp_rate=0.05, damage_per_meter=0.0
+        )
+        q = value_iteration_mdp(model)
+        assert np.all(q[MONITOR] >= q[REPAIR])
+
+
+class TestBeliefFilter:
+    def test_initial_belief(self, model):
+        belief = BeliefFilter(model).belief
+        assert belief[0] == 1.0
+        assert belief.sum() == pytest.approx(1.0)
+
+    def test_update_normalizes(self, model):
+        filt = BeliefFilter(model)
+        for o in (0, 1, 2, 1):
+            belief = filt.update(MONITOR, o)
+            assert belief.sum() == pytest.approx(1.0)
+            assert np.all(belief >= 0)
+
+    def test_high_observation_raises_expected_state(self, model):
+        filt = BeliefFilter(model)
+        before = filt.expected_state()
+        filt.update(MONITOR, 4)
+        assert filt.expected_state() > before
+
+    def test_repair_action_pulls_toward_clean(self, model):
+        filt = BeliefFilter(model)
+        for _ in range(4):
+            filt.update(MONITOR, 4)
+        high = filt.expected_state()
+        filt.update(REPAIR, 0)
+        assert filt.expected_state() < high
+
+    def test_reset_custom_belief(self, model):
+        filt = BeliefFilter(model)
+        filt.reset(np.array([0.0, 0.0, 1.0, 0.0, 0.0]))
+        assert filt.expected_state() == pytest.approx(2.0)
+
+    def test_reset_rejects_bad_belief(self, model):
+        filt = BeliefFilter(model)
+        with pytest.raises(ValueError):
+            filt.reset(np.array([0.5, 0.5, 0.5, 0.0, 0.0]))
+
+    def test_bayes_correctness_two_state(self):
+        """Hand-checkable two-state POMDP: posterior matches Bayes' rule."""
+        transitions = np.zeros((1, 2, 2))
+        transitions[0] = np.array([[0.9, 0.1], [0.0, 1.0]])
+        observations = np.zeros((1, 2, 2))
+        observations[0] = np.array([[0.8, 0.2], [0.3, 0.7]])
+        rewards = np.zeros((1, 2))
+        model = PomdpModel(
+            transitions=transitions,
+            observations=observations,
+            rewards=rewards,
+            discount=0.9,
+        )
+        filt = BeliefFilter(model)
+        belief = filt.update(0, 1)
+        # predicted = [0.9, 0.1]; likelihood of o=1: [0.2, 0.7]
+        expected = np.array([0.9 * 0.2, 0.1 * 0.7])
+        expected /= expected.sum()
+        np.testing.assert_allclose(belief, expected)
+
+
+class TestPolicies:
+    def test_qmdp_repairs_on_high_belief(self, model):
+        policy = QmdpPolicy(model)
+        clean = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        saturated = np.array([0.0, 0.0, 0.0, 0.0, 1.0])
+        assert policy.action(clean) == MONITOR
+        assert policy.action(saturated) == REPAIR
+
+    def test_qmdp_value_monotone_in_damage_state(self, model):
+        policy = QmdpPolicy(model)
+        v0 = policy.value(np.eye(5)[0])
+        v4 = policy.value(np.eye(5)[4])
+        assert v0 > v4
+
+    def test_pbvi_matches_qmdp_on_extremes(self, model):
+        pbvi = PbviPolicy(model, n_beliefs=48, n_backups=25, rng=np.random.default_rng(0))
+        assert pbvi.action(np.eye(5)[0]) == MONITOR
+        assert pbvi.action(np.eye(5)[4]) == REPAIR
+
+    def test_pbvi_value_lower_bounds_optimal(self, model):
+        """PBVI values are a lower bound; QMDP upper-bounds the optimum."""
+        pbvi = PbviPolicy(model, n_beliefs=48, n_backups=25, rng=np.random.default_rng(0))
+        qmdp = QmdpPolicy(model)
+        for belief in np.eye(5):
+            assert pbvi.value(belief) <= qmdp.value(belief) + 1e-6
+
+    def test_policy_belief_shape_validation(self, model):
+        with pytest.raises(ValueError):
+            QmdpPolicy(model).action(np.ones(3) / 3)
+        pbvi = PbviPolicy(model, n_beliefs=8, n_backups=3)
+        with pytest.raises(ValueError):
+            pbvi.action(np.ones(3) / 3)

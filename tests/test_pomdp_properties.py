@@ -1,0 +1,157 @@
+"""Property-based tests on the POMDP model and belief dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.pomdp import MONITOR, REPAIR, build_detection_pomdp
+from repro.detection.solvers import BeliefFilter, QmdpPolicy, value_iteration_mdp
+
+
+def make_model(q=0.1, tp=0.9, fp=0.05, n=5, damage=1.0, discount=0.9):
+    return build_detection_pomdp(
+        n,
+        hack_probability=q,
+        tp_rate=tp,
+        fp_rate=fp,
+        damage_per_meter=damage,
+        repair_fixed_cost=2.0,
+        repair_cost_per_meter=1.0,
+        discount=discount,
+    )
+
+
+class TestModelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        q=st.floats(0.0, 1.0),
+        tp=st.floats(0.0, 1.0),
+        fp=st.floats(0.0, 1.0),
+        n=st.integers(1, 12),
+    )
+    def test_stochastic_matrices(self, q, tp, fp, n):
+        model = make_model(q=q, tp=tp, fp=fp, n=n)
+        np.testing.assert_allclose(model.transitions.sum(axis=2), 1.0, atol=1e-8)
+        np.testing.assert_allclose(model.observations.sum(axis=2), 1.0, atol=1e-8)
+        assert np.all(model.transitions >= -1e-12)
+        assert np.all(model.observations >= -1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(q=st.floats(0.01, 0.5), n=st.integers(2, 10))
+    def test_monitor_expected_growth(self, q, n):
+        """E[s' | s, monitor] = s + (n - s) q exactly (binomial mean)."""
+        model = make_model(q=q, n=n)
+        states = np.arange(n + 1)
+        expected_next = model.transitions[MONITOR] @ states
+        np.testing.assert_allclose(expected_next, states + (n - states) * q, atol=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        tp=st.floats(0.5, 1.0),
+        fp=st.floats(0.0, 0.3),
+        n=st.integers(2, 10),
+    )
+    def test_observation_mean_tracks_state(self, tp, fp, n):
+        """E[o | s] = s*tp + (n-s)*fp — the flag count is unbiased up to
+        the per-meter rates."""
+        model = make_model(tp=tp, fp=fp, n=n)
+        observations = np.arange(n + 1)
+        for s in range(n + 1):
+            mean_obs = model.observations[MONITOR, s] @ observations
+            analytic = s * tp + (n - s) * fp
+            # truncation to n observations can bite when analytic ~ n
+            if analytic < n - 1:
+                assert mean_obs == pytest.approx(analytic, abs=0.15)
+
+
+class TestValueProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(damage=st.floats(0.1, 5.0))
+    def test_values_bounded_by_reward_range(self, damage):
+        model = make_model(damage=damage)
+        q = value_iteration_mdp(model)
+        bound = abs(model.rewards.min()) / (1 - model.discount)
+        assert np.all(q <= 1e-9)
+        assert np.all(q >= -bound - 1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(damage=st.floats(0.1, 5.0))
+    def test_value_monotone_in_state(self, damage):
+        """More hacked meters can never be better."""
+        model = make_model(damage=damage)
+        q = value_iteration_mdp(model)
+        v = q.max(axis=0)
+        assert np.all(np.diff(v) <= 1e-9)
+
+    def test_higher_damage_repairs_sooner(self):
+        """The repair region grows with the per-slot damage."""
+
+        def first_repair_state(damage):
+            model = make_model(damage=damage)
+            q = value_iteration_mdp(model)
+            repair_better = q[REPAIR] > q[MONITOR]
+            idx = np.flatnonzero(repair_better)
+            return idx[0] if idx.size else model.n_states
+
+        assert first_repair_state(3.0) <= first_repair_state(0.3)
+
+
+class TestBeliefProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        observations=st.lists(st.integers(0, 5), min_size=1, max_size=12),
+    )
+    def test_belief_stays_normalized(self, observations):
+        model = make_model()
+        belief_filter = BeliefFilter(model)
+        for o in observations:
+            belief = belief_filter.update(MONITOR, o)
+            assert belief.sum() == pytest.approx(1.0)
+            assert np.all(belief >= -1e-12)
+
+    def test_repeated_zero_observations_suppress_belief(self):
+        """A run of all-clear observations keeps the expected state below
+        the unconditional (no-observation) growth."""
+        model = make_model(tp=0.9, fp=0.02)
+        with_obs = BeliefFilter(model)
+        for _ in range(6):
+            with_obs.update(MONITOR, 0)
+        blind = model.initial_belief()
+        for _ in range(6):
+            blind = blind @ model.transitions[MONITOR]
+        blind_mean = float(blind @ np.arange(model.n_states))
+        assert with_obs.expected_state() < blind_mean
+
+    def test_informative_channel_sharpens_policy(self):
+        """With a sharp observation channel the QMDP agent acts on
+        observations; with a useless channel its belief barely moves."""
+        sharp = make_model(tp=0.95, fp=0.02)
+        useless = make_model(tp=0.5, fp=0.5)
+        for model, expect_move in ((sharp, True), (useless, False)):
+            belief_filter = BeliefFilter(model)
+            before = belief_filter.expected_state()
+            belief_filter.update(MONITOR, model.n_observations - 1)
+            moved = belief_filter.expected_state() - before
+            if expect_move:
+                assert moved > 1.0
+            else:
+                assert moved < 1.0
+
+    def test_qmdp_policy_monotone_in_belief_mass(self):
+        """Shifting belief mass toward higher states never flips the
+        policy from repair back to monitor."""
+        model = make_model()
+        policy = QmdpPolicy(model)
+        n = model.n_states
+        actions = []
+        for k in range(n):
+            belief = np.zeros(n)
+            belief[k] = 1.0
+            actions.append(policy.action(belief))
+        # once repair becomes optimal it stays optimal for higher states
+        first_repair = next(
+            (i for i, a in enumerate(actions) if a == REPAIR), None
+        )
+        if first_repair is not None:
+            assert all(a == REPAIR for a in actions[first_repair:])

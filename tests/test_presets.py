@@ -1,0 +1,48 @@
+"""Tests for the experiment presets."""
+
+import pytest
+
+from repro.core.presets import bench_preset, paper_preset, smoke_preset
+
+
+class TestPresets:
+    def test_paper_scale(self):
+        config = paper_preset()
+        assert config.n_customers == 500
+        assert config.time.slots_per_day == 24
+
+    def test_bench_scale_smaller(self):
+        assert bench_preset().n_customers < paper_preset().n_customers
+
+    def test_smoke_scale_smallest(self):
+        assert smoke_preset().n_customers < bench_preset().n_customers
+
+    def test_seed_parameter(self):
+        assert paper_preset(seed=7).seed == 7
+        assert bench_preset(seed=8).seed == 8
+        assert smoke_preset(seed=9).seed == 9
+
+    def test_all_presets_validate(self):
+        """Construction runs every dataclass validator."""
+        for preset in (paper_preset, bench_preset, smoke_preset):
+            config = preset()
+            assert config.pricing.sellback_divisor >= 1.0
+            assert 0 <= config.pv_adoption <= 1
+
+    def test_smoke_game_is_cheap(self):
+        game = smoke_preset().game
+        assert game.max_rounds <= 4
+        assert game.ce_samples <= 20
+
+    @pytest.mark.parametrize("preset", [paper_preset, bench_preset, smoke_preset])
+    def test_buildable_communities(self, preset):
+        """Every preset produces a feasible community."""
+        import numpy as np
+
+        from repro.data.community import build_community
+
+        config = preset()
+        if config.n_customers > 200:
+            config = config.with_updates(n_customers=40)
+        community = build_community(config, rng=np.random.default_rng(0))
+        assert community.n_customers == config.n_customers

@@ -1,0 +1,60 @@
+"""Cross-preset consistency: the three scales share one model structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.presets import bench_preset, paper_preset, smoke_preset
+from repro.data.community import build_community
+from repro.data.pricing import GuidelinePriceModel, baseline_demand_profile
+
+
+@pytest.mark.parametrize("preset", [smoke_preset, bench_preset])
+def test_preset_price_scale_comparable(preset):
+    """Per-customer demand and price ranges are scale-free: presets differ
+    in population, not in physics."""
+    config = preset()
+    rng = np.random.default_rng(0)
+    community = build_community(config, rng=rng)
+    demand = baseline_demand_profile(config.time) * config.n_customers
+    model = GuidelinePriceModel(config=config.pricing, n_customers=config.n_customers)
+    prices = model.price(demand, community.total_pv)
+    assert 0.005 < prices.min() < prices.max() < 0.2
+    per_customer_peak = demand.max() / config.n_customers
+    assert 0.5 < per_customer_peak < 3.0
+
+
+def test_bench_and_paper_share_detection_economics():
+    bench = bench_preset()
+    paper = paper_preset()
+    assert bench.detection.par_threshold == paper.detection.par_threshold
+    assert bench.detection.hack_probability == paper.detection.hack_probability
+    assert bench.pricing == paper.pricing
+    assert bench.battery == paper.battery
+    assert bench.solar == paper.solar
+
+
+def test_pv_energy_share_is_minority():
+    """Net metering is a correction, not the dominant supply: community PV
+    energy stays well below community demand at every preset scale."""
+    for preset in (smoke_preset, bench_preset):
+        config = preset()
+        community = build_community(config, rng=np.random.default_rng(0))
+        demand = baseline_demand_profile(config.time).sum() * config.n_customers
+        pv = community.total_pv.sum()
+        assert pv < 0.5 * demand
+
+
+def test_deferrable_share_is_minority():
+    """Schedulable appliance energy stays below the non-schedulable base —
+    the calibration regime the PAR targets assume."""
+    config = bench_preset()
+    community = build_community(config, rng=np.random.default_rng(0))
+    base = sum(
+        count * customer.base_load_array.sum()
+        for customer, count in zip(community.customers, community.counts)
+    )
+    tasks = sum(
+        count * customer.total_task_energy
+        for customer, count in zip(community.customers, community.counts)
+    )
+    assert tasks < base

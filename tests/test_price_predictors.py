@@ -1,0 +1,87 @@
+"""Tests for the aware and unaware guideline-price predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PricingConfig, SolarConfig
+from repro.data.pricing import generate_history
+from repro.metrics.errors import rmse
+from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
+
+
+@pytest.fixture
+def history(rng):
+    return generate_history(
+        rng,
+        n_customers=80,
+        pricing=PricingConfig(),
+        solar=SolarConfig(peak_kw=0.7),
+        n_days_pre_nm=8,
+        n_days_nm=10,
+        mean_pv_per_customer_kw=0.4,
+    )
+
+
+class TestLifecycle:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            UnawarePricePredictor().predict_day()
+
+    def test_fit_returns_self(self, history):
+        predictor = UnawarePricePredictor()
+        assert predictor.fit(history) is predictor
+        assert predictor.is_fitted
+
+    def test_aware_requires_forecasts(self, history):
+        predictor = AwarePricePredictor().fit(history)
+        with pytest.raises(ValueError, match="requires"):
+            predictor.predict_day()
+
+
+class TestPredictionQuality:
+    def test_outputs_nonnegative_prices(self, history):
+        predictor = UnawarePricePredictor().fit(history)
+        prices = predictor.predict_day()
+        assert prices.shape == (history.slots_per_day,)
+        assert np.all(prices >= 0.0)
+
+    def test_unaware_tracks_daily_shape(self, history):
+        """Price-lag SVR reproduces the broad daily pattern: evening slots
+        cost more than pre-dawn slots."""
+        prices = UnawarePricePredictor().fit(history).predict_day()
+        assert prices[18:21].mean() > prices[2:5].mean()
+
+    def test_aware_beats_unaware_on_sunny_day(self, history, rng):
+        """The paper's core prediction claim: with the target day's
+        renewables known, the aware model tracks the midday gap that the
+        price-lag model misses."""
+        from repro.data.pricing import GuidelinePriceModel, baseline_demand_profile
+        from repro.core.config import TimeGrid
+
+        spd = history.slots_per_day
+        grid = TimeGrid(slots_per_day=spd, n_days=1)
+        demand = baseline_demand_profile(grid) * 80
+        sunny = history.renewable[-spd:] * 0 + history.renewable.reshape(
+            -1, spd
+        ).max(axis=0)
+        model = GuidelinePriceModel(config=PricingConfig(), n_customers=80)
+        actual = model.price(demand, sunny)
+
+        p_unaware = UnawarePricePredictor().fit(history).predict_day()
+        p_aware = (
+            AwarePricePredictor()
+            .fit(history)
+            .predict_day(demand_forecast=demand, renewable_forecast=sunny)
+        )
+        assert rmse(actual, p_aware) < rmse(actual, p_unaware)
+
+    def test_unaware_ignores_forecasts(self, history):
+        """Forecast arguments are accepted for interface parity but do not
+        change the unaware prediction."""
+        predictor = UnawarePricePredictor().fit(history)
+        spd = history.slots_per_day
+        a = predictor.predict_day()
+        b = predictor.predict_day(
+            demand_forecast=np.ones(spd), renewable_forecast=np.ones(spd)
+        )
+        np.testing.assert_array_equal(a, b)

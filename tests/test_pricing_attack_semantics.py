@@ -1,0 +1,83 @@
+"""Semantics of attack composition and interaction with the price model.
+
+Attacks are pure transformations of a price vector; these tests pin the
+algebra the scenario engine and examples rely on (idempotence,
+composition order, interaction with the floor-free guideline model).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks.pricing import (
+    BillIncreaseAttack,
+    PeakIncreaseAttack,
+    ScalingAttack,
+    ZeroPriceAttack,
+)
+
+prices_st = arrays(np.float64, 24, elements=st.floats(0.001, 0.2))
+
+
+class TestIdempotence:
+    @settings(max_examples=40, deadline=None)
+    @given(prices=prices_st)
+    def test_zeroing_idempotent(self, prices):
+        attack = ZeroPriceAttack(5, 8)
+        once = attack.apply(prices)
+        twice = attack.apply(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @settings(max_examples=40, deadline=None)
+    @given(prices=prices_st, strength=st.floats(0.0, 1.0))
+    def test_peak_increase_composes_multiplicatively(self, prices, strength):
+        attack = PeakIncreaseAttack(3, 6, strength=strength)
+        twice = attack.apply(attack.apply(prices))
+        direct = prices.copy()
+        direct[3:7] *= (1.0 - strength) ** 2
+        np.testing.assert_allclose(twice, direct, atol=1e-12)
+
+
+class TestComposition:
+    @settings(max_examples=30, deadline=None)
+    @given(prices=prices_st)
+    def test_disjoint_windows_commute(self, prices):
+        a = ScalingAttack(2, 4, factor=0.5)
+        b = ScalingAttack(10, 12, factor=0.25)
+        np.testing.assert_allclose(a.apply(b.apply(prices)), b.apply(a.apply(prices)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(prices=prices_st)
+    def test_bill_and_peak_attacks_stack(self, prices):
+        """A bill attack outside the window composed with zeroing inside
+        yields the classic lure-and-gouge shape."""
+        lure = ZeroPriceAttack(12, 13)
+        gouge = BillIncreaseAttack(12, 13, inflation=3.0)
+        combined = gouge.apply(lure.apply(prices))
+        assert combined[12] == 0.0 and combined[13] == 0.0
+        np.testing.assert_allclose(combined[:12], prices[:12] * 3.0)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(prices=prices_st, strength=st.floats(0.0, 1.0))
+    def test_peak_attack_never_raises_prices(self, prices, strength):
+        out = PeakIncreaseAttack(0, 23, strength=strength).apply(prices)
+        assert np.all(out <= prices + 1e-15)
+        assert np.all(out >= 0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(prices=prices_st, inflation=st.floats(1.0, 5.0))
+    def test_bill_attack_never_lowers_prices(self, prices, inflation):
+        out = BillIncreaseAttack(8, 10, inflation=inflation).apply(prices)
+        assert np.all(out >= prices - 1e-15)
+
+    @settings(max_examples=30, deadline=None)
+    @given(prices=prices_st)
+    def test_untouched_slots_bitwise_equal(self, prices):
+        attack = ZeroPriceAttack(7, 9)
+        out = attack.apply(prices)
+        mask = attack.window_mask(prices.size)
+        np.testing.assert_array_equal(out[~mask], prices[~mask])

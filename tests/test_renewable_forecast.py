@@ -1,0 +1,108 @@
+"""Tests for the day-ahead renewable forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PricingConfig, SolarConfig, TimeGrid
+from repro.data.pricing import generate_history
+from repro.prediction.renewable import (
+    ClearSkyPersistenceForecaster,
+    RenewableForecast,
+    forecast_error_rmse,
+)
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(slots_per_day=24, n_days=1)
+
+
+@pytest.fixture
+def solar():
+    return SolarConfig(peak_kw=0.5)
+
+
+@pytest.fixture
+def history(rng, solar):
+    return generate_history(
+        rng,
+        n_customers=40,
+        pricing=PricingConfig(),
+        solar=solar,
+        n_days_pre_nm=2,
+        n_days_nm=8,
+        mean_pv_per_customer_kw=0.25,
+    )
+
+
+class TestRenewableForecast:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RenewableForecast(expected=np.ones(3), std=np.ones(4))
+        with pytest.raises(ValueError):
+            RenewableForecast(expected=-np.ones(3), std=np.ones(3))
+
+    def test_sample_nonnegative(self, rng):
+        forecast = RenewableForecast(
+            expected=np.array([0.1, 1.0]), std=np.array([5.0, 5.0])
+        )
+        for _ in range(10):
+            assert np.all(forecast.sample(rng) >= 0.0)
+
+
+class TestClearSkyPersistenceForecaster:
+    def test_forecast_shape_and_night_zero(self, grid, solar, history):
+        forecaster = ClearSkyPersistenceForecaster(grid, solar)
+        forecast = forecaster.forecast(history, peak_community_kw=10.0)
+        assert forecast.expected.shape == (24,)
+        assert forecast.expected[0] == 0.0  # night
+        assert forecast.expected[12] > 0.0  # midday
+
+    def test_pre_nm_history_gives_zero(self, grid, solar, rng):
+        history = generate_history(
+            rng,
+            n_customers=40,
+            pricing=PricingConfig(),
+            solar=solar,
+            n_days_pre_nm=5,
+            n_days_nm=0,
+        )
+        forecaster = ClearSkyPersistenceForecaster(grid, solar)
+        forecast = forecaster.forecast(history, peak_community_kw=10.0)
+        np.testing.assert_array_equal(forecast.expected, 0.0)
+
+    def test_forecast_tracks_history_scale(self, grid, solar, history):
+        """The forecast's midday magnitude is on the order of recent
+        midday generation."""
+        forecaster = ClearSkyPersistenceForecaster(grid, solar)
+        community_peak = 40 * 0.25
+        forecast = forecaster.forecast(history, peak_community_kw=community_peak)
+        recent_midday = history.renewable[-24:][10:15].mean()
+        if recent_midday > 0:
+            assert forecast.expected[10:15].mean() == pytest.approx(
+                recent_midday, rel=2.0
+            )
+
+    def test_grid_mismatch_rejected(self, solar, history):
+        other_grid = TimeGrid(slots_per_day=48)
+        forecaster = ClearSkyPersistenceForecaster(other_grid, solar)
+        with pytest.raises(ValueError, match="slots_per_day"):
+            forecaster.forecast(history, peak_community_kw=10.0)
+
+    def test_negative_peak_rejected(self, grid, solar, history):
+        forecaster = ClearSkyPersistenceForecaster(grid, solar)
+        with pytest.raises(ValueError):
+            forecaster.forecast(history, peak_community_kw=-1.0)
+
+
+class TestForecastError:
+    def test_zero_for_perfect(self):
+        forecast = RenewableForecast(
+            expected=np.array([1.0, 2.0]), std=np.zeros(2)
+        )
+        assert forecast_error_rmse(forecast, np.array([1.0, 2.0])) == 0.0
+
+    def test_shape_checked(self):
+        forecast = RenewableForecast(expected=np.ones(2), std=np.zeros(2))
+        with pytest.raises(ValueError):
+            forecast_error_rmse(forecast, np.ones(3))

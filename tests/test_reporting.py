@@ -1,0 +1,98 @@
+"""Tests for the ASCII reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii import bar_chart, render_profile, sparkline
+from repro.reporting.tables import ComparisonRow, comparison_table, fixed_table
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_ramp(self):
+        line = sparkline(np.arange(8))
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, np.nan])
+
+
+class TestRenderProfile:
+    def test_includes_range(self):
+        line = render_profile(np.array([1.0, 3.0, 2.0]), label="load")
+        assert "load" in line
+        assert "[1, 3]" in line
+
+    def test_downsamples_long_series(self):
+        line = render_profile(np.arange(200), width=24)
+        # sparkline portion is at most `width` characters
+        body = line.split("[")[0].strip()
+        assert len(body) <= 24
+
+
+class TestBarChart:
+    def test_rows_and_peak(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10  # the max fills the width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestComparisonRow:
+    def test_deviation(self):
+        row = ComparisonRow("x", paper=2.0, measured=2.2)
+        assert row.deviation == pytest.approx(0.1)
+
+    def test_unpublished_paper_value(self):
+        assert ComparisonRow("x", paper=None, measured=1.0).deviation is None
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            ComparisonRow("x", paper=1.0, measured=float("nan"))
+
+
+class TestComparisonTable:
+    def test_contains_rows(self):
+        table = comparison_table(
+            [
+                ComparisonRow("PAR (aware)", 1.4112, 1.39),
+                ComparisonRow("extra", None, 0.5),
+            ],
+            title="Table 1",
+        )
+        assert "Table 1" in table
+        assert "PAR (aware)" in table
+        assert "--" in table  # unpublished value
+        assert "%" in table
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            comparison_table([])
+
+
+class TestFixedTable:
+    def test_alignment(self):
+        table = fixed_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in (lines[0], lines[2]))
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            fixed_table(["a"], [["1", "2"]])

@@ -1,0 +1,52 @@
+"""Reporting helpers driven by real model objects."""
+
+import numpy as np
+
+from repro.core.config import SolarConfig, TimeGrid
+from repro.data.pricing import baseline_demand_profile
+from repro.data.solar import clear_sky_profile
+from repro.reporting.ascii import render_profile, sparkline
+from repro.reporting.tables import ComparisonRow, comparison_table
+
+
+class TestProfilesFromModels:
+    def test_demand_profile_renders(self):
+        demand = baseline_demand_profile(TimeGrid())
+        line = render_profile(demand, label="demand")
+        assert "demand" in line
+        assert len(line) > 30
+
+    def test_solar_sparkline_shows_bell(self):
+        profile = clear_sky_profile(TimeGrid(), SolarConfig())
+        line = sparkline(profile)
+        # night is the lowest glyph, midday the highest
+        assert line[0] == "▁"
+        assert "█" in line[9:15]
+
+    def test_multi_day_profile_downsampled(self):
+        grid = TimeGrid(slots_per_day=24, n_days=7)
+        profile = clear_sky_profile(grid, SolarConfig())
+        line = render_profile(profile, width=24)
+        body = line.split("[")[0].strip()
+        assert len(body) <= 24
+
+
+class TestPaperComparisonTable:
+    def test_table_for_paper_rows(self):
+        rows = [
+            ComparisonRow("PAR (no detection)", 1.6509, 1.5708),
+            ComparisonRow("PAR (unaware)", 1.5422, 1.2482),
+            ComparisonRow("PAR (aware)", 1.4112, 1.2512),
+            ComparisonRow("accuracy gap", 0.2919, 0.2104),
+        ]
+        table = comparison_table(rows, title="Table 1")
+        lines = table.splitlines()
+        assert lines[0] == "Table 1"
+        assert len(lines) == 2 + 4 + 1  # title + header + rule + rows
+        # deviations rendered with signs
+        assert any("-" in line or "+" in line for line in lines[3:])
+
+    def test_numbers_render_at_fixed_width(self):
+        rows = [ComparisonRow("x", 1.0, 123456.7891)]
+        table = comparison_table(rows)
+        assert "123456.7891" in table

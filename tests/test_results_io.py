@@ -1,0 +1,71 @@
+"""Tests for scenario-result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.results import (
+    SCHEMA_VERSION,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.simulation.scenario import ScenarioResult
+
+
+@pytest.fixture
+def result() -> ScenarioResult:
+    rng = np.random.default_rng(0)
+    truth = rng.random((24, 4)) < 0.3
+    flags = rng.random((24, 4)) < 0.3
+    repairs = np.zeros(24, dtype=bool)
+    repairs[10] = True
+    repaired_counts = np.zeros(24, dtype=int)
+    repaired_counts[10] = 2
+    return ScenarioResult(
+        detector="aware",
+        truth=truth,
+        flags=flags,
+        observations=flags.sum(axis=1),
+        repairs=repairs,
+        repaired_counts=repaired_counts,
+        realized_grid=rng.uniform(10, 50, size=24),
+        slots_per_day=24,
+        tp_rate=0.8,
+        fp_rate=0.1,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, result):
+        rebuilt = scenario_from_dict(scenario_to_dict(result))
+        np.testing.assert_array_equal(rebuilt.truth, result.truth)
+        np.testing.assert_array_equal(rebuilt.flags, result.flags)
+        np.testing.assert_allclose(rebuilt.realized_grid, result.realized_grid)
+        assert rebuilt.detector == result.detector
+        assert rebuilt.tp_rate == result.tp_rate
+
+    def test_summary_preserved(self, result):
+        rebuilt = scenario_from_dict(scenario_to_dict(result))
+        assert rebuilt.observation_accuracy == pytest.approx(
+            result.observation_accuracy
+        )
+        assert rebuilt.mean_par == pytest.approx(result.mean_par)
+        assert rebuilt.n_repairs == result.n_repairs
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_scenario(result, path)
+        rebuilt = load_scenario(path)
+        np.testing.assert_array_equal(rebuilt.observations, result.observations)
+
+    def test_schema_version_checked(self, result):
+        payload = scenario_to_dict(result)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            scenario_from_dict(payload)
+
+    def test_payload_is_json_safe(self, result):
+        import json
+
+        json.dumps(scenario_to_dict(result))

@@ -1,0 +1,91 @@
+"""Tests for the detector threshold sweep."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.hacking import MeterHackingProcess
+from repro.core.config import GameConfig
+from repro.detection.roc import (
+    ThresholdOperatingPoint,
+    ThresholdSweep,
+    sweep_thresholds,
+)
+from repro.detection.single_event import (
+    CommunityResponseSimulator,
+    SingleEventDetector,
+)
+from repro.scheduling.game import Community
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=2, inner_iterations=1, ce_samples=8, ce_elites=2, ce_iterations=2
+)
+
+
+@pytest.fixture(scope="module")
+def sweep() -> ThresholdSweep:
+    community = Community(
+        customers=(make_customer(0), make_customer(1)), counts=(5, 5)
+    )
+    simulator = CommunityResponseSimulator(community, config=FAST, seed=1)
+    detector = SingleEventDetector(
+        simulator,
+        np.full(HORIZON, 0.03),
+        threshold=0.1,
+        margin_noise_std=0.02,
+    )
+    sampler = MeterHackingProcess(
+        4,
+        0.1,
+        rng=np.random.default_rng(0),
+        strength_range=(0.8, 1.0),
+        window_hours=(3, 4),
+        window_hour_range=(9, 21),
+    )
+    return sweep_thresholds(
+        detector,
+        np.full(HORIZON, 0.03),
+        sampler,
+        n_trials=10,
+        rng=np.random.default_rng(1),
+    )
+
+
+class TestOperatingPoint:
+    def test_youden(self):
+        point = ThresholdOperatingPoint(threshold=0.1, tp_rate=0.9, fp_rate=0.2)
+        assert point.youden_j == pytest.approx(0.7)
+
+
+class TestSweep:
+    def test_rates_monotone_in_threshold(self, sweep):
+        """Raising the threshold can only lower both rates."""
+        tps = [p.tp_rate for p in sweep.points]
+        fps = [p.fp_rate for p in sweep.points]
+        assert all(a >= b - 1e-12 for a, b in zip(tps, tps[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(fps, fps[1:]))
+
+    def test_margin_samples_recorded(self, sweep):
+        assert sweep.benign_margins.shape == (10,)
+        assert sweep.attacked_margins.shape == (10,)
+
+    def test_strong_attacks_separate(self, sweep):
+        """Full-strength wide attacks on a noiseless-ish detector give a
+        high AUC."""
+        assert sweep.auc() > 0.8
+
+    def test_best_by_youden_is_maximal(self, sweep):
+        best = sweep.best_by_youden()
+        assert best.youden_j == max(p.youden_j for p in sweep.points)
+
+    def test_auc_bounds(self, sweep):
+        assert 0.0 <= sweep.auc() <= 1.0
+
+    def test_custom_thresholds(self, sweep):
+        """Extreme thresholds bracket the rates at 1 and 0."""
+        lo = ThresholdOperatingPoint(
+            threshold=-10.0,
+            tp_rate=float(np.mean(sweep.attacked_margins > -10)),
+            fp_rate=float(np.mean(sweep.benign_margins > -10)),
+        )
+        assert lo.tp_rate == 1.0 and lo.fp_rate == 1.0

@@ -1,0 +1,152 @@
+"""Integration tests for the long-term monitoring scenario."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.cost import LaborCostModel
+from repro.simulation.scenario import ScenarioResult, run_long_term_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario_results(tiny_scenario_config):
+    """Run all three detector variants once on the tiny config."""
+    results = {}
+    for kind in ("aware", "unaware", "none"):
+        results[kind] = run_long_term_scenario(
+            tiny_scenario_config,
+            detector=kind,
+            n_slots=24,
+            calibration_trials=5,
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario_config():
+    from repro.core.config import (
+        BatteryConfig,
+        CommunityConfig,
+        DetectionConfig,
+        GameConfig,
+        SolarConfig,
+        TimeGrid,
+    )
+
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+class TestScenarioShapes:
+    def test_result_arrays(self, scenario_results):
+        result = scenario_results["aware"]
+        assert result.truth.shape == (24, 4)
+        assert result.flags.shape == (24, 4)
+        assert result.observations.shape == (24,)
+        assert result.realized_grid.shape == (24,)
+        assert result.n_slots == 24
+
+    def test_observations_match_flags(self, scenario_results):
+        result = scenario_results["aware"]
+        np.testing.assert_array_equal(
+            result.observations, result.flags.sum(axis=1)
+        )
+
+    def test_accuracy_in_unit_interval(self, scenario_results):
+        for result in scenario_results.values():
+            assert 0.0 <= result.observation_accuracy <= 1.0
+            per_slot = result.accuracy_per_slot
+            assert per_slot.shape == (24,)
+            assert np.all((0 <= per_slot) & (per_slot <= 1))
+
+    def test_grid_demand_nonnegative(self, scenario_results):
+        for result in scenario_results.values():
+            assert np.all(result.realized_grid >= 0.0)
+
+    def test_mean_par_at_least_one(self, scenario_results):
+        for result in scenario_results.values():
+            assert result.mean_par >= 1.0
+
+
+class TestDetectorBehaviour:
+    def test_none_never_repairs(self, scenario_results):
+        result = scenario_results["none"]
+        assert result.n_repairs == 0
+        assert not result.repairs.any()
+        assert result.tp_rate == 0.0 and result.fp_rate == 0.0
+
+    def test_none_accumulates_compromise(self, scenario_results):
+        """Without repairs the compromise count is monotone nondecreasing."""
+        truth_counts = scenario_results["none"].truth.sum(axis=1)
+        assert np.all(np.diff(truth_counts) >= 0)
+
+    def test_repairs_reset_truth(self, scenario_results):
+        """After a repair slot, the next slot's count restarts from fresh
+        compromises only."""
+        result = scenario_results["aware"]
+        for slot in np.flatnonzero(result.repairs[:-1]):
+            next_count = result.truth[slot + 1].sum()
+            assert next_count <= result.truth[slot].sum() + 1
+
+    def test_repaired_counts_only_on_repairs(self, scenario_results):
+        result = scenario_results["aware"]
+        assert np.all(result.repaired_counts[~result.repairs] == 0)
+
+    def test_labor_cost_consistent(self, scenario_results):
+        result = scenario_results["aware"]
+        model = LaborCostModel(fixed_cost=2.0, per_meter_cost=1.0)
+        expected = (
+            result.n_repairs * 2.0 + result.repaired_counts.sum() * 1.0
+        )
+        assert result.labor_cost(model) == pytest.approx(expected)
+
+    def test_calibrated_rates_recorded(self, scenario_results):
+        for kind in ("aware", "unaware"):
+            result = scenario_results[kind]
+            assert 0.0 < result.tp_rate < 1.0
+            assert 0.0 < result.fp_rate < 1.0
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_slots(self, tiny_scenario_config):
+        with pytest.raises(ValueError, match="multiple"):
+            run_long_term_scenario(tiny_scenario_config, detector="aware", n_slots=25)
+        with pytest.raises(ValueError, match="n_slots"):
+            run_long_term_scenario(tiny_scenario_config, detector="aware", n_slots=0)
+
+    def test_seed_override_reproducible(self, tiny_scenario_config):
+        a = run_long_term_scenario(
+            tiny_scenario_config, detector="none", n_slots=24, seed=5
+        )
+        b = run_long_term_scenario(
+            tiny_scenario_config, detector="none", n_slots=24, seed=5
+        )
+        np.testing.assert_array_equal(a.truth, b.truth)
+        np.testing.assert_allclose(a.realized_grid, b.realized_grid)
+
+    def test_pbvi_policy_variant(self, tiny_scenario_config):
+        result = run_long_term_scenario(
+            tiny_scenario_config,
+            detector="aware",
+            n_slots=24,
+            policy="pbvi",
+            calibration_trials=4,
+        )
+        assert isinstance(result, ScenarioResult)

@@ -1,0 +1,113 @@
+"""Unit tests for ScenarioResult metrics (no simulation required)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.cost import LaborCostModel
+from repro.simulation.scenario import ScenarioResult
+
+
+def make_result(
+    *,
+    truth=None,
+    flags=None,
+    repairs=None,
+    repaired_counts=None,
+    grid=None,
+    slots=24,
+    meters=4,
+) -> ScenarioResult:
+    truth = truth if truth is not None else np.zeros((slots, meters), dtype=bool)
+    flags = flags if flags is not None else np.zeros((slots, meters), dtype=bool)
+    repairs = repairs if repairs is not None else np.zeros(slots, dtype=bool)
+    repaired_counts = (
+        repaired_counts if repaired_counts is not None else np.zeros(slots, dtype=int)
+    )
+    grid = grid if grid is not None else np.full(slots, 10.0)
+    return ScenarioResult(
+        detector="aware",
+        truth=truth,
+        flags=flags,
+        observations=flags.sum(axis=1),
+        repairs=repairs,
+        repaired_counts=repaired_counts,
+        realized_grid=grid,
+        slots_per_day=24,
+        tp_rate=0.9,
+        fp_rate=0.05,
+    )
+
+
+class TestAccuracyMetrics:
+    def test_perfect_silence(self):
+        result = make_result()
+        assert result.observation_accuracy == 1.0
+        np.testing.assert_array_equal(result.accuracy_per_slot, 1.0)
+
+    def test_half_wrong(self):
+        truth = np.zeros((24, 4), dtype=bool)
+        truth[:, :2] = True
+        result = make_result(truth=truth)
+        assert result.observation_accuracy == pytest.approx(0.5)
+
+    def test_mean_hacked(self):
+        truth = np.zeros((24, 4), dtype=bool)
+        truth[:, 0] = True
+        truth[12:, 1] = True
+        result = make_result(truth=truth)
+        assert result.mean_hacked == pytest.approx(1.5)
+
+
+class TestParMetrics:
+    def test_flat_grid(self):
+        assert make_result().mean_par == pytest.approx(1.0)
+
+    def test_daily_average(self):
+        grid = np.full(48, 10.0)
+        grid[5] = 20.0  # spike only in day 1
+        result = make_result(
+            grid=grid,
+            slots=48,
+            truth=np.zeros((48, 4), dtype=bool),
+            flags=np.zeros((48, 4), dtype=bool),
+            repairs=np.zeros(48, dtype=bool),
+            repaired_counts=np.zeros(48, dtype=int),
+        )
+        day1 = 20.0 / np.mean(grid[:24])
+        assert result.mean_par == pytest.approx((day1 + 1.0) / 2)
+
+
+class TestRepairAccounting:
+    def test_labor_cost(self):
+        repairs = np.zeros(24, dtype=bool)
+        repairs[[3, 10]] = True
+        counts = np.zeros(24, dtype=int)
+        counts[3] = 2
+        counts[10] = 1
+        result = make_result(repairs=repairs, repaired_counts=counts)
+        assert result.n_repairs == 2
+        model = LaborCostModel(fixed_cost=2.0, per_meter_cost=1.0)
+        assert result.labor_cost(model) == pytest.approx(2 * 2.0 + 3 * 1.0)
+
+    def test_no_repairs_zero_cost(self):
+        result = make_result()
+        assert result.labor_cost(LaborCostModel()) == 0.0
+
+
+class TestRatesSummary:
+    def test_all_clean_fleet(self):
+        result = make_result()
+        tp, fp = result.rates_summary()
+        assert tp == 0.0  # no positives observed
+        assert fp == 0.0
+
+    def test_mixed(self):
+        truth = np.zeros((24, 4), dtype=bool)
+        truth[:, 0] = True
+        flags = truth.copy()
+        flags[:12, 0] = False  # miss half
+        flags[:, 3] = True  # persistent false alarm
+        result = make_result(truth=truth, flags=flags)
+        tp, fp = result.rates_summary()
+        assert tp == pytest.approx(0.5)
+        assert fp == pytest.approx(24 / 72)

@@ -1,0 +1,150 @@
+"""Tests for the community response simulator and single-event detector."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.pricing import ZeroPriceAttack
+from repro.core.config import GameConfig
+from repro.detection.single_event import (
+    CommunityResponseSimulator,
+    SingleEventDetection,
+    SingleEventDetector,
+)
+from repro.scheduling.game import Community
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=3,
+    inner_iterations=1,
+    ce_samples=12,
+    ce_elites=3,
+    ce_iterations=3,
+    convergence_tol=0.05,
+)
+
+
+@pytest.fixture
+def community() -> Community:
+    return Community(
+        customers=(make_customer(0), make_customer(1)), counts=(6, 6)
+    )
+
+
+@pytest.fixture
+def simulator(community) -> CommunityResponseSimulator:
+    return CommunityResponseSimulator(community, config=FAST, seed=1)
+
+
+def prices(value: float = 0.03) -> np.ndarray:
+    return np.full(HORIZON, value)
+
+
+class TestCommunityResponseSimulator:
+    def test_caching(self, simulator):
+        assert simulator.cache_size == 0
+        first = simulator.response(prices())
+        assert simulator.cache_size == 1
+        second = simulator.response(prices())
+        assert second is first  # cache hit returns the same object
+        simulator.response(prices(0.05))
+        assert simulator.cache_size == 2
+
+    def test_shape_validation(self, simulator):
+        with pytest.raises(ValueError, match="prices"):
+            simulator.response(np.ones(5))
+
+    def test_grid_par_positive(self, simulator):
+        assert simulator.grid_par(prices()) >= 1.0
+
+    def test_negative_prices_clamped(self, simulator):
+        """Attack-zeroed (or SVR-undershot) prices never break the game."""
+        p = prices()
+        p[5] = 0.0
+        result = simulator.response(p)
+        assert np.all(np.isfinite(result.grid_demand))
+
+    def test_deterministic(self, community):
+        a = CommunityResponseSimulator(community, config=FAST, seed=1)
+        b = CommunityResponseSimulator(community, config=FAST, seed=1)
+        np.testing.assert_array_equal(
+            a.response(prices()).grid_demand, b.response(prices()).grid_demand
+        )
+
+
+class TestSingleEventDetection:
+    def test_margin_and_flag(self):
+        detection = SingleEventDetection(
+            received_par=1.6, predicted_par=1.4, threshold=0.1
+        )
+        assert detection.margin == pytest.approx(0.2)
+        assert detection.flagged
+
+    def test_noise_enters_margin(self):
+        detection = SingleEventDetection(
+            received_par=1.45, predicted_par=1.4, threshold=0.1, noise=0.08
+        )
+        assert detection.margin == pytest.approx(0.13)
+        assert detection.flagged
+
+
+class TestSingleEventDetector:
+    def test_benign_not_flagged(self, simulator):
+        detector = SingleEventDetector(
+            simulator, prices(), threshold=0.1, margin_noise_std=0.0
+        )
+        assert not detector.check(prices()).flagged
+        assert detector.check(prices()).margin == pytest.approx(0.0)
+
+    def test_zero_price_attack_flagged(self, simulator):
+        detector = SingleEventDetector(
+            simulator, prices(), threshold=0.1, margin_noise_std=0.0
+        )
+        attacked = ZeroPriceAttack(18, 19).apply(prices())
+        detection = detector.check(attacked)
+        assert detection.margin > 0.0
+
+    def test_predicted_simulator_offset(self, community, simulator):
+        """A biased predicted-side model shifts every margin by a constant."""
+        biased = CommunityResponseSimulator(
+            community.without_net_metering(), config=FAST, seed=1
+        )
+        plain = SingleEventDetector(
+            simulator, prices(), threshold=0.1, margin_noise_std=0.0
+        )
+        offset = SingleEventDetector(
+            simulator,
+            prices(),
+            predicted_simulator=biased,
+            threshold=0.1,
+            margin_noise_std=0.0,
+        )
+        shift = plain.predicted_par - offset.predicted_par
+        a = plain.check(prices()).margin
+        b = offset.check(prices()).margin
+        assert b - a == pytest.approx(shift)
+
+    def test_observe_meters_shapes(self, simulator, rng):
+        detector = SingleEventDetector(simulator, prices(), threshold=0.1)
+        received = np.tile(prices(), (4, 1))
+        received[2] = ZeroPriceAttack(18, 21).apply(prices())
+        flags = detector.observe_meters(received, rng=rng)
+        assert flags.shape == (4,)
+
+    def test_observe_meters_validation(self, simulator):
+        detector = SingleEventDetector(simulator, prices(), threshold=0.1)
+        with pytest.raises(ValueError, match="received_per_meter"):
+            detector.observe_meters(np.ones((2, 5)))
+
+    def test_noise_makes_checks_vary(self, simulator):
+        detector = SingleEventDetector(
+            simulator, prices(), threshold=0.1, margin_noise_std=0.5
+        )
+        rng = np.random.default_rng(0)
+        margins = {round(detector.check(prices(), rng=rng).margin, 6) for _ in range(8)}
+        assert len(margins) > 1
+
+    def test_threshold_validation(self, simulator):
+        with pytest.raises(ValueError):
+            SingleEventDetector(simulator, prices(), threshold=-0.1)
+        with pytest.raises(ValueError):
+            SingleEventDetector(simulator, prices(), margin_noise_std=-1.0)

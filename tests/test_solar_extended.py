@@ -1,0 +1,79 @@
+"""Extended solar-model tests: envelopes, multi-day traces, correlation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarConfig, TimeGrid
+from repro.data.solar import clear_sky_profile, generate_pv
+
+
+class TestClearSkyEnvelope:
+    def test_respects_custom_daylight(self):
+        config = SolarConfig(sunrise_hour=8.0, sunset_hour=16.0)
+        grid = TimeGrid(slots_per_day=24)
+        profile = clear_sky_profile(grid, config)
+        assert profile[7] == 0.0
+        assert profile[16] == 0.0
+        assert profile[12] > 0.9
+
+    def test_multi_day_tiles(self):
+        grid = TimeGrid(slots_per_day=24, n_days=3)
+        profile = clear_sky_profile(grid, SolarConfig())
+        np.testing.assert_allclose(profile[:24], profile[24:48])
+        np.testing.assert_allclose(profile[:24], profile[48:])
+
+    def test_subhourly_resolution(self):
+        fine = clear_sky_profile(TimeGrid(slots_per_day=48), SolarConfig())
+        coarse = clear_sky_profile(TimeGrid(slots_per_day=24), SolarConfig())
+        # same peak height, finer sampling
+        assert fine.max() == pytest.approx(coarse.max(), abs=0.02)
+        assert fine.size == 2 * coarse.size
+
+    def test_bounded_unit(self):
+        profile = clear_sky_profile(TimeGrid(), SolarConfig())
+        assert np.all((0.0 <= profile) & (profile <= 1.0))
+
+
+class TestGeneratedTraces:
+    def test_bounded_by_envelope(self, rng):
+        grid = TimeGrid(slots_per_day=24)
+        config = SolarConfig(peak_kw=2.0)
+        envelope = clear_sky_profile(grid, config) * 2.0
+        for _ in range(5):
+            trace = generate_pv(rng, grid, config)
+            assert np.all(trace <= envelope + 1e-9)
+            assert np.all(trace >= 0.0)
+
+    def test_temporal_correlation_of_clouds(self):
+        """Cloud attenuation is mean-reverting, so adjacent daylight slots
+        correlate more than distant ones on average."""
+        grid = TimeGrid(slots_per_day=24)
+        config = SolarConfig(peak_kw=1.0, cloud_volatility=0.3, cloud_reversion=0.2)
+        envelope = clear_sky_profile(grid, config)
+        day = envelope > 0.3
+        ratios = []
+        for seed in range(200):
+            trace = generate_pv(np.random.default_rng(seed), grid, config)
+            attenuation = trace[day] / envelope[day]
+            ratios.append(attenuation)
+        stacked = np.array(ratios)
+        def corr(lag):
+            a = stacked[:, :-lag].ravel()
+            b = stacked[:, lag:].ravel()
+            return np.corrcoef(a, b)[0, 1]
+        assert corr(1) > corr(5)
+
+    def test_zero_volatility_equals_envelope_scale(self):
+        grid = TimeGrid(slots_per_day=24)
+        config = SolarConfig(peak_kw=1.0, cloud_volatility=0.0, cloud_reversion=0.5)
+        trace = generate_pv(np.random.default_rng(0), grid, config)
+        envelope = clear_sky_profile(grid, config)
+        np.testing.assert_allclose(trace, envelope, atol=1e-9)
+
+    def test_multi_day_trace_spans_horizon(self, rng):
+        grid = TimeGrid(slots_per_day=24, n_days=2)
+        trace = generate_pv(rng, grid, SolarConfig(peak_kw=1.0))
+        assert trace.shape == (48,)
+        # both days generate something
+        assert trace[:24].sum() > 0
+        assert trace[24:].sum() > 0

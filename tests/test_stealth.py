@@ -1,0 +1,98 @@
+"""Tests for detection-aware attack planning."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.stealth import StealthPlan, plan_stealthy_attack
+from repro.billing.realtime import RealTimePriceModel
+from repro.core.config import GameConfig, PricingConfig
+from repro.detection.single_event import CommunityResponseSimulator
+from repro.scheduling.game import Community
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=2, inner_iterations=1, ce_samples=8, ce_elites=2, ce_iterations=2
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    community = Community(
+        customers=(make_customer(0), make_customer(1)), counts=(6, 6)
+    )
+    simulator = CommunityResponseSimulator(community, config=FAST, seed=1)
+    price_model = RealTimePriceModel(
+        config=PricingConfig(), n_customers=12, surge_exponent=1.5
+    )
+    return simulator, price_model
+
+
+class TestPlanStealthyAttack:
+    def test_respects_threshold(self, setup):
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        plan = plan_stealthy_attack(
+            simulator,
+            prices,
+            threshold=0.3,
+            price_model=price_model,
+            strengths=np.array([0.2, 0.5, 0.9]),
+            window_starts=np.array([10, 18]),
+        )
+        assert plan.evaluated == 6
+        assert plan.margin <= 0.3
+
+    def test_zero_threshold_finds_nothing_damaging(self, setup):
+        """With no headroom, only margin-free attacks qualify — and they
+        do no damage, so the plan's damage is ~0."""
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        plan = plan_stealthy_attack(
+            simulator,
+            prices,
+            threshold=0.0,
+            price_model=price_model,
+            strengths=np.array([0.5, 0.9]),
+            window_starts=np.array([18]),
+        )
+        assert plan.bill_damage <= 0.05
+
+    def test_larger_threshold_allows_more_damage(self, setup):
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        kwargs = dict(
+            price_model=price_model,
+            strengths=np.array([0.2, 0.4, 0.6, 0.8, 1.0]),
+            window_starts=np.array([8, 12, 18]),
+        )
+        tight = plan_stealthy_attack(simulator, prices, threshold=0.05, **kwargs)
+        loose = plan_stealthy_attack(simulator, prices, threshold=2.0, **kwargs)
+        assert loose.bill_damage >= tight.bill_damage - 1e-9
+
+    def test_safety_margin_tightens(self, setup):
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        kwargs = dict(
+            price_model=price_model,
+            strengths=np.array([0.3, 0.6, 0.9]),
+            window_starts=np.array([12, 18]),
+        )
+        plain = plan_stealthy_attack(simulator, prices, threshold=0.4, **kwargs)
+        cautious = plan_stealthy_attack(
+            simulator, prices, threshold=0.4, safety_margin=0.35, **kwargs
+        )
+        assert cautious.margin <= plain.margin + 1e-9
+
+    def test_validation(self, setup):
+        simulator, price_model = setup
+        with pytest.raises(ValueError):
+            plan_stealthy_attack(
+                simulator,
+                np.full(HORIZON, 0.03),
+                threshold=-0.1,
+                price_model=price_model,
+            )
+
+    def test_plan_found_flag(self):
+        plan = StealthPlan(attack=None, margin=0.0, bill_damage=0.0, evaluated=4)
+        assert not plan.found

@@ -1,0 +1,87 @@
+"""Extended stealth-planner tests against the caching simulator."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.stealth import plan_stealthy_attack
+from repro.billing.realtime import RealTimePriceModel
+from repro.core.config import GameConfig, PricingConfig
+from repro.detection.single_event import CommunityResponseSimulator
+from repro.scheduling.game import Community
+from tests.conftest import HORIZON, make_customer
+
+FAST = GameConfig(
+    max_rounds=2, inner_iterations=1, ce_samples=8, ce_elites=2, ce_iterations=2
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    community = Community(
+        customers=(make_customer(0), make_customer(1)), counts=(6, 6)
+    )
+    simulator = CommunityResponseSimulator(community, config=FAST, seed=1)
+    price_model = RealTimePriceModel(
+        config=PricingConfig(), n_customers=12, surge_exponent=1.5
+    )
+    return simulator, price_model
+
+
+class TestPlannerCacheReuse:
+    def test_repeated_planning_reuses_solutions(self, setup):
+        """Two plans over overlapping grids share cached game solves."""
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        kwargs = dict(
+            price_model=price_model,
+            strengths=np.array([0.3, 0.6]),
+            window_starts=np.array([10, 16]),
+        )
+        plan_stealthy_attack(simulator, prices, threshold=0.2, **kwargs)
+        size_after_first = simulator.cache_size
+        plan_stealthy_attack(simulator, prices, threshold=0.4, **kwargs)
+        assert simulator.cache_size == size_after_first  # all cache hits
+
+    def test_plan_reports_evaluation_count(self, setup):
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        plan = plan_stealthy_attack(
+            simulator,
+            prices,
+            threshold=0.2,
+            price_model=price_model,
+            strengths=np.array([0.3, 0.5, 0.7]),
+            window_starts=np.array([8, 14, 20]),
+        )
+        assert plan.evaluated == 9
+
+
+class TestPlannerOutcomes:
+    def test_found_attack_is_executable(self, setup):
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        plan = plan_stealthy_attack(
+            simulator,
+            prices,
+            threshold=0.5,
+            price_model=price_model,
+            strengths=np.array([0.3, 0.6, 0.9]),
+            window_starts=np.array([10, 16]),
+        )
+        if plan.found:
+            out = plan.attack.apply(prices)
+            assert out.shape == prices.shape
+            assert np.all(out <= prices + 1e-12)
+
+    def test_damage_never_negative(self, setup):
+        simulator, price_model = setup
+        prices = np.full(HORIZON, 0.03)
+        plan = plan_stealthy_attack(
+            simulator,
+            prices,
+            threshold=1.0,
+            price_model=price_model,
+            strengths=np.array([0.2, 0.8]),
+            window_starts=np.array([12]),
+        )
+        assert plan.bill_damage >= 0.0

@@ -1,0 +1,147 @@
+"""Tests for the scratch-built epsilon-SVR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction.svr import SupportVectorRegressor, _kernel_matrix
+
+
+class TestKernelMatrix:
+    def test_linear(self):
+        a = np.array([[1.0, 0.0], [0.0, 2.0]])
+        k = _kernel_matrix(a, a, "linear", 1.0, 3, 1.0)
+        np.testing.assert_allclose(k, a @ a.T)
+
+    def test_rbf_diagonal_ones(self):
+        a = np.random.default_rng(0).normal(size=(5, 3))
+        k = _kernel_matrix(a, a, "rbf", 0.5, 3, 1.0)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+
+    def test_rbf_symmetric_psd(self):
+        a = np.random.default_rng(1).normal(size=(6, 2))
+        k = _kernel_matrix(a, a, "rbf", 1.0, 3, 1.0)
+        np.testing.assert_allclose(k, k.T)
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues.min() > -1e-10
+
+    def test_poly(self):
+        a = np.array([[1.0], [2.0]])
+        k = _kernel_matrix(a, a, "poly", 1.0, 2, 1.0)
+        np.testing.assert_allclose(k, (a @ a.T + 1.0) ** 2)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            _kernel_matrix(np.ones((1, 1)), np.ones((1, 1)), "spline", 1.0, 3, 1.0)
+
+
+class TestValidation:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(kernel="spline")
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(c=0.0)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(epsilon=-0.1)
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SupportVectorRegressor().fit(np.ones(5), np.ones(5))
+
+    def test_rejects_target_mismatch(self):
+        with pytest.raises(ValueError, match="targets"):
+            SupportVectorRegressor().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_rejects_nan(self):
+        x = np.ones((3, 1))
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            SupportVectorRegressor().fit(x, np.ones(3))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SupportVectorRegressor().predict(np.ones((1, 2)))
+
+    def test_predict_dimension_mismatch(self):
+        model = SupportVectorRegressor().fit(np.ones((4, 2)), np.arange(4.0))
+        with pytest.raises(ValueError, match="dimension"):
+            model.predict(np.ones((1, 3)))
+
+
+class TestRegressionQuality:
+    def test_linear_function_linear_kernel(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(80, 2))
+        y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + 0.5
+        model = SupportVectorRegressor(kernel="linear", c=100.0, epsilon=0.01)
+        model.fit(x, y)
+        assert model.score_rmse(x, y) < 0.1
+
+    def test_sine_rbf(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 2 * np.pi, 120)[:, None]
+        y = np.sin(x[:, 0]) + rng.normal(0, 0.02, size=120)
+        model = SupportVectorRegressor(kernel="rbf", c=50.0, epsilon=0.02, gamma=2.0)
+        model.fit(x, y)
+        grid = np.linspace(0.3, 2 * np.pi - 0.3, 40)[:, None]
+        assert model.score_rmse(grid, np.sin(grid[:, 0])) < 0.1
+
+    def test_quadratic_poly_kernel(self):
+        x = np.linspace(-1, 1, 60)[:, None]
+        y = x[:, 0] ** 2
+        model = SupportVectorRegressor(kernel="poly", degree=2, c=100.0, epsilon=0.01)
+        model.fit(x, y)
+        assert model.score_rmse(x, y) < 0.05
+
+    def test_constant_target(self):
+        """Degenerate zero-variance target: prediction equals the constant."""
+        x = np.random.default_rng(2).normal(size=(20, 2))
+        y = np.full(20, 7.0)
+        model = SupportVectorRegressor().fit(x, y)
+        np.testing.assert_allclose(model.predict(x), 7.0, atol=1e-6)
+
+    def test_1d_feature_prediction(self):
+        model = SupportVectorRegressor(kernel="linear", c=10.0)
+        model.fit(np.arange(10.0)[:, None], np.arange(10.0))
+        single = model.predict(np.array([4.5]))
+        assert single.shape == (1,)
+        assert single[0] == pytest.approx(4.5, abs=0.3)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        slope=st.floats(-3.0, 3.0),
+        intercept=st.floats(-2.0, 2.0),
+    )
+    def test_recovers_affine(self, slope, intercept):
+        x = np.linspace(-2, 2, 50)[:, None]
+        y = slope * x[:, 0] + intercept
+        model = SupportVectorRegressor(kernel="linear", c=100.0, epsilon=0.01)
+        model.fit(x, y)
+        assert model.score_rmse(x, y) < 0.1 + 0.02 * abs(slope)
+
+
+class TestDualProperties:
+    def test_support_vector_count(self):
+        x = np.linspace(0, 1, 30)[:, None]
+        y = 2.0 * x[:, 0]
+        model = SupportVectorRegressor(kernel="linear", c=10.0, epsilon=0.2)
+        model.fit(x, y)
+        # wide epsilon tube: most points are inside, few support vectors
+        assert model.support_vector_count < 30
+
+    def test_sweeps_reported(self):
+        model = SupportVectorRegressor(max_iterations=5)
+        model.fit(np.random.default_rng(0).normal(size=(10, 2)), np.arange(10.0))
+        assert 1 <= model.n_sweeps <= 5
+
+    def test_deterministic(self):
+        x = np.random.default_rng(3).normal(size=(25, 2))
+        y = x[:, 0] - x[:, 1]
+        a = SupportVectorRegressor().fit(x, y).predict(x)
+        b = SupportVectorRegressor().fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,101 @@
+"""Extended SVR tests: tube behaviour, regularization, standardization."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.svr import SupportVectorRegressor
+
+
+class TestEpsilonTube:
+    def test_wide_tube_flat_prediction(self):
+        """When the tube swallows the whole (standardized) target range,
+        the dual stays at zero and the prediction is the target mean."""
+        x = np.linspace(0, 1, 30)[:, None]
+        y = 5.0 + 0.1 * x[:, 0]
+        model = SupportVectorRegressor(kernel="linear", epsilon=10.0)
+        model.fit(x, y)
+        assert model.support_vector_count == 0
+        np.testing.assert_allclose(model.predict(x), y.mean(), atol=1e-9)
+
+    def test_shrinking_tube_adds_support_vectors(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(40, 1))
+        y = np.sin(4 * x[:, 0])
+        counts = []
+        for epsilon in (0.5, 0.1, 0.01):
+            model = SupportVectorRegressor(kernel="rbf", epsilon=epsilon, c=10.0)
+            model.fit(x, y)
+            counts.append(model.support_vector_count)
+        assert counts[0] <= counts[1] <= counts[2]
+
+
+class TestRegularization:
+    def test_small_c_shrinks_fit(self):
+        """A tiny box constraint keeps the function near the mean even when
+        the data has structure."""
+        x = np.linspace(-1, 1, 40)[:, None]
+        y = 3.0 * x[:, 0]
+        weak = SupportVectorRegressor(kernel="linear", c=1e-3, epsilon=0.01)
+        strong = SupportVectorRegressor(kernel="linear", c=100.0, epsilon=0.01)
+        weak.fit(x, y)
+        strong.fit(x, y)
+        assert weak.score_rmse(x, y) > strong.score_rmse(x, y)
+
+    def test_dual_respects_box(self):
+        x = np.random.default_rng(1).normal(size=(30, 2))
+        y = x[:, 0]
+        model = SupportVectorRegressor(kernel="linear", c=0.5, epsilon=0.01)
+        model.fit(x, y)
+        assert np.all(np.abs(model._beta) <= 0.5 + 1e-9)
+
+
+class TestStandardization:
+    def test_feature_scale_invariance(self):
+        """Internally standardized features: scaling a column by 1000
+        leaves predictions (nearly) unchanged."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 2))
+        y = x[:, 0] - 0.5 * x[:, 1]
+        scaled = x.copy()
+        scaled[:, 1] *= 1000.0
+        a = SupportVectorRegressor(kernel="rbf", c=10.0).fit(x, y).predict(x)
+        b = SupportVectorRegressor(kernel="rbf", c=10.0).fit(scaled, y).predict(scaled)
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_target_shift_equivariance(self):
+        """Adding a constant to the targets shifts predictions by the same
+        constant."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(40, 2))
+        y = np.sin(x[:, 0])
+        base = SupportVectorRegressor(kernel="rbf", c=10.0).fit(x, y).predict(x)
+        shifted = (
+            SupportVectorRegressor(kernel="rbf", c=10.0)
+            .fit(x, y + 100.0)
+            .predict(x)
+        )
+        np.testing.assert_allclose(shifted, base + 100.0, atol=1e-6)
+
+    def test_constant_feature_column_handled(self):
+        """Zero-variance feature columns must not divide by zero."""
+        x = np.ones((20, 2))
+        x[:, 0] = np.linspace(0, 1, 20)
+        y = x[:, 0]
+        model = SupportVectorRegressor(kernel="linear", c=10.0)
+        model.fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+
+
+class TestGammaHeuristic:
+    def test_explicit_gamma_used(self):
+        x = np.linspace(0, 1, 30)[:, None]
+        y = np.sin(6 * x[:, 0])
+        narrow = SupportVectorRegressor(kernel="rbf", gamma=100.0, c=50.0)
+        narrow.fit(x, y)
+        assert narrow._gamma == 100.0
+
+    def test_heuristic_gamma_positive(self):
+        x = np.random.default_rng(4).normal(size=(20, 3))
+        model = SupportVectorRegressor(kernel="rbf")
+        model.fit(x, x[:, 0])
+        assert model._gamma > 0

@@ -1,0 +1,83 @@
+"""Tests for the scenario parameter-sweep utility."""
+
+import pytest
+
+from repro.simulation.sweep import SweepPoint, SweepResult, _set_dotted, sweep_scenario
+
+
+class TestSetDotted:
+    def test_top_level_field(self, tiny_config):
+        updated = _set_dotted(tiny_config, "pv_adoption", 0.25)
+        assert updated.pv_adoption == 0.25
+
+    def test_nested_field(self, tiny_config):
+        updated = _set_dotted(tiny_config, "pricing.sellback_divisor", 3.0)
+        assert updated.pricing.sellback_divisor == 3.0
+        assert tiny_config.pricing.sellback_divisor != 3.0  # original untouched
+
+    def test_detection_field(self, tiny_config):
+        updated = _set_dotted(tiny_config, "detection.par_threshold", 0.2)
+        assert updated.detection.par_threshold == 0.2
+
+    def test_too_deep_rejected(self, tiny_config):
+        with pytest.raises(ValueError, match="nesting"):
+            _set_dotted(tiny_config, "a.b.c", 1)
+
+
+class TestSweepResult:
+    def test_series_extraction(self):
+        points = (
+            SweepPoint("a", "aware", 0.9, 1.2, 10.0, 2),
+            SweepPoint("b", "aware", 0.8, 1.3, 12.0, 3),
+            SweepPoint("a", "unaware", 0.6, 1.4, 5.0, 1),
+        )
+        result = SweepResult(parameter="x", points=points)
+        series = result.series("aware", "observation_accuracy")
+        assert series == [("a", 0.9), ("b", 0.8)]
+
+    def test_unknown_metric(self):
+        result = SweepResult(parameter="x", points=())
+        with pytest.raises(ValueError, match="metric"):
+            result.series("aware", "banana")
+
+
+class TestSweepScenario:
+    def test_grid_shape(self, tiny_config):
+        result = sweep_scenario(
+            tiny_config,
+            parameter="detection.hack_probability",
+            values=(0.05, 0.3),
+            detectors=("none",),
+            n_slots=24,
+            calibration_trials=3,
+        )
+        assert result.parameter == "detection.hack_probability"
+        assert len(result.points) == 2
+        values = [p.value for p in result.points]
+        assert values == [0.05, 0.3]
+
+    def test_hack_probability_moves_compromise(self, tiny_config):
+        """More aggressive hacking leaves a larger undetected population
+        (no-detection variant), lowering the trivially-correct accuracy."""
+        result = sweep_scenario(
+            tiny_config,
+            parameter="detection.hack_probability",
+            values=(0.02, 0.5),
+            detectors=("none",),
+            n_slots=24,
+            calibration_trials=3,
+            seed=5,
+        )
+        low, high = result.points
+        assert high.n_repairs == low.n_repairs == 0
+
+    def test_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            sweep_scenario(tiny_config, parameter="pv_adoption", values=())
+        with pytest.raises(ValueError):
+            sweep_scenario(
+                tiny_config,
+                parameter="pv_adoption",
+                values=(0.1,),
+                detectors=(),
+            )

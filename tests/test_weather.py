@@ -1,0 +1,80 @@
+"""Tests for the day-to-day weather process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.weather import DEFAULT_WEATHER, WeatherModel
+
+
+class TestWeatherModel:
+    def test_default_statistics(self):
+        model = WeatherModel()
+        assert model.mean == pytest.approx(0.5)
+        assert 0.2 < model.std < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeatherModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            WeatherModel(beta=-1.0)
+
+    def test_daily_factor_in_unit_interval(self, rng):
+        model = WeatherModel()
+        for _ in range(50):
+            factor = model.daily_factor(rng)
+            assert 0.0 <= factor <= 1.0
+
+    def test_sample_days(self, rng):
+        days = WeatherModel().sample_days(rng, 100)
+        assert days.shape == (100,)
+        assert np.all((0 <= days) & (days <= 1))
+        # empirical mean within a few sigma of the analytic one
+        assert days.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_sample_days_validation(self, rng):
+        with pytest.raises(ValueError):
+            WeatherModel().sample_days(rng, 0)
+
+    def test_sunny_quantile_ordering(self):
+        model = WeatherModel()
+        assert model.sunny_quantile(0.9) > model.sunny_quantile(0.5)
+        with pytest.raises(ValueError):
+            model.sunny_quantile(1.0)
+
+    def test_sunnier_climate_shifts_mean(self):
+        sunny = WeatherModel(alpha=5.0, beta=2.0)
+        assert sunny.mean > DEFAULT_WEATHER.mean
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        alpha=st.floats(0.5, 10.0),
+        beta=st.floats(0.5, 10.0),
+    )
+    def test_analytic_moments_consistent(self, alpha, beta):
+        model = WeatherModel(alpha=alpha, beta=beta)
+        samples = model.sample_days(np.random.default_rng(0), 4000)
+        assert samples.mean() == pytest.approx(model.mean, abs=0.03)
+        assert samples.std() == pytest.approx(model.std, abs=0.03)
+
+
+class TestDefaultWeatherIntegration:
+    def test_history_uses_weather_model(self, rng):
+        """A near-deterministic sunny climate produces consistently large
+        renewables across net-metering days."""
+        from repro.core.config import PricingConfig, SolarConfig
+        from repro.data.pricing import generate_history
+
+        history = generate_history(
+            rng,
+            n_customers=20,
+            pricing=PricingConfig(),
+            solar=SolarConfig(peak_kw=1.0),
+            n_days_pre_nm=0,
+            n_days_nm=6,
+            mean_pv_per_customer_kw=1.0,
+            weather=WeatherModel(alpha=200.0, beta=1.0),
+        )
+        midday = history.renewable.reshape(-1, 24)[:, 12]
+        assert midday.std() / midday.mean() < 0.1
