@@ -1,0 +1,19 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-quick figures
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Full hot-path benchmark at bench-preset scale; appends one entry to
+# BENCH_hotpaths.json (machine-readable perf trajectory).
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/bench_hotpaths.py
+
+# Micro benches only (CE step + game solve) — seconds, not minutes.
+bench-quick:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/bench_hotpaths.py --preset smoke --skip-scenario
+
+figures:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli all

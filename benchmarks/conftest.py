@@ -23,8 +23,10 @@ from repro.data.pricing import (
     baseline_demand_profile,
     generate_history,
 )
+from repro.perf.counters import PERF
 from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
 from repro.scheduling.game import Community
+from repro.simulation.cache import global_game_cache
 
 
 @dataclass(frozen=True)
@@ -122,9 +124,18 @@ def report(label: str, paper: float, measured: float) -> None:
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    """Replay every paper-vs-measured row after the test summary."""
-    if not _REPORT_ROWS:
-        return
-    terminalreporter.write_sep("=", "paper vs measured")
-    for row in _REPORT_ROWS:
-        terminalreporter.write_line("  " + row)
+    """Replay the paper-vs-measured rows, then the hot-path perf totals."""
+    if _REPORT_ROWS:
+        terminalreporter.write_sep("=", "paper vs measured")
+        for row in _REPORT_ROWS:
+            terminalreporter.write_line("  " + row)
+    counters = PERF.snapshot()
+    cache = global_game_cache()
+    if counters or cache.hits or cache.misses:
+        terminalreporter.write_sep("=", "hot-path perf counters")
+        for name, value in sorted(counters.items()):
+            terminalreporter.write_line(f"  {name}: {value:g}")
+        terminalreporter.write_line(
+            f"  game cache: {cache.hits} hits / {cache.misses} misses "
+            f"(hit rate {cache.hit_rate:.2%}, {cache.size} entries)"
+        )

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Time the CE/game/scenario hot paths and append to BENCH_hotpaths.json.
+
+Thin wrapper so the bench runs without installing the package:
+
+    PYTHONPATH=src python scripts/bench_hotpaths.py [--preset bench] [--out ...]
+
+See :mod:`repro.perf.bench` for the harness itself.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

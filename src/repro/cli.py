@@ -11,7 +11,9 @@ Regenerates each of the paper's evaluation artifacts from the terminal:
 
 Common options: ``--preset {smoke,bench,paper}``, ``--seed N``,
 ``--slots H`` (fig6/table1 horizon), ``--json PATH`` (dump scenario
-results).
+results), ``--perf`` (print hot-path counters — CE evaluations, DP
+cells, game rounds, cache hit rate — after the command), ``--bench-json
+PATH`` (append the counters to a ``BENCH_*.json`` perf trajectory).
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.data.pricing import (
 from repro.detection.single_event import CommunityResponseSimulator
 from repro.metrics.cost import LaborCostModel, normalized_labor_cost
 from repro.metrics.errors import rmse
+from repro.perf.counters import PERF
 from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
 from repro.reporting.ascii import render_profile
 from repro.reporting.tables import ComparisonRow, comparison_table
@@ -194,6 +197,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", type=Path, default=None, help="directory for JSON result dumps"
     )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="print hot-path perf counters after the command",
+    )
+    parser.add_argument(
+        "--bench-json",
+        type=Path,
+        default=None,
+        help="append the run's perf counters to this BENCH_*.json file",
+    )
     args = parser.parse_args(argv)
 
     config = PRESETS[args.preset]()
@@ -216,6 +230,22 @@ def main(argv: list[str] | None = None) -> int:
             command()
     else:
         commands[args.command]()
+
+    if args.perf:
+        print()
+        print(PERF.report())
+    if args.bench_json is not None:
+        from repro.perf.bench import collect_environment, write_bench_json
+
+        write_bench_json(
+            args.bench_json,
+            {
+                "environment": collect_environment(),
+                "command": args.command,
+                "preset": args.preset,
+                "perf_counters": PERF.snapshot(),
+            },
+        )
     return 0
 
 

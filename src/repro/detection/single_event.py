@@ -32,6 +32,11 @@ from numpy.typing import ArrayLike, NDArray
 from repro.core.config import GameConfig
 from repro.metrics.par import par, par_increase
 from repro.scheduling.game import Community, GameResult, SchedulingGame
+from repro.simulation.cache import (
+    GameSolutionCache,
+    solution_key,
+    solve_context_key,
+)
 
 
 class CommunityResponseSimulator:
@@ -51,6 +56,13 @@ class CommunityResponseSimulator:
         Seed for the game's (deterministic per-customer) stochastic
         components; two simulators with the same seed and community give
         identical responses.
+    cache:
+        Game-solution store.  Defaults to a private
+        :class:`~repro.simulation.cache.GameSolutionCache`; pass a shared
+        instance (e.g. :func:`~repro.simulation.cache.global_game_cache`)
+        to reuse solutions across simulators and scenario runs — keys are
+        content-addressed over the full solve context, so sharing is
+        always safe.
     """
 
     def __init__(
@@ -60,12 +72,20 @@ class CommunityResponseSimulator:
         config: GameConfig | None = None,
         sellback_divisor: float = 2.0,
         seed: int = 0,
+        cache: GameSolutionCache | None = None,
     ) -> None:
         self.community = community
         self.config = config if config is not None else GameConfig()
         self.sellback_divisor = sellback_divisor
         self.seed = seed
-        self._cache: dict[bytes, GameResult] = {}
+        self.cache = cache if cache is not None else GameSolutionCache()
+        self._context_key = solve_context_key(
+            community,
+            self.config,
+            sellback_divisor=sellback_divisor,
+            seed=seed,
+        )
+        self._keys_seen: set[str] = set()
 
     @property
     def horizon(self) -> int:
@@ -73,27 +93,28 @@ class CommunityResponseSimulator:
 
     @property
     def cache_size(self) -> int:
-        """Number of distinct price vectors solved so far."""
-        return len(self._cache)
+        """Number of distinct price vectors this simulator has solved."""
+        return len(self._keys_seen)
 
     def response(self, prices: ArrayLike) -> GameResult:
         """Game solution for a posted price vector (memoized)."""
         p = np.asarray(prices, dtype=float)
         if p.shape != (self.horizon,):
             raise ValueError(f"prices must have shape ({self.horizon},), got {p.shape}")
-        key = np.round(p, 9).tobytes()
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        key = solution_key(self._context_key, p)
+        self._keys_seen.add(key)
+        return self.cache.get_or_solve(
+            key, lambda: self._solve(p), community=self.community
+        )
+
+    def _solve(self, p: NDArray[np.float64]) -> GameResult:
         game = SchedulingGame(
             self.community,
             np.maximum(p, 0.0),
             sellback_divisor=self.sellback_divisor,
             config=self.config,
         )
-        result = game.solve(rng=np.random.default_rng(self.seed))
-        self._cache[key] = result
-        return result
+        return game.solve(rng=np.random.default_rng(self.seed))
 
     def grid_par(self, prices: ArrayLike) -> float:
         """PAR of the grid demand the community would draw under ``prices``."""

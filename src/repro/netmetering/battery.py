@@ -104,3 +104,36 @@ def clamp_trajectory(
         hi = min(spec.capacity_kwh, b[h - 1] + max_charge)
         b[h] = min(max(b[h], lo), hi)
     return b
+
+
+def clamp_trajectory_batch(
+    trajectories: ArrayLike,
+    spec: BatteryConfig,
+    *,
+    slot_hours: float = 1.0,
+) -> NDArray[np.float64]:
+    """Project ``K`` trajectories onto the feasible set in one pass.
+
+    Vectorized counterpart of :func:`clamp_trajectory` for a population
+    of shape ``(K, H+1)``: the forward recurrence is sequential in time
+    but elementwise over the population axis, so one loop over ``H``
+    replaces ``K`` Python loops.  Row ``i`` of the result is bitwise
+    identical to ``clamp_trajectory(trajectories[i])`` — the cross-entropy
+    optimizer relies on this to batch its projection hook without
+    changing any sampled trajectory.
+    """
+    b = np.array(trajectories, dtype=float)
+    if b.ndim != 2 or b.shape[1] < 2:
+        raise BatteryViolation(
+            f"trajectories must be 2-D with >= 2 columns, got shape {b.shape}"
+        )
+    b = np.nan_to_num(b, nan=spec.initial_kwh, posinf=spec.capacity_kwh, neginf=0.0)
+    b[:, 0] = spec.initial_kwh
+    max_charge = spec.max_charge_kw * slot_hours
+    max_discharge = spec.max_discharge_kw * slot_hours
+    for h in range(1, b.shape[1]):
+        prev = b[:, h - 1]
+        lo = np.maximum(0.0, prev - max_discharge)
+        hi = np.minimum(spec.capacity_kwh, prev + max_charge)
+        b[:, h] = np.minimum(np.maximum(b[:, h], lo), hi)
+    return b

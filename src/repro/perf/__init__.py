@@ -1,0 +1,23 @@
+"""Performance layer: counters, deterministic parallel execution, bench I/O.
+
+Three small, dependency-free building blocks the simulation stack shares:
+
+- :data:`~repro.perf.counters.PERF` — process-global counters/timers the
+  hot paths increment (CE evaluations, DP cells, game rounds, cache
+  hits/misses);
+- :class:`~repro.perf.parallel.ParallelMap` — serial / process-pool map
+  with a determinism contract (self-seeding tasks, order-preserving);
+- :func:`~repro.perf.bench.write_bench_json` — machine-readable perf
+  trajectory records (``BENCH_*.json``) appended by the bench harness.
+"""
+
+from repro.perf.counters import PERF, PerfRegistry
+from repro.perf.parallel import SERIAL_MAP, ParallelMap, spawn_seeds
+
+__all__ = [
+    "PERF",
+    "PerfRegistry",
+    "ParallelMap",
+    "SERIAL_MAP",
+    "spawn_seeds",
+]

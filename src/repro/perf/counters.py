@@ -1,0 +1,80 @@
+"""Lightweight global performance counters and timers.
+
+The hot paths of the reproduction (CE sampling, DP cell relaxation, game
+rounds, game-solution caching) increment a process-global registry so
+that any entry point — the CLI, the benchmark harness, or
+``scripts/bench_hotpaths.py`` — can report how much work a run actually
+did.  Counter updates are a dict lookup plus an add; the overhead is
+negligible next to the work being counted.
+
+The registry is process-local by design: parallel workers accumulate
+their own counters, and the parent's registry only reflects work done in
+the parent process.  This keeps the counters race-free without locks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PerfRegistry:
+    """Named monotonic counters plus wall-clock timers."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._timers: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def get(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds spent inside the block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._timers[name] = self._timers.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters and timers as one flat dict (timers suffixed ``_s``)."""
+        out = dict(self._counters)
+        for name, seconds in self._timers.items():
+            out[f"{name}_s"] = seconds
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self._counters.clear()
+        self._timers.clear()
+
+    def report(self) -> str:
+        """Human-readable multi-line report, sorted by name."""
+        snap = self.snapshot()
+        if not snap:
+            return "perf: no activity recorded"
+        width = max(len(k) for k in snap)
+        lines = ["perf counters:"]
+        for name in sorted(snap):
+            value = snap[name]
+            rendered = f"{value:.4f}" if name.endswith("_s") else f"{value:,.0f}"
+            lines.append(f"  {name:<{width}}  {rendered}")
+        hits, misses = snap.get("cache.hits", 0.0), snap.get("cache.misses", 0.0)
+        if hits + misses > 0:
+            lines.append(
+                f"  {'cache.hit_rate':<{width}}  {hits / (hits + misses):.3f}"
+            )
+        return "\n".join(lines)
+
+
+PERF = PerfRegistry()
+"""The process-global registry used by the instrumented hot paths."""

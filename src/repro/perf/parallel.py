@@ -1,0 +1,100 @@
+"""Deterministic serial/process-pool execution of independent tasks.
+
+``ParallelMap`` is the one abstraction the simulation layers use to fan
+out embarrassingly parallel work (scenario seeds, sweep cells,
+calibration chunks).  Two backends:
+
+- ``"serial"`` — a plain list comprehension, bitwise-identical to the
+  historical sequential loops;
+- ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor`;
+  the callable and its items must be picklable (module-level functions).
+
+Determinism contract
+--------------------
+Task functions must be *self-seeding*: every item carries everything the
+task needs, including its own seed, so the result of ``map`` is a pure
+function of the item list regardless of backend or worker count.
+:func:`spawn_seeds` derives independent per-task seeds from one master
+seed via :class:`numpy.random.SeedSequence` so callers never hand the
+same stream to two tasks.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Literal, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+Backend = Literal["serial", "process"]
+
+
+def spawn_seeds(master_seed: int, n: int) -> tuple[int, ...]:
+    """Derive ``n`` statistically independent child seeds from one master.
+
+    Uses ``SeedSequence.spawn`` so the children are decorrelated by
+    construction; the mapping is deterministic in ``(master_seed, n)``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    children = np.random.SeedSequence(master_seed).spawn(n)
+    return tuple(int(child.generate_state(1, dtype=np.uint64)[0]) for child in children)
+
+
+@dataclass(frozen=True)
+class ParallelMap:
+    """Ordered map over independent items with a pluggable backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (default) or ``"process"``.
+    max_workers:
+        Worker count for the process backend; defaults to the machine's
+        CPU count.  Ignored by the serial backend.
+    chunksize:
+        Items per pickled work unit for the process backend; larger
+        chunks amortize IPC for many small tasks.
+    """
+
+    backend: Backend = "serial"
+    max_workers: int | None = None
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
+
+    @property
+    def effective_workers(self) -> int:
+        """Workers the process backend would use (1 for serial)."""
+        if self.backend == "serial":
+            return 1
+        return self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        The serial backend evaluates in order in the calling process; the
+        process backend distributes items but still returns results in
+        input order, so both backends produce identical lists whenever
+        ``fn`` is a pure function of its item.
+        """
+        item_list: Sequence[T] = list(items)
+        if self.backend == "serial" or len(item_list) <= 1:
+            return [fn(item) for item in item_list]
+        with ProcessPoolExecutor(max_workers=self.effective_workers) as pool:
+            return list(pool.map(fn, item_list, chunksize=self.chunksize))
+
+
+SERIAL_MAP = ParallelMap(backend="serial")
+"""Shared default instance; semantically the historical sequential loop."""

@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.perf.counters import PERF
 from repro.scheduling.appliance import ApplianceSchedule, ApplianceTask, InfeasibleTaskError
 
 CostFunction = Callable[[int, float], float]
@@ -144,6 +145,7 @@ def schedule_appliance_table(
             f"{task.name}: backtracking left {remaining} units unassigned"
         )
 
+    PERF.add("dp.cells", n_states * horizon)
     schedule = ApplianceSchedule(task=task, power=tuple(power))
     diagnostics = DpDiagnostics(
         n_states=n_states,

@@ -29,6 +29,7 @@ from numpy.typing import ArrayLike, NDArray
 from repro.core.config import GameConfig
 from repro.netmetering.cost import NetMeteringCostModel
 from repro.optimization.battery import BatteryOptimizer, BatteryProblem
+from repro.perf.counters import PERF
 from repro.scheduling.customer import Customer, CustomerState
 from repro.scheduling.dp import schedule_appliance_table
 
@@ -145,6 +146,32 @@ class SchedulingGame:
             n_iterations=self.config.ce_iterations,
             smoothing=self.config.ce_smoothing,
         )
+        # Per-(customer, task) tables that are pure functions of static
+        # identity: the DP tie-break jitter (a fresh seeded generator
+        # reproduces the same table every call, so caching it is exact)
+        # and the power-level array used for vectorized schedule costing.
+        self._jitter_tables: dict[tuple[int, int], NDArray[np.float64]] = {}
+        self._level_arrays: dict[tuple[int, int], NDArray[np.float64]] = {}
+        self._slot_index = np.arange(community.horizon)
+
+    def _task_tables(
+        self, customer: Customer, index: int
+    ) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
+        """Cached (jitter table, power-level array) for one task."""
+        key = (customer.customer_id, index)
+        jitter = self._jitter_tables.get(key)
+        if jitter is None:
+            task = customer.tasks[index]
+            levels = np.asarray(task.power_levels)
+            jitter_rng = np.random.default_rng(
+                (customer.customer_id * 1_000_003 + index) % (2**32)
+            )
+            jitter = jitter_rng.uniform(
+                0.0, 1e-6, size=(self.community.horizon, levels.size)
+            )
+            self._jitter_tables[key] = jitter
+            self._level_arrays[key] = levels
+        return jitter, self._level_arrays[key]
 
     # ------------------------------------------------------------------
     # Initialization
@@ -214,28 +241,26 @@ class SchedulingGame:
             threshold = threshold_rate * reference
             # Line 4: appliance schedules via DP, one task at a time.
             for index, task in enumerate(customer.tasks):
-                base_trading = state.trading - state.schedules[index].load * self.slot_hours
-                table = self.cost_model.marginal_cost_table(
-                    base_trading,
-                    others_trading,
-                    np.asarray(task.power_levels),
-                    multiplicity=multiplicity,
-                    slot_hours=self.slot_hours,
-                )
                 # Deterministic per-(customer, task) jitter breaks cost
                 # ties: a zero-price attack makes whole windows exactly
                 # free, and without it every customer's DP would herd into
                 # the same slot of the window.
-                jitter_rng = np.random.default_rng(
-                    (customer.customer_id * 1_000_003 + index) % (2**32)
+                jitter, levels = self._task_tables(customer, index)
+                base_trading = state.trading - state.schedules[index].load * self.slot_hours
+                table = self.cost_model.marginal_cost_table(
+                    base_trading,
+                    others_trading,
+                    levels,
+                    multiplicity=multiplicity,
+                    slot_hours=self.slot_hours,
                 )
-                table = table + jitter_rng.uniform(0.0, 1e-6, size=table.shape)
+                table = table + jitter
                 table[:, 0] = 0.0  # idling stays exactly free
                 schedule, diagnostics = schedule_appliance_table(
                     task, table, slot_hours=self.slot_hours
                 )
                 current_cost = self._schedule_cost(
-                    table, task, state.schedules[index]
+                    table, levels, state.schedules[index]
                 )
                 improvement = current_cost - diagnostics.optimal_cost
                 if improvement > threshold:
@@ -266,17 +291,25 @@ class SchedulingGame:
                     state = state.with_battery(result.x)
         return state
 
-    @staticmethod
     def _schedule_cost(
+        self,
         table: NDArray[np.float64],
-        task,
+        levels: NDArray[np.float64],
         schedule,
     ) -> float:
-        """Cost of an existing schedule under a fresh marginal table."""
-        level_index = {level: j for j, level in enumerate(task.power_levels)}
+        """Cost of an existing schedule under a fresh marginal table.
+
+        ``levels`` is the task's (strictly increasing) power-level array;
+        schedule powers are exact members of it, so ``searchsorted``
+        recovers each slot's level index without rebuilding a dict.  The
+        gathered entries are summed sequentially to reproduce the exact
+        rounding of the historical per-slot accumulation loop.
+        """
+        idx = np.searchsorted(levels, schedule.load)
+        picked = table[self._slot_index, idx]
         total = 0.0
-        for h, power in enumerate(schedule.power):
-            total += table[h, level_index[power]]
+        for value in picked.tolist():
+            total += value
         return total
 
     # ------------------------------------------------------------------
@@ -319,6 +352,8 @@ class SchedulingGame:
                 converged = True
                 break
 
+        PERF.add("game.solves")
+        PERF.add("game.rounds", rounds)
         return GameResult(
             states=tuple(states),
             counts=counts,

@@ -1,31 +1,41 @@
-"""Scenario engine: multi-day monitored community simulations."""
+"""Scenario engine: multi-day monitored community simulations.
 
-from repro.simulation.aggregate import (
-    AggregateMetric,
-    AggregateResult,
-    run_aggregate_scenario,
-)
-from repro.simulation.calibration import SingleEventRates, measure_single_event_rates
-from repro.simulation.results import load_scenario, save_scenario
-from repro.simulation.scenario import (
-    DetectorKind,
-    ScenarioResult,
-    run_long_term_scenario,
-)
-from repro.simulation.sweep import SweepPoint, SweepResult, sweep_scenario
+Submodules are loaded lazily through module ``__getattr__``: the
+detection layer imports :mod:`repro.simulation.cache` at import time,
+and an eager package ``__init__`` would close an import cycle back
+through :mod:`repro.simulation.scenario` (which imports detection).
+"""
 
-__all__ = [
-    "AggregateMetric",
-    "AggregateResult",
-    "DetectorKind",
-    "ScenarioResult",
-    "SingleEventRates",
-    "SweepPoint",
-    "SweepResult",
-    "load_scenario",
-    "measure_single_event_rates",
-    "run_aggregate_scenario",
-    "run_long_term_scenario",
-    "save_scenario",
-    "sweep_scenario",
-]
+from importlib import import_module
+from typing import Any
+
+_EXPORTS = {
+    "AggregateMetric": "repro.simulation.aggregate",
+    "AggregateResult": "repro.simulation.aggregate",
+    "run_aggregate_scenario": "repro.simulation.aggregate",
+    "GameSolutionCache": "repro.simulation.cache",
+    "global_game_cache": "repro.simulation.cache",
+    "SingleEventRates": "repro.simulation.calibration",
+    "measure_single_event_rates": "repro.simulation.calibration",
+    "load_scenario": "repro.simulation.results",
+    "save_scenario": "repro.simulation.results",
+    "DetectorKind": "repro.simulation.scenario",
+    "ScenarioResult": "repro.simulation.scenario",
+    "run_long_term_scenario": "repro.simulation.scenario",
+    "SweepPoint": "repro.simulation.sweep",
+    "SweepResult": "repro.simulation.sweep",
+    "sweep_scenario": "repro.simulation.sweep",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.config import CommunityConfig
 from repro.metrics.cost import LaborCostModel
+from repro.perf.parallel import SERIAL_MAP, ParallelMap
 from repro.simulation.scenario import DetectorKind, ScenarioResult, run_long_term_scenario
 
 
@@ -48,6 +49,20 @@ class AggregateResult:
     runs: tuple[ScenarioResult, ...]
 
 
+def _run_one_scenario(
+    item: tuple[CommunityConfig, DetectorKind, int, int, int],
+) -> ScenarioResult:
+    """One self-contained scenario task (module-level for pickling)."""
+    config, detector, n_slots, calibration_trials, seed = item
+    return run_long_term_scenario(
+        config,
+        detector=detector,
+        n_slots=n_slots,
+        calibration_trials=calibration_trials,
+        seed=seed,
+    )
+
+
 def run_aggregate_scenario(
     config: CommunityConfig,
     *,
@@ -55,24 +70,26 @@ def run_aggregate_scenario(
     seeds: tuple[int, ...],
     n_slots: int = 48,
     calibration_trials: int = 30,
+    parallel: ParallelMap | None = None,
 ) -> AggregateResult:
-    """Run the long-term scenario once per seed and aggregate the metrics."""
+    """Run the long-term scenario once per seed and aggregate the metrics.
+
+    Each seed is a self-contained task (the per-run generator is seeded
+    from the item itself), so the result is bitwise identical across
+    ``parallel`` backends and worker counts; the process backend simply
+    spreads the seeds over cores.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    pmap = parallel if parallel is not None else SERIAL_MAP
     labor_model = LaborCostModel(
         fixed_cost=config.detection.repair_fixed_cost,
         per_meter_cost=config.detection.repair_cost_per_meter,
     )
-    runs = [
-        run_long_term_scenario(
-            config,
-            detector=detector,
-            n_slots=n_slots,
-            calibration_trials=calibration_trials,
-            seed=seed,
-        )
-        for seed in seeds
-    ]
+    runs = pmap.map(
+        _run_one_scenario,
+        [(config, detector, n_slots, calibration_trials, seed) for seed in seeds],
+    )
     return AggregateResult(
         detector=detector,
         observation_accuracy=AggregateMetric.from_values(

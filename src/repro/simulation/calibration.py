@@ -17,6 +17,7 @@ from numpy.typing import NDArray
 
 from repro.attacks.hacking import MeterHackingProcess
 from repro.detection.single_event import SingleEventDetector
+from repro.perf.parallel import ParallelMap, spawn_seeds
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,19 @@ class SingleEventRates:
         )
 
 
+def _count_flags(
+    item: tuple[SingleEventDetector, tuple[NDArray[np.float64], ...], int],
+) -> int:
+    """Flag count for one chunk of price vectors (module-level for pickling)."""
+    detector, price_vectors, seed = item
+    chunk_rng = np.random.default_rng(seed)
+    hits = 0
+    for prices in price_vectors:
+        if detector.check(prices, rng=chunk_rng).flagged:
+            hits += 1
+    return hits
+
+
 def measure_single_event_rates(
     detector: SingleEventDetector,
     clean_prices: NDArray[np.float64],
@@ -57,6 +71,7 @@ def measure_single_event_rates(
     *,
     n_trials: int = 60,
     rng: np.random.Generator | None = None,
+    parallel: ParallelMap | None = None,
 ) -> SingleEventRates:
     """Estimate per-meter TP/FP rates of a single-event detector.
 
@@ -72,23 +87,49 @@ def measure_single_event_rates(
         distribution defines attack difficulty); its state is untouched.
     n_trials:
         Number of attacked and clean checks each.
+    parallel:
+        Optional process-pool backend for the Monte-Carlo trials.  The
+        attacks are drawn up front (consuming the sampler exactly as the
+        serial path does) and the checks are split into per-worker chunks
+        with measurement-noise streams spawned from ``rng``; the
+        estimates are statistically equivalent to — but not draw-for-draw
+        identical with — the serial path, which remains the default.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     rng = rng if rng is not None else np.random.default_rng(0)
     prices = np.asarray(clean_prices, dtype=float)
 
-    tp_hits = 0
-    for _ in range(n_trials):
-        attack = hacking.draw_attack()
-        attacked = attack.apply(prices)
-        if detector.check(attacked, rng=rng).flagged:
-            tp_hits += 1
+    if parallel is not None and parallel.backend != "serial":
+        attacked = tuple(
+            hacking.draw_attack().apply(prices) for _ in range(n_trials)
+        )
+        clean = tuple(prices for _ in range(n_trials))
+        n_chunks = min(parallel.effective_workers, n_trials)
+        seeds = spawn_seeds(int(rng.integers(2**63 - 1)), 2 * n_chunks)
+        items = [
+            (detector, chunk, seed)
+            for vectors, chunk_seeds in (
+                (attacked, seeds[:n_chunks]),
+                (clean, seeds[n_chunks:]),
+            )
+            for chunk, seed in zip(_chunks(vectors, n_chunks), chunk_seeds)
+        ]
+        counts = parallel.map(_count_flags, items)
+        tp_hits = sum(counts[:n_chunks])
+        fp_hits = sum(counts[n_chunks:])
+    else:
+        tp_hits = 0
+        for _ in range(n_trials):
+            attack = hacking.draw_attack()
+            attacked_prices = attack.apply(prices)
+            if detector.check(attacked_prices, rng=rng).flagged:
+                tp_hits += 1
 
-    fp_hits = 0
-    for _ in range(n_trials):
-        if detector.check(prices, rng=rng).flagged:
-            fp_hits += 1
+        fp_hits = 0
+        for _ in range(n_trials):
+            if detector.check(prices, rng=rng).flagged:
+                fp_hits += 1
 
     return SingleEventRates(
         tp_rate=tp_hits / n_trials,
@@ -96,3 +137,11 @@ def measure_single_event_rates(
         n_attacked_trials=n_trials,
         n_clean_trials=n_trials,
     )
+
+
+def _chunks(
+    vectors: tuple[NDArray[np.float64], ...], n_chunks: int
+) -> list[tuple[NDArray[np.float64], ...]]:
+    """Split price vectors into ``n_chunks`` near-equal contiguous runs."""
+    bounds = np.linspace(0, len(vectors), n_chunks + 1).astype(int)
+    return [tuple(vectors[lo:hi]) for lo, hi in zip(bounds[:-1], bounds[1:])]

@@ -48,6 +48,7 @@ from repro.metrics.accuracy import confusion_counts, per_meter_accuracy
 from repro.metrics.cost import LaborCostModel
 from repro.metrics.par import par
 from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
+from repro.simulation.cache import GameSolutionCache, global_game_cache
 from repro.simulation.calibration import measure_single_event_rates
 
 DetectorKind = Literal["aware", "unaware", "none"]
@@ -122,6 +123,7 @@ def run_long_term_scenario(
     policy: Literal["qmdp", "pbvi"] = "qmdp",
     calibration_trials: int = 30,
     seed: int | None = None,
+    cache: GameSolutionCache | None = None,
 ) -> ScenarioResult:
     """Run the 48-hour monitored scenario of Section 5.
 
@@ -145,6 +147,13 @@ def run_long_term_scenario(
         TP/FP rates.
     seed:
         Overrides ``config.seed``.
+    cache:
+        Game-solution cache shared by the run's simulators; defaults to
+        the process-global cache, so repeated runs (aggregation seeds,
+        detector variants over the same community, benchmark sessions)
+        solve each distinct game exactly once.  Solutions are
+        content-addressed over the full solve input, so cached runs are
+        numerically identical to cold ones.
     """
     if n_slots < 1:
         raise ValueError(f"n_slots must be >= 1, got {n_slots}")
@@ -153,6 +162,7 @@ def run_long_term_scenario(
         raise ValueError(f"n_slots {n_slots} must be a multiple of {spd}")
     n_days = n_slots // spd
     rng = np.random.default_rng(config.seed if seed is None else seed)
+    cache = cache if cache is not None else global_game_cache()
 
     day_config = config.with_updates(time=replace(config.time, n_days=1))
     community = build_community(day_config, rng=rng)
@@ -210,6 +220,7 @@ def run_long_term_scenario(
         config=config.game,
         sellback_divisor=config.pricing.sellback_divisor,
         seed=3,
+        cache=cache,
     )
     # The detector's own expectation model: the unaware detector does not
     # model net metering at all (ref. [8]), so its predicted PAR carries a
@@ -222,6 +233,7 @@ def run_long_term_scenario(
             config=config.game,
             sellback_divisor=config.pricing.sellback_divisor,
             seed=3,
+            cache=cache,
         )
     n_meters = config.detection.n_monitored_meters
     hacking = MeterHackingProcess(

@@ -15,6 +15,7 @@ from typing import Any, Callable
 
 from repro.core.config import CommunityConfig
 from repro.metrics.cost import LaborCostModel
+from repro.perf.parallel import SERIAL_MAP, ParallelMap
 from repro.simulation.scenario import DetectorKind, run_long_term_scenario
 
 ConfigTransform = Callable[[CommunityConfig, Any], CommunityConfig]
@@ -69,6 +70,32 @@ def _set_dotted(config: CommunityConfig, dotted: str, value: Any) -> CommunityCo
     raise ValueError(f"at most one level of nesting supported, got {dotted!r}")
 
 
+def _run_one_cell(
+    item: tuple[Any, DetectorKind, CommunityConfig, int, int | None, int],
+) -> SweepPoint:
+    """One self-contained sweep cell (module-level for pickling)."""
+    value, detector, cell_config, n_slots, seed, calibration_trials = item
+    labor_model = LaborCostModel(
+        fixed_cost=cell_config.detection.repair_fixed_cost,
+        per_meter_cost=cell_config.detection.repair_cost_per_meter,
+    )
+    result = run_long_term_scenario(
+        cell_config,
+        detector=detector,
+        n_slots=n_slots,
+        seed=seed,
+        calibration_trials=calibration_trials,
+    )
+    return SweepPoint(
+        value=value,
+        detector=detector,
+        observation_accuracy=result.observation_accuracy,
+        mean_par=result.mean_par,
+        labor_cost=result.labor_cost(labor_model),
+        n_repairs=result.n_repairs,
+    )
+
+
 def sweep_scenario(
     config: CommunityConfig,
     *,
@@ -78,6 +105,7 @@ def sweep_scenario(
     n_slots: int = 24,
     seed: int | None = None,
     calibration_trials: int = 15,
+    parallel: ParallelMap | None = None,
 ) -> SweepResult:
     """Run the scenario across a parameter grid.
 
@@ -94,34 +122,21 @@ def sweep_scenario(
     n_slots:
         Scenario length per cell (a single day by default — sweeps trade
         horizon for grid coverage).
+    parallel:
+        Execution backend for the grid cells.  Every cell is a pure
+        function of its (value, detector) pair, so results are identical
+        across backends; the process backend spreads cells over cores.
     """
     if not values:
         raise ValueError("need at least one sweep value")
     if not detectors:
         raise ValueError("need at least one detector variant")
-    points = []
-    for value in values:
-        cell_config = _set_dotted(config, parameter, value)
-        labor_model = LaborCostModel(
-            fixed_cost=cell_config.detection.repair_fixed_cost,
-            per_meter_cost=cell_config.detection.repair_cost_per_meter,
-        )
-        for detector in detectors:
-            result = run_long_term_scenario(
-                cell_config,
-                detector=detector,
-                n_slots=n_slots,
-                seed=seed,
-                calibration_trials=calibration_trials,
-            )
-            points.append(
-                SweepPoint(
-                    value=value,
-                    detector=detector,
-                    observation_accuracy=result.observation_accuracy,
-                    mean_par=result.mean_par,
-                    labor_cost=result.labor_cost(labor_model),
-                    n_repairs=result.n_repairs,
-                )
-            )
+    pmap = parallel if parallel is not None else SERIAL_MAP
+    items = [
+        (value, detector, _set_dotted(config, parameter, value), n_slots, seed,
+         calibration_trials)
+        for value in values
+        for detector in detectors
+    ]
+    points = pmap.map(_run_one_cell, items)
     return SweepResult(parameter=parameter, points=tuple(points))

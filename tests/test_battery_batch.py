@@ -1,0 +1,124 @@
+"""Property tests: batched trajectory projection matches the scalar path.
+
+The CE optimizer's ``batch_projection`` hook is only sound if
+``clamp_trajectory_batch`` is *bitwise* identical to mapping
+``clamp_trajectory`` over rows — any rounding difference would change
+elite selection and hence the game equilibrium.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import BatteryConfig
+from repro.netmetering.battery import (
+    BatteryViolation,
+    clamp_trajectory,
+    clamp_trajectory_batch,
+    validate_trajectory,
+)
+from repro.netmetering.cost import NetMeteringCostModel
+from repro.optimization.battery import BatteryProblem
+
+
+@st.composite
+def battery_specs(draw) -> BatteryConfig:
+    capacity = draw(st.floats(0.1, 10.0, allow_nan=False))
+    initial = draw(st.floats(0.0, 1.0, allow_nan=False)) * capacity
+    return BatteryConfig(
+        capacity_kwh=capacity,
+        initial_kwh=initial,
+        max_charge_kw=draw(st.floats(0.05, 5.0, allow_nan=False)),
+        max_discharge_kw=draw(st.floats(0.05, 5.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def populations(draw) -> np.ndarray:
+    k = draw(st.integers(1, 6))
+    h = draw(st.integers(2, 12))
+    elements = st.one_of(
+        st.floats(-20.0, 20.0, allow_nan=False),
+        st.sampled_from([np.nan, np.inf, -np.inf]),
+    )
+    return draw(arrays(np.float64, (k, h), elements=elements))
+
+
+class TestBatchEquivalence:
+    @given(spec=battery_specs(), trajectories=populations())
+    @settings(max_examples=150, deadline=None)
+    def test_rows_bitwise_identical_to_scalar(self, spec, trajectories):
+        batch = clamp_trajectory_batch(trajectories, spec)
+        for i in range(trajectories.shape[0]):
+            single = clamp_trajectory(trajectories[i], spec)
+            np.testing.assert_array_equal(batch[i], single)
+
+    @given(spec=battery_specs(), trajectories=populations())
+    @settings(max_examples=50, deadline=None)
+    def test_batch_output_is_feasible(self, spec, trajectories):
+        batch = clamp_trajectory_batch(trajectories, spec)
+        for row in batch:
+            validate_trajectory(row, spec)
+
+    @given(spec=battery_specs(), trajectories=populations())
+    @settings(max_examples=50, deadline=None)
+    def test_input_not_mutated(self, spec, trajectories):
+        before = trajectories.copy()
+        clamp_trajectory_batch(trajectories, spec)
+        np.testing.assert_array_equal(
+            np.isnan(trajectories), np.isnan(before)
+        )
+        np.testing.assert_array_equal(
+            trajectories[~np.isnan(trajectories)], before[~np.isnan(before)]
+        )
+
+
+class TestBatchValidation:
+    def test_rejects_1d(self, battery_spec):
+        with pytest.raises(BatteryViolation):
+            clamp_trajectory_batch(np.zeros(5), battery_spec)
+
+    def test_rejects_single_column(self, battery_spec):
+        with pytest.raises(BatteryViolation):
+            clamp_trajectory_batch(np.zeros((3, 1)), battery_spec)
+
+    def test_empty_population_allowed(self, battery_spec):
+        out = clamp_trajectory_batch(np.empty((0, 5)), battery_spec)
+        assert out.shape == (0, 5)
+
+
+class TestProblemProjectBatch:
+    @pytest.fixture
+    def problem(self, battery_spec, flat_cost_model):
+        h = flat_cost_model.horizon
+        return BatteryProblem(
+            load=tuple([0.6] * h),
+            pv=tuple([0.2] * h),
+            others_trading=tuple([0.0] * h),
+            spec=battery_spec,
+            cost_model=flat_cost_model,
+        )
+
+    def test_matches_scalar_project(self, problem):
+        rng = np.random.default_rng(7)
+        decisions = rng.uniform(-1.0, 3.0, size=(32, problem.horizon))
+        batch = problem.project_batch(decisions)
+        for i in range(decisions.shape[0]):
+            np.testing.assert_array_equal(batch[i], problem.project(decisions[i]))
+
+    def test_cost_batch_matches_scalar_cost(self, problem):
+        rng = np.random.default_rng(8)
+        decisions = problem.project_batch(
+            rng.uniform(0.0, 2.0, size=(16, problem.horizon))
+        )
+        costs = problem.cost_batch(decisions)
+        for i in range(decisions.shape[0]):
+            assert costs[i] == problem.cost(decisions[i])
+
+    def test_rejects_wrong_width(self, problem):
+        with pytest.raises(ValueError):
+            problem.project_batch(np.zeros((4, problem.horizon + 1)))

@@ -1,0 +1,100 @@
+"""Tests for the deterministic serial/process execution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf.parallel import SERIAL_MAP, ParallelMap, spawn_seeds
+from repro.simulation.aggregate import run_aggregate_scenario
+
+
+def _cube(item: int) -> int:
+    """Module-level so the process backend can pickle it."""
+    return item**3
+
+
+def _seeded_draw(item: tuple[int, int]) -> float:
+    """Self-seeding task: the item carries its own seed."""
+    seed, n = item
+    return float(np.random.default_rng(seed).normal(size=n).sum())
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+
+    def test_distinct_children(self):
+        seeds = spawn_seeds(42, 8)
+        assert len(set(seeds)) == 8
+
+    def test_master_seed_matters(self):
+        assert spawn_seeds(1, 3) != spawn_seeds(2, 3)
+
+    def test_empty(self):
+        assert spawn_seeds(0, 0) == ()
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestParallelMapValidation:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ParallelMap(backend="threads")  # type: ignore[arg-type]
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ParallelMap(backend="process", max_workers=0)
+
+    def test_rejects_bad_chunksize(self):
+        with pytest.raises(ValueError):
+            ParallelMap(chunksize=0)
+
+    def test_effective_workers(self):
+        assert SERIAL_MAP.effective_workers == 1
+        assert ParallelMap(backend="process", max_workers=3).effective_workers == 3
+
+
+class TestBackendEquivalence:
+    def test_serial_map_preserves_order(self):
+        assert SERIAL_MAP.map(_cube, range(6)) == [i**3 for i in range(6)]
+
+    def test_process_matches_serial(self):
+        pmap = ParallelMap(backend="process", max_workers=2)
+        assert pmap.map(_cube, range(10)) == SERIAL_MAP.map(_cube, range(10))
+
+    def test_self_seeding_tasks_identical_across_backends(self):
+        items = [(seed, 16) for seed in spawn_seeds(7, 6)]
+        serial = SERIAL_MAP.map(_seeded_draw, items)
+        process = ParallelMap(backend="process", max_workers=2).map(
+            _seeded_draw, items
+        )
+        assert serial == process
+
+    def test_single_item_short_circuits(self):
+        # One item never pays process-pool startup.
+        assert ParallelMap(backend="process").map(_cube, [3]) == [27]
+
+    def test_empty_items(self):
+        assert ParallelMap(backend="process").map(_cube, []) == []
+
+
+class TestAggregateParallelism:
+    def test_process_pool_bitwise_identical_to_serial(self, tiny_config):
+        kwargs = dict(
+            detector="none", seeds=(1, 2), n_slots=24, calibration_trials=3
+        )
+        serial = run_aggregate_scenario(tiny_config, **kwargs)
+        pooled = run_aggregate_scenario(
+            tiny_config,
+            **kwargs,
+            parallel=ParallelMap(backend="process", max_workers=2),
+        )
+        assert serial.observation_accuracy == pooled.observation_accuracy
+        assert serial.mean_par == pooled.mean_par
+        assert serial.n_repairs == pooled.n_repairs
+        for run_a, run_b in zip(serial.runs, pooled.runs):
+            np.testing.assert_array_equal(run_a.truth, run_b.truth)
+            np.testing.assert_array_equal(run_a.realized_grid, run_b.realized_grid)
