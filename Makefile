@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick figures
+.PHONY: test bench bench-quick figures stream-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -17,3 +17,7 @@ bench-quick:
 
 figures:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli all
+
+# Pump a short synthetic detection stream end to end (CI smoke).
+stream-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro stream --preset smoke --days 2

@@ -21,6 +21,9 @@ The package is organized as one subpackage per subsystem:
 - :mod:`repro.detection` -- PAR-threshold single-event detection and the
   POMDP-based long-term detector.
 - :mod:`repro.simulation` -- the multi-day community scenario engine.
+- :mod:`repro.stream` -- the online twin of the scenario engine: event
+  sources, incremental detectors and checkpoint/resume.
+- :mod:`repro.service` -- a stdlib HTTP monitoring API over a stream.
 - :mod:`repro.data` -- synthetic pricing, solar and appliance generators.
 - :mod:`repro.metrics` -- PAR, accuracy, labor-cost and error metrics.
 """

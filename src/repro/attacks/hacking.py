@@ -19,11 +19,32 @@ sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.attacks.pricing import PeakIncreaseAttack, PricingAttack
+
+
+def _attack_to_dict(attack: PeakIncreaseAttack | None) -> dict[str, Any] | None:
+    if attack is None:
+        return None
+    return {
+        "start_slot": attack.start_slot,
+        "end_slot": attack.end_slot,
+        "strength": attack.strength,
+    }
+
+
+def _attack_from_dict(payload: dict[str, Any] | None) -> PeakIncreaseAttack | None:
+    if payload is None:
+        return None
+    return PeakIncreaseAttack(
+        start_slot=int(payload["start_slot"]),
+        end_slot=int(payload["end_slot"]),
+        strength=float(payload["strength"]),
+    )
 
 
 @dataclass(frozen=True)
@@ -186,6 +207,48 @@ class MeterHackingProcess:
         if meter is None:
             return np.asarray(prices, dtype=float).copy()
         return meter.attack.apply(prices)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable compromise state (campaign + hacked meters).
+
+        The process's ``rng`` is deliberately *not* included: callers
+        that checkpoint a whole simulation own the generator (it is
+        shared with the detection layer) and serialize its bit-generator
+        state themselves.
+        """
+        return {
+            "slot": self._slot,
+            "campaign_attack": _attack_to_dict(self._campaign_attack),
+            "hacked": [
+                {
+                    "meter_id": meter.meter_id,
+                    "attack": _attack_to_dict(meter.attack),
+                    "hacked_at_slot": meter.hacked_at_slot,
+                }
+                for _, meter in sorted(self._hacked.items())
+            ],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore compromise state captured by :meth:`state_dict`."""
+        self._slot = int(state["slot"])
+        self._campaign_attack = _attack_from_dict(state["campaign_attack"])
+        self._hacked = {}
+        for entry in state["hacked"]:
+            meter_id = int(entry["meter_id"])
+            if not 0 <= meter_id < self.n_meters:
+                raise ValueError(
+                    f"hacked meter_id {meter_id} out of range [0, {self.n_meters})"
+                )
+            attack = _attack_from_dict(entry["attack"])
+            if attack is None:
+                raise ValueError(f"hacked meter {meter_id} has no attack")
+            self._hacked[meter_id] = HackedMeter(
+                meter_id=meter_id,
+                attack=attack,
+                hacked_at_slot=int(entry["hacked_at_slot"]),
+            )
 
     # ------------------------------------------------------------------
     def draw_attack(self) -> PeakIncreaseAttack:

@@ -9,11 +9,21 @@ Regenerates each of the paper's evaluation artifacts from the terminal:
     python -m repro table1          # three-policy comparison
     python -m repro all             # everything above
 
+and drives the streaming subsystem:
+
+    python -m repro stream          # pump an event stream, print timeline
+    python -m repro serve           # HTTP monitoring API over a stream
+
 Common options: ``--preset {smoke,bench,paper}``, ``--seed N``,
 ``--slots H`` (fig6/table1 horizon), ``--json PATH`` (dump scenario
 results), ``--perf`` (print hot-path counters — CE evaluations, DP
 cells, game rounds, cache hit rate — after the command), ``--bench-json
 PATH`` (append the counters to a ``BENCH_*.json`` perf trajectory).
+
+Stream options: ``--stream-source {synthetic,replay}``, ``--detector``,
+``--days N`` / ``--until-day D``, ``--checkpoint-dir PATH`` (checkpoint
+on completion; with ``--resume``, continue from it), ``--format
+{ascii,json}``; ``serve`` adds ``--host``/``--port``.
 """
 
 from __future__ import annotations
@@ -182,14 +192,83 @@ def _cmd_table1(env: _Environment, *, slots: int, json_dir: Path | None) -> None
     print(comparison_table(rows, title="Table 1 — detection comparison"))
 
 
+def _build_stream_engine(config: CommunityConfig, args: argparse.Namespace):
+    """Build (or resume) the engine the stream/serve commands drive."""
+    from repro.stream.checkpoint import resume_engine
+    from repro.stream.pipeline import build_replay_engine, build_synthetic_engine
+
+    checkpoint_path = None
+    if args.checkpoint_dir is not None:
+        args.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        checkpoint_path = args.checkpoint_dir / f"stream-{args.stream_source}.json"
+    if args.resume:
+        if checkpoint_path is None or not checkpoint_path.exists():
+            raise SystemExit(
+                "--resume needs --checkpoint-dir with an existing checkpoint "
+                f"({'no directory given' if checkpoint_path is None else checkpoint_path})"
+            )
+        return resume_engine(checkpoint_path), checkpoint_path
+    if args.stream_source == "replay":
+        engine = build_replay_engine(
+            config,
+            detector=args.detector,
+            n_slots=args.days * config.time.slots_per_day,
+        )
+    else:
+        engine = build_synthetic_engine(
+            config,
+            n_days=args.days,
+            attack_days=(args.days // 3, 2 * args.days // 3),
+            detector=args.detector,
+        )
+    return engine, checkpoint_path
+
+
+def _cmd_stream(config: CommunityConfig, args: argparse.Namespace) -> None:
+    import json as _json
+
+    from repro.reporting.ascii import render_stream_timeline
+    from repro.stream.checkpoint import save_checkpoint
+
+    engine, checkpoint_path = _build_stream_engine(config, args)
+    produced = engine.run(until_day=args.until_day)
+    timeline = engine.timeline
+    if args.format == "json":
+        for det in timeline:
+            print(_json.dumps(det.to_dict()))
+    else:
+        print(
+            render_stream_timeline(
+                timeline, slots_per_day=engine.pipeline.slots_per_day
+            )
+        )
+        stats = engine.pipeline.detection_stats()
+        print(
+            f"slots {stats['slots_processed']}  flags {stats['flags_total']}  "
+            f"repairs {stats['repairs']}  "
+            f"events {engine.events_processed} (+{len(produced)} this run)"
+        )
+    if checkpoint_path is not None:
+        save_checkpoint(engine, checkpoint_path)
+        print(f"checkpoint saved to {checkpoint_path}")
+
+
+def _cmd_serve(config: CommunityConfig, args: argparse.Namespace) -> None:
+    from repro.service.app import DetectionService, run_service
+
+    engine, checkpoint_path = _build_stream_engine(config, args)
+    service = DetectionService(engine, checkpoint_path=checkpoint_path)
+    run_service(service, host=args.host, port=args.port)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'15 net-metering detection reproduction"
     )
     parser.add_argument(
         "command",
-        choices=("fig3", "fig4", "fig5", "fig6", "table1", "all"),
-        help="which artifact to regenerate",
+        choices=("fig3", "fig4", "fig5", "fig6", "table1", "all", "stream", "serve"),
+        help="which artifact to regenerate (or stream/serve)",
     )
     parser.add_argument("--preset", choices=sorted(PRESETS), default="bench")
     parser.add_argument("--seed", type=int, default=None)
@@ -208,6 +287,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="append the run's perf counters to this BENCH_*.json file",
     )
+    stream_opts = parser.add_argument_group("stream/serve options")
+    stream_opts.add_argument(
+        "--stream-source",
+        choices=("synthetic", "replay"),
+        default="synthetic",
+        help="event source: scripted synthetic stream or scenario replay",
+    )
+    stream_opts.add_argument(
+        "--detector", choices=("aware", "unaware", "none"), default="aware"
+    )
+    stream_opts.add_argument(
+        "--days", type=int, default=6, help="stream length in days"
+    )
+    stream_opts.add_argument(
+        "--until-day", type=int, default=None, help="stop after this many full days"
+    )
+    stream_opts.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="save a resumable checkpoint here when the run ends",
+    )
+    stream_opts.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir",
+    )
+    stream_opts.add_argument("--format", choices=("ascii", "json"), default="ascii")
+    stream_opts.add_argument("--host", default="127.0.0.1")
+    stream_opts.add_argument("--port", type=int, default=8008)
     args = parser.parse_args(argv)
 
     config = PRESETS[args.preset]()
@@ -215,6 +324,18 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_updates(seed=args.seed)
     if args.json is not None:
         args.json.mkdir(parents=True, exist_ok=True)
+
+    if args.command in ("stream", "serve"):
+        if args.days < 1:
+            parser.error(f"--days must be >= 1, got {args.days}")
+        if args.command == "stream":
+            _cmd_stream(config, args)
+        else:
+            _cmd_serve(config, args)
+        if args.perf:
+            print()
+            print(PERF.report())
+        return 0
 
     env = _Environment(config)
     commands = {

@@ -7,7 +7,7 @@ Every dataclass is immutable; derived quantities are exposed as properties.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 
@@ -263,3 +263,31 @@ class CommunityConfig:
     def with_updates(self, **changes: Any) -> "CommunityConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+
+def config_to_dict(config: CommunityConfig) -> dict[str, Any]:
+    """JSON-serializable representation of a community configuration.
+
+    Used by the streaming checkpoint format: a checkpoint must be
+    self-contained, so the config rides along and
+    :func:`config_from_dict` rebuilds the identical (validated)
+    dataclass tree on resume.
+    """
+    return asdict(config)
+
+
+def config_from_dict(payload: dict[str, Any]) -> CommunityConfig:
+    """Rebuild a :class:`CommunityConfig` from :func:`config_to_dict` output."""
+    data = dict(payload)
+    return CommunityConfig(
+        n_customers=int(data["n_customers"]),
+        appliances_per_customer=tuple(data["appliances_per_customer"]),
+        pv_adoption=float(data["pv_adoption"]),
+        time=TimeGrid(**data["time"]),
+        battery=BatteryConfig(**data["battery"]),
+        solar=SolarConfig(**data["solar"]),
+        pricing=PricingConfig(**data["pricing"]),
+        game=GameConfig(**data["game"]),
+        detection=DetectionConfig(**data["detection"]),
+        seed=int(data["seed"]),
+    )

@@ -10,7 +10,7 @@ them to the ground-truth hacking process and charges labor cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Any, Protocol
 
 import numpy as np
 from numpy.typing import NDArray
@@ -79,6 +79,43 @@ class LongTermDetector:
         self._last_action = MONITOR
         self._slot = 0
         self._steps = []
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable runtime state (belief, last action, trace).
+
+        The model and policy are *not* included: they are deterministic
+        functions of the build configuration, so a resume path rebuilds
+        them and then restores this state via :meth:`load_state`.
+        """
+        return {
+            "belief": self._filter.belief.tolist(),
+            "last_action": int(self._last_action),
+            "slot": self._slot,
+            "steps": [
+                {
+                    "slot": step.slot,
+                    "observation": step.observation,
+                    "action": step.action,
+                    "belief_mean": step.belief_mean,
+                }
+                for step in self._steps
+            ],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore runtime state captured by :meth:`state_dict`."""
+        self._filter.reset(np.asarray(state["belief"], dtype=float))
+        self._last_action = int(state["last_action"])
+        self._slot = int(state["slot"])
+        self._steps = [
+            MonitoringStep(
+                slot=int(step["slot"]),
+                observation=int(step["observation"]),
+                action=int(step["action"]),
+                belief_mean=float(step["belief_mean"]),
+            )
+            for step in state["steps"]
+        ]
 
     def step(self, observation: int) -> MonitoringStep:
         """Consume one observation and decide the next action.

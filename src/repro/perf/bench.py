@@ -269,7 +269,15 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-scenario", action="store_true",
         help="only run the CE and game-solve micro benches",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: smoke preset, micro benches only "
+        "(shorthand for --preset smoke --skip-scenario)",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        args.preset = "smoke"
+        args.skip_scenario = True
     config = PRESETS[args.preset]()
 
     print(f"== CE battery step ({args.preset} preset) ==", flush=True)

@@ -52,6 +52,22 @@ class PerfRegistry:
             out[f"{name}_s"] = seconds
         return out
 
+    def delta_since(self, baseline: dict[str, float]) -> dict[str, float]:
+        """Per-counter change since a :meth:`snapshot` baseline.
+
+        The monitoring service pairs this with :meth:`snapshot` to report
+        per-interval rates (events pumped, cache hits, seconds in the hot
+        paths *since the last scrape*) instead of process-lifetime
+        totals.  Counters absent from the baseline count from zero;
+        zero-change entries are dropped so the report only shows what
+        moved.
+        """
+        current = self.snapshot()
+        delta = {
+            name: value - baseline.get(name, 0.0) for name, value in current.items()
+        }
+        return {name: value for name, value in delta.items() if value != 0.0}
+
     def reset(self) -> None:
         """Zero every counter and timer."""
         self._counters.clear()

@@ -45,6 +45,46 @@ def render_profile(
     return f"{prefix}{line}  [{data.min():.3g}, {data.max():.3g}]"
 
 
+def render_stream_timeline(
+    timeline,
+    *,
+    slots_per_day: int,
+) -> str:
+    """Day-by-day strip chart of a streaming detection timeline.
+
+    One row per day: a glyph per slot (``.`` = no flags, digits = flag
+    count, ``R`` = repair dispatched that slot), followed by the day's
+    repair count and closing belief mean.  Takes any sequence of
+    :class:`~repro.stream.pipeline.SlotDetection`.
+    """
+    if slots_per_day < 1:
+        raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
+    if not timeline:
+        return "(empty timeline)"
+    rows = []
+    by_day: dict[int, list] = {}
+    for det in timeline:
+        by_day.setdefault(det.day, []).append(det)
+    for day in sorted(by_day):
+        dets = by_day[day]
+        glyphs = []
+        for det in dets:
+            if det.repaired:
+                glyphs.append("R")
+            elif det.observation == 0:
+                glyphs.append(".")
+            else:
+                glyphs.append(str(min(det.observation, 9)))
+        repairs = sum(1 for det in dets if det.repaired)
+        belief = dets[-1].belief_mean
+        belief_txt = "  belief  n/a" if belief is None else f"  belief {belief:5.2f}"
+        rows.append(
+            f"day {day:3d} |{''.join(glyphs):<{slots_per_day}}| "
+            f"repairs {repairs}{belief_txt}"
+        )
+    return "\n".join(rows)
+
+
 def bar_chart(
     labels: list[str],
     values: ArrayLike,

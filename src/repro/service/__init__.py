@@ -1,0 +1,21 @@
+"""Monitoring service: an HTTP front-end over the streaming pipeline.
+
+Stdlib-only (``http.server``) so the reproduction stays dependency-free:
+:class:`~repro.service.app.DetectionService` owns a
+:class:`~repro.stream.pipeline.StreamEngine` behind a lock, and
+:func:`~repro.service.app.create_server` exposes it as a small JSON API
+(``POST /events``, ``POST /advance``, ``GET /status``,
+``GET /detections``, ``GET /metrics``) with checkpoint-on-SIGTERM.
+"""
+
+from repro.service.app import (
+    DetectionService,
+    create_server,
+    run_service,
+)
+
+__all__ = [
+    "DetectionService",
+    "create_server",
+    "run_service",
+]

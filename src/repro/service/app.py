@@ -1,0 +1,301 @@
+"""HTTP monitoring service over a streaming detection engine.
+
+The service is the paper's Figure 2 loop with a wire protocol around it:
+meter readings and price updates arrive as JSON events, the online
+pipeline folds them into flags, beliefs and repair dispatches, and
+operators poll the detection timeline and performance counters over
+HTTP.  Everything is Python stdlib — ``http.server`` threads over one
+lock-guarded engine.
+
+Endpoints
+---------
+- ``POST /events`` — push one event (``event_to_dict`` JSON) straight
+  into the pipeline; returns the slot verdict for meter readings.
+- ``POST /advance`` — pump events from the engine's own source
+  (``{"max_events": N}`` and/or ``{"until_day": D}``).
+- ``POST /checkpoint`` — persist full engine state now.
+- ``GET /status`` — run progress, belief, repair totals.
+- ``GET /detections?since=S&limit=L`` — the slot-by-slot timeline.
+- ``GET /metrics`` — perf-counter *deltas since the previous scrape*
+  plus process-lifetime totals.
+- ``GET /healthz`` — liveness.
+
+On SIGTERM/SIGINT the service checkpoints the engine (atomic rename, see
+:mod:`repro.stream.checkpoint`) before shutting down, so a killed
+service resumes bitwise-identically with ``--resume``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.perf.counters import PERF
+from repro.stream.checkpoint import save_checkpoint
+from repro.stream.events import MeterReading, event_from_dict
+from repro.stream.pipeline import StreamEngine
+
+
+class ServiceError(ValueError):
+    """A client error the handler maps to HTTP 400."""
+
+
+class DetectionService:
+    """Thread-safe facade over one streaming engine.
+
+    All mutation happens under one lock: the HTTP layer is threaded, and
+    the pipeline (belief filter, RNG, timeline) is not re-entrant.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.
+    checkpoint_path:
+        Where :meth:`checkpoint` (and the SIGTERM handler) persists
+        state; ``None`` disables checkpointing.
+    """
+
+    def __init__(
+        self, engine: StreamEngine, *, checkpoint_path: str | Path | None = None
+    ) -> None:
+        self.engine = engine
+        self.checkpoint_path = None if checkpoint_path is None else Path(checkpoint_path)
+        self._lock = threading.Lock()
+        self._metrics_baseline = PERF.snapshot()
+
+    # ------------------------------------------------------------------
+    def push_event(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Feed one wire-format event straight into the pipeline."""
+        try:
+            event = event_from_dict(payload)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServiceError(f"bad event: {exc}") from exc
+        with self._lock:
+            try:
+                detection = self.engine.pipeline.handle(event)
+            except (ValueError, RuntimeError) as exc:
+                raise ServiceError(str(exc)) from exc
+        accepted: dict[str, Any] = {"accepted": True, "event": payload.get("type")}
+        if isinstance(event, MeterReading):
+            accepted["detection"] = None if detection is None else detection.to_dict()
+        return accepted
+
+    def advance(
+        self, *, max_events: int | None = None, until_day: int | None = None
+    ) -> dict[str, Any]:
+        """Pump events from the engine's own source."""
+        if max_events is not None and max_events < 0:
+            raise ServiceError(f"max_events must be >= 0, got {max_events}")
+        if until_day is not None and until_day < 0:
+            raise ServiceError(f"until_day must be >= 0, got {until_day}")
+        with self._lock:
+            before = self.engine.events_processed
+            produced = self.engine.run(max_events=max_events, until_day=until_day)
+            return {
+                "events_pumped": self.engine.events_processed - before,
+                "detections": len(produced),
+                "exhausted": self.engine.exhausted,
+            }
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            stats = self.engine.pipeline.detection_stats()
+            stats["events_processed"] = self.engine.events_processed
+            stats["exhausted"] = self.engine.exhausted
+            stats["checkpoint_path"] = (
+                None if self.checkpoint_path is None else str(self.checkpoint_path)
+            )
+            return stats
+
+    def detections(
+        self, *, since: int = 0, limit: int | None = None
+    ) -> dict[str, Any]:
+        """Timeline slice: verdicts with ``slot >= since``."""
+        if since < 0:
+            raise ServiceError(f"since must be >= 0, got {since}")
+        if limit is not None and limit < 1:
+            raise ServiceError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            timeline = self.engine.timeline
+        selected = [det.to_dict() for det in timeline if det.slot >= since]
+        truncated = limit is not None and len(selected) > limit
+        if truncated:
+            selected = selected[:limit]
+        return {
+            "detections": selected,
+            "total_slots": len(timeline),
+            "truncated": truncated,
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """Perf counters: interval deltas plus lifetime totals.
+
+        Each scrape re-baselines, so successive calls report what
+        happened *between* them — rates, not accumulations.
+        """
+        with self._lock:
+            delta = PERF.delta_since(self._metrics_baseline)
+            totals = PERF.snapshot()
+            self._metrics_baseline = totals
+            return {
+                "interval": delta,
+                "totals": totals,
+                "events_processed": self.engine.events_processed,
+            }
+
+    def checkpoint(self) -> dict[str, Any]:
+        if self.checkpoint_path is None:
+            raise ServiceError("service started without a checkpoint path")
+        with self._lock:
+            path = save_checkpoint(self.engine, self.checkpoint_path)
+        return {"checkpoint": str(path), "events_processed": self.engine.events_processed}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the service; JSON in, JSON out."""
+
+    service: DetectionService  # set by create_server()
+
+    # Silence per-request stderr logging; the service is often run under
+    # pytest or as a background process.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        try:
+            payload = self._route(method, parsed.path, query)
+        except ServiceError as exc:
+            self._respond(400, {"error": str(exc)})
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        if payload is None:
+            self._respond(404, {"error": f"no route for {method} {parsed.path}"})
+        else:
+            self._respond(200, payload)
+
+    def _route(
+        self, method: str, path: str, query: dict[str, list[str]]
+    ) -> dict[str, Any] | None:
+        service = self.service
+        if method == "GET":
+            if path == "/status":
+                return service.status()
+            if path == "/detections":
+                return service.detections(
+                    since=_int_param(query, "since", 0),
+                    limit=_int_param(query, "limit", None),
+                )
+            if path == "/metrics":
+                return service.metrics()
+            if path == "/healthz":
+                return {"ok": True}
+            return None
+        if method == "POST":
+            if path == "/events":
+                return service.push_event(self._read_json())
+            if path == "/advance":
+                body = self._read_json()
+                return service.advance(
+                    max_events=_int_field(body, "max_events"),
+                    until_day=_int_field(body, "until_day"),
+                )
+            if path == "/checkpoint":
+                return service.checkpoint()
+            return None
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("POST")
+
+
+def _int_param(
+    query: dict[str, list[str]], name: str, default: int | None
+) -> int | None:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[0])
+    except ValueError as exc:
+        raise ServiceError(f"query parameter {name!r} must be an integer") from exc
+
+
+def _int_field(body: dict[str, Any], name: str) -> int | None:
+    value = body.get(name)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"field {name!r} must be an integer") from exc
+
+
+def create_server(
+    service: DetectionService, *, host: str = "127.0.0.1", port: int = 8008
+) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server to the service (port 0 = ephemeral)."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def run_service(
+    service: DetectionService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    install_signals: bool = True,
+) -> None:
+    """Serve forever; checkpoint and exit cleanly on SIGTERM/SIGINT."""
+    server = create_server(service, host=host, port=port)
+
+    def _shutdown(signum: int, frame: Any) -> None:
+        if service.checkpoint_path is not None:
+            service.checkpoint()
+        # shutdown() must come from another thread; serve_forever() is
+        # blocking this one via the signal-interrupted frame.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _shutdown)
+        signal.signal(signal.SIGINT, _shutdown)
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    print(f"serving detection API on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    if service.checkpoint_path is not None:
+        print(f"checkpoint saved to {service.checkpoint_path}")

@@ -1,0 +1,62 @@
+"""Event-sourced online detection engine (the streaming front of the repo).
+
+The batch path (:mod:`repro.simulation.scenario`) rebuilds the world and
+runs the whole monitoring horizon in one call.  This package turns the
+same computation into a long-running *stream*: an event source emits
+ordered :class:`~repro.stream.events.PriceUpdate` /
+:class:`~repro.stream.events.MeterReading` /
+:class:`~repro.stream.events.DayBoundary` events, an incremental
+detector pipeline folds each event into per-slot detection decisions,
+and the full pipeline state checkpoints to disk so a killed stream
+resumes bitwise-identically.
+
+- :mod:`repro.stream.events` -- the wire-format event model.
+- :mod:`repro.stream.source` -- replay (scenario-equivalent) and
+  deterministic synthetic event sources.
+- :mod:`repro.stream.detectors` -- the SVR single-event detector and the
+  POMDP monitor wrapped as incremental state machines.
+- :mod:`repro.stream.pipeline` -- the online pipeline, the pump engine
+  and the replay/synthetic engine builders.
+- :mod:`repro.stream.checkpoint` -- save / load / resume.
+"""
+
+from repro.stream.events import (
+    DayBoundary,
+    MeterReading,
+    PriceUpdate,
+    StreamEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.stream.pipeline import (
+    OnlinePipeline,
+    SlotDetection,
+    StreamEngine,
+    build_replay_engine,
+    build_synthetic_engine,
+)
+from repro.stream.checkpoint import (
+    load_checkpoint,
+    resume_engine,
+    save_checkpoint,
+)
+from repro.stream.source import ReplaySource, SyntheticSource
+
+__all__ = [
+    "DayBoundary",
+    "MeterReading",
+    "OnlinePipeline",
+    "PriceUpdate",
+    "ReplaySource",
+    "SlotDetection",
+    "StreamEngine",
+    "StreamEvent",
+    "SyntheticSource",
+    "build_replay_engine",
+    "build_synthetic_engine",
+    "event_from_dict",
+    "event_to_dict",
+    "load_checkpoint",
+    "resume_engine",
+    "save_checkpoint",
+]

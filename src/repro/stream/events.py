@@ -1,0 +1,170 @@
+"""Wire-format event model of the streaming detection engine.
+
+Three event kinds cover everything the utility observes during a
+monitoring run:
+
+- :class:`PriceUpdate` — a new day begins: the posted guideline-price
+  vector and the detector-side forecast for the day.
+- :class:`MeterReading` — one monitoring slot: the guideline-price
+  vector each monitored meter reports having received (hacked meters
+  report the manipulated vector), plus an optional ground-truth
+  compromise mask for scoring replayed simulations.
+- :class:`DayBoundary` — the day's last slot has been processed.
+
+Events are immutable and JSON-serializable (:func:`event_to_dict` /
+:func:`event_from_dict`), so the same objects travel through the
+in-process pipeline, the HTTP service's ``POST /events`` endpoint and
+the checkpoint files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+
+@dataclass(frozen=True)
+class PriceUpdate:
+    """Start-of-day event carrying the day's price vectors.
+
+    Attributes
+    ----------
+    day:
+        Zero-based day index within the stream.
+    clean_prices:
+        The guideline-price vector the utility actually posted, shape
+        ``(slots_per_day,)``.
+    predicted_prices:
+        The price predictor's forecast for the day (what the detector's
+        ``P_p`` is computed from).
+    """
+
+    day: int
+    clean_prices: NDArray[np.float64]
+    predicted_prices: NDArray[np.float64]
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ValueError(f"day must be >= 0, got {self.day}")
+        clean = np.asarray(self.clean_prices, dtype=float)
+        predicted = np.asarray(self.predicted_prices, dtype=float)
+        if clean.ndim != 1 or clean.size == 0:
+            raise ValueError(f"clean_prices must be 1-D non-empty, got {clean.shape}")
+        if predicted.shape != clean.shape:
+            raise ValueError(
+                f"predicted_prices shape {predicted.shape} != clean {clean.shape}"
+            )
+        object.__setattr__(self, "clean_prices", clean)
+        object.__setattr__(self, "predicted_prices", predicted)
+
+
+@dataclass(frozen=True)
+class MeterReading:
+    """One monitoring slot's per-meter received guideline prices.
+
+    Attributes
+    ----------
+    slot:
+        Global slot index (``day * slots_per_day + slot_in_day``).
+    received:
+        Shape ``(n_meters, slots_per_day)``: row ``i`` is the price
+        vector meter ``i`` received for the current day.
+    truth:
+        Optional ground-truth compromise mask over the fleet; present in
+        replayed simulations (used for scoring and realized-grid
+        accounting), absent for externally pushed readings.
+    """
+
+    slot: int
+    received: NDArray[np.float64]
+    truth: NDArray[np.bool_] | None = None
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError(f"slot must be >= 0, got {self.slot}")
+        received = np.asarray(self.received, dtype=float)
+        if received.ndim != 2 or received.size == 0:
+            raise ValueError(
+                f"received must be (n_meters, horizon), got {received.shape}"
+            )
+        object.__setattr__(self, "received", received)
+        if self.truth is not None:
+            truth = np.asarray(self.truth, dtype=bool)
+            if truth.shape != (received.shape[0],):
+                raise ValueError(
+                    f"truth must have shape ({received.shape[0]},), got {truth.shape}"
+                )
+            object.__setattr__(self, "truth", truth)
+
+    @property
+    def n_meters(self) -> int:
+        return self.received.shape[0]
+
+
+@dataclass(frozen=True)
+class DayBoundary:
+    """End-of-day marker."""
+
+    day: int
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ValueError(f"day must be >= 0, got {self.day}")
+
+
+StreamEvent = Union[PriceUpdate, MeterReading, DayBoundary]
+
+_EVENT_TYPES = {
+    "price_update": PriceUpdate,
+    "meter_reading": MeterReading,
+    "day_boundary": DayBoundary,
+}
+
+
+def event_to_dict(event: StreamEvent) -> dict[str, Any]:
+    """JSON-serializable representation of one event."""
+    if isinstance(event, PriceUpdate):
+        return {
+            "type": "price_update",
+            "day": event.day,
+            "clean_prices": event.clean_prices.tolist(),
+            "predicted_prices": event.predicted_prices.tolist(),
+        }
+    if isinstance(event, MeterReading):
+        payload: dict[str, Any] = {
+            "type": "meter_reading",
+            "slot": event.slot,
+            "received": event.received.tolist(),
+        }
+        if event.truth is not None:
+            payload["truth"] = event.truth.astype(int).tolist()
+        return payload
+    if isinstance(event, DayBoundary):
+        return {"type": "day_boundary", "day": event.day}
+    raise TypeError(f"not a stream event: {type(event).__name__}")
+
+
+def event_from_dict(payload: dict[str, Any]) -> StreamEvent:
+    """Rebuild an event from its JSON representation."""
+    kind = payload.get("type")
+    if kind not in _EVENT_TYPES:
+        raise ValueError(
+            f"unknown event type {kind!r} (expected one of {sorted(_EVENT_TYPES)})"
+        )
+    if kind == "price_update":
+        return PriceUpdate(
+            day=int(payload["day"]),
+            clean_prices=np.asarray(payload["clean_prices"], dtype=float),
+            predicted_prices=np.asarray(payload["predicted_prices"], dtype=float),
+        )
+    if kind == "meter_reading":
+        truth = payload.get("truth")
+        return MeterReading(
+            slot=int(payload["slot"]),
+            received=np.asarray(payload["received"], dtype=float),
+            truth=None if truth is None else np.asarray(truth, dtype=bool),
+        )
+    return DayBoundary(day=int(payload["day"]))

@@ -1,0 +1,650 @@
+"""The online detection pipeline and the event-pump engine.
+
+:class:`OnlinePipeline` is the incremental mirror of the batch
+scenario's per-slot loop: each :class:`~repro.stream.events.PriceUpdate`
+binds the single-event detector to the new day, each
+:class:`~repro.stream.events.MeterReading` produces per-meter flags, a
+POMDP observation, a belief update and a monitor/repair action — one
+:class:`SlotDetection` per slot, appended to the pipeline's timeline.
+
+:class:`StreamEngine` couples a source with a pipeline and pumps events
+through it, routing repair decisions back to the source (the feedback
+edge of the paper's Figure 2 loop) and exposing whole-run state capture
+for the checkpoint layer.  :func:`build_replay_engine` yields an engine
+whose detection timeline is bitwise-identical to the batch scenario;
+:func:`build_synthetic_engine` yields a lightweight scripted engine for
+the service layer and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.attacks.pricing import PeakIncreaseAttack
+from repro.core.config import CommunityConfig, config_to_dict
+from repro.data.community import build_community
+from repro.detection.long_term import LongTermDetector
+from repro.detection.pomdp import build_detection_pomdp
+from repro.detection.single_event import CommunityResponseSimulator
+from repro.detection.solvers import QmdpPolicy
+from repro.perf.counters import PERF
+from repro.simulation.cache import GameSolutionCache, global_game_cache
+from repro.simulation.scenario import DetectorKind, ScenarioResult
+from repro.stream.detectors import IncrementalMonitor, IncrementalSingleEvent
+from repro.stream.events import (
+    DayBoundary,
+    MeterReading,
+    PriceUpdate,
+    StreamEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.stream.source import (
+    EventSource,
+    ReplaySource,
+    SyntheticSource,
+    build_replay_world,
+)
+
+
+@dataclass(frozen=True)
+class SlotDetection:
+    """The pipeline's verdict for one monitoring slot.
+
+    ``action``/``belief_mean`` are ``None`` when no long-term monitor is
+    configured (the batch path's ``detector="none"`` column);
+    ``realized_grid`` is ``None`` when the reading carried no ground
+    truth to simulate against.
+    """
+
+    slot: int
+    day: int
+    flags: NDArray[np.bool_]
+    observation: int
+    action: int | None
+    belief_mean: float | None
+    repaired: bool
+    repaired_count: int
+    realized_grid: float | None
+    truth: NDArray[np.bool_] | None
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "slot": self.slot,
+            "day": self.day,
+            "flags": self.flags.astype(int).tolist(),
+            "observation": self.observation,
+            "action": self.action,
+            "belief_mean": self.belief_mean,
+            "repaired": self.repaired,
+            "repaired_count": self.repaired_count,
+            "realized_grid": self.realized_grid,
+        }
+        if self.truth is not None:
+            payload["truth"] = self.truth.astype(int).tolist()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SlotDetection":
+        truth = payload.get("truth")
+        return cls(
+            slot=int(payload["slot"]),
+            day=int(payload["day"]),
+            flags=np.asarray(payload["flags"], dtype=bool),
+            observation=int(payload["observation"]),
+            action=None if payload["action"] is None else int(payload["action"]),
+            belief_mean=(
+                None if payload["belief_mean"] is None else float(payload["belief_mean"])
+            ),
+            repaired=bool(payload["repaired"]),
+            repaired_count=int(payload["repaired_count"]),
+            realized_grid=(
+                None
+                if payload["realized_grid"] is None
+                else float(payload["realized_grid"])
+            ),
+            truth=None if truth is None else np.asarray(truth, dtype=bool),
+        )
+
+
+class OnlinePipeline:
+    """Incremental detector stack: one event in, at most one verdict out.
+
+    Parameters
+    ----------
+    single_event:
+        The per-day single-event detector state machine.
+    monitor:
+        The POMDP monitor, or ``None`` for flag-only operation.
+    rng:
+        Measurement-noise stream for the per-meter checks.  For replay
+        engines this is the *shared* world generator (interleaved with
+        the hacking process exactly as in the batch loop).
+    slots_per_day:
+        Day length, for slot/day bookkeeping.
+    grid_simulator:
+        Ground-truth community simulator used to account the realized
+        grid demand of readings that carry a truth mask; ``None`` skips
+        the accounting.
+    repair_hook:
+        Called when the monitor dispatches a repair; returns the number
+        of meters actually fixed.  The engine wires this to the source's
+        ``apply_repair``.
+    """
+
+    def __init__(
+        self,
+        *,
+        single_event: IncrementalSingleEvent,
+        monitor: IncrementalMonitor | None,
+        rng: np.random.Generator | None,
+        slots_per_day: int,
+        grid_simulator: CommunityResponseSimulator | None = None,
+        repair_hook: Callable[[], int] | None = None,
+    ) -> None:
+        if slots_per_day < 1:
+            raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
+        self.single_event = single_event
+        self.monitor = monitor
+        self.rng = rng
+        self.slots_per_day = slots_per_day
+        self.grid_simulator = grid_simulator
+        self.repair_hook = repair_hook
+        self._current_update: PriceUpdate | None = None
+        self._days_completed = 0
+        self._timeline: list[SlotDetection] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def timeline(self) -> tuple[SlotDetection, ...]:
+        """Every verdict so far, in slot order."""
+        return tuple(self._timeline)
+
+    @property
+    def current_day(self) -> int | None:
+        """Day of the active price update (None before the first)."""
+        return None if self._current_update is None else self._current_update.day
+
+    @property
+    def days_completed(self) -> int:
+        return self._days_completed
+
+    @property
+    def n_slots_processed(self) -> int:
+        return len(self._timeline)
+
+    @property
+    def n_repairs(self) -> int:
+        return sum(1 for det in self._timeline if det.repaired)
+
+    def detection_stats(self) -> dict[str, Any]:
+        """Aggregate detection statistics for the monitoring API."""
+        timeline = self._timeline
+        stats: dict[str, Any] = {
+            "slots_processed": len(timeline),
+            "days_completed": self._days_completed,
+            "current_day": self.current_day,
+            "flags_total": int(sum(det.observation for det in timeline)),
+            "repairs": self.n_repairs,
+            "meters_repaired": int(sum(det.repaired_count for det in timeline)),
+        }
+        if self.monitor is not None:
+            stats["belief_mean"] = self.monitor.belief_mean
+        scored = [det for det in timeline if det.truth is not None]
+        if scored:
+            correct = sum(
+                int(np.sum(det.truth == det.flags)) for det in scored
+            )
+            total = sum(det.flags.size for det in scored)
+            stats["observation_accuracy"] = correct / total
+        return stats
+
+    # ------------------------------------------------------------------
+    def handle(self, event: StreamEvent) -> SlotDetection | None:
+        """Fold one event into the pipeline state."""
+        PERF.add("stream.events")
+        if isinstance(event, PriceUpdate):
+            self.single_event.start_day(event)
+            self._current_update = event
+            return None
+        if isinstance(event, DayBoundary):
+            self._days_completed = max(self._days_completed, event.day + 1)
+            return None
+        if isinstance(event, MeterReading):
+            return self._handle_reading(event)
+        raise TypeError(f"not a stream event: {type(event).__name__}")
+
+    def _handle_reading(self, reading: MeterReading) -> SlotDetection:
+        if self._current_update is None:
+            raise RuntimeError(
+                "no active day: a PriceUpdate must precede the first MeterReading"
+            )
+        flags = self.single_event.observe(reading, rng=self.rng)
+        observation = int(flags.sum())
+        realized = self._realized_grid(reading)
+
+        action: int | None = None
+        belief_mean: float | None = None
+        repaired = False
+        repaired_count = 0
+        if self.monitor is not None:
+            step = self.monitor.observe(observation)
+            action = step.action
+            belief_mean = step.belief_mean
+            repaired = step.repaired
+            if repaired:
+                PERF.add("stream.repairs")
+                if self.repair_hook is not None:
+                    repaired_count = self.repair_hook()
+
+        detection = SlotDetection(
+            slot=reading.slot,
+            day=self._current_update.day,
+            flags=flags,
+            observation=observation,
+            action=action,
+            belief_mean=belief_mean,
+            repaired=repaired,
+            repaired_count=repaired_count,
+            realized_grid=realized,
+            truth=reading.truth,
+        )
+        self._timeline.append(detection)
+        PERF.add("stream.readings")
+        PERF.add("stream.flags", observation)
+        return detection
+
+    def _realized_grid(self, reading: MeterReading) -> float | None:
+        """Realized grid demand: benign response plus hacked-share deltas.
+
+        Identical arithmetic (and identical summation order: ascending
+        meter id) to the batch scenario's per-slot accounting.
+        """
+        if (
+            reading.truth is None
+            or self.grid_simulator is None
+            or self._current_update is None
+        ):
+            return None
+        clean = self._current_update.clean_prices
+        slot_in_day = reading.slot % self.slots_per_day
+        benign = self.grid_simulator.response(clean).grid_demand
+        demand = benign[slot_in_day]
+        for meter_id in np.flatnonzero(reading.truth):
+            attacked = self.grid_simulator.response(reading.received[meter_id]).grid_demand
+            demand += (attacked[slot_in_day] - benign[slot_in_day]) / reading.n_meters
+        return max(demand, 0.0)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable runtime state (day binding, monitor, timeline)."""
+        return {
+            "current_update": (
+                None
+                if self._current_update is None
+                else event_to_dict(self._current_update)
+            ),
+            "days_completed": self._days_completed,
+            "monitor": None if self.monitor is None else self.monitor.state_dict(),
+            "timeline": [det.to_dict() for det in self._timeline],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore runtime state captured by :meth:`state_dict`."""
+        update = state["current_update"]
+        if update is None:
+            self._current_update = None
+        else:
+            event = event_from_dict(update)
+            if not isinstance(event, PriceUpdate):
+                raise ValueError("current_update must be a price_update event")
+            self.single_event.start_day(event)
+            self._current_update = event
+        self._days_completed = int(state["days_completed"])
+        if self.monitor is not None and state["monitor"] is not None:
+            self.monitor.load_state(state["monitor"])
+        self._timeline = [SlotDetection.from_dict(det) for det in state["timeline"]]
+
+
+class StreamEngine:
+    """Pump loop: source events in, detection timeline out.
+
+    The engine owns the wiring between source and pipeline (the repair
+    feedback edge), counts processed events (the checkpoint cut point),
+    and captures/restores whole-run state.  ``build_spec`` describes how
+    to rebuild this engine from scratch — the checkpoint layer persists
+    it so ``resume_engine`` works from nothing but the file.
+    """
+
+    def __init__(
+        self,
+        source: EventSource,
+        pipeline: OnlinePipeline,
+        *,
+        rng: np.random.Generator | None = None,
+        build_spec: dict[str, Any] | None = None,
+        tp_rate: float = 0.0,
+        fp_rate: float = 0.0,
+    ) -> None:
+        self.source = source
+        self.pipeline = pipeline
+        self.rng = rng
+        self.build_spec = build_spec
+        self.tp_rate = tp_rate
+        self.fp_rate = fp_rate
+        self._events_processed = 0
+        if pipeline.repair_hook is None:
+            pipeline.repair_hook = source.apply_repair
+
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def timeline(self) -> tuple[SlotDetection, ...]:
+        return self.pipeline.timeline
+
+    def step(self) -> SlotDetection | None:
+        """Process one event; returns its verdict (None for non-readings
+        and for an exhausted source — check :meth:`exhausted`)."""
+        event = self.source.next_event()
+        if event is None:
+            return None
+        self._events_processed += 1
+        with PERF.timer("stream.pump"):
+            return self.pipeline.handle(event)
+
+    @property
+    def exhausted(self) -> bool:
+        exhausted = getattr(self.source, "exhausted", None)
+        if exhausted is None:
+            return False
+        return bool(exhausted)
+
+    def run(
+        self,
+        *,
+        max_events: int | None = None,
+        until_day: int | None = None,
+    ) -> list[SlotDetection]:
+        """Pump events until the source dries up (or a bound is hit).
+
+        Parameters
+        ----------
+        max_events:
+            Stop after this many additional events (checkpoint cut
+            points in tests).
+        until_day:
+            Stop once ``until_day`` full days have been completed.
+
+        Returns
+        -------
+        The verdicts produced by *this* call (the full history stays on
+        :attr:`timeline`).
+        """
+        if max_events is not None and max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        produced: list[SlotDetection] = []
+        pumped = 0
+        while True:
+            if max_events is not None and pumped >= max_events:
+                break
+            if until_day is not None and self.pipeline.days_completed >= until_day:
+                break
+            before = self._events_processed
+            detection = self.step()
+            if self._events_processed == before:  # source exhausted
+                break
+            pumped += 1
+            if detection is not None:
+                produced.append(detection)
+        return produced
+
+    # ------------------------------------------------------------------
+    def result(self, *, slots_per_day: int | None = None) -> ScenarioResult:
+        """Assemble the timeline into a batch-compatible ScenarioResult.
+
+        Requires a complete, truth-scored timeline (replay engines).
+        """
+        timeline = self.pipeline.timeline
+        if not timeline:
+            raise RuntimeError("empty timeline: run the engine first")
+        spd = slots_per_day if slots_per_day is not None else self.pipeline.slots_per_day
+        for i, det in enumerate(timeline):
+            if det.slot != i:
+                raise RuntimeError(f"timeline gap: expected slot {i}, got {det.slot}")
+            if det.truth is None or det.realized_grid is None:
+                raise RuntimeError(
+                    "timeline is not truth-scored; ScenarioResult needs a replay engine"
+                )
+        detector: DetectorKind = "none"
+        if self.build_spec is not None:
+            detector = self.build_spec.get("detector", detector)
+        return ScenarioResult(
+            detector=detector,
+            truth=np.stack([det.truth for det in timeline]),
+            flags=np.stack([det.flags for det in timeline]),
+            observations=np.array([det.observation for det in timeline], dtype=int),
+            repairs=np.array([det.repaired for det in timeline], dtype=bool),
+            repaired_counts=np.array(
+                [det.repaired_count for det in timeline], dtype=int
+            ),
+            realized_grid=np.array([det.realized_grid for det in timeline]),
+            slots_per_day=spd,
+            tp_rate=self.tp_rate,
+            fp_rate=self.fp_rate,
+        )
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Full resumable state: cursors, detectors, timeline, RNG."""
+        rng_state = None
+        if self.rng is not None:
+            rng_state = self.rng.bit_generator.state
+        return {
+            "events_processed": self._events_processed,
+            "source": self.source.state_dict(),
+            "pipeline": self.pipeline.state_dict(),
+            "rng": rng_state,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` on a freshly
+        built engine (same build spec)."""
+        self._events_processed = int(state["events_processed"])
+        self.source.load_state(state["source"])
+        self.pipeline.load_state(state["pipeline"])
+        if state["rng"] is not None:
+            if self.rng is None:
+                raise ValueError("checkpoint carries RNG state but engine has no RNG")
+            self.rng.bit_generator.state = state["rng"]
+
+
+# ----------------------------------------------------------------------
+def build_replay_engine(
+    config: CommunityConfig,
+    *,
+    detector: DetectorKind = "aware",
+    n_slots: int = 48,
+    policy: str = "qmdp",
+    calibration_trials: int = 30,
+    seed: int | None = None,
+    cache: GameSolutionCache | None = None,
+) -> StreamEngine:
+    """Scenario-equivalent streaming engine.
+
+    Pumping this engine to exhaustion and calling :meth:`StreamEngine.result`
+    reproduces :func:`~repro.simulation.scenario.run_long_term_scenario`
+    bit for bit (same flags, observations, repair actions and realized
+    grid) — the equivalence test in ``tests/test_stream_equivalence.py``
+    asserts exactly that.
+    """
+    world = build_replay_world(
+        config,
+        detector=detector,
+        n_slots=n_slots,
+        policy=policy,
+        calibration_trials=calibration_trials,
+        seed=seed,
+        cache=cache,
+    )
+    source = ReplaySource(world)
+    single_event = IncrementalSingleEvent(
+        world.truth_simulator,
+        predicted_simulator=world.predicted_simulator,
+        threshold=config.detection.par_threshold,
+        margin_noise_std=config.detection.margin_noise_std,
+        prebuilt=world.day_detectors,
+    )
+    monitor = (
+        IncrementalMonitor(world.long_term) if world.long_term is not None else None
+    )
+    pipeline = OnlinePipeline(
+        single_event=single_event,
+        monitor=monitor,
+        rng=world.rng,
+        slots_per_day=world.slots_per_day,
+        grid_simulator=world.truth_simulator,
+    )
+    build_spec = {
+        "kind": "replay",
+        "config": config_to_dict(config),
+        "detector": detector,
+        "n_slots": n_slots,
+        "policy": policy,
+        "calibration_trials": calibration_trials,
+        "seed": seed,
+    }
+    return StreamEngine(
+        source,
+        pipeline,
+        rng=world.rng,
+        build_spec=build_spec,
+        tp_rate=world.tp_rate,
+        fp_rate=world.fp_rate,
+    )
+
+
+def build_synthetic_engine(
+    config: CommunityConfig,
+    *,
+    n_days: int = 30,
+    attack_days: tuple[int, int] = (10, 19),
+    hacked_meters: tuple[int, ...] | None = None,
+    attack_strength: float = 0.6,
+    tp_rate: float = 0.75,
+    fp_rate: float = 0.05,
+    detector: DetectorKind = "aware",
+    seed: int = 0,
+    cache: GameSolutionCache | None = None,
+) -> StreamEngine:
+    """Lightweight scripted engine for the service layer and examples.
+
+    The source is fully deterministic (:class:`SyntheticSource`); the
+    pipeline runs *live* — per-day detectors are built on the fly from
+    the community model, and the POMDP observation model uses the given
+    (assumed rather than Monte-Carlo-calibrated) TP/FP rates, keeping
+    start-up to a couple of game solves.
+    """
+    spd = config.time.slots_per_day
+    n_meters = config.detection.n_monitored_meters
+    if hacked_meters is None:
+        hacked_meters = tuple(range(max(1, n_meters // 2)))
+    rng = np.random.default_rng(config.seed)
+    day_config = config.with_updates(time=replace(config.time, n_days=1))
+    community = build_community(day_config, rng=rng)
+    cache = cache if cache is not None else global_game_cache()
+    truth_simulator = CommunityResponseSimulator(
+        community,
+        config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor,
+        seed=3,
+        cache=cache,
+    )
+    predicted_simulator = (
+        truth_simulator
+        if detector != "unaware"
+        else CommunityResponseSimulator(
+            community.without_net_metering(),
+            config=config.game,
+            sellback_divisor=config.pricing.sellback_divisor,
+            seed=3,
+            cache=cache,
+        )
+    )
+    source = SyntheticSource(
+        n_meters=n_meters,
+        n_days=n_days,
+        slots_per_day=spd,
+        attack_days=attack_days,
+        hacked_meters=hacked_meters,
+        attack=default_synthetic_attack(spd, attack_strength),
+    )
+    single_event = IncrementalSingleEvent(
+        truth_simulator,
+        predicted_simulator=(
+            None if predicted_simulator is truth_simulator else predicted_simulator
+        ),
+        threshold=config.detection.par_threshold,
+        margin_noise_std=config.detection.margin_noise_std,
+    )
+    monitor: IncrementalMonitor | None = None
+    if detector != "none":
+        model = build_detection_pomdp(
+            n_meters,
+            hack_probability=config.detection.hack_probability,
+            tp_rate=tp_rate,
+            fp_rate=fp_rate,
+            damage_per_meter=config.detection.damage_per_meter,
+            repair_fixed_cost=config.detection.repair_fixed_cost,
+            repair_cost_per_meter=config.detection.repair_cost_per_meter,
+            discount=config.detection.discount,
+        )
+        monitor = IncrementalMonitor(LongTermDetector(model, policy=QmdpPolicy(model)))
+    pipeline = OnlinePipeline(
+        single_event=single_event,
+        monitor=monitor,
+        rng=np.random.default_rng(seed),
+        slots_per_day=spd,
+        grid_simulator=truth_simulator,
+    )
+    build_spec = {
+        "kind": "synthetic",
+        "config": config_to_dict(config),
+        "n_days": n_days,
+        "attack_days": list(attack_days),
+        "hacked_meters": list(hacked_meters),
+        "attack_strength": attack_strength,
+        "tp_rate": tp_rate,
+        "fp_rate": fp_rate,
+        "detector": detector,
+        "seed": seed,
+    }
+    return StreamEngine(
+        source,
+        pipeline,
+        rng=pipeline.rng,
+        build_spec=build_spec,
+        tp_rate=tp_rate if detector != "none" else 0.0,
+        fp_rate=fp_rate if detector != "none" else 0.0,
+    )
+
+
+def default_synthetic_attack(slots_per_day: int, strength: float) -> PeakIncreaseAttack:
+    """Evening cheap-window attack sized to the day grid.
+
+    Module-level (rather than inlined in :func:`build_synthetic_engine`)
+    so a checkpoint resume reconstructs the identical attack from the
+    persisted ``attack_strength``.
+    """
+    start = int(slots_per_day * 0.75)
+    return PeakIncreaseAttack(
+        start_slot=start,
+        end_slot=min(start + 1, slots_per_day - 1),
+        strength=strength,
+    )

@@ -1,0 +1,492 @@
+"""Event sources: scenario replay and a deterministic synthetic generator.
+
+Two sources feed the online pipeline:
+
+- :class:`ReplaySource` replays the exact world of the batch scenario
+  (:func:`repro.simulation.scenario.run_long_term_scenario`) as an
+  ordered event stream.  :func:`build_replay_world` reproduces the batch
+  path's construction *draw for draw* — community, history, day
+  environments, calibration, policy — and shares one RNG between the
+  hacking process (event generation) and the detection pipeline
+  (measurement noise), so pumping the stream yields bitwise-identical
+  detection decisions to the batch run.
+- :class:`SyntheticSource` is a fully deterministic generator (no RNG at
+  all): smooth double-peak guideline prices with a weekly modulation and
+  a scripted compromise window.  It exists so the service layer and the
+  examples can exercise the pipeline without building the heavy world.
+
+Both satisfy the :class:`EventSource` protocol the engine pumps:
+``next_event`` advances the stream one event, ``apply_repair`` is the
+feedback edge for the monitor's repair dispatches, and
+``state_dict``/``load_state`` round-trip the source's cursor for
+checkpointing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Protocol, Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.attacks.hacking import MeterHackingProcess
+from repro.attacks.pricing import PeakIncreaseAttack
+from repro.core.config import CommunityConfig
+from repro.data.community import build_community
+from repro.data.pricing import (
+    GuidelinePriceModel,
+    PriceHistory,
+    baseline_demand_profile,
+    generate_history,
+)
+from repro.data.weather import DEFAULT_WEATHER
+from repro.detection.long_term import LongTermDetector
+from repro.detection.pomdp import build_detection_pomdp
+from repro.detection.single_event import (
+    CommunityResponseSimulator,
+    SingleEventDetector,
+)
+from repro.detection.solvers import PbviPolicy, QmdpPolicy
+from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
+from repro.simulation.cache import GameSolutionCache, global_game_cache
+from repro.simulation.calibration import measure_single_event_rates
+from repro.simulation.scenario import DetectorKind
+from repro.stream.events import DayBoundary, MeterReading, PriceUpdate, StreamEvent
+
+
+class EventSource(Protocol):
+    """What the stream engine pumps: an ordered, resumable event feed."""
+
+    def next_event(self) -> StreamEvent | None: ...
+
+    def apply_repair(self) -> int: ...
+
+    def state_dict(self) -> dict[str, Any]: ...
+
+    def load_state(self, state: dict[str, Any]) -> None: ...
+
+
+@dataclass
+class ReplayWorld:
+    """Everything a scenario-equivalent stream needs, built in batch order.
+
+    The ``rng`` is the *shared* generator: the replay source draws
+    compromise dynamics from it and the pipeline draws measurement noise
+    from it, interleaved exactly as the batch per-slot loop does.
+    """
+
+    config: CommunityConfig
+    detector: DetectorKind
+    n_slots: int
+    day_clean_prices: list[NDArray[np.float64]]
+    day_predicted: list[NDArray[np.float64]]
+    day_detectors: list[SingleEventDetector]
+    truth_simulator: CommunityResponseSimulator
+    predicted_simulator: CommunityResponseSimulator
+    hacking: MeterHackingProcess
+    long_term: LongTermDetector | None
+    tp_rate: float
+    fp_rate: float
+    rng: np.random.Generator
+
+    @property
+    def slots_per_day(self) -> int:
+        return self.config.time.slots_per_day
+
+    @property
+    def n_days(self) -> int:
+        return self.n_slots // self.slots_per_day
+
+    @property
+    def n_meters(self) -> int:
+        return self.config.detection.n_monitored_meters
+
+
+def build_replay_world(
+    config: CommunityConfig,
+    *,
+    detector: DetectorKind,
+    n_slots: int = 48,
+    history: PriceHistory | None = None,
+    policy: str = "qmdp",
+    calibration_trials: int = 30,
+    seed: int | None = None,
+    cache: GameSolutionCache | None = None,
+) -> ReplayWorld:
+    """Construct the streaming world exactly as the batch scenario does.
+
+    Every RNG draw happens in the same order as
+    :func:`~repro.simulation.scenario.run_long_term_scenario` —
+    community build, history generation, per-day environment, detector
+    calibration, policy seeding — so that the generator handed to the
+    per-event loop is in the identical state the batch per-slot loop
+    starts from.  This is the invariant the stream-vs-batch equivalence
+    test asserts.
+    """
+    if n_slots < 1:
+        raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+    spd = config.time.slots_per_day
+    if n_slots % spd != 0:
+        raise ValueError(f"n_slots {n_slots} must be a multiple of {spd}")
+    n_days = n_slots // spd
+    rng = np.random.default_rng(config.seed if seed is None else seed)
+    cache = cache if cache is not None else global_game_cache()
+
+    day_config = config.with_updates(time=replace(config.time, n_days=1))
+    community = build_community(day_config, rng=rng)
+    price_model = GuidelinePriceModel(
+        config=config.pricing, n_customers=config.n_customers
+    )
+    if history is None:
+        history = generate_history(
+            rng,
+            n_customers=config.n_customers,
+            pricing=config.pricing,
+            solar=config.solar,
+            slots_per_day=spd,
+            mean_pv_per_customer_kw=config.solar.peak_kw * config.pv_adoption,
+        )
+
+    aware = detector != "unaware"
+    if aware:
+        predictor: AwarePricePredictor | UnawarePricePredictor = AwarePricePredictor()
+    else:
+        predictor = UnawarePricePredictor()
+    predictor.fit(history)
+
+    base_demand = baseline_demand_profile(day_config.time) * config.n_customers
+    day_clean_prices: list[NDArray[np.float64]] = []
+    day_predicted: list[NDArray[np.float64]] = []
+    for _ in range(n_days):
+        weather = DEFAULT_WEATHER.daily_factor(rng)
+        pv = community.total_pv * weather
+        demand = base_demand * float(np.clip(rng.normal(1.0, 0.03), 0.8, 1.2))
+        clean = price_model.price(demand, pv, rng=rng)
+        day_clean_prices.append(clean)
+        if aware:
+            predicted = predictor.predict_day(
+                demand_forecast=demand, renewable_forecast=pv
+            )
+        else:
+            predicted = predictor.predict_day()
+        day_predicted.append(predicted)
+        history = PriceHistory(
+            prices=np.concatenate([history.prices, clean]),
+            demand=np.concatenate([history.demand, demand]),
+            renewable=np.concatenate([history.renewable, pv]),
+            nm_active=np.concatenate([history.nm_active, np.ones(spd, dtype=bool)]),
+            slots_per_day=spd,
+        )
+
+    truth_simulator = CommunityResponseSimulator(
+        community,
+        config=config.game,
+        sellback_divisor=config.pricing.sellback_divisor,
+        seed=3,
+        cache=cache,
+    )
+    if aware:
+        predicted_simulator = truth_simulator
+    else:
+        predicted_simulator = CommunityResponseSimulator(
+            community.without_net_metering(),
+            config=config.game,
+            sellback_divisor=config.pricing.sellback_divisor,
+            seed=3,
+            cache=cache,
+        )
+    n_meters = config.detection.n_monitored_meters
+    hacking = MeterHackingProcess(
+        n_meters,
+        config.detection.hack_probability,
+        slots_per_day=spd,
+        rng=rng,
+    )
+    day_detectors = [
+        SingleEventDetector(
+            truth_simulator,
+            day_predicted[d],
+            predicted_simulator=predicted_simulator,
+            threshold=config.detection.par_threshold,
+            margin_noise_std=config.detection.margin_noise_std,
+        )
+        for d in range(n_days)
+    ]
+
+    long_term: LongTermDetector | None = None
+    tp_rate = fp_rate = 0.0
+    if detector != "none":
+        rates = measure_single_event_rates(
+            day_detectors[0],
+            day_clean_prices[0],
+            hacking,
+            n_trials=calibration_trials,
+            rng=rng,
+        ).clipped()
+        tp_rate, fp_rate = rates.tp_rate, rates.fp_rate
+        model = build_detection_pomdp(
+            n_meters,
+            hack_probability=config.detection.hack_probability,
+            tp_rate=tp_rate,
+            fp_rate=fp_rate,
+            damage_per_meter=config.detection.damage_per_meter,
+            repair_fixed_cost=config.detection.repair_fixed_cost,
+            repair_cost_per_meter=config.detection.repair_cost_per_meter,
+            discount=config.detection.discount,
+        )
+        chosen_policy = (
+            PbviPolicy(model, rng=np.random.default_rng(int(rng.integers(2**31 - 1))))
+            if policy == "pbvi"
+            else QmdpPolicy(model)
+        )
+        long_term = LongTermDetector(model, policy=chosen_policy)
+
+    return ReplayWorld(
+        config=config,
+        detector=detector,
+        n_slots=n_slots,
+        day_clean_prices=day_clean_prices,
+        day_predicted=day_predicted,
+        day_detectors=day_detectors,
+        truth_simulator=truth_simulator,
+        predicted_simulator=predicted_simulator,
+        hacking=hacking,
+        long_term=long_term,
+        tp_rate=tp_rate,
+        fp_rate=fp_rate,
+        rng=rng,
+    )
+
+
+class ReplaySource:
+    """Ordered event feed over a :class:`ReplayWorld`.
+
+    Per day the source emits ``PriceUpdate``, then one ``MeterReading``
+    per slot, then ``DayBoundary``.  Side effects mirror the batch
+    per-slot loop exactly: a day-boundary ``PriceUpdate`` (day > 0)
+    rolls a fresh attack campaign, and every reading advances the
+    ground-truth hacking process by one slot *before* building the
+    per-meter received prices.
+    """
+
+    def __init__(self, world: ReplayWorld) -> None:
+        self.world = world
+        self._next_index = 0
+
+    @property
+    def events_per_day(self) -> int:
+        return self.world.slots_per_day + 2
+
+    @property
+    def n_events(self) -> int:
+        """Total stream length in events."""
+        return self.world.n_days * self.events_per_day
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next_index >= self.n_events
+
+    def next_event(self) -> StreamEvent | None:
+        world = self.world
+        spd = world.slots_per_day
+        day, pos = divmod(self._next_index, self.events_per_day)
+        if day >= world.n_days:
+            return None
+        self._next_index += 1
+        if pos == 0:
+            if day > 0:
+                # New day, new guideline-price vector: the attacker
+                # rolls a fresh manipulation of it.
+                world.hacking.new_campaign()
+            return PriceUpdate(
+                day=day,
+                clean_prices=world.day_clean_prices[day],
+                predicted_prices=world.day_predicted[day],
+            )
+        if pos <= spd:
+            slot = day * spd + (pos - 1)
+            world.hacking.step()
+            truth = world.hacking.hacked_mask
+            clean = world.day_clean_prices[day]
+            received = np.tile(clean, (world.n_meters, 1))
+            for meter in world.hacking.hacked_meters:
+                received[meter.meter_id] = meter.attack.apply(clean)
+            return MeterReading(slot=slot, received=received, truth=truth)
+        return DayBoundary(day=day)
+
+    def apply_repair(self) -> int:
+        """Repair dispatch feedback: fix the whole fleet."""
+        return self.world.hacking.repair_all()
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "replay",
+            "next_index": self._next_index,
+            "hacking": self.world.hacking.state_dict(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "replay":
+            raise ValueError(f"not a replay-source state: {state.get('kind')!r}")
+        self._next_index = int(state["next_index"])
+        self.world.hacking.load_state(state["hacking"])
+
+
+def synthetic_price_profile(
+    slots_per_day: int, *, base_price: float = 0.03, amplitude: float = 0.35
+) -> NDArray[np.float64]:
+    """Smooth double-peak (morning/evening) daily guideline-price shape."""
+    if slots_per_day < 1:
+        raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
+    hours = (np.arange(slots_per_day) + 0.5) * 24.0 / slots_per_day
+    shape = (
+        1.0
+        + amplitude * np.exp(-((hours - 8.0) ** 2) / 6.0)
+        + 1.6 * amplitude * np.exp(-((hours - 19.0) ** 2) / 8.0)
+    )
+    return base_price * shape
+
+
+class SyntheticSource:
+    """Deterministic scripted event generator (no RNG anywhere).
+
+    Guideline prices follow a fixed double-peak profile with a weekly
+    sinusoidal modulation; the forecast is the unmodulated profile, so
+    benign days produce small PAR margins.  During the scripted attack
+    window (``attack_days``, start-inclusive / end-exclusive) the meters
+    in ``hacked_meters`` receive the ``attack``-manipulated price from
+    the start of each day until a repair dispatch clears them; they are
+    re-compromised at the next attack day's price update.
+
+    Parameters
+    ----------
+    n_meters:
+        Monitored fleet size.
+    n_days:
+        Stream length in days.
+    slots_per_day:
+        Slots per day (must match the pipeline's community horizon).
+    attack_days:
+        ``(first_day, end_day)`` of the compromise window.
+    hacked_meters:
+        Meter ids compromised during the window.
+    attack:
+        The manipulation installed on compromised meters.
+    base_price, modulation:
+        Price scale and weekly modulation depth.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_meters: int,
+        n_days: int,
+        slots_per_day: int = 24,
+        attack_days: tuple[int, int] = (0, 0),
+        hacked_meters: Sequence[int] = (),
+        attack: PeakIncreaseAttack | None = None,
+        base_price: float = 0.03,
+        modulation: float = 0.05,
+    ) -> None:
+        if n_meters < 1:
+            raise ValueError(f"n_meters must be >= 1, got {n_meters}")
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        lo, hi = attack_days
+        if lo < 0 or hi < lo:
+            raise ValueError(f"attack_days must satisfy 0 <= lo <= hi, got {attack_days}")
+        for meter_id in hacked_meters:
+            if not 0 <= meter_id < n_meters:
+                raise ValueError(
+                    f"hacked meter id {meter_id} out of range [0, {n_meters})"
+                )
+        self.n_meters = n_meters
+        self.n_days = n_days
+        self.slots_per_day = slots_per_day
+        self.attack_days = (int(lo), int(hi))
+        self.hacked_meters = tuple(sorted(set(int(m) for m in hacked_meters)))
+        self.attack = (
+            attack
+            if attack is not None
+            else PeakIncreaseAttack(
+                start_slot=int(slots_per_day * 0.7),
+                end_slot=min(int(slots_per_day * 0.7) + 1, slots_per_day - 1),
+                strength=0.6,
+            )
+        )
+        self.base_price = base_price
+        self.modulation = modulation
+        self.profile = synthetic_price_profile(slots_per_day, base_price=base_price)
+        self._next_index = 0
+        self._active: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def events_per_day(self) -> int:
+        return self.slots_per_day + 2
+
+    @property
+    def n_events(self) -> int:
+        return self.n_days * self.events_per_day
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next_index >= self.n_events
+
+    def clean_prices(self, day: int) -> NDArray[np.float64]:
+        """The posted guideline price of one day (deterministic)."""
+        return self.profile * (1.0 + self.modulation * np.sin(2.0 * np.pi * day / 7.0))
+
+    def predicted_prices(self, day: int) -> NDArray[np.float64]:
+        """The forecast: the unmodulated profile (small benign margin)."""
+        return self.profile.copy()
+
+    def _in_attack_window(self, day: int) -> bool:
+        lo, hi = self.attack_days
+        return lo <= day < hi
+
+    def next_event(self) -> StreamEvent | None:
+        day, pos = divmod(self._next_index, self.events_per_day)
+        if day >= self.n_days:
+            return None
+        self._next_index += 1
+        if pos == 0:
+            if self._in_attack_window(day):
+                self._active = set(self.hacked_meters)
+            else:
+                self._active = set()
+            return PriceUpdate(
+                day=day,
+                clean_prices=self.clean_prices(day),
+                predicted_prices=self.predicted_prices(day),
+            )
+        if pos <= self.slots_per_day:
+            slot = day * self.slots_per_day + (pos - 1)
+            clean = self.clean_prices(day)
+            received = np.tile(clean, (self.n_meters, 1))
+            truth = np.zeros(self.n_meters, dtype=bool)
+            for meter_id in sorted(self._active):
+                received[meter_id] = self.attack.apply(clean)
+                truth[meter_id] = True
+            return MeterReading(slot=slot, received=received, truth=truth)
+        return DayBoundary(day=day)
+
+    def apply_repair(self) -> int:
+        """Clear the compromised set until the next scripted attack day."""
+        repaired = len(self._active)
+        self._active.clear()
+        return repaired
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "synthetic",
+            "next_index": self._next_index,
+            "active": sorted(self._active),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "synthetic":
+            raise ValueError(f"not a synthetic-source state: {state.get('kind')!r}")
+        self._next_index = int(state["next_index"])
+        self._active = set(int(m) for m in state["active"])

@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.attacks",
     "repro.detection",
     "repro.simulation",
+    "repro.stream",
+    "repro.service",
     "repro.billing",
     "repro.reporting",
     "repro.data",

@@ -42,6 +42,62 @@ class TestFigureCommands:
         assert first != second
 
 
+class TestStreamCommand:
+    def test_stream_smoke_ascii(self, capsys):
+        assert main(["stream", "--preset", "smoke", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "day   0" in out
+        assert "repairs" in out
+        assert "slots 48" in out
+
+    def test_stream_json_format(self, capsys):
+        import json
+
+        assert main(["stream", "--preset", "smoke", "--days", "1", "--format", "json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 24
+        first = json.loads(lines[0])
+        assert first["slot"] == 0 and "flags" in first
+
+    def test_stream_checkpoint_and_resume(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "stream", "--preset", "smoke", "--days", "3",
+                    "--until-day", "1", "--checkpoint-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert "checkpoint saved" in first
+        assert (tmp_path / "stream-synthetic.json").exists()
+        assert (
+            main(
+                [
+                    "stream", "--preset", "smoke", "--days", "3",
+                    "--checkpoint-dir", str(tmp_path), "--resume",
+                ]
+            )
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert "day   2" in second
+
+    def test_resume_without_checkpoint_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "stream", "--preset", "smoke",
+                    "--checkpoint-dir", str(tmp_path), "--resume",
+                ]
+            )
+
+    def test_bad_days_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--preset", "smoke", "--days", "0"])
+
+
 class TestScenarioCommands:
     def test_fig6_smoke_with_json(self, capsys, tmp_path):
         assert (

@@ -1,0 +1,63 @@
+"""Tests for the perf-counter registry, including interval deltas."""
+
+from repro.perf.counters import PerfRegistry
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        registry = PerfRegistry()
+        registry.add("x")
+        registry.add("x", 2.5)
+        assert registry.get("x") == 3.5
+        assert registry.get("missing") == 0.0
+
+    def test_snapshot_includes_timers_with_suffix(self):
+        registry = PerfRegistry()
+        with registry.timer("work"):
+            pass
+        snap = registry.snapshot()
+        assert "work_s" in snap
+        assert snap["work_s"] >= 0.0
+
+    def test_reset(self):
+        registry = PerfRegistry()
+        registry.add("x")
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestDeltaSince:
+    def test_reports_only_changes(self):
+        registry = PerfRegistry()
+        registry.add("a", 2)
+        registry.add("b", 1)
+        baseline = registry.snapshot()
+        registry.add("a", 3)
+        delta = registry.delta_since(baseline)
+        assert delta == {"a": 3.0}  # b unchanged → dropped
+
+    def test_new_counter_counts_from_zero(self):
+        registry = PerfRegistry()
+        baseline = registry.snapshot()
+        registry.add("fresh", 7)
+        assert registry.delta_since(baseline) == {"fresh": 7.0}
+
+    def test_empty_interval_is_empty(self):
+        registry = PerfRegistry()
+        registry.add("a")
+        baseline = registry.snapshot()
+        assert registry.delta_since(baseline) == {}
+
+    def test_successive_scrapes_partition_the_work(self):
+        """snapshot→delta pairs must tile the total without overlap."""
+        registry = PerfRegistry()
+        registry.add("events", 10)
+        first_baseline = registry.snapshot()
+        registry.add("events", 4)
+        first = registry.delta_since(first_baseline)
+        second_baseline = registry.snapshot()
+        registry.add("events", 6)
+        second = registry.delta_since(second_baseline)
+        assert first == {"events": 4.0}
+        assert second == {"events": 6.0}
+        assert registry.get("events") == 20.0

@@ -89,3 +89,64 @@ class TestSweep:
             fp_rate=float(np.mean(sweep.benign_margins > -10)),
         )
         assert lo.tp_rate == 1.0 and lo.fp_rate == 1.0
+
+
+def _sweep_from_margins(benign, attacked) -> ThresholdSweep:
+    """Build a sweep directly from margin samples (no simulator)."""
+    benign = np.asarray(benign, dtype=float)
+    attacked = np.asarray(attacked, dtype=float)
+    thresholds = np.linspace(
+        min(benign.min(), attacked.min()), max(benign.max(), attacked.max()), 9
+    )
+    points = tuple(
+        ThresholdOperatingPoint(
+            threshold=float(t),
+            tp_rate=float(np.mean(attacked > t)),
+            fp_rate=float(np.mean(benign > t)),
+        )
+        for t in thresholds
+    )
+    return ThresholdSweep(points=points, benign_margins=benign, attacked_margins=attacked)
+
+
+class TestDegenerate:
+    """Single-class and constant-margin corner cases of the AUC/sweep math."""
+
+    def test_identical_classes_auc_is_half(self):
+        """All ties: the rank-statistic AUC must sit exactly at chance."""
+        sweep = _sweep_from_margins([0.2] * 5, [0.2] * 5)
+        assert sweep.auc() == pytest.approx(0.5)
+
+    def test_perfect_separation_auc_is_one(self):
+        sweep = _sweep_from_margins([0.0, 0.1, 0.2], [1.0, 1.1, 1.2])
+        assert sweep.auc() == pytest.approx(1.0)
+
+    def test_inverted_separation_auc_is_zero(self):
+        sweep = _sweep_from_margins([1.0, 1.1, 1.2], [0.0, 0.1, 0.2])
+        assert sweep.auc() == pytest.approx(0.0)
+
+    def test_single_sample_per_class(self):
+        sweep = _sweep_from_margins([0.1], [0.4])
+        assert sweep.auc() == pytest.approx(1.0)
+        assert 0.0 <= sweep.best_by_youden().youden_j <= 1.0
+
+    def test_constant_margins_rates_degenerate_cleanly(self):
+        """With zero margin spread every threshold is the same cut: rates
+        are 0/1, never NaN, and Youden's J stays bounded."""
+        sweep = _sweep_from_margins([0.3] * 4, [0.3] * 4)
+        for point in sweep.points:
+            assert point.tp_rate in (0.0, 1.0)
+            assert point.fp_rate in (0.0, 1.0)
+            assert point.tp_rate == point.fp_rate  # same samples, same cut
+            assert np.isfinite(point.youden_j)
+
+    def test_sweep_rejects_zero_trials(self, sweep):
+        detector_prices = np.full(HORIZON, 0.03)
+        community = Community(
+            customers=(make_customer(0), make_customer(1)), counts=(5, 5)
+        )
+        simulator = CommunityResponseSimulator(community, config=FAST, seed=1)
+        detector = SingleEventDetector(simulator, detector_prices, threshold=0.1)
+        sampler = MeterHackingProcess(4, 0.1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="n_trials"):
+            sweep_thresholds(detector, detector_prices, sampler, n_trials=0)

@@ -1,0 +1,103 @@
+"""Tests for the streaming event model and its wire format."""
+
+import numpy as np
+import pytest
+
+from repro.stream.events import (
+    DayBoundary,
+    MeterReading,
+    PriceUpdate,
+    event_from_dict,
+    event_to_dict,
+)
+
+
+class TestValidation:
+    def test_price_update_rejects_negative_day(self):
+        with pytest.raises(ValueError, match="day"):
+            PriceUpdate(day=-1, clean_prices=np.ones(4), predicted_prices=np.ones(4))
+
+    def test_price_update_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="predicted_prices"):
+            PriceUpdate(day=0, clean_prices=np.ones(4), predicted_prices=np.ones(5))
+
+    def test_price_update_rejects_empty(self):
+        with pytest.raises(ValueError, match="clean_prices"):
+            PriceUpdate(day=0, clean_prices=np.empty(0), predicted_prices=np.empty(0))
+
+    def test_meter_reading_rejects_1d_received(self):
+        with pytest.raises(ValueError, match="received"):
+            MeterReading(slot=0, received=np.ones(4))
+
+    def test_meter_reading_rejects_truth_shape(self):
+        with pytest.raises(ValueError, match="truth"):
+            MeterReading(
+                slot=0, received=np.ones((3, 4)), truth=np.zeros(4, dtype=bool)
+            )
+
+    def test_day_boundary_rejects_negative(self):
+        with pytest.raises(ValueError, match="day"):
+            DayBoundary(day=-2)
+
+    def test_coercion_to_arrays(self):
+        update = PriceUpdate(
+            day=0, clean_prices=[0.1, 0.2], predicted_prices=[0.1, 0.3]
+        )
+        assert isinstance(update.clean_prices, np.ndarray)
+        reading = MeterReading(slot=1, received=[[0.1, 0.2]])
+        assert reading.n_meters == 1
+
+
+class TestWireFormat:
+    def test_price_update_round_trip(self):
+        event = PriceUpdate(
+            day=3,
+            clean_prices=np.array([0.01, 0.04, 0.02]),
+            predicted_prices=np.array([0.011, 0.039, 0.021]),
+        )
+        back = event_from_dict(event_to_dict(event))
+        assert isinstance(back, PriceUpdate)
+        assert back.day == 3
+        np.testing.assert_array_equal(back.clean_prices, event.clean_prices)
+        np.testing.assert_array_equal(back.predicted_prices, event.predicted_prices)
+
+    def test_meter_reading_round_trip_with_truth(self):
+        event = MeterReading(
+            slot=17,
+            received=np.array([[0.1, 0.2], [0.3, 0.4]]),
+            truth=np.array([True, False]),
+        )
+        back = event_from_dict(event_to_dict(event))
+        assert isinstance(back, MeterReading)
+        assert back.slot == 17
+        np.testing.assert_array_equal(back.received, event.received)
+        np.testing.assert_array_equal(back.truth, event.truth)
+
+    def test_meter_reading_round_trip_without_truth(self):
+        event = MeterReading(slot=0, received=np.ones((2, 3)))
+        payload = event_to_dict(event)
+        assert "truth" not in payload
+        assert event_from_dict(payload).truth is None
+
+    def test_day_boundary_round_trip(self):
+        back = event_from_dict(event_to_dict(DayBoundary(day=5)))
+        assert isinstance(back, DayBoundary)
+        assert back.day == 5
+
+    def test_floats_survive_exactly(self):
+        """JSON uses shortest-round-trip repr: values come back bitwise."""
+        values = np.array([[0.1 + 0.2, 1e-17, np.pi]])
+        back = event_from_dict(event_to_dict(MeterReading(slot=0, received=values)))
+        assert back.received.tobytes() == values.tobytes()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            event_from_dict({"type": "bogus"})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            event_from_dict({"day": 0})
+
+    def test_to_dict_rejects_non_event(self):
+        with pytest.raises(TypeError, match="not a stream event"):
+            event_to_dict(object())

@@ -1,0 +1,211 @@
+"""Tests for the online pipeline, synthetic engine and timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.reporting.ascii import render_stream_timeline
+from repro.simulation.cache import GameSolutionCache
+from repro.stream.events import DayBoundary, MeterReading, PriceUpdate
+from repro.stream.pipeline import SlotDetection, build_synthetic_engine
+from repro.stream.source import SyntheticSource, synthetic_price_profile
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> CommunityConfig:
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic_engine(tiny_config):
+    engine = build_synthetic_engine(
+        tiny_config,
+        n_days=5,
+        attack_days=(1, 3),
+        cache=GameSolutionCache(),
+    )
+    engine.run()
+    return engine
+
+
+class TestSyntheticSource:
+    def test_event_order_per_day(self):
+        source = SyntheticSource(n_meters=2, n_days=1, slots_per_day=3)
+        events = [source.next_event() for _ in range(source.n_events)]
+        assert isinstance(events[0], PriceUpdate)
+        assert all(isinstance(e, MeterReading) for e in events[1:4])
+        assert isinstance(events[4], DayBoundary)
+        assert source.next_event() is None
+        assert source.exhausted
+
+    def test_deterministic(self):
+        a = SyntheticSource(n_meters=2, n_days=2, attack_days=(1, 2), hacked_meters=(0,))
+        b = SyntheticSource(n_meters=2, n_days=2, attack_days=(1, 2), hacked_meters=(0,))
+        for _ in range(a.n_events):
+            ea, eb = a.next_event(), b.next_event()
+            assert type(ea) is type(eb)
+            if isinstance(ea, MeterReading):
+                np.testing.assert_array_equal(ea.received, eb.received)
+
+    def test_attack_window_sets_truth(self):
+        source = SyntheticSource(
+            n_meters=3, n_days=3, slots_per_day=4, attack_days=(1, 2), hacked_meters=(2,)
+        )
+        truths = {}
+        while (event := source.next_event()) is not None:
+            if isinstance(event, MeterReading):
+                truths.setdefault(event.slot // 4, []).append(event.truth.any())
+        assert not any(truths[0])
+        assert all(truths[1])
+        assert not any(truths[2])
+
+    def test_repair_clears_until_next_attack_day(self):
+        source = SyntheticSource(
+            n_meters=2, n_days=2, slots_per_day=4, attack_days=(0, 2), hacked_meters=(0,)
+        )
+        source.next_event()  # day-0 price update compromises meter 0
+        assert source.next_event().truth[0]
+        assert source.apply_repair() == 1
+        assert not source.next_event().truth[0]
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="slots_per_day"):
+            synthetic_price_profile(0)
+        with pytest.raises(ValueError, match="attack_days"):
+            SyntheticSource(n_meters=1, n_days=1, attack_days=(2, 1))
+        with pytest.raises(ValueError, match="out of range"):
+            SyntheticSource(n_meters=1, n_days=1, hacked_meters=(3,))
+
+
+class TestSyntheticEngine:
+    def test_full_run_shape(self, synthetic_engine):
+        timeline = synthetic_engine.timeline
+        assert len(timeline) == 5 * 24
+        assert [det.slot for det in timeline] == list(range(5 * 24))
+        assert synthetic_engine.pipeline.days_completed == 5
+        assert synthetic_engine.exhausted
+
+    def test_attack_window_detected_and_repaired(self, synthetic_engine):
+        repairs = [det for det in synthetic_engine.timeline if det.repaired]
+        assert repairs, "scripted attack was never repaired"
+        assert all(1 <= det.day < 3 for det in repairs)
+        assert all(det.repaired_count > 0 for det in repairs)
+
+    def test_benign_days_produce_no_flags(self, synthetic_engine):
+        benign = [det for det in synthetic_engine.timeline if not (1 <= det.day < 3)]
+        assert all(det.observation == 0 for det in benign)
+
+    def test_detection_stats(self, synthetic_engine):
+        stats = synthetic_engine.pipeline.detection_stats()
+        assert stats["slots_processed"] == 120
+        assert stats["days_completed"] == 5
+        assert stats["repairs"] == len(
+            [d for d in synthetic_engine.timeline if d.repaired]
+        )
+        assert 0.0 <= stats["observation_accuracy"] <= 1.0
+        assert stats["belief_mean"] >= 0.0
+
+    def test_run_until_day_stops_early(self, tiny_config):
+        engine = build_synthetic_engine(
+            tiny_config, n_days=4, attack_days=(1, 2), cache=GameSolutionCache()
+        )
+        engine.run(until_day=2)
+        assert engine.pipeline.days_completed == 2
+        assert not engine.exhausted
+
+    def test_reading_before_price_update_rejected(self, tiny_config):
+        engine = build_synthetic_engine(
+            tiny_config, n_days=1, cache=GameSolutionCache()
+        )
+        reading = MeterReading(slot=0, received=np.full((4, 24), 0.03))
+        with pytest.raises(RuntimeError, match="no active day"):
+            engine.pipeline.handle(reading)
+
+    def test_result_requires_complete_truth(self, synthetic_engine):
+        result = synthetic_engine.result()
+        assert result.truth.shape == (120, 4)
+        assert result.slots_per_day == 24
+
+
+class TestSlotDetection:
+    def test_round_trip(self):
+        det = SlotDetection(
+            slot=7,
+            day=0,
+            flags=np.array([True, False]),
+            observation=1,
+            action=1,
+            belief_mean=0.5,
+            repaired=True,
+            repaired_count=2,
+            realized_grid=10.25,
+            truth=np.array([True, True]),
+        )
+        back = SlotDetection.from_dict(det.to_dict())
+        assert (back.slot, back.day, back.observation) == (7, 0, 1)
+        assert (back.action, back.belief_mean) == (1, 0.5)
+        assert back.repaired and back.repaired_count == 2
+        assert back.realized_grid == det.realized_grid
+        np.testing.assert_array_equal(back.flags, det.flags)
+        np.testing.assert_array_equal(back.truth, det.truth)
+
+    def test_none_fields_round_trip(self):
+        det = SlotDetection(
+            slot=0,
+            day=0,
+            flags=np.array([False]),
+            observation=0,
+            action=None,
+            belief_mean=None,
+            repaired=False,
+            repaired_count=0,
+            realized_grid=None,
+            truth=None,
+        )
+        back = SlotDetection.from_dict(det.to_dict())
+        assert back.action is None
+        assert back.belief_mean is None
+        assert back.realized_grid is None
+        assert back.truth is None
+
+
+class TestTimelineRendering:
+    def test_renders_one_row_per_day(self, synthetic_engine):
+        text = render_stream_timeline(synthetic_engine.timeline, slots_per_day=24)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("day   0")
+        assert "repairs" in lines[0] and "belief" in lines[0]
+
+    def test_repair_glyph_present(self, synthetic_engine):
+        text = render_stream_timeline(synthetic_engine.timeline, slots_per_day=24)
+        assert "R" in text
+
+    def test_empty_timeline(self):
+        assert "empty" in render_stream_timeline([], slots_per_day=24)
