@@ -1,10 +1,25 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick figures stream-smoke
+.PHONY: test lint typecheck bench bench-quick figures stream-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Determinism/API-contract AST lint (docs/STATIC_ANALYSIS.md); exits
+# nonzero on any violation.
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src tests
+
+# mypy gate (strict on repro.core/stream/perf — see [tool.mypy] in
+# pyproject.toml).  Skips gracefully where mypy isn't installed; CI
+# always installs it.
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install mypy)"; \
+	fi
 
 # Full hot-path benchmark at bench-preset scale; appends one entry to
 # BENCH_hotpaths.json (machine-readable perf trajectory).

@@ -1,0 +1,44 @@
+"""Static analysis for the repo's determinism and API contracts.
+
+``repro.analysis`` is an AST-based lint engine (``repro-lint`` on the
+command line, ``repro lint`` as a subcommand) with six repo-specific
+rules:
+
+=======  ==============================================================
+DET001   no global-RNG calls; randomness enters via a Generator param
+DET002   no wall-clock reads outside the service allowlist
+DET003   no iteration over unordered set expressions
+CKPT001  checkpointable classes must round-trip every mutated attribute
+API001   public functions in ``src/repro`` must be fully annotated
+FLT001   no bare float ``==`` / ``!=`` comparisons
+=======  ==============================================================
+
+See ``docs/STATIC_ANALYSIS.md`` for the rationale behind each rule and
+the ``# repro: noqa[RULE]`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    FileContext,
+    LintConfig,
+    LintEngine,
+    LintReport,
+    Rule,
+    Violation,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,107 @@
+"""``repro-lint`` — the console entry point of the static-analysis gate.
+
+Usage::
+
+    repro-lint [paths ...]            # default: src tests
+    repro-lint --format json src
+    repro-lint --select DET001,FLT001 src
+    repro-lint --list-rules
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+Also reachable as ``repro lint ...`` and ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import LintConfig, LintEngine
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+
+USAGE_ERROR = 2
+
+
+def _split_rule_ids(raw: str) -> frozenset[str]:
+    return frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST lint for the repo's determinism and API contracts "
+            "(see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to scan (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated rule ids to run exclusively"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml with a [tool.repro-lint] table "
+        "(default: ./pyproject.toml when present)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    config = LintConfig.from_pyproject(args.config or Path("pyproject.toml"))
+    if args.select:
+        config.select = _split_rule_ids(args.select)
+    if args.ignore:
+        config.ignore = config.ignore | _split_rule_ids(args.ignore)
+
+    known = {rule.rule_id for rule in rules}
+    requested = (config.select or frozenset()) | frozenset(
+        _split_rule_ids(args.ignore) if args.ignore else ()
+    )
+    unknown = sorted(requested - known)
+    if unknown:
+        print(f"repro-lint: unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+        return USAGE_ERROR
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro-lint: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return USAGE_ERROR
+
+    engine = LintEngine(rules, config)
+    report = engine.run(args.paths)
+    print(render_json(report) if args.fmt == "json" else render_text(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

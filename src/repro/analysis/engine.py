@@ -1,0 +1,239 @@
+"""Core of the ``repro-lint`` static-analysis engine.
+
+The engine walks Python sources with :mod:`ast`, runs a set of
+repo-specific :class:`Rule` subclasses over each parsed module, and
+collects :class:`Violation` records.  Rules are deliberately small — one
+invariant each — and every rule can be
+
+- scoped to path fragments (``include`` / ``exclude`` lists, merged
+  from :class:`LintConfig`), and
+- silenced on a single line with ``# repro: noqa[RULE001]`` (see
+  :mod:`repro.analysis.suppressions`).
+
+The rules themselves live in :mod:`repro.analysis.rules`; reporters in
+:mod:`repro.analysis.reporters`; the CLI in :mod:`repro.analysis.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.suppressions import SuppressionIndex
+
+#: Rule id used for files that fail to parse at all.
+PARSE_ERROR_RULE = "E999"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a concrete source position."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about the module under analysis."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=rule,
+            message=message,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+class Rule:
+    """Base class for one lint invariant.
+
+    Subclasses set ``rule_id``/``summary`` and implement :meth:`check`
+    as a generator of violations.  ``default_include`` restricts a rule
+    to paths containing one of the fragments (empty = every scanned
+    file); ``default_exclude`` carves out allowlisted paths.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    #: Path fragments the rule is limited to (empty = all files).
+    default_include: tuple[str, ...] = ()
+    #: Path fragments the rule never fires on (per-rule allowlist).
+    default_exclude: tuple[str, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def applies_to(self, ctx: FileContext, config: "LintConfig") -> bool:
+        include, exclude = config.scope_for(self)
+        posix = ctx.display_path.replace("\\", "/")
+        if include and not any(fragment in posix for fragment in include):
+            return False
+        return not any(fragment in posix for fragment in exclude)
+
+
+@dataclass
+class LintConfig:
+    """Per-rule scoping overrides, optionally loaded from pyproject.
+
+    ``[tool.repro-lint.rules.DET002] exclude = ["src/repro/service/"]``
+    replaces the rule's built-in allowlist; ``include`` likewise.  The
+    defaults baked into each rule class apply when no override is set.
+    """
+
+    includes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    excludes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+
+    def scope_for(self, rule: Rule) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        include = self.includes.get(rule.rule_id, rule.default_include)
+        exclude = self.excludes.get(rule.rule_id, rule.default_exclude)
+        return include, exclude
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Read ``[tool.repro-lint]`` overrides; missing file/table = defaults."""
+        config = cls()
+        if not pyproject.is_file():
+            return config
+        with pyproject.open("rb") as fh:
+            data = tomllib.load(fh)
+        table = data.get("tool", {}).get("repro-lint", {})
+        for rule_id, scope in table.get("rules", {}).items():
+            if "include" in scope:
+                config.includes[rule_id] = tuple(scope["include"])
+            if "exclude" in scope:
+                config.excludes[rule_id] = tuple(scope["exclude"])
+        if "ignore" in table:
+            config.ignore = frozenset(table["ignore"])
+        return config
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    violations: list[Violation]
+    files_scanned: int
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.rule] = out.get(violation.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+
+class LintEngine:
+    """Run a rule set over files and directories."""
+
+    def __init__(self, rules: Sequence[Rule], config: LintConfig | None = None) -> None:
+        self.rules = list(rules)
+        self.config = config or LintConfig()
+
+    def run(self, paths: Iterable[Path | str], *, root: Path | None = None) -> LintReport:
+        root = root or Path.cwd()
+        violations: list[Violation] = []
+        files = 0
+        for path in self._iter_files(paths):
+            files += 1
+            violations.extend(self.check_file(path, root=root))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return LintReport(violations=violations, files_scanned=files)
+
+    def check_file(self, path: Path, *, root: Path | None = None) -> list[Violation]:
+        display = self._display_path(path, root or Path.cwd())
+        source = path.read_text(encoding="utf-8")
+        return self.check_source(source, display_path=display, path=path)
+
+    def check_source(
+        self, source: str, *, display_path: str = "<string>", path: Path | None = None
+    ) -> list[Violation]:
+        """Lint one module given as text (the unit used by the test suite)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    rule=PARSE_ERROR_RULE,
+                    message=f"could not parse: {exc.msg}",
+                    path=display_path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                )
+            ]
+        ctx = FileContext(
+            path=path or Path(display_path),
+            display_path=display_path,
+            source=source,
+            tree=tree,
+        )
+        suppressions = SuppressionIndex.from_source(source)
+        out: list[Violation] = []
+        for rule in self.rules:
+            if not self.config.rule_enabled(rule.rule_id):
+                continue
+            if not rule.applies_to(ctx, self.config):
+                continue
+            for violation in rule.check(ctx):
+                if not suppressions.is_suppressed(violation.line, violation.rule):
+                    out.append(violation)
+        return out
+
+    @staticmethod
+    def _display_path(path: Path, root: Path) -> str:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    @staticmethod
+    def _iter_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            candidates: Iterable[Path]
+            if path.is_dir():
+                candidates = sorted(path.rglob("*.py"))
+            else:
+                candidates = [path]
+            for candidate in candidates:
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    yield candidate

@@ -1,0 +1,51 @@
+"""Text and JSON reporters for lint results.
+
+The JSON shape is a stable machine contract (consumed by CI annotations
+and the reporter tests):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files_scanned": 12,
+      "violations": [
+        {"rule": "DET001", "message": "...", "path": "a.py", "line": 3, "col": 0}
+      ],
+      "counts": {"DET001": 1},
+      "exit_code": 1
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+#: Bump when the JSON reporter shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    lines = [violation.format() for violation in report.violations]
+    if report.violations:
+        counts = ", ".join(f"{rule}: {n}" for rule, n in report.counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(report.violations)} violation(s) in "
+            f"{report.files_scanned} file(s) scanned ({counts})"
+        )
+    else:
+        lines.append(f"ok: {report.files_scanned} file(s) scanned, no violations")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": report.files_scanned,
+        "violations": [violation.to_dict() for violation in report.violations],
+        "counts": report.counts,
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

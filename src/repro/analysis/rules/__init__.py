@@ -1,0 +1,43 @@
+"""Rule registry for ``repro-lint``.
+
+Adding a rule = subclass :class:`repro.analysis.engine.Rule` in one of
+the modules here and list it in :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.checkpoint import CheckpointRoundTripRule
+from repro.analysis.rules.contracts import FloatEqualityRule, PublicApiAnnotationRule
+from repro.analysis.rules.determinism import (
+    GlobalRngRule,
+    UnorderedIterationRule,
+    WallClockRule,
+)
+
+#: Every shipped rule class, in rule-id order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    GlobalRngRule,
+    WallClockRule,
+    UnorderedIterationRule,
+    CheckpointRoundTripRule,
+    PublicApiAnnotationRule,
+    FloatEqualityRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+__all__ = [
+    "ALL_RULES",
+    "default_rules",
+    "CheckpointRoundTripRule",
+    "FloatEqualityRule",
+    "GlobalRngRule",
+    "PublicApiAnnotationRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+]

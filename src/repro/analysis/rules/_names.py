@@ -1,0 +1,65 @@
+"""Import-alias tracking and dotted-name resolution for lint rules.
+
+Rules that care about *which module* a call targets (the RNG and
+wall-clock rules) need ``np.random.rand`` and
+``from numpy import random as npr; npr.rand`` to resolve to the same
+canonical dotted name.  :class:`ImportMap` records the module-level
+aliases; :func:`dotted_name` flattens an attribute chain; and
+:func:`resolve_call` combines the two.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``np.random.rand`` -> ``"np.random.rand"``; None if not a pure chain."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ImportMap:
+    """Local name -> canonical dotted module/object path."""
+
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports.aliases[local] = f"{node.module}.{alias.name}"
+        return imports
+
+    def resolve(self, name: str) -> str:
+        """Canonicalise the head segment of a dotted name."""
+        head, _, rest = name.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+def resolve_call(node: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical dotted name of the call target, or None."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return imports.resolve(name)

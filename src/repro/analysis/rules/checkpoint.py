@@ -1,0 +1,128 @@
+"""CKPT001 — checkpointed state must round-trip completely.
+
+The stream layer's checkpoint/resume identity guarantee (a resumed
+engine is bitwise-equal to an uninterrupted one) only holds if every
+piece of *evolving* state reaches the serializer and comes back through
+the deserializer.  This rule finds classes that expose a serializer
+(``to_json``/``to_dict``/``state_dict``) together with a deserializer
+(``from_json``/``from_dict``/``from_state``/``load_state``/``restore``)
+and checks that every attribute which is (a) initialised in
+``__init__`` and (b) mutated by some other method — i.e. genuine runtime
+state, not frozen configuration — is mentioned by both sides.
+
+"Mentioned" is deliberately loose (an exact data-flow proof is out of
+scope for a linter): a ``self.attr``/``cls.attr`` access, a string key,
+or a keyword argument whose name matches the attribute (modulo leading
+underscores) counts; inside deserializers a plain local name does too,
+covering the common ``history = ...; return cls(history, ...)`` shape.
+Derived caches that are legitimately rebuilt on restore get a
+``# repro: noqa[CKPT001]`` on their ``__init__`` assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Rule, Violation
+
+_SERIALIZERS = frozenset({"to_json", "to_dict", "state_dict"})
+_DESERIALIZERS = frozenset(
+    {"from_json", "from_dict", "from_state", "load_state", "restore"}
+)
+
+
+def _self_attr_writes(fn: ast.FunctionDef) -> dict[str, int]:
+    """Attribute name -> first assignment line for ``self.X = ...`` writes."""
+    out: dict[str, int] = {}
+    for sub in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            targets = [sub.target]
+        for target in targets:
+            for node in ast.walk(target):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    out.setdefault(node.attr, node.lineno)
+    return out
+
+
+def _mentions(fn: ast.FunctionDef, *, include_locals: bool) -> set[str]:
+    """Names the method plausibly serialises/restores."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id in ("self", "cls"):
+                out.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.add(node.value)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            out.add(node.arg)
+        elif include_locals and isinstance(node, ast.Name):
+            out.add(node.id)
+    return out
+
+
+def _matches(attr: str, mentioned: set[str]) -> bool:
+    return attr in mentioned or attr.lstrip("_") in mentioned
+
+
+class CheckpointRoundTripRule(Rule):
+    """CKPT001 — every mutated ``__init__`` attribute must round-trip."""
+
+    rule_id = "CKPT001"
+    summary = (
+        "state attributes of checkpointable classes (to_json/to_dict/"
+        "state_dict + matching deserializer) must appear in both the "
+        "serializer and the deserializer"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Violation]:
+        methods = {n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)}
+        serializers = [methods[n] for n in sorted(_SERIALIZERS & methods.keys())]
+        deserializers = [methods[n] for n in sorted(_DESERIALIZERS & methods.keys())]
+        init = methods.get("__init__")
+        if not (serializers and deserializers and init):
+            return
+        init_attrs = _self_attr_writes(init)
+        mutated: set[str] = set()
+        for name, fn in methods.items():
+            if name == "__init__" or name in _DESERIALIZERS:
+                continue
+            mutated.update(_self_attr_writes(fn))
+        serialized: set[str] = set()
+        for fn in serializers:
+            serialized |= _mentions(fn, include_locals=False)
+        restored: set[str] = set()
+        for fn in deserializers:
+            restored |= _mentions(fn, include_locals=True)
+        for attr in sorted(init_attrs.keys() & mutated):
+            missing = []
+            if not _matches(attr, serialized):
+                missing.append("serializer")
+            if not _matches(attr, restored):
+                missing.append("deserializer")
+            if missing:
+                line = init_attrs[attr]
+                anchor = ast.copy_location(ast.Pass(), init)
+                anchor.lineno = line
+                anchor.col_offset = 0
+                yield ctx.violation(
+                    self.rule_id,
+                    anchor,
+                    f"{cls.name}.{attr} is mutated at runtime but missing from "
+                    f"the {' and '.join(missing)}; checkpointed state must "
+                    "round-trip completely",
+                )

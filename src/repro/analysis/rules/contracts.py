@@ -1,0 +1,108 @@
+"""API-contract rules: API001 (full type annotations on the public
+surface) and FLT001 (no bare float equality).
+
+API001 keeps the ``py.typed`` promise honest: downstream type checkers
+only see what is annotated, and mypy's strict gate on ``repro.core`` /
+``repro.stream`` / ``repro.perf`` builds on the same coverage.  FLT001
+guards the numeric contracts — an ``==`` against a float literal in a
+detector threshold or billing comparison is almost always a latent
+tolerance bug; exact sentinel checks carry an explicit noqa.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Rule, Violation
+
+
+class PublicApiAnnotationRule(Rule):
+    """API001 — public functions/methods must be fully annotated."""
+
+    rule_id = "API001"
+    summary = (
+        "public functions and methods must annotate every parameter and "
+        "the return type"
+    )
+    default_include = ("src/repro/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._walk_body(ctx, ctx.tree.body)
+
+    def _walk_body(
+        self, ctx: FileContext, body: list[ast.stmt]
+    ) -> Iterator[Violation]:
+        # Module- and class-level defs only: a nested closure is an
+        # implementation detail, not public API.
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._walk_body(ctx, node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    yield from self._check_def(ctx, node)
+
+    def _check_def(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        missing: list[str] = []
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(a.arg for a in args.kwonlyargs if a.annotation is None)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if missing:
+            yield ctx.violation(
+                self.rule_id,
+                node,
+                f"public function {node.name}() is missing parameter "
+                f"annotations: {', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield ctx.violation(
+                self.rule_id,
+                node,
+                f"public function {node.name}() is missing a return annotation",
+            )
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class FloatEqualityRule(Rule):
+    """FLT001 — no ``==`` / ``!=`` against float literals."""
+
+    rule_id = "FLT001"
+    summary = (
+        "no bare float equality; use math.isclose/pytest.approx, or noqa "
+        "an intentionally exact sentinel check"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_float_literal(left) or _is_float_literal(right)
+                ):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield ctx.violation(
+                        self.rule_id,
+                        node,
+                        f"bare float {symbol} comparison against a literal; "
+                        "floats compare exactly only by accident — use a "
+                        "tolerance, or noqa a genuinely exact sentinel",
+                    )
+                left = right

@@ -1,0 +1,221 @@
+"""Determinism rules: DET001 (global RNG), DET002 (wall clock), DET003
+(unordered iteration).
+
+These protect the repo's replay guarantees: every simulation draw flows
+through an explicit :class:`numpy.random.Generator` that the caller
+seeds, no core path reads the wall clock, and nothing accumulates in an
+order the hash seed can perturb.  One stray ``np.random.rand()`` breaks
+bitwise stream-vs-batch equivalence silently — these rules catch that
+class of regression at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Rule, Violation
+from repro.analysis.rules._names import ImportMap, dotted_name, resolve_call
+
+#: numpy.random attributes that *construct* deterministic generators —
+#: the only sanctioned way randomness enters the system.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` attributes that construct local instances rather
+#: than touching the hidden module-level RNG.
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class GlobalRngRule(Rule):
+    """DET001 — randomness must enter via an explicit Generator."""
+
+    rule_id = "DET001"
+    summary = (
+        "no global-RNG calls (np.random.*, random.*, bare .seed()); pass a "
+        "numpy.random.Generator instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.from_tree(ctx.tree)
+        stdlib_random_names = {
+            local
+            for local, target in imports.aliases.items()
+            if target == "random" or target.startswith("random.")
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _STDLIB_RANDOM_ALLOWED:
+                        yield ctx.violation(
+                            self.rule_id,
+                            node,
+                            f"import of global-RNG function random.{alias.name}; "
+                            "use a seeded random.Random or numpy Generator",
+                        )
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _NP_RANDOM_ALLOWED:
+                        yield ctx.violation(
+                            self.rule_id,
+                            node,
+                            f"import of global-RNG function numpy.random.{alias.name}; "
+                            "randomness must flow through numpy.random.Generator",
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, imports)
+            if name is None:
+                continue
+            if name.startswith("numpy.random."):
+                attr = name.rsplit(".", 1)[1]
+                if attr not in _NP_RANDOM_ALLOWED:
+                    yield ctx.violation(
+                        self.rule_id,
+                        node,
+                        f"global numpy RNG call {name}(); pass a "
+                        "numpy.random.Generator parameter instead",
+                    )
+                continue
+            head = name.split(".", 1)[0]
+            if head in stdlib_random_names and "." in name:
+                attr = name.rsplit(".", 1)[1]
+                if attr not in _STDLIB_RANDOM_ALLOWED:
+                    yield ctx.violation(
+                        self.rule_id,
+                        node,
+                        f"global stdlib RNG call {name}(); use a seeded "
+                        "random.Random instance or numpy Generator",
+                    )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "seed"
+                and not name.startswith("numpy.random.")
+            ):
+                yield ctx.violation(
+                    self.rule_id,
+                    node,
+                    f"bare .seed() call ({name}()); construct a fresh seeded "
+                    "generator instead of reseeding shared state",
+                )
+
+
+class WallClockRule(Rule):
+    """DET002 — no wall-clock reads outside the service allowlist."""
+
+    rule_id = "DET002"
+    summary = (
+        "no wall-clock reads (time.time, datetime.now/utcnow, ...) outside "
+        "the perf/service allowlist"
+    )
+    default_exclude = ("src/repro/service/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, imports)
+            if name in _WALL_CLOCK:
+                yield ctx.violation(
+                    self.rule_id,
+                    node,
+                    f"wall-clock read {name}(); core paths must be replayable — "
+                    "inject timestamps or stamp results outside the hot path",
+                )
+
+
+def _is_dict_view_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+    )
+
+
+def _is_unordered(node: ast.expr) -> bool:
+    """True for expressions whose iteration order is interpreter-dependent."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ) and (_is_unordered(node.func.value) or _is_dict_view_call(node.func.value)):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra: a & b, d.keys() - other, ... — a set either side
+        # (or a dict view, whose set-operators yield sets) taints the result.
+        for side in (node.left, node.right):
+            if _is_unordered(side) or _is_dict_view_call(side):
+                return True
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    """DET003 — iterate sets/dict-view algebra via sorted(), never directly."""
+
+    rule_id = "DET003"
+    summary = (
+        "no direct iteration over sets or dict-view set algebra in loops/"
+        "comprehensions; wrap in sorted(...) for a stable order"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                target = it
+                # enumerate(X) / reversed(X) just forward the inner order.
+                while (
+                    isinstance(target, ast.Call)
+                    and isinstance(target.func, ast.Name)
+                    and target.func.id in ("enumerate", "reversed")
+                    and target.args
+                ):
+                    target = target.args[0]
+                if _is_unordered(target):
+                    yield ctx.violation(
+                        self.rule_id,
+                        target,
+                        "iteration over an unordered set expression; order can "
+                        "vary with the hash seed — iterate sorted(...) instead",
+                    )

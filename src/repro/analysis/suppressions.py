@@ -1,0 +1,65 @@
+"""``# repro: noqa`` suppression comments.
+
+Two spellings are recognised, always attached to the physical line the
+violation is reported on:
+
+- ``# repro: noqa`` — silence every rule on that line;
+- ``# repro: noqa[DET001]`` / ``# repro: noqa[DET001,FLT001]`` —
+  silence only the listed rule ids.
+
+Anything after the closing bracket (or after bare ``noqa``) is free-form
+commentary — stating *why* the suppression is justified is encouraged
+and the convention throughout this repo.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel meaning "every rule is suppressed on this line".
+ALL_RULES = "*"
+
+
+@dataclass
+class SuppressionIndex:
+    """Line number -> set of suppressed rule ids (or :data:`ALL_RULES`)."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _NOQA.search(token.string)
+                if match is None:
+                    continue
+                line = token.start[0]
+                rules = match.group("rules")
+                if rules is None:
+                    index.by_line.setdefault(line, set()).add(ALL_RULES)
+                else:
+                    for rule in rules.split(","):
+                        rule = rule.strip().upper()
+                        if rule:
+                            index.by_line.setdefault(line, set()).add(rule)
+        except tokenize.TokenError:
+            # Unterminated strings etc.; the parser reports those as E999.
+            pass
+        return index
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        rules = self.by_line.get(line)
+        if not rules:
+            return False
+        return ALL_RULES in rules or rule.upper() in rules

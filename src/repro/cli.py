@@ -14,6 +14,10 @@ and drives the streaming subsystem:
     python -m repro stream          # pump an event stream, print timeline
     python -m repro serve           # HTTP monitoring API over a stream
 
+plus the static-analysis gate (see ``docs/STATIC_ANALYSIS.md``):
+
+    python -m repro lint            # == repro-lint src tests
+
 Common options: ``--preset {smoke,bench,paper}``, ``--seed N``,
 ``--slots H`` (fig6/table1 horizon), ``--json PATH`` (dump scenario
 results), ``--perf`` (print hot-path counters — CE evaluations, DP
@@ -262,6 +266,13 @@ def _cmd_serve(config: CommunityConfig, args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint gate has its own option surface; hand over wholesale.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'15 net-metering detection reproduction"
     )

@@ -61,7 +61,7 @@ def generate_pv(
     if peak < 0:
         raise ValueError(f"peak_kw must be >= 0, got {peak}")
     envelope = clear_sky_profile(time, config) * peak * time.hours_per_slot
-    if peak == 0.0:
+    if peak == 0.0:  # repro: noqa[FLT001] exact zero short-circuits the no-PV case
         return np.zeros(time.horizon)
     attenuation = np.empty(time.horizon)
     level = 1.0 - abs(rng.normal(0.0, config.cloud_volatility))

@@ -162,10 +162,10 @@ def projected_gradient(
             bumped = x.copy()
             bumped[i] = min(x[i] + fd_epsilon, hi[i])
             actual_eps = bumped[i] - x[i]
-            if actual_eps == 0.0:
+            if actual_eps == 0.0:  # repro: noqa[FLT001] exact: bump clipped to bound
                 bumped[i] = max(x[i] - fd_epsilon, lo[i])
                 actual_eps = bumped[i] - x[i]
-            if actual_eps == 0.0:
+            if actual_eps == 0.0:  # repro: noqa[FLT001] exact: avoids 0/0 gradient
                 continue
             grad[i] = (objective(bumped) - f) / actual_eps
             n_evaluations += 1

@@ -174,7 +174,7 @@ class BatteryOptimizer:
         only feasible trajectory.
         """
         h = problem.horizon
-        if problem.spec.capacity_kwh == 0.0:
+        if problem.spec.capacity_kwh == 0.0:  # repro: noqa[FLT001] exact: no-battery spec
             x = np.zeros(h)
             return OptimizationResult(
                 x=x,

@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.config import CommunityConfig
 from repro.core.presets import bench_preset, smoke_preset
 from repro.data.community import build_community
 from repro.optimization.battery import BatteryOptimizer, BatteryProblem
@@ -52,7 +53,9 @@ def collect_environment() -> dict[str, object]:
     except OSError:
         git_rev = ""
     return {
-        "timestamp": datetime.now(timezone.utc).isoformat(),
+        # Bench provenance stamp — records *when* the run happened, never
+        # flows into a simulation path.
+        "timestamp": datetime.now(timezone.utc).isoformat(),  # repro: noqa[DET002]
         "git_rev": git_rev,
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -91,7 +94,7 @@ def _time(fn: Callable[[], object], *, repeats: int = 1) -> float:
     return best
 
 
-def _bench_ce_step(config) -> dict[str, float]:
+def _bench_ce_step(config: CommunityConfig) -> dict[str, float]:
     """Batched-projection CE battery step vs the seed's per-sample loop."""
     rng = np.random.default_rng(config.seed)
     community = build_community(config, rng=rng)
@@ -169,7 +172,7 @@ def _bench_ce_step(config) -> dict[str, float]:
     }
 
 
-def _bench_game_solve(config) -> dict[str, float]:
+def _bench_game_solve(config: CommunityConfig) -> dict[str, float]:
     """One cold game solve at preset scale, with work counters."""
     rng = np.random.default_rng(config.seed)
     community = build_community(config, rng=rng)
@@ -194,7 +197,7 @@ def _bench_game_solve(config) -> dict[str, float]:
     }
 
 
-def _bench_scenario(config, *, n_slots: int, workers: int) -> dict[str, object]:
+def _bench_scenario(config: CommunityConfig, *, n_slots: int, workers: int) -> dict[str, object]:
     """Table-1-style scenario runs: cold vs cached, serial vs process pool."""
     cold_cache = GameSolutionCache()
     cold_s = _time(

@@ -66,7 +66,8 @@ class PerfRegistry:
         delta = {
             name: value - baseline.get(name, 0.0) for name, value in current.items()
         }
-        return {name: value for name, value in delta.items() if value != 0.0}
+        # Exact zero: drop counters that did not move at all between snapshots.
+        return {k: v for k, v in delta.items() if v != 0.0}  # repro: noqa[FLT001]
 
     def reset(self) -> None:
         """Zero every counter and timer."""

@@ -150,7 +150,7 @@ class SupportVectorRegressor:
                 candidate = np.sign(z) * max(abs(z) - self.epsilon, 0.0) / diag[i]
                 new_beta = min(max(candidate, -self.c), self.c)
                 change = new_beta - beta[i]
-                if change != 0.0:
+                if change != 0.0:  # repro: noqa[FLT001] exact: skip no-op updates
                     k_beta += change * k_tilde[:, i]
                     beta[i] = new_beta
                     max_change = max(max_change, abs(change))

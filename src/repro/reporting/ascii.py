@@ -8,8 +8,13 @@ attack spike of Figure 5 directly in the terminal.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 from numpy.typing import ArrayLike
+
+if TYPE_CHECKING:
+    from repro.stream.pipeline import SlotDetection
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -46,7 +51,7 @@ def render_profile(
 
 
 def render_stream_timeline(
-    timeline,
+    timeline: "Sequence[SlotDetection]",
     *,
     slots_per_day: int,
 ) -> str:

@@ -33,7 +33,7 @@ def _unit_of(values: tuple[float, ...], *, tol: float = 1e-9) -> float:
             raise ValueError(f"negative value {v}")
         if v < tol:
             continue
-        if unit == 0.0:
+        if unit == 0.0:  # repro: noqa[FLT001] exact: 0.0 is the "unset" sentinel
             unit = v
         else:
             # Float GCD via math.gcd on a scaled-integer representation.
@@ -41,7 +41,7 @@ def _unit_of(values: tuple[float, ...], *, tol: float = 1e-9) -> float:
             a = round(unit * scale)
             b = round(v * scale)
             unit = math.gcd(a, b) / scale
-    if unit == 0.0:
+    if unit == 0.0:  # repro: noqa[FLT001] exact: sentinel still unset
         raise ValueError("all values are zero; no unit defined")
     return unit
 
@@ -76,7 +76,7 @@ class ApplianceTask:
         object.__setattr__(self, "power_levels", levels)
         if len(levels) < 2:
             raise ValueError(f"{self.name}: need at least two power levels (incl. 0)")
-        if levels[0] != 0.0:
+        if levels[0] != 0.0:  # repro: noqa[FLT001] exact: spec requires literal 0
             raise ValueError(f"{self.name}: power_levels must start with 0")
         if any(b <= a for a, b in zip(levels, levels[1:])):
             raise ValueError(f"{self.name}: power_levels must be strictly increasing")
@@ -165,7 +165,7 @@ class ApplianceSchedule:
         mask = self.task.window_mask(horizon)
         levels = set(self.task.power_levels)
         for h, p in enumerate(self.power):
-            if not mask[h] and p != 0.0:
+            if not mask[h] and p != 0.0:  # repro: noqa[FLT001] exact: off means 0.0
                 raise ValueError(
                     f"{self.task.name}: nonzero power {p} outside window at slot {h}"
                 )

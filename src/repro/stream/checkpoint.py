@@ -22,10 +22,13 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.config import config_from_dict
 from repro.simulation.cache import GameSolutionCache
+
+if TYPE_CHECKING:
+    from repro.stream.pipeline import StreamEngine
 
 CHECKPOINT_FORMAT = "repro-stream-checkpoint"
 CHECKPOINT_VERSION = 1
@@ -82,7 +85,7 @@ def resume_engine(
     source: str | Path | dict[str, Any],
     *,
     cache: GameSolutionCache | None = None,
-):
+) -> "StreamEngine":
     """Rebuild an engine from a checkpoint and restore its runtime state.
 
     Parameters

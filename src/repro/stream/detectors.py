@@ -161,9 +161,11 @@ class SlidingHistoryPredictor:
         self.aware = aware
         self.max_days = max_days
         self._history = self._trimmed(history)
-        self._dirty = True
-        self._n_refits = 0
-        self._predictor: AwarePricePredictor | UnawarePricePredictor | None = None
+        # Derived cache, deliberately absent from state_dict/from_state:
+        # restore refits the SVR from the serialized window instead.
+        self._dirty = True  # repro: noqa[CKPT001] rebuilt on restore
+        self._n_refits = 0  # repro: noqa[CKPT001] diagnostic counter, resets on restore
+        self._predictor: AwarePricePredictor | UnawarePricePredictor | None = None  # repro: noqa[CKPT001] lazy refit
 
     @property
     def history(self) -> PriceHistory:

@@ -15,8 +15,8 @@ class TestAggregateMetric:
 
     def test_single_value(self):
         metric = AggregateMetric.from_values([4.2])
-        assert metric.mean == 4.2
-        assert metric.std == 0.0
+        assert metric.mean == pytest.approx(4.2)
+        assert metric.std == pytest.approx(0.0)
 
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
@@ -39,7 +39,7 @@ class TestRunAggregateScenario:
         assert result.detector == "none"
         assert len(result.runs) == 2
         assert len(result.observation_accuracy.values) == 2
-        assert result.labor_cost.mean == 0.0  # no repairs without detection
+        assert result.labor_cost.mean == pytest.approx(0.0)  # no repairs without detection
         assert 1.0 <= result.mean_par.mean
 
     def test_seeds_produce_different_runs(self, tiny_config):

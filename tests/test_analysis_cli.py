@@ -1,0 +1,131 @@
+"""CLI contract of ``repro-lint`` plus the repo-wide meta-test.
+
+The meta-test is the acceptance gate of the static-analysis subsystem:
+``repro-lint src tests`` must exit 0 on this repository itself — every
+remaining hit is either fixed or carries an explicit
+``# repro: noqa[RULE]`` with its justification.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.cli
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_cli(*argv: str, capsys) -> tuple[int, str]:
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCliContract:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def add(a: int, b: int) -> int:\n    return a + b\n")
+        code, out = run_cli(str(target), capsys=capsys)
+        assert code == 0
+        assert "no violations" in out
+
+    def test_violations_exit_one_with_positions(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "import numpy as np\n"
+            "def draw() -> bool:\n"
+            "    return float(np.random.rand()) == 0.5\n"
+        )
+        code, out = run_cli(str(target), capsys=capsys)
+        assert code == 1
+        assert "DET001" in out
+        assert "FLT001" in out
+        assert "dirty.py:3" in out
+
+    def test_json_format_parses_and_counts(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = 1.0\nassert x == 1.0\n")
+        code, out = run_cli(str(target), "--format", "json", capsys=capsys)
+        payload = json.loads(out)
+        assert code == 1
+        assert payload["exit_code"] == 1
+        assert payload["counts"] == {"FLT001": 1}
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "import numpy as np\n"
+            "def draw() -> bool:\n"
+            "    return float(np.random.rand()) == 0.5\n"
+        )
+        code, out = run_cli(str(target), "--select", "DET001", capsys=capsys)
+        assert code == 1
+        assert "DET001" in out
+        assert "FLT001" not in out
+
+    def test_ignore_skips_rules(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = 1.0\nassert x == 1.0\n")
+        code, _ = run_cli(str(target), "--ignore", "FLT001", capsys=capsys)
+        assert code == 0
+
+    def test_unknown_rule_id_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main([str(target), "--select", "NOPE999"]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["definitely/not/a/path"]) == 2
+
+    def test_list_rules_names_all_six(self, capsys):
+        code, out = run_cli("--list-rules", capsys=capsys)
+        assert code == 0
+        for rule_id in ("DET001", "DET002", "DET003", "CKPT001", "API001", "FLT001"):
+            assert rule_id in out
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        code, out = run_cli(str(target), capsys=capsys)
+        assert code == 1
+        assert "E999" in out
+
+
+class TestReproCliIntegration:
+    def test_repro_lint_subcommand_dispatches(self, capsys):
+        code = repro.cli.main(["lint", "--list-rules"])
+        assert code == 0
+        assert "DET001" in capsys.readouterr().out
+
+
+class TestMetaLint:
+    def test_repo_is_lint_clean(self, capsys):
+        """`repro-lint src tests` exits 0 on the repository itself."""
+        code = main(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                "--config",
+                str(REPO_ROOT / "pyproject.toml"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, f"repo must be lint-clean, got:\n{out}"
+
+    def test_repo_scan_covers_the_tree(self, capsys):
+        code, out = run_cli(
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+            "--config",
+            str(REPO_ROOT / "pyproject.toml"),
+            "--format",
+            "json",
+            capsys=capsys,
+        )
+        payload = json.loads(out)
+        assert code == 0
+        # The tree holds well over a hundred modules; a collapse of the
+        # file walker should trip this long before the rules would.
+        assert payload["files_scanned"] > 100

@@ -1,0 +1,91 @@
+"""Text/JSON reporter contracts for `repro.analysis`."""
+
+import json
+
+from repro.analysis.engine import LintReport, Violation
+from repro.analysis.reporters import JSON_SCHEMA_VERSION, render_json, render_text
+
+
+def sample_report() -> LintReport:
+    return LintReport(
+        violations=[
+            Violation(
+                rule="DET001",
+                message="global numpy RNG call numpy.random.rand()",
+                path="src/repro/fake.py",
+                line=7,
+                col=4,
+            ),
+            Violation(
+                rule="FLT001",
+                message="bare float == comparison against a literal",
+                path="src/repro/fake.py",
+                line=9,
+                col=11,
+            ),
+            Violation(
+                rule="FLT001",
+                message="bare float != comparison against a literal",
+                path="src/repro/other.py",
+                line=2,
+                col=0,
+            ),
+        ],
+        files_scanned=5,
+    )
+
+
+class TestTextReporter:
+    def test_one_line_per_violation_with_position(self):
+        text = render_text(sample_report())
+        assert "src/repro/fake.py:7:4: DET001" in text
+        assert "src/repro/fake.py:9:11: FLT001" in text
+
+    def test_summary_line_counts_by_rule(self):
+        text = render_text(sample_report())
+        assert "3 violation(s) in 5 file(s) scanned" in text
+        assert "DET001: 1" in text
+        assert "FLT001: 2" in text
+
+    def test_clean_report_says_ok(self):
+        text = render_text(LintReport(violations=[], files_scanned=12))
+        assert text == "ok: 12 file(s) scanned, no violations"
+
+
+class TestJsonReporter:
+    def test_schema_shape(self):
+        payload = json.loads(render_json(sample_report()))
+        assert set(payload) == {
+            "version",
+            "files_scanned",
+            "violations",
+            "counts",
+            "exit_code",
+        }
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_scanned"] == 5
+        assert payload["exit_code"] == 1
+        assert payload["counts"] == {"DET001": 1, "FLT001": 2}
+
+    def test_violation_entries_fully_typed(self):
+        payload = json.loads(render_json(sample_report()))
+        assert len(payload["violations"]) == 3
+        entry = payload["violations"][0]
+        assert set(entry) == {"rule", "message", "path", "line", "col"}
+        assert isinstance(entry["line"], int)
+        assert isinstance(entry["col"], int)
+
+    def test_clean_report_exit_code_zero(self):
+        payload = json.loads(render_json(LintReport(violations=[], files_scanned=0)))
+        assert payload["exit_code"] == 0
+        assert payload["violations"] == []
+        assert payload["counts"] == {}
+
+
+class TestReportProperties:
+    def test_exit_code_follows_violations(self):
+        assert sample_report().exit_code == 1
+        assert LintReport(violations=[], files_scanned=3).exit_code == 0
+
+    def test_counts_sorted_by_rule_id(self):
+        assert list(sample_report().counts) == ["DET001", "FLT001"]

@@ -1,0 +1,434 @@
+"""Fixture snippets — one good and one bad per rule — for `repro.analysis`.
+
+Each bad fixture must be flagged with the right rule id at the right
+file:line; each good fixture must come back clean.  Fixtures are linted
+as in-memory sources with a display path inside ``src/repro`` so that
+path-scoped rules (API001, DET002) apply.
+"""
+
+import textwrap
+
+from repro.analysis.engine import LintConfig, LintEngine
+from repro.analysis.rules import ALL_RULES, default_rules
+
+SRC_PATH = "src/repro/fake_module.py"
+
+
+def lint(source: str, *, path: str = SRC_PATH, select: str | None = None):
+    config = LintConfig()
+    if select is not None:
+        config.select = frozenset({select})
+    engine = LintEngine(default_rules(), config)
+    return engine.check_source(textwrap.dedent(source), display_path=path)
+
+
+def rules_hit(violations) -> set[str]:
+    return {v.rule for v in violations}
+
+
+class TestDET001GlobalRng:
+    def test_np_random_module_call_flagged(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def draw() -> float:
+                return float(np.random.rand())
+            """,
+            select="DET001",
+        )
+        assert [v.rule for v in violations] == ["DET001"]
+        assert violations[0].line == 4
+        assert "np" in violations[0].message or "numpy" in violations[0].message
+
+    def test_np_seed_flagged(self):
+        violations = lint(
+            """\
+            import numpy as np
+            np.random.seed(42)
+            """,
+            select="DET001",
+        )
+        assert rules_hit(violations) == {"DET001"}
+
+    def test_stdlib_random_flagged(self):
+        violations = lint(
+            """\
+            import random
+
+            def pick(items: list[int]) -> int:
+                return random.choice(items)
+            """,
+            select="DET001",
+        )
+        assert [v.rule for v in violations] == ["DET001"]
+        assert violations[0].line == 4
+
+    def test_from_import_of_global_rng_flagged(self):
+        violations = lint(
+            """\
+            from numpy.random import rand
+            """,
+            select="DET001",
+        )
+        assert [v.rule for v in violations] == ["DET001"]
+
+    def test_bare_seed_method_flagged(self):
+        violations = lint(
+            """\
+            def reseed(rng: object) -> None:
+                rng.seed(0)
+            """,
+            select="DET001",
+        )
+        assert [v.rule for v in violations] == ["DET001"]
+
+    def test_generator_parameter_clean(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def draw(rng: np.random.Generator) -> float:
+                return float(rng.normal())
+
+            def make_rng(seed: int) -> np.random.Generator:
+                return np.random.default_rng(seed)
+            """,
+            select="DET001",
+        )
+        assert violations == []
+
+    def test_seeded_stdlib_random_instance_clean(self):
+        violations = lint(
+            """\
+            import random
+
+            def make(seed: int) -> random.Random:
+                return random.Random(seed)
+            """,
+            select="DET001",
+        )
+        assert violations == []
+
+
+class TestDET002WallClock:
+    def test_time_time_flagged_with_position(self):
+        violations = lint(
+            """\
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """,
+            select="DET002",
+        )
+        assert [(v.rule, v.line) for v in violations] == [("DET002", 4)]
+
+    def test_datetime_now_flagged(self):
+        violations = lint(
+            """\
+            from datetime import datetime
+
+            def stamp() -> str:
+                return datetime.now().isoformat()
+            """,
+            select="DET002",
+        )
+        assert rules_hit(violations) == {"DET002"}
+
+    def test_service_allowlist_exempt(self):
+        violations = lint(
+            """\
+            import time
+
+            def request_stamp() -> float:
+                return time.time()
+            """,
+            path="src/repro/service/fake_app.py",
+            select="DET002",
+        )
+        assert violations == []
+
+    def test_perf_counter_clean(self):
+        violations = lint(
+            """\
+            import time
+
+            def measure() -> float:
+                return time.perf_counter()
+            """,
+            select="DET002",
+        )
+        assert violations == []
+
+
+class TestDET003UnorderedIteration:
+    def test_set_literal_iteration_flagged(self):
+        violations = lint(
+            """\
+            def walk() -> list[int]:
+                return [x for x in {3, 1, 2}]
+            """,
+            select="DET003",
+        )
+        assert [v.rule for v in violations] == ["DET003"]
+        assert violations[0].line == 2
+
+    def test_set_call_for_loop_flagged(self):
+        violations = lint(
+            """\
+            def walk(items: list[int]) -> None:
+                for x in set(items):
+                    print(x)
+            """,
+            select="DET003",
+        )
+        assert [v.rule for v in violations] == ["DET003"]
+
+    def test_dict_view_set_algebra_flagged(self):
+        violations = lint(
+            """\
+            def walk(a: dict[str, int], b: dict[str, int]) -> None:
+                for key in a.keys() & b.keys():
+                    print(key)
+            """,
+            select="DET003",
+        )
+        assert [v.rule for v in violations] == ["DET003"]
+
+    def test_enumerate_over_set_flagged(self):
+        violations = lint(
+            """\
+            def walk(items: list[int]) -> None:
+                for i, x in enumerate(set(items)):
+                    print(i, x)
+            """,
+            select="DET003",
+        )
+        assert [v.rule for v in violations] == ["DET003"]
+
+    def test_sorted_set_clean(self):
+        violations = lint(
+            """\
+            def walk(items: list[int]) -> None:
+                for x in sorted(set(items)):
+                    print(x)
+            """,
+            select="DET003",
+        )
+        assert violations == []
+
+    def test_plain_dict_iteration_clean(self):
+        violations = lint(
+            """\
+            def walk(d: dict[str, int]) -> None:
+                for key in d.keys():
+                    print(key)
+            """,
+            select="DET003",
+        )
+        assert violations == []
+
+
+CKPT_BAD = """\
+class Tracker:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self._count = 0
+
+    def bump(self) -> None:
+        self._count += 1
+
+    def state_dict(self) -> dict:
+        return {"limit": self.limit}
+
+    def load_state(self, state: dict) -> None:
+        self.limit = int(state["limit"])
+"""
+
+CKPT_GOOD = """\
+class Tracker:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self._count = 0
+
+    def bump(self) -> None:
+        self._count += 1
+
+    def state_dict(self) -> dict:
+        return {"limit": self.limit, "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        self.limit = int(state["limit"])
+        self._count = int(state["count"])
+"""
+
+
+class TestCKPT001CheckpointRoundTrip:
+    def test_mutated_attribute_missing_from_both_sides_flagged(self):
+        violations = lint(CKPT_BAD, select="CKPT001")
+        assert [v.rule for v in violations] == ["CKPT001"]
+        assert violations[0].line == 4  # the __init__ assignment of _count
+        assert "Tracker._count" in violations[0].message
+
+    def test_round_tripped_attribute_clean(self):
+        assert lint(CKPT_GOOD, select="CKPT001") == []
+
+    def test_config_only_attribute_not_required(self):
+        # `limit` is never mutated outside __init__: frozen configuration,
+        # not runtime state, so it need not round-trip.
+        violations = lint(
+            """\
+            class Frozen:
+                def __init__(self, limit: int) -> None:
+                    self.limit = limit
+
+                def state_dict(self) -> dict:
+                    return {}
+
+                def load_state(self, state: dict) -> None:
+                    pass
+            """,
+            select="CKPT001",
+        )
+        assert violations == []
+
+    def test_local_name_in_deserializer_counts(self):
+        # The common `history = ...; return cls(history)` shape.
+        violations = lint(
+            """\
+            class Window:
+                def __init__(self, history: list) -> None:
+                    self._history = history
+
+                def push(self, item: object) -> None:
+                    self._history = [*self._history, item]
+
+                def state_dict(self) -> dict:
+                    return {"history": list(self._history)}
+
+                @classmethod
+                def from_state(cls, state: dict) -> "Window":
+                    history = list(state["history"])
+                    return cls(history)
+            """,
+            select="CKPT001",
+        )
+        assert violations == []
+
+
+class TestAPI001PublicAnnotations:
+    def test_missing_param_and_return_flagged(self):
+        violations = lint(
+            """\
+            def combine(a, b: int):
+                return a + b
+            """,
+            select="API001",
+        )
+        assert [v.rule for v in violations] == ["API001", "API001"]
+        assert "a" in violations[0].message
+        assert "return" in violations[1].message
+
+    def test_private_and_nested_defs_exempt(self):
+        violations = lint(
+            """\
+            def _helper(x):
+                return x
+
+            def public(x: int) -> int:
+                def inner(y):
+                    return y
+                return inner(x)
+            """,
+            select="API001",
+        )
+        assert violations == []
+
+    def test_outside_src_repro_exempt(self):
+        violations = lint(
+            """\
+            def untyped(a, b):
+                return a + b
+            """,
+            path="tests/test_fake.py",
+            select="API001",
+        )
+        assert violations == []
+
+    def test_fully_annotated_method_clean(self):
+        violations = lint(
+            """\
+            class Box:
+                def put(self, item: str, *extra: str, tag: str = "", **rest: int) -> None:
+                    pass
+            """,
+            select="API001",
+        )
+        assert violations == []
+
+
+class TestFLT001FloatEquality:
+    def test_eq_against_literal_flagged(self):
+        violations = lint(
+            """\
+            def check(x: float) -> bool:
+                return x == 0.5
+            """,
+            select="FLT001",
+        )
+        assert [(v.rule, v.line) for v in violations] == [("FLT001", 2)]
+
+    def test_ne_and_negative_literal_flagged(self):
+        violations = lint(
+            """\
+            def check(x: float) -> bool:
+                return x != -1.5
+            """,
+            select="FLT001",
+        )
+        assert [v.rule for v in violations] == ["FLT001"]
+
+    def test_chained_comparison_flags_each_float_link(self):
+        violations = lint(
+            """\
+            def check(a: float, b: float) -> bool:
+                return a == 0.5 == b
+            """,
+            select="FLT001",
+        )
+        assert len(violations) == 2
+
+    def test_int_and_tolerance_comparisons_clean(self):
+        violations = lint(
+            """\
+            import math
+
+            def check(x: float, n: int) -> bool:
+                return n == 3 and math.isclose(x, 0.5) and x < 0.5
+            """,
+            select="FLT001",
+        )
+        assert violations == []
+
+
+class TestRuleCatalogue:
+    def test_six_rules_with_unique_ids(self):
+        ids = [rule_cls.rule_id for rule_cls in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert set(ids) == {
+            "DET001",
+            "DET002",
+            "DET003",
+            "CKPT001",
+            "API001",
+            "FLT001",
+        }
+
+    def test_every_rule_has_a_summary(self):
+        assert all(rule_cls.summary for rule_cls in ALL_RULES)
+
+    def test_syntax_error_reported_as_e999(self):
+        violations = lint("def broken(:\n")
+        assert [v.rule for v in violations] == ["E999"]
+        assert violations[0].line >= 1

@@ -1,0 +1,86 @@
+"""`# repro: noqa` suppression handling."""
+
+import textwrap
+
+from repro.analysis.engine import LintConfig, LintEngine
+from repro.analysis.rules import default_rules
+from repro.analysis.suppressions import ALL_RULES, SuppressionIndex
+
+SRC_PATH = "src/repro/fake_module.py"
+
+
+def lint(source: str):
+    engine = LintEngine(default_rules(), LintConfig())
+    return engine.check_source(textwrap.dedent(source), display_path=SRC_PATH)
+
+
+class TestSuppressionIndex:
+    def test_bare_noqa_suppresses_everything(self):
+        index = SuppressionIndex.from_source("x = 1  # repro: noqa\n")
+        assert index.is_suppressed(1, "DET001")
+        assert index.is_suppressed(1, "FLT001")
+        assert not index.is_suppressed(2, "DET001")
+
+    def test_bracketed_noqa_suppresses_listed_rules_only(self):
+        index = SuppressionIndex.from_source(
+            "x = 1  # repro: noqa[DET001,FLT001] reason goes here\n"
+        )
+        assert index.is_suppressed(1, "DET001")
+        assert index.is_suppressed(1, "FLT001")
+        assert not index.is_suppressed(1, "DET002")
+
+    def test_rule_ids_case_insensitive(self):
+        index = SuppressionIndex.from_source("x = 1  # repro: noqa[det001]\n")
+        assert index.is_suppressed(1, "DET001")
+
+    def test_plain_comment_is_not_a_suppression(self):
+        index = SuppressionIndex.from_source("x = 1  # not a noqa\n")
+        assert index.by_line == {}
+
+    def test_all_rules_sentinel(self):
+        index = SuppressionIndex.from_source("x = 1  # repro: noqa\n")
+        assert ALL_RULES in index.by_line[1]
+
+
+class TestEngineRespectsSuppressions:
+    def test_matching_rule_suppressed(self):
+        violations = lint(
+            """\
+            def check(x: float) -> bool:
+                return x == 0.5  # repro: noqa[FLT001] exact sentinel
+            """
+        )
+        assert violations == []
+
+    def test_other_rule_not_suppressed(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def draw() -> float:
+                return float(np.random.rand())  # repro: noqa[FLT001] wrong id
+            """
+        )
+        assert [v.rule for v in violations] == ["DET001"]
+
+    def test_bare_noqa_silences_multiple_rules_on_one_line(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def draw() -> bool:
+                return float(np.random.rand()) == 0.5  # repro: noqa
+            """
+        )
+        assert violations == []
+
+    def test_suppression_is_per_line(self):
+        violations = lint(
+            """\
+            def check(x: float) -> bool:
+                a = x == 0.5  # repro: noqa[FLT001]
+                b = x == 0.5
+                return a and b
+            """
+        )
+        assert [(v.rule, v.line) for v in violations] == [("FLT001", 3)]

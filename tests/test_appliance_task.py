@@ -34,7 +34,7 @@ class TestUnitOf:
 
 class TestApplianceTask:
     def test_valid_construction(self, simple_task):
-        assert simple_task.max_power == 1.0
+        assert simple_task.max_power == pytest.approx(1.0)
         assert simple_task.window_slots == 6
 
     def test_levels_must_start_with_zero(self):
@@ -132,4 +132,4 @@ class TestApplianceSchedule:
         power[21] = 1.0
         schedule = ApplianceSchedule(task=simple_task, power=tuple(power))
         assert isinstance(schedule.load, np.ndarray)
-        assert schedule.load[20] == 1.0
+        assert schedule.load[20] == pytest.approx(1.0)

@@ -18,8 +18,8 @@ class TestZeroPriceAttack:
         """The Figure 5 attack zeroes 16:00-17:00."""
         attack = ZeroPriceAttack(start_slot=16, end_slot=17)
         out = attack.apply(PRICES)
-        assert out[16] == 0.0
-        assert out[17] == 0.0
+        assert out[16] == pytest.approx(0.0)
+        assert out[17] == pytest.approx(0.0)
         np.testing.assert_array_equal(out[:16], PRICES[:16])
         np.testing.assert_array_equal(out[18:], PRICES[18:])
 

@@ -69,8 +69,8 @@ class TestCustomerBill:
         others = np.full(4, 10.0)
         bill = customer_bill(trading, others, model)
         assert bill.purchases_kwh == pytest.approx(4.0)
-        assert bill.sales_kwh == 0.0
-        assert bill.sellback_credit == 0.0
+        assert bill.sales_kwh == pytest.approx(0.0)
+        assert bill.sellback_credit == pytest.approx(0.0)
         assert bill.total == pytest.approx(model.customer_cost(trading, others))
 
     def test_seller_gets_credit(self):

@@ -41,8 +41,8 @@ class TestSingleEventRates:
         rates = SingleEventRates(
             tp_rate=0.7, fp_rate=0.2, n_attacked_trials=5, n_clean_trials=5
         ).clipped()
-        assert rates.tp_rate == 0.7
-        assert rates.fp_rate == 0.2
+        assert rates.tp_rate == pytest.approx(0.7)
+        assert rates.fp_rate == pytest.approx(0.2)
 
 
 class TestMeasureRates:

@@ -18,7 +18,7 @@ class TestTimeGrid:
     def test_defaults(self):
         grid = TimeGrid()
         assert grid.horizon == 24
-        assert grid.hours_per_slot == 1.0
+        assert grid.hours_per_slot == pytest.approx(1.0)
 
     def test_multi_day(self):
         grid = TimeGrid(slots_per_day=24, n_days=2)
@@ -26,7 +26,7 @@ class TestTimeGrid:
 
     def test_subhourly(self):
         grid = TimeGrid(slots_per_day=48)
-        assert grid.hours_per_slot == 0.5
+        assert grid.hours_per_slot == pytest.approx(0.5)
 
     def test_slot_of_hour(self):
         grid = TimeGrid(slots_per_day=24, n_days=2)
@@ -37,7 +37,7 @@ class TestTimeGrid:
 
     def test_hour_of_slot_roundtrip(self):
         grid = TimeGrid(slots_per_day=24, n_days=2)
-        assert grid.hour_of_slot(30) == 6.0
+        assert grid.hour_of_slot(30) == pytest.approx(6.0)
         assert grid.day_of_slot(30) == 1
 
     def test_validation(self):
@@ -68,7 +68,7 @@ class TestBatteryConfig:
 
     def test_zero_capacity_allowed(self):
         spec = BatteryConfig(capacity_kwh=0.0, initial_kwh=0.0)
-        assert spec.capacity_kwh == 0.0
+        assert spec.capacity_kwh == pytest.approx(0.0)
 
 
 class TestSolarConfig:

@@ -54,7 +54,7 @@ class TestCustomerCost:
         y = np.array([-1.0, 0.0, 0.0, 0.0])
         others = np.array([-5.0, 0.0, 0.0, 0.0])
         per_slot = model.customer_cost_per_slot(y, others)
-        assert per_slot[0] == 0.0
+        assert per_slot[0] == pytest.approx(0.0)
 
     def test_multiplicity_total(self, model):
         """Herd pricing: total includes all instances' moves."""
@@ -91,7 +91,7 @@ class TestCommunityCost:
         assert model.community_cost(y) == pytest.approx(expected)
 
     def test_export_slots_free(self, model):
-        assert model.community_cost(np.array([-3.0, 0.0, 0.0, 0.0])) == 0.0
+        assert model.community_cost(np.array([-3.0, 0.0, 0.0, 0.0])) == pytest.approx(0.0)
 
     @settings(max_examples=50, deadline=None)
     @given(arrays(np.float64, H, elements=st.floats(0.0, 50.0)))

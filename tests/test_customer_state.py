@@ -45,7 +45,7 @@ class TestCustomer:
         stripped = nm_customer.without_net_metering()
         assert not stripped.has_net_metering
         np.testing.assert_array_equal(stripped.pv_array, 0.0)
-        assert stripped.battery.capacity_kwh == 0.0
+        assert stripped.battery.capacity_kwh == pytest.approx(0.0)
 
     def test_base_load_defaults_to_zero(self):
         customer = make_customer(base=0.0)

@@ -25,7 +25,7 @@ from repro.data.solar import clear_sky_profile, generate_pv
 class TestApplianceTemplates:
     def test_catalog_is_valid(self):
         for template in APPLIANCE_CATALOG:
-            assert template.power_levels[0] == 0.0
+            assert template.power_levels[0] == pytest.approx(0.0)
             assert template.energy_range_kwh[0] > 0
 
     def test_template_rejects_bad_energy(self):
@@ -70,8 +70,8 @@ class TestGenerateTasks:
 class TestSolar:
     def test_clear_sky_zero_at_night(self, time_grid):
         profile = clear_sky_profile(time_grid, SolarConfig())
-        assert profile[0] == 0.0
-        assert profile[23] == 0.0
+        assert profile[0] == pytest.approx(0.0)
+        assert profile[23] == pytest.approx(0.0)
         assert profile.max() > 0.9
 
     def test_clear_sky_peaks_midday(self, time_grid):
@@ -152,7 +152,7 @@ class TestGenerateHistory:
         assert history.n_days == 5
         assert not history.nm_active[: 3 * 24].any()
         assert history.nm_active[3 * 24 :].all()
-        assert np.all(history.renewable[: 3 * 24] == 0.0)
+        assert np.all(history.renewable[: 3 * 24] == pytest.approx(0.0))
 
     def test_day_slicing(self, rng):
         history = generate_history(

@@ -37,7 +37,7 @@ class TestNashGapReport:
         report = NashGapReport(
             per_customer_gap=(0.1, 0.5, 0.0), per_customer_cost=(10.0, 5.0, 1.0)
         )
-        assert report.max_gap == 0.5
+        assert report.max_gap == pytest.approx(0.5)
         assert report.max_relative_gap == pytest.approx(0.1)
 
 

@@ -67,15 +67,15 @@ class TestDpOptimality:
         levels = np.asarray(simple_task.power_levels)
         table = prices[:, None] * levels[None, :]
         schedule, _ = schedule_appliance_table(simple_task, table)
-        assert schedule.power[20] == 1.0
-        assert schedule.power[21] == 1.0
+        assert schedule.power[20] == pytest.approx(1.0)
+        assert schedule.power[21] == pytest.approx(1.0)
         assert schedule.energy() == pytest.approx(2.0)
 
     def test_forced_schedule(self, tight_task):
         """Window capacity equals the requirement: max power everywhere."""
         table = np.random.default_rng(1).uniform(0, 1, size=(24, 2))
         schedule, _ = schedule_appliance_table(tight_task, table)
-        assert all(schedule.power[h] == 1.0 for h in range(5, 8))
+        assert all(schedule.power[h] == pytest.approx(1.0) for h in range(5, 8))
 
     def test_negative_costs_attract(self, simple_task):
         """Selling-branch rewards (negative marginal cost) pull load in."""
@@ -84,7 +84,7 @@ class TestDpOptimality:
         table[19, 1] = -1.0
         table[19, 2] = -2.5
         schedule, diag = schedule_appliance_table(simple_task, table)
-        assert schedule.power[19] == 1.0
+        assert schedule.power[19] == pytest.approx(1.0)
         assert diag.optimal_cost < 0
 
 
@@ -116,5 +116,5 @@ class TestDpValidation:
         table = np.ones((24, 3)) * levels[None, :]
         table[18:22, 1:] = np.inf  # only 22, 23 usable
         schedule, _ = schedule_appliance_table(simple_task, table)
-        assert schedule.power[22] == 1.0
-        assert schedule.power[23] == 1.0
+        assert schedule.power[22] == pytest.approx(1.0)
+        assert schedule.power[23] == pytest.approx(1.0)

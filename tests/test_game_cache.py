@@ -93,7 +93,7 @@ class TestGameSolutionCache:
         )
         assert second is first
         assert (cache.hits, cache.misses) == (1, 1)
-        assert cache.hit_rate == 0.5
+        assert cache.hit_rate == pytest.approx(0.5)
 
     def test_perf_counters_exercised(self, small_community, prices):
         cache = GameSolutionCache()

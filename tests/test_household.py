@@ -59,7 +59,7 @@ class TestLoadResponse:
         # defensive copies: mutating the result must not poison the cache
         a[0] = 99.0
         c = plain_household.load_response(prices())
-        assert c[0] != 99.0
+        assert c[0] != pytest.approx(99.0)
 
     def test_shape_validation(self, plain_household):
         with pytest.raises(ValueError, match="prices"):

@@ -27,7 +27,7 @@ class TestLongTermDetector:
         detector = LongTermDetector(model)
         assert detector.n_repairs == 0
         assert detector.steps == ()
-        assert detector.belief[0] == 1.0
+        assert detector.belief[0] == pytest.approx(1.0)
 
     def test_quiet_observations_keep_monitoring(self, model):
         detector = LongTermDetector(model)
@@ -59,7 +59,7 @@ class TestLongTermDetector:
         detector.step(5)
         detector.reset()
         assert detector.steps == ()
-        assert detector.belief[0] == 1.0
+        assert detector.belief[0] == pytest.approx(1.0)
 
     def test_trace_slots_increment(self, model):
         detector = LongTermDetector(model)

@@ -60,7 +60,7 @@ class TestConfusionCounts:
         truth = np.array([True, False, True])
         flagged = ~truth
         counts = confusion_counts(truth, flagged)
-        assert counts.accuracy == 0.0
+        assert counts.accuracy == pytest.approx(0.0)
 
     def test_shape_mismatch(self):
         with pytest.raises(ValueError, match="mismatch"):
@@ -91,7 +91,7 @@ class TestPerMeterAccuracy:
 
 class TestObservationAccuracy:
     def test_exact_count_match(self):
-        assert observation_accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+        assert observation_accuracy([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
         assert observation_accuracy([0, 1, 2], [0, 1, 3]) == pytest.approx(2 / 3)
 
     def test_shape_mismatch(self):

@@ -8,15 +8,15 @@ from repro.metrics.cost import LaborCostModel, normalized_labor_cost
 class TestLaborCostModel:
     def test_dispatch_cost(self):
         model = LaborCostModel(fixed_cost=2.0, per_meter_cost=1.0)
-        assert model.dispatch_cost(0) == 2.0
-        assert model.dispatch_cost(3) == 5.0
+        assert model.dispatch_cost(0) == pytest.approx(2.0)
+        assert model.dispatch_cost(3) == pytest.approx(5.0)
 
     def test_total_cost(self):
         model = LaborCostModel(fixed_cost=2.0, per_meter_cost=0.5)
         assert model.total_cost([1, 2, 3]) == pytest.approx(3 * 2.0 + 0.5 * 6)
 
     def test_total_cost_empty(self):
-        assert LaborCostModel().total_cost([]) == 0.0
+        assert LaborCostModel().total_cost([]) == pytest.approx(0.0)
 
     def test_rejects_negative_costs(self):
         with pytest.raises(ValueError):

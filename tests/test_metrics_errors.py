@@ -12,7 +12,7 @@ from repro.metrics.errors import mae, mape, rmse, smape
 class TestRmse:
     def test_zero_for_perfect(self):
         a = np.array([1.0, 2.0, 3.0])
-        assert rmse(a, a) == 0.0
+        assert rmse(a, a) == pytest.approx(0.0)
 
     def test_known_value(self):
         assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
@@ -55,13 +55,13 @@ class TestMape:
 
 class TestSmape:
     def test_zero_for_perfect(self):
-        assert smape([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert smape([1.0, 2.0], [1.0, 2.0]) == pytest.approx(0.0)
 
     def test_bounded_by_two(self):
         assert smape([1.0], [-1.0]) <= 2.0
 
     def test_handles_zeros(self):
-        assert smape([0.0, 0.0], [0.0, 0.0]) == 0.0
+        assert smape([0.0, 0.0], [0.0, 0.0]) == pytest.approx(0.0)
 
     @given(
         arrays(np.float64, 8, elements=st.floats(0.0, 100.0)),

@@ -90,5 +90,5 @@ class TestClosedLoop:
         repairs, mean_hacked = run_loop(
             tp=0.9, fp=0.02, hack_probability=0.0, n_slots=30
         )
-        assert mean_hacked == 0.0
+        assert mean_hacked == pytest.approx(0.0)
         assert repairs == 0

@@ -1,6 +1,7 @@
 """Tests for the perf-counter registry, including interval deltas."""
 
 from repro.perf.counters import PerfRegistry
+import pytest
 
 
 class TestCounters:
@@ -8,8 +9,8 @@ class TestCounters:
         registry = PerfRegistry()
         registry.add("x")
         registry.add("x", 2.5)
-        assert registry.get("x") == 3.5
-        assert registry.get("missing") == 0.0
+        assert registry.get("x") == pytest.approx(3.5)
+        assert registry.get("missing") == pytest.approx(0.0)
 
     def test_snapshot_includes_timers_with_suffix(self):
         registry = PerfRegistry()
@@ -60,4 +61,4 @@ class TestDeltaSince:
         second = registry.delta_since(second_baseline)
         assert first == {"events": 4.0}
         assert second == {"events": 6.0}
-        assert registry.get("events") == 20.0
+        assert registry.get("events") == pytest.approx(20.0)

@@ -71,9 +71,9 @@ class TestBuildDetectionPomdp:
             np.testing.assert_allclose(t[s], expected, atol=1e-12)
 
     def test_rewards_structure(self, model):
-        assert model.rewards[MONITOR, 0] == 0.0
-        assert model.rewards[MONITOR, 3] == -3.0
-        assert model.rewards[REPAIR, 0] == -2.0
+        assert model.rewards[MONITOR, 0] == pytest.approx(0.0)
+        assert model.rewards[MONITOR, 3] == pytest.approx(-3.0)
+        assert model.rewards[REPAIR, 0] == pytest.approx(-2.0)
         assert model.rewards[REPAIR, 3] == -3.0 - 2.0 - 3.0
 
     def test_validation_catches_bad_rows(self, model):
@@ -117,7 +117,7 @@ class TestValueIteration:
 class TestBeliefFilter:
     def test_initial_belief(self, model):
         belief = BeliefFilter(model).belief
-        assert belief[0] == 1.0
+        assert belief[0] == pytest.approx(1.0)
         assert belief.sum() == pytest.approx(1.0)
 
     def test_update_normalizes(self, model):

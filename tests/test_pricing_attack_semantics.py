@@ -56,7 +56,7 @@ class TestComposition:
         lure = ZeroPriceAttack(12, 13)
         gouge = BillIncreaseAttack(12, 13, inflation=3.0)
         combined = gouge.apply(lure.apply(prices))
-        assert combined[12] == 0.0 and combined[13] == 0.0
+        assert combined[12] == pytest.approx(0.0) and combined[13] == pytest.approx(0.0)
         np.testing.assert_allclose(combined[:12], prices[:12] * 3.0)
 
 

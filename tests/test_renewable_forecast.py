@@ -55,7 +55,7 @@ class TestClearSkyPersistenceForecaster:
         forecaster = ClearSkyPersistenceForecaster(grid, solar)
         forecast = forecaster.forecast(history, peak_community_kw=10.0)
         assert forecast.expected.shape == (24,)
-        assert forecast.expected[0] == 0.0  # night
+        assert forecast.expected[0] == pytest.approx(0.0)  # night
         assert forecast.expected[12] > 0.0  # midday
 
     def test_pre_nm_history_gives_zero(self, grid, solar, rng):
@@ -100,7 +100,7 @@ class TestForecastError:
         forecast = RenewableForecast(
             expected=np.array([1.0, 2.0]), std=np.zeros(2)
         )
-        assert forecast_error_rmse(forecast, np.array([1.0, 2.0])) == 0.0
+        assert forecast_error_rmse(forecast, np.array([1.0, 2.0])) == pytest.approx(0.0)
 
     def test_shape_checked(self):
         forecast = RenewableForecast(expected=np.ones(2), std=np.zeros(2))

@@ -88,7 +88,7 @@ class TestSweep:
             tp_rate=float(np.mean(sweep.attacked_margins > -10)),
             fp_rate=float(np.mean(sweep.benign_margins > -10)),
         )
-        assert lo.tp_rate == 1.0 and lo.fp_rate == 1.0
+        assert lo.tp_rate == pytest.approx(1.0) and lo.fp_rate == pytest.approx(1.0)
 
 
 def _sweep_from_margins(benign, attacked) -> ThresholdSweep:

@@ -90,7 +90,7 @@ class TestDetectorBehaviour:
         result = scenario_results["none"]
         assert result.n_repairs == 0
         assert not result.repairs.any()
-        assert result.tp_rate == 0.0 and result.fp_rate == 0.0
+        assert result.tp_rate == pytest.approx(0.0) and result.fp_rate == pytest.approx(0.0)
 
     def test_none_accumulates_compromise(self, scenario_results):
         """Without repairs the compromise count is monotone nondecreasing."""

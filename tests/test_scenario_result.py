@@ -41,7 +41,7 @@ def make_result(
 class TestAccuracyMetrics:
     def test_perfect_silence(self):
         result = make_result()
-        assert result.observation_accuracy == 1.0
+        assert result.observation_accuracy == pytest.approx(1.0)
         np.testing.assert_array_equal(result.accuracy_per_slot, 1.0)
 
     def test_half_wrong(self):
@@ -91,15 +91,15 @@ class TestRepairAccounting:
 
     def test_no_repairs_zero_cost(self):
         result = make_result()
-        assert result.labor_cost(LaborCostModel()) == 0.0
+        assert result.labor_cost(LaborCostModel()) == pytest.approx(0.0)
 
 
 class TestRatesSummary:
     def test_all_clean_fleet(self):
         result = make_result()
         tp, fp = result.rates_summary()
-        assert tp == 0.0  # no positives observed
-        assert fp == 0.0
+        assert tp == pytest.approx(0.0)  # no positives observed
+        assert fp == pytest.approx(0.0)
 
     def test_mixed(self):
         truth = np.zeros((24, 4), dtype=bool)

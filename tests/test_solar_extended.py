@@ -12,8 +12,8 @@ class TestClearSkyEnvelope:
         config = SolarConfig(sunrise_hour=8.0, sunset_hour=16.0)
         grid = TimeGrid(slots_per_day=24)
         profile = clear_sky_profile(grid, config)
-        assert profile[7] == 0.0
-        assert profile[16] == 0.0
+        assert profile[7] == pytest.approx(0.0)
+        assert profile[16] == pytest.approx(0.0)
         assert profile[12] > 0.9
 
     def test_multi_day_tiles(self):

@@ -92,7 +92,7 @@ class TestGammaHeuristic:
         y = np.sin(6 * x[:, 0])
         narrow = SupportVectorRegressor(kernel="rbf", gamma=100.0, c=50.0)
         narrow.fit(x, y)
-        assert narrow._gamma == 100.0
+        assert narrow._gamma == pytest.approx(100.0)
 
     def test_heuristic_gamma_positive(self):
         x = np.random.default_rng(4).normal(size=(20, 3))

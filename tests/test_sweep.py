@@ -8,16 +8,16 @@ from repro.simulation.sweep import SweepPoint, SweepResult, _set_dotted, sweep_s
 class TestSetDotted:
     def test_top_level_field(self, tiny_config):
         updated = _set_dotted(tiny_config, "pv_adoption", 0.25)
-        assert updated.pv_adoption == 0.25
+        assert updated.pv_adoption == pytest.approx(0.25)
 
     def test_nested_field(self, tiny_config):
         updated = _set_dotted(tiny_config, "pricing.sellback_divisor", 3.0)
-        assert updated.pricing.sellback_divisor == 3.0
-        assert tiny_config.pricing.sellback_divisor != 3.0  # original untouched
+        assert updated.pricing.sellback_divisor == pytest.approx(3.0)
+        assert tiny_config.pricing.sellback_divisor != pytest.approx(3.0)  # original untouched
 
     def test_detection_field(self, tiny_config):
         updated = _set_dotted(tiny_config, "detection.par_threshold", 0.2)
-        assert updated.detection.par_threshold == 0.2
+        assert updated.detection.par_threshold == pytest.approx(0.2)
 
     def test_too_deep_rejected(self, tiny_config):
         with pytest.raises(ValueError, match="nesting"):
