@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint typecheck bench bench-quick figures stream-smoke
+.PHONY: test lint typecheck coverage refresh-golden bench bench-quick figures stream-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -20,6 +20,24 @@ typecheck:
 	else \
 		echo "mypy not installed; skipping typecheck (pip install mypy)"; \
 	fi
+
+# Tier-1 suite with a coverage floor on the robustness-critical
+# packages (streaming twin + fault harness).  Skips gracefully where
+# pytest-cov isn't installed; CI always installs it.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
+			--cov=repro.stream --cov=repro.faults \
+			--cov-report=term-missing --cov-fail-under=80; \
+	else \
+		echo "pytest-cov not installed; skipping coverage (pip install pytest-cov)"; \
+	fi
+
+# Recompute the committed golden-master digest fixtures
+# (tests/golden/*.json).  Run only after an intentional behaviour
+# change, then commit the diff.
+refresh-golden:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/refresh_golden.py --all
 
 # Full hot-path benchmark at bench-preset scale; appends one entry to
 # BENCH_hotpaths.json (machine-readable perf trajectory).

@@ -1,0 +1,57 @@
+"""Regenerate the committed golden-master digest fixtures.
+
+Usage::
+
+    PYTHONPATH=src python scripts/refresh_golden.py --preset smoke
+    PYTHONPATH=src python scripts/refresh_golden.py --preset bench
+    PYTHONPATH=src python scripts/refresh_golden.py --all
+
+Writes ``tests/golden/<preset>_digests.json``.  Run this only after an
+*intentional* behaviour change, eyeball the diff, and commit the result
+— the fixtures exist so unintentional drift fails the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.presets import bench_preset, smoke_preset  # noqa: E402
+from repro.reporting.golden import (  # noqa: E402
+    compute_golden_digests,
+    write_golden_digests,
+)
+
+PRESETS = {"smoke": smoke_preset, "bench": bench_preset}
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+
+def refresh(preset: str) -> Path:
+    """Recompute and write one preset's digest fixture."""
+    config = PRESETS[preset]()
+    digests = compute_golden_digests(config)
+    path = write_golden_digests(digests, GOLDEN_DIR / f"{preset}_digests.json")
+    print(f"wrote {path}")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=sorted(PRESETS), default=None)
+    parser.add_argument(
+        "--all", action="store_true", help="refresh every preset fixture"
+    )
+    args = parser.parse_args(argv)
+    if args.all == (args.preset is not None):
+        parser.error("pass exactly one of --preset or --all")
+    for preset in sorted(PRESETS) if args.all else [args.preset]:
+        refresh(preset)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

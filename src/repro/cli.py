@@ -26,8 +26,10 @@ PATH`` (append the counters to a ``BENCH_*.json`` perf trajectory).
 
 Stream options: ``--stream-source {synthetic,replay}``, ``--detector``,
 ``--days N`` / ``--until-day D``, ``--checkpoint-dir PATH`` (checkpoint
-on completion; with ``--resume``, continue from it), ``--format
-{ascii,json}``; ``serve`` adds ``--host``/``--port``.
+on completion; with ``--resume``, continue from it), ``--faults PLAN``
+(seeded fault injection: builtin name, JSON file, or inline JSON; see
+``docs/ROBUSTNESS.md``) with ``--fault-seed N`` and ``--retries N``,
+``--format {ascii,json}``; ``serve`` adds ``--host``/``--port``.
 """
 
 from __future__ import annotations
@@ -196,27 +198,54 @@ def _cmd_table1(env: _Environment, *, slots: int, json_dir: Path | None) -> None
     print(comparison_table(rows, title="Table 1 — detection comparison"))
 
 
+def _parse_stream_faults(args: argparse.Namespace):
+    """Resolve ``--faults``/``--fault-seed`` into a FaultPlan (or None)."""
+    if args.faults is None:
+        if args.fault_seed is not None:
+            raise SystemExit("--fault-seed requires --faults")
+        return None
+    from repro.faults.plan import FaultPlanError, parse_fault_spec
+
+    try:
+        return parse_fault_spec(args.faults, seed=args.fault_seed)
+    except FaultPlanError as exc:
+        raise SystemExit(f"bad --faults spec: {exc}") from exc
+
+
 def _build_stream_engine(config: CommunityConfig, args: argparse.Namespace):
     """Build (or resume) the engine the stream/serve commands drive."""
+    from repro.core.config import RetryPolicy
     from repro.stream.checkpoint import resume_engine
     from repro.stream.pipeline import build_replay_engine, build_synthetic_engine
 
+    faults = _parse_stream_faults(args)
+    retry = None if args.retries is None else RetryPolicy(max_retries=args.retries)
     checkpoint_path = None
     if args.checkpoint_dir is not None:
         args.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         checkpoint_path = args.checkpoint_dir / f"stream-{args.stream_source}.json"
     if args.resume:
+        if faults is not None:
+            raise SystemExit(
+                "--resume restores the checkpointed fault plan; "
+                "--faults cannot be combined with it"
+            )
         if checkpoint_path is None or not checkpoint_path.exists():
             raise SystemExit(
                 "--resume needs --checkpoint-dir with an existing checkpoint "
                 f"({'no directory given' if checkpoint_path is None else checkpoint_path})"
             )
-        return resume_engine(checkpoint_path), checkpoint_path
+        engine = resume_engine(checkpoint_path)
+        if retry is not None:
+            engine.retry = retry
+        return engine, checkpoint_path
     if args.stream_source == "replay":
         engine = build_replay_engine(
             config,
             detector=args.detector,
             n_slots=args.days * config.time.slots_per_day,
+            faults=faults,
+            retry=retry,
         )
     else:
         engine = build_synthetic_engine(
@@ -224,6 +253,8 @@ def _build_stream_engine(config: CommunityConfig, args: argparse.Namespace):
             n_days=args.days,
             attack_days=(args.days // 3, 2 * args.days // 3),
             detector=args.detector,
+            faults=faults,
+            retry=retry,
         )
     return engine, checkpoint_path
 
@@ -249,9 +280,15 @@ def _cmd_stream(config: CommunityConfig, args: argparse.Namespace) -> None:
         stats = engine.pipeline.detection_stats()
         print(
             f"slots {stats['slots_processed']}  flags {stats['flags_total']}  "
-            f"repairs {stats['repairs']}  "
+            f"repairs {stats['repairs']}  gaps {stats['gaps']}  "
             f"events {engine.events_processed} (+{len(produced)} this run)"
         )
+        injector = engine.fault_injector
+        if injector is not None:
+            counts = ", ".join(
+                f"{kind} {count}" for kind, count in sorted(injector.counts.items())
+            )
+            print(f"faults injected: {counts if counts else 'none fired'}")
     if checkpoint_path is not None:
         save_checkpoint(engine, checkpoint_path)
         print(f"checkpoint saved to {checkpoint_path}")
@@ -324,6 +361,27 @@ def main(argv: list[str] | None = None) -> int:
         "--resume",
         action="store_true",
         help="resume from the checkpoint in --checkpoint-dir",
+    )
+    stream_opts.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "fault-injection plan: a builtin name (none/drop/duplicate/"
+            "reorder/delay/corrupt/stall/chaos), a JSON plan file, or an "
+            "inline JSON object"
+        ),
+    )
+    stream_opts.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="override the fault plan's RNG seed (requires --faults)",
+    )
+    stream_opts.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="max consecutive stalled polls before the run gives up",
     )
     stream_opts.add_argument("--format", choices=("ascii", "json"), default="ascii")
     stream_opts.add_argument("--host", default="127.0.0.1")

@@ -6,6 +6,7 @@ from repro.core.config import (
     DetectionConfig,
     GameConfig,
     PricingConfig,
+    RetryPolicy,
     SolarConfig,
     TimeGrid,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "FrameworkResult",
     "GameConfig",
     "PricingConfig",
+    "RetryPolicy",
     "SolarConfig",
     "TimeGrid",
     "bench_preset",

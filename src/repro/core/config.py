@@ -231,6 +231,54 @@ class DetectionConfig:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Stall tolerance for the streaming engine's pump loop.
+
+    A fault-injected (or real) telemetry feed can return "nothing yet"
+    while it is stalled rather than exhausted.  The engine retries up to
+    ``max_retries`` consecutive empty polls before giving up on the
+    current :meth:`~repro.stream.pipeline.StreamEngine.run` call; the
+    exponential backoff schedule (:meth:`delay`) is honoured wherever a
+    sleeper is wired in (the deterministic test path never sleeps).
+
+    Parameters
+    ----------
+    max_retries:
+        Consecutive empty polls tolerated before ``run`` returns early.
+    backoff_base_s:
+        First retry's backoff in seconds; each further retry doubles it.
+        Zero (the default) disables sleeping entirely.
+    backoff_max_s:
+        Ceiling of the exponential schedule.
+    """
+
+    max_retries: int = 8
+    backoff_base_s: float = 0.0
+    backoff_max_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ConfigError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ConfigError(
+                f"backoff_max_s must be >= backoff_base_s, got "
+                f"{self.backoff_max_s} < {self.backoff_base_s}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff in seconds before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        return min(self.backoff_base_s * 2.0 ** (attempt - 1), self.backoff_max_s)
+
+
+@dataclass(frozen=True)
 class CommunityConfig:
     """Top-level description of the simulated community.
 

@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the streaming detection stack.
+
+The paper's monitoring loop is only as trustworthy as its ability to
+keep producing observations when telemetry misbehaves.  This package
+provides the misbehaviour: a seeded, plan-driven
+:class:`~repro.faults.injector.FaultInjector` that wraps any event
+source and drops, duplicates, reorders, delays or corrupts meter
+readings, stalls price updates, plus helpers that damage checkpoint
+files the way crashes and bad disks do.  Every fault is drawn from a
+``numpy.random.SeedSequence``-spawned RNG, so a chaos run is exactly
+reproducible and checkpoint/resume under injected faults stays bitwise
+identical.
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`, builtin plans, and the
+  CLI/service plan grammar.
+- :mod:`repro.faults.injector` — the event-stream fault injector.
+- :mod:`repro.faults.chaos` — deterministic checkpoint-file corruption.
+
+The robustness machinery that *absorbs* these faults (retry policies,
+gap-tolerant pipelines) lives in :mod:`repro.stream`; the taxonomy and
+degradation semantics are documented in ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.faults.chaos import bitflip_file, truncate_file
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BUILTIN_PLANS,
+    FaultPlan,
+    FaultPlanError,
+    builtin_plan,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "bitflip_file",
+    "builtin_plan",
+    "parse_fault_spec",
+    "truncate_file",
+]

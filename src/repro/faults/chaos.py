@@ -1,0 +1,60 @@
+"""Deterministic corruption of on-disk artifacts (chaos-test support).
+
+The chaos suite does not only perturb live event streams — it also
+damages checkpoint files the way crashes and bad disks do (truncation,
+bit flips) and asserts that the checkpoint loader fails *loudly* with
+:class:`~repro.stream.checkpoint.CheckpointError` instead of resuming
+from torn state.  Both helpers are deterministic: truncation is a pure
+function of the fraction, and the bit flip draws its offset from a
+caller-provided ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+def truncate_file(path: str | Path, *, keep_fraction: float = 0.5) -> Path:
+    """Truncate a file to the leading ``keep_fraction`` of its bytes.
+
+    Models a crash mid-write (without the atomic-rename protection the
+    checkpoint writer uses).  ``keep_fraction`` must be in ``[0, 1)`` —
+    keeping everything would not be a fault.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+    return path
+
+
+def bitflip_file(
+    path: str | Path,
+    rng: np.random.Generator,
+    *,
+    lo: int = 0,
+    hi: int | None = None,
+) -> Path:
+    """Flip one random bit of a file within the byte range ``[lo, hi)``.
+
+    Models silent media corruption.  The offset and bit index are drawn
+    from ``rng``, so a seeded generator makes the damage reproducible.
+    ``hi`` defaults to the file size; the range is clamped to it.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot bit-flip empty file {path}")
+    if lo < 0:
+        raise ValueError(f"lo must be >= 0, got {lo}")
+    end = len(data) if hi is None else min(hi, len(data))
+    if lo >= end:
+        raise ValueError(f"empty flip range [{lo}, {end}) for {path}")
+    offset = int(rng.integers(lo, end))
+    bit = int(rng.integers(8))
+    data[offset] ^= 1 << bit
+    path.write_bytes(bytes(data))
+    return path

@@ -1,0 +1,234 @@
+"""Seeded, plan-driven fault injection over any event source.
+
+:class:`FaultInjector` wraps an :class:`~repro.stream.source.EventSource`
+and perturbs its event stream according to a
+:class:`~repro.faults.plan.FaultPlan`: meter readings can be dropped,
+duplicated, reordered, delayed or field-corrupted, and price updates can
+stall the feed for a few polls.  Day boundaries are never faulted — they
+are the pipeline's flush points, and real telemetry busses deliver
+framing control messages reliably.
+
+Determinism contract: every fault decision flows through two RNGs
+spawned off one ``numpy.random.SeedSequence(plan.seed)`` (decision
+stream and corruption stream), exactly five decision uniforms are drawn
+per meter reading regardless of outcomes, and ``state_dict`` captures
+both bit-generator states plus every buffered event.  A chaos run is
+therefore exactly reproducible from its seed, and checkpoint/resume
+under injected faults stays bitwise identical — the chaos suite in
+``tests/test_stream_chaos.py`` asserts both.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.perf.counters import PERF
+from repro.stream.events import (
+    DayBoundary,
+    MeterReading,
+    PriceUpdate,
+    StreamEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.stream.source import EventSource
+
+
+class FaultInjector:
+    """Fault-injecting adapter satisfying the ``EventSource`` protocol.
+
+    Parameters
+    ----------
+    source:
+        The clean feed to perturb (replay, synthetic, or another
+        adapter).
+    plan:
+        Which faults may fire, how often, and under which seed.
+    """
+
+    def __init__(self, source: EventSource, plan: FaultPlan) -> None:
+        self.source = source
+        self.plan = plan
+        decide_seq, corrupt_seq = np.random.SeedSequence(plan.seed).spawn(2)
+        self._decide_rng = np.random.default_rng(decide_seq)
+        self._corrupt_rng = np.random.default_rng(corrupt_seq)
+        self._stall_remaining = 0
+        self._release: list[StreamEvent] = []
+        self._delayed: list[tuple[int, StreamEvent]] = []
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True once the inner source is dry and every buffer is empty."""
+        inner = bool(getattr(self.source, "exhausted", False))
+        return (
+            inner
+            and not self._release
+            and not self._delayed
+            and self._stall_remaining == 0
+        )
+
+    def _count(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        PERF.add(f"stream.faults.{kind}")
+
+    # ------------------------------------------------------------------
+    def next_event(self) -> StreamEvent | None:
+        """One perturbed event, or ``None`` while the feed is stalled."""
+        if self._stall_remaining > 0:
+            self._stall_remaining -= 1
+            return None
+        while True:
+            if self._release:
+                event = self._release.pop(0)
+            else:
+                pulled = self.source.next_event()
+                if pulled is None:
+                    if not self._delayed:
+                        return None
+                    # Source dry: flush stragglers in hold order.
+                    _, event = self._delayed.pop(0)
+                else:
+                    verdict = self._mutate(pulled)
+                    if verdict is None:
+                        if self._release:
+                            # Stall began: the held-back event waits in
+                            # _release and this poll is the first empty one.
+                            return None
+                        continue  # dropped or delayed: pull the next event
+                    event = verdict
+            self._age_delayed()
+            return event
+
+    def _age_delayed(self) -> None:
+        """One delivery happened: mature every held-back event by a tick."""
+        if not self._delayed:
+            return
+        matured: list[StreamEvent] = []
+        rest: list[tuple[int, StreamEvent]] = []
+        for ticks, event in self._delayed:
+            if ticks <= 1:
+                matured.append(event)
+            else:
+                rest.append((ticks - 1, event))
+        self._delayed = rest
+        self._release.extend(matured)
+
+    def _mutate(self, event: StreamEvent) -> StreamEvent | None:
+        """Apply at most one fault; ``None`` means nothing to deliver now.
+
+        Invariant on entry: ``_release`` is empty (the pump loop drains
+        it before pulling), so queueing into it preserves stream order.
+        """
+        plan = self.plan
+        if isinstance(event, DayBoundary):
+            return event
+        if isinstance(event, PriceUpdate):
+            if plan.stall_prob > 0.0 and self._decide_rng.random() < plan.stall_prob:
+                ticks = int(self._decide_rng.integers(1, plan.max_stall + 1))
+                # This call's None is the first stalled poll.
+                self._stall_remaining = ticks - 1
+                self._release.insert(0, event)
+                self._count("stall")
+                return None
+            return event
+        # Meter reading: one uniform per fault family, drawn in one
+        # block so the decision stream advances identically whatever
+        # the outcomes.
+        draws = self._decide_rng.random(5)
+        if draws[0] < plan.drop_prob:
+            self._count("drop")
+            return None
+        if draws[1] < plan.corrupt_prob:
+            return self._corrupt(event)
+        if draws[2] < plan.duplicate_prob:
+            self._count("duplicate")
+            self._release.append(event)
+            return event
+        if draws[3] < plan.reorder_prob:
+            return self._reorder(event)
+        if draws[4] < plan.delay_prob:
+            ticks = int(self._decide_rng.integers(1, plan.max_delay + 1))
+            self._delayed.append((ticks, event))
+            self._count("delay")
+            return None
+        return event
+
+    def _reorder(self, event: MeterReading) -> StreamEvent:
+        """Swap this reading with the next event when that is a reading.
+
+        The pulled follower bypasses its own fault draw (no cascades);
+        a non-reading follower cancels the swap so readings never cross
+        price updates or day boundaries.
+        """
+        nxt = self.source.next_event()
+        if nxt is None:
+            return event
+        if isinstance(nxt, MeterReading):
+            self._count("reorder")
+            self._release.append(event)
+            return nxt
+        self._release.append(nxt)
+        return event
+
+    def _corrupt(self, reading: MeterReading) -> MeterReading:
+        """Corrupt one cell of the price matrix to a detectable value."""
+        rng = self._corrupt_rng
+        received = reading.received.copy()
+        row = int(rng.integers(received.shape[0]))
+        col = int(rng.integers(received.shape[1]))
+        mode = int(rng.integers(3))
+        if mode == 0:
+            received[row, col] = np.nan
+        elif mode == 1:
+            received[row, col] = np.inf
+        else:
+            received[row, col] = -1.0 - abs(received[row, col])
+        self._count("corrupt")
+        return MeterReading(slot=reading.slot, received=received, truth=reading.truth)
+
+    # ------------------------------------------------------------------
+    def apply_repair(self) -> int:
+        """Repair feedback passes through to the wrapped source."""
+        return self.source.apply_repair()
+
+    def state_dict(self) -> dict[str, Any]:
+        """Resumable state: inner source, buffers, counters, RNG states."""
+        return {
+            "kind": "faults",
+            "plan": self.plan.to_dict(),
+            "source": self.source.state_dict(),
+            "stall_remaining": self._stall_remaining,
+            "release": [event_to_dict(event) for event in self._release],
+            "delayed": [
+                [ticks, event_to_dict(event)] for ticks, event in self._delayed
+            ],
+            "counts": dict(self.counts),
+            "decide_rng": self._decide_rng.bit_generator.state,
+            "corrupt_rng": self._corrupt_rng.bit_generator.state,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state.get("kind") != "faults":
+            raise ValueError(f"not a fault-injector state: {state.get('kind')!r}")
+        plan = FaultPlan.from_dict(state["plan"])
+        if plan != self.plan:
+            raise ValueError(
+                "checkpointed fault plan differs from the injector's plan; "
+                "rebuild the engine from the checkpoint's build spec"
+            )
+        self.source.load_state(state["source"])
+        self._stall_remaining = int(state["stall_remaining"])
+        self._release = [event_from_dict(payload) for payload in state["release"]]
+        self._delayed = [
+            (int(ticks), event_from_dict(payload))
+            for ticks, payload in state["delayed"]
+        ]
+        self.counts = {str(k): int(v) for k, v in state["counts"].items()}
+        self._decide_rng.bit_generator.state = state["decide_rng"]
+        self._corrupt_rng.bit_generator.state = state["corrupt_rng"]

@@ -69,6 +69,18 @@ class PerfRegistry:
         # Exact zero: drop counters that did not move at all between snapshots.
         return {k: v for k, v in delta.items() if v != 0.0}  # repro: noqa[FLT001]
 
+    def prefixed(self, prefix: str) -> dict[str, float]:
+        """Counters and timers whose name starts with ``prefix``, sorted.
+
+        The monitoring service uses this to report e.g. every
+        ``stream.faults.*`` counter without enumerating fault kinds.
+        """
+        return {
+            name: value
+            for name, value in sorted(self.snapshot().items())
+            if name.startswith(prefix)
+        }
+
     def reset(self) -> None:
         """Zero every counter and timer."""
         self._counters.clear()

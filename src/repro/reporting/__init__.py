@@ -1,13 +1,24 @@
-"""Terminal reporting: ASCII profiles and paper-vs-measured tables."""
+"""Terminal reporting: ASCII profiles, paper-vs-measured tables, and
+golden-master digests of the evaluation artifacts."""
 
 from repro.reporting.ascii import bar_chart, render_profile, sparkline
+from repro.reporting.golden import (
+    compute_golden_digests,
+    diff_digests,
+    load_golden_digests,
+    write_golden_digests,
+)
 from repro.reporting.tables import ComparisonRow, comparison_table, fixed_table
 
 __all__ = [
     "ComparisonRow",
     "bar_chart",
     "comparison_table",
+    "compute_golden_digests",
+    "diff_digests",
     "fixed_table",
+    "load_golden_digests",
     "render_profile",
     "sparkline",
+    "write_golden_digests",
 ]

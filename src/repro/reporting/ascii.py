@@ -58,8 +58,9 @@ def render_stream_timeline(
     """Day-by-day strip chart of a streaming detection timeline.
 
     One row per day: a glyph per slot (``.`` = no flags, digits = flag
-    count, ``R`` = repair dispatched that slot), followed by the day's
-    repair count and closing belief mean.  Takes any sequence of
+    count, ``R`` = repair dispatched that slot, ``_`` = gap marker — the
+    slot's reading was lost or unusable), followed by the day's repair
+    count and closing belief mean.  Takes any sequence of
     :class:`~repro.stream.pipeline.SlotDetection`.
     """
     if slots_per_day < 1:
@@ -74,7 +75,9 @@ def render_stream_timeline(
         dets = by_day[day]
         glyphs = []
         for det in dets:
-            if det.repaired:
+            if getattr(det, "gap", False):
+                glyphs.append("_")
+            elif det.repaired:
                 glyphs.append("R")
             elif det.observation == 0:
                 glyphs.append(".")

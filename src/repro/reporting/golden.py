@@ -1,0 +1,136 @@
+"""Golden-master digests of the paper's evaluation artifacts.
+
+A golden digest file pins every number a bench preset produces for the
+fig3–fig6/table1 pipeline — headline scalars verbatim (floats survive
+the JSON round trip exactly via ``repr`` shortest-round-trip) and the
+big arrays as SHA-256 digests of their raw bytes.  The committed
+fixtures under ``tests/golden/`` turn silent behaviour drift anywhere in
+the stack (pricing, prediction, game solving, detection, streaming
+replay) into a loud diff.
+
+Regenerate after an *intentional* change with ``make refresh-golden``
+(or ``python scripts/refresh_golden.py --preset smoke``); the diff test
+in ``tests/test_golden_master.py`` compares the committed fixture
+against a fresh run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.config import CommunityConfig, config_to_dict
+from repro.metrics.errors import rmse
+from repro.simulation.scenario import ScenarioResult, run_long_term_scenario
+
+GOLDEN_FORMAT = "repro-golden-digests"
+GOLDEN_VERSION = 1
+
+
+def _sha256(array: NDArray[Any]) -> str:
+    """Content digest of an array's raw bytes (C order)."""
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _scenario_digest(result: ScenarioResult) -> dict[str, Any]:
+    return {
+        "mean_par": result.mean_par,
+        "observation_accuracy": result.observation_accuracy,
+        "n_repairs": result.n_repairs,
+        "truth_sha256": _sha256(result.truth),
+        "flags_sha256": _sha256(result.flags),
+        "observations_sha256": _sha256(result.observations),
+        "repairs_sha256": _sha256(result.repairs),
+        "realized_grid_sha256": _sha256(result.realized_grid),
+    }
+
+
+def compute_golden_digests(
+    config: CommunityConfig, *, n_slots: int = 48
+) -> dict[str, Any]:
+    """Run the full evaluation pipeline and digest every artifact.
+
+    Covers the prediction figures (fig3/fig4 RMSE and predicted PAR),
+    the attack-impact figure (fig5), and one long-term scenario per
+    detector kind (fig6/table1: accuracy, PAR, repair counts, plus
+    array digests).
+    """
+    from repro.attacks.pricing import ZeroPriceAttack
+    from repro.cli import _Environment
+
+    env = _Environment(config)
+    attack = ZeroPriceAttack(start_slot=16, end_slot=17)
+    attacked = env.truth_sim.response(attack.apply(env.clean_prices))
+    attacked_par = float(attacked.grid_demand.max() / attacked.grid_demand.mean())
+    scenarios: dict[str, Any] = {}
+    for kind in ("none", "unaware", "aware"):
+        result = run_long_term_scenario(config, detector=kind, n_slots=n_slots)
+        scenarios[kind] = _scenario_digest(result)
+    return {
+        "format": GOLDEN_FORMAT,
+        "version": GOLDEN_VERSION,
+        "n_slots": n_slots,
+        "config_sha256": hashlib.sha256(
+            json.dumps(config_to_dict(config), sort_keys=True).encode("utf-8")
+        ).hexdigest(),
+        "fig3": {
+            "unaware_rmse": rmse(env.clean_prices, env.unaware_prices),
+            "predicted_par": env.unaware_sim.grid_par(env.unaware_prices),
+        },
+        "fig4": {
+            "aware_rmse": rmse(env.clean_prices, env.aware_prices),
+            "predicted_par": env.truth_sim.grid_par(env.aware_prices),
+            "benign_par": env.truth_sim.grid_par(env.clean_prices),
+        },
+        "fig5": {"attacked_par": attacked_par},
+        "scenarios": scenarios,
+    }
+
+
+def write_golden_digests(digests: dict[str, Any], path: str | Path) -> Path:
+    """Persist a digest document (stable key order, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(digests, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_golden_digests(path: str | Path) -> dict[str, Any]:
+    """Read and validate a committed digest fixture."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != GOLDEN_FORMAT:
+        raise ValueError(f"not a golden digest file: {path}")
+    if payload.get("version") != GOLDEN_VERSION:
+        raise ValueError(
+            f"unsupported golden digest version {payload.get('version')!r} "
+            f"(expected {GOLDEN_VERSION})"
+        )
+    return payload
+
+
+def diff_digests(
+    expected: dict[str, Any], actual: dict[str, Any], *, prefix: str = ""
+) -> list[str]:
+    """Human-readable list of leaf-level differences (empty == match)."""
+    diffs: list[str] = []
+    for key in sorted(set(expected) | set(actual)):
+        label = f"{prefix}{key}"
+        if key not in expected:
+            diffs.append(f"{label}: unexpected new entry {actual[key]!r}")
+            continue
+        if key not in actual:
+            diffs.append(f"{label}: missing (expected {expected[key]!r})")
+            continue
+        exp, act = expected[key], actual[key]
+        if isinstance(exp, dict) and isinstance(act, dict):
+            diffs.extend(diff_digests(exp, act, prefix=f"{label}."))
+        elif exp != act:
+            diffs.append(f"{label}: expected {exp!r}, got {act!r}")
+    return diffs

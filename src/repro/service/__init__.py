@@ -10,12 +10,14 @@ Stdlib-only (``http.server``) so the reproduction stays dependency-free:
 
 from repro.service.app import (
     DetectionService,
+    ServiceError,
     create_server,
     run_service,
 )
 
 __all__ = [
     "DetectionService",
+    "ServiceError",
     "create_server",
     "run_service",
 ]

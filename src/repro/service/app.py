@@ -18,7 +18,14 @@ Endpoints
 - ``GET /detections?since=S&limit=L`` — the slot-by-slot timeline.
 - ``GET /metrics`` — perf-counter *deltas since the previous scrape*
   plus process-lifetime totals.
+- ``GET /faults`` / ``POST /faults`` — inspect or install a seeded
+  fault-injection plan on the engine's source (chaos drills against a
+  live service).
 - ``GET /healthz`` — liveness.
+
+Malformed requests never surface as 500s: every client error is a
+structured JSON body ``{"error": ..., "code": ..., "status": ...}``
+with the matching 4xx status.
 
 On SIGTERM/SIGINT the service checkpoints the engine (atomic rename, see
 :mod:`repro.stream.checkpoint`) before shutting down, so a killed
@@ -35,6 +42,8 @@ from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from repro.core.config import RetryPolicy
+from repro.faults.plan import FaultPlan, FaultPlanError, builtin_plan
 from repro.perf.counters import PERF
 from repro.stream.checkpoint import save_checkpoint
 from repro.stream.events import MeterReading, event_from_dict
@@ -42,7 +51,11 @@ from repro.stream.pipeline import StreamEngine
 
 
 class ServiceError(ValueError):
-    """A client error the handler maps to HTTP 400."""
+    """A client error the handler maps to a structured 4xx response."""
+
+    def __init__(self, message: str, *, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class DetectionService:
@@ -58,13 +71,21 @@ class DetectionService:
     checkpoint_path:
         Where :meth:`checkpoint` (and the SIGTERM handler) persists
         state; ``None`` disables checkpointing.
+    retry:
+        Stall policy applied to every :meth:`advance`; ``None`` uses the
+        engine's own policy (if any).
     """
 
     def __init__(
-        self, engine: StreamEngine, *, checkpoint_path: str | Path | None = None
+        self,
+        engine: StreamEngine,
+        *,
+        checkpoint_path: str | Path | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.engine = engine
         self.checkpoint_path = None if checkpoint_path is None else Path(checkpoint_path)
+        self.retry = retry
         self._lock = threading.Lock()
         self._metrics_baseline = PERF.snapshot()
 
@@ -95,10 +116,13 @@ class DetectionService:
             raise ServiceError(f"until_day must be >= 0, got {until_day}")
         with self._lock:
             before = self.engine.events_processed
-            produced = self.engine.run(max_events=max_events, until_day=until_day)
+            produced = self.engine.run(
+                max_events=max_events, until_day=until_day, retry=self.retry
+            )
             return {
                 "events_pumped": self.engine.events_processed - before,
                 "detections": len(produced),
+                "gaps": sum(1 for det in produced if det.gap),
                 "exhausted": self.engine.exhausted,
             }
 
@@ -145,8 +169,47 @@ class DetectionService:
             return {
                 "interval": delta,
                 "totals": totals,
+                "faults": PERF.prefixed("stream.faults."),
                 "events_processed": self.engine.events_processed,
             }
+
+    def faults(self) -> dict[str, Any]:
+        """The engine's active fault plan and per-kind injection counts."""
+        with self._lock:
+            injector = self.engine.fault_injector
+            if injector is None:
+                return {"active": False, "plan": None, "counts": {}}
+            return {
+                "active": True,
+                "plan": injector.plan.to_dict(),
+                "counts": dict(injector.counts),
+            }
+
+    def install_faults(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Install a fault plan (builtin name or plan object) on the source."""
+        unknown = set(payload) - {"plan", "seed"}
+        if unknown:
+            raise ServiceError(f"unknown fields: {sorted(unknown)}")
+        if "plan" not in payload:
+            raise ServiceError("missing required field 'plan'")
+        seed = _int_field(payload, "seed")
+        spec = payload["plan"]
+        try:
+            if isinstance(spec, str):
+                plan = builtin_plan(spec, seed=seed)
+            elif isinstance(spec, dict):
+                plan = FaultPlan.from_dict(
+                    spec if seed is None else {**spec, "seed": seed}
+                )
+            else:
+                raise FaultPlanError(
+                    "field 'plan' must be a builtin plan name or a plan object"
+                )
+        except FaultPlanError as exc:
+            raise ServiceError(str(exc)) from exc
+        with self._lock:
+            injector = self.engine.install_faults(plan)
+        return {"active": True, "plan": injector.plan.to_dict()}
 
     def checkpoint(self) -> dict[str, Any]:
         if self.checkpoint_path is None:
@@ -175,7 +238,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_json(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            raise ServiceError("invalid Content-Length header") from exc
         if length == 0:
             return {}
         raw = self.rfile.read(length)
@@ -193,13 +259,29 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = self._route(method, parsed.path, query)
         except ServiceError as exc:
-            self._respond(400, {"error": str(exc)})
+            self._respond(
+                400, {"error": str(exc), "code": exc.code, "status": 400}
+            )
             return
         except Exception as exc:  # pragma: no cover - defensive
-            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._respond(
+                500,
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "code": "internal_error",
+                    "status": 500,
+                },
+            )
             return
         if payload is None:
-            self._respond(404, {"error": f"no route for {method} {parsed.path}"})
+            self._respond(
+                404,
+                {
+                    "error": f"no route for {method} {parsed.path}",
+                    "code": "not_found",
+                    "status": 404,
+                },
+            )
         else:
             self._respond(200, payload)
 
@@ -217,6 +299,8 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             if path == "/metrics":
                 return service.metrics()
+            if path == "/faults":
+                return service.faults()
             if path == "/healthz":
                 return {"ok": True}
             return None
@@ -225,11 +309,19 @@ class _Handler(BaseHTTPRequestHandler):
                 return service.push_event(self._read_json())
             if path == "/advance":
                 body = self._read_json()
+                unknown = set(body) - {"max_events", "until_day"}
+                if unknown:
+                    raise ServiceError(f"unknown fields: {sorted(unknown)}")
                 return service.advance(
                     max_events=_int_field(body, "max_events"),
                     until_day=_int_field(body, "until_day"),
                 )
+            if path == "/faults":
+                return service.install_faults(self._read_json())
             if path == "/checkpoint":
+                body = self._read_json()  # drain + validate (body must be empty JSON)
+                if body:
+                    raise ServiceError(f"unknown fields: {sorted(body)}")
                 return service.checkpoint()
             return None
         return None
@@ -257,10 +349,12 @@ def _int_field(body: dict[str, Any], name: str) -> int | None:
     value = body.get(name)
     if value is None:
         return None
-    try:
-        return int(value)
-    except (TypeError, ValueError) as exc:
-        raise ServiceError(f"field {name!r} must be an integer") from exc
+    # Strict: JSON true/1.5/"3" are not integers for this API.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(f"field {name!r} must be an integer")
+    if isinstance(value, float) and not value.is_integer():
+        raise ServiceError(f"field {name!r} must be an integer")
+    return int(value)
 
 
 def create_server(

@@ -10,6 +10,16 @@ detector pipeline folds each event into per-slot detection decisions,
 and the full pipeline state checkpoints to disk so a killed stream
 resumes bitwise-identically.
 
+The stack is fault-tolerant by construction: a seeded
+:class:`~repro.faults.injector.FaultInjector` (see :mod:`repro.faults`)
+can drop, duplicate, reorder, delay or corrupt events, and the pipeline
+absorbs the damage — unusable slots become explicit gap markers in the
+timeline, stalled feeds are retried under a
+:class:`~repro.core.config.RetryPolicy`, and damaged checkpoint files
+fail loudly with :class:`~repro.stream.checkpoint.CheckpointError`.
+``docs/ROBUSTNESS.md`` documents the taxonomy and degradation
+semantics.
+
 - :mod:`repro.stream.events` -- the wire-format event model.
 - :mod:`repro.stream.source` -- replay (scenario-equivalent) and
   deterministic synthetic event sources.
@@ -36,6 +46,7 @@ from repro.stream.pipeline import (
     build_synthetic_engine,
 )
 from repro.stream.checkpoint import (
+    CheckpointError,
     load_checkpoint,
     resume_engine,
     save_checkpoint,
@@ -43,6 +54,7 @@ from repro.stream.checkpoint import (
 from repro.stream.source import ReplaySource, SyntheticSource
 
 __all__ = [
+    "CheckpointError",
     "DayBoundary",
     "MeterReading",
     "OnlinePipeline",

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.core.config import config_from_dict
+from repro.faults.plan import FaultPlan
 from repro.simulation.cache import GameSolutionCache
 
 if TYPE_CHECKING:
@@ -32,6 +33,17 @@ if TYPE_CHECKING:
 
 CHECKPOINT_FORMAT = "repro-stream-checkpoint"
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable, torn, or not a checkpoint at all.
+
+    Raised for missing files, truncated/bit-flipped JSON, wrong format
+    markers, unsupported versions and missing sections — every way a
+    crash or bad disk can damage a checkpoint.  The loader fails loudly
+    with this instead of resuming from corrupt state; the chaos suite
+    drives each damage mode through :mod:`repro.faults.chaos`.
+    """
 
 
 def checkpoint_payload(engine: Any) -> dict[str, Any]:
@@ -66,18 +78,34 @@ def save_checkpoint(engine: Any, path: str | Path) -> Path:
 
 
 def load_checkpoint(path: str | Path) -> dict[str, Any]:
-    """Read and validate a checkpoint document."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read and validate a checkpoint document.
+
+    Raises :class:`CheckpointError` on any damage: unreadable file,
+    invalid JSON, wrong format marker, unsupported version, missing
+    sections.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: invalid JSON ({exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"corrupt checkpoint {path}: not a JSON object")
     if payload.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(f"not a stream checkpoint: {path}")
+        raise CheckpointError(f"not a stream checkpoint: {path}")
     if payload.get("version") != CHECKPOINT_VERSION:
-        raise ValueError(
+        raise CheckpointError(
             f"unsupported checkpoint version {payload.get('version')!r} "
             f"(expected {CHECKPOINT_VERSION})"
         )
     for key in ("build", "state"):
         if key not in payload:
-            raise ValueError(f"checkpoint missing {key!r} section: {path}")
+            raise CheckpointError(f"checkpoint missing {key!r} section: {path}")
     return payload
 
 
@@ -108,6 +136,8 @@ def resume_engine(
     build = payload["build"]
     kind = build.get("kind")
     config = config_from_dict(build["config"])
+    faults = build.get("faults")
+    plan = None if faults is None else FaultPlan.from_dict(faults)
     if kind == "replay":
         engine = build_replay_engine(
             config,
@@ -117,6 +147,7 @@ def resume_engine(
             calibration_trials=int(build["calibration_trials"]),
             seed=build["seed"],
             cache=cache,
+            faults=plan,
         )
     elif kind == "synthetic":
         engine = build_synthetic_engine(
@@ -130,6 +161,7 @@ def resume_engine(
             detector=build["detector"],
             seed=int(build["seed"]),
             cache=cache,
+            faults=plan,
         )
     else:
         raise ValueError(f"unknown checkpoint build kind: {kind!r}")

@@ -119,6 +119,11 @@ class IncrementalMonitor:
         return float(self.detector.belief @ np.arange(self.detector.model.n_states))
 
     @property
+    def n_meters(self) -> int:
+        """Monitored fleet size (POMDP states count 0..n hacked meters)."""
+        return self.detector.model.n_states - 1
+
+    @property
     def n_repairs(self) -> int:
         return self.detector.n_repairs
 

@@ -103,6 +103,26 @@ class MeterReading:
     def n_meters(self) -> int:
         return self.received.shape[0]
 
+    def validation_error(self, *, horizon: int | None = None) -> str | None:
+        """Why this reading is unusable, or ``None`` when well-formed.
+
+        Catches the field corruption a wire can introduce — non-finite
+        or negative prices, horizon mismatch — without raising, so the
+        gap-tolerant pipeline can degrade instead of crash.  Structural
+        errors (shape, negative slot) are still rejected eagerly by
+        ``__post_init__``.
+        """
+        if horizon is not None and self.received.shape[1] != horizon:
+            return (
+                f"received horizon {self.received.shape[1]} != "
+                f"active day horizon {horizon}"
+            )
+        if not bool(np.isfinite(self.received).all()):
+            return "received contains non-finite prices"
+        if bool((self.received < 0.0).any()):
+            return "received contains negative prices"
+        return None
+
 
 @dataclass(frozen=True)
 class DayBoundary:

@@ -19,13 +19,13 @@ the service layer and examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.attacks.pricing import PeakIncreaseAttack
-from repro.core.config import CommunityConfig, config_to_dict
+from repro.core.config import CommunityConfig, RetryPolicy, config_to_dict
 from repro.data.community import build_community
 from repro.detection.long_term import LongTermDetector
 from repro.detection.pomdp import build_detection_pomdp
@@ -50,6 +50,10 @@ from repro.stream.source import (
     build_replay_world,
 )
 
+if TYPE_CHECKING:  # runtime import stays lazy to keep faults optional
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+
 
 @dataclass(frozen=True)
 class SlotDetection:
@@ -59,6 +63,12 @@ class SlotDetection:
     configured (the batch path's ``detector="none"`` column);
     ``realized_grid`` is ``None`` when the reading carried no ground
     truth to simulate against.
+
+    A ``gap`` entry is an explicit placeholder for a slot whose reading
+    never arrived usable (dropped, corrupted, or lost across a day
+    boundary): flags are all-False, the observation is 0, and no belief
+    update happened — the monitor simply held its posterior.
+    ``gap_reason`` says why (``"dropped"`` or ``"corrupt"``).
     """
 
     slot: int
@@ -71,6 +81,8 @@ class SlotDetection:
     repaired_count: int
     realized_grid: float | None
     truth: NDArray[np.bool_] | None
+    gap: bool = False
+    gap_reason: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -86,6 +98,9 @@ class SlotDetection:
         }
         if self.truth is not None:
             payload["truth"] = self.truth.astype(int).tolist()
+        if self.gap:
+            payload["gap"] = True
+            payload["gap_reason"] = self.gap_reason
         return payload
 
     @classmethod
@@ -108,6 +123,8 @@ class SlotDetection:
                 else float(payload["realized_grid"])
             ),
             truth=None if truth is None else np.asarray(truth, dtype=bool),
+            gap=bool(payload.get("gap", False)),
+            gap_reason=payload.get("gap_reason"),
         )
 
 
@@ -157,6 +174,9 @@ class OnlinePipeline:
         self._current_update: PriceUpdate | None = None
         self._days_completed = 0
         self._timeline: list[SlotDetection] = []
+        self._next_slot = 0
+        self._pending: dict[int, MeterReading] = {}
+        self._n_meters: int | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -181,6 +201,11 @@ class OnlinePipeline:
     def n_repairs(self) -> int:
         return sum(1 for det in self._timeline if det.repaired)
 
+    @property
+    def n_gaps(self) -> int:
+        """Slots covered by an explicit gap marker instead of a verdict."""
+        return sum(1 for det in self._timeline if det.gap)
+
     def detection_stats(self) -> dict[str, Any]:
         """Aggregate detection statistics for the monitoring API."""
         timeline = self._timeline
@@ -191,6 +216,7 @@ class OnlinePipeline:
             "flags_total": int(sum(det.observation for det in timeline)),
             "repairs": self.n_repairs,
             "meters_repaired": int(sum(det.repaired_count for det in timeline)),
+            "gaps": self.n_gaps,
         }
         if self.monitor is not None:
             stats["belief_mean"] = self.monitor.belief_mean
@@ -205,24 +231,72 @@ class OnlinePipeline:
 
     # ------------------------------------------------------------------
     def handle(self, event: StreamEvent) -> SlotDetection | None:
-        """Fold one event into the pipeline state."""
+        """Fold one event into the pipeline state.
+
+        Robustness contract: once a first day is bound, no event — stale,
+        early, duplicated, or field-corrupted — raises.  Unusable slots
+        become explicit gap markers in the timeline instead, so a faulted
+        stream degrades without ever crashing the pump loop.
+        """
         PERF.add("stream.events")
         if isinstance(event, PriceUpdate):
+            current = self.current_day
+            if current is not None and event.day < current:
+                PERF.add("stream.stale_updates")
+                return None
+            if current is None:
+                # First binding: slots before the first bound day were
+                # never observable, so fast-forward rather than gap-fill.
+                self._next_slot = max(self._next_slot, event.day * self.slots_per_day)
+            elif event.day > current:
+                # Readings of skipped/incomplete days can no longer be
+                # processed under their own day's detector.
+                self._flush_through(event.day * self.slots_per_day, reason="dropped")
             self.single_event.start_day(event)
             self._current_update = event
             return None
         if isinstance(event, DayBoundary):
+            if self.current_day is not None and event.day == self.current_day:
+                self._flush_through(
+                    (event.day + 1) * self.slots_per_day, reason="dropped"
+                )
             self._days_completed = max(self._days_completed, event.day + 1)
             return None
         if isinstance(event, MeterReading):
             return self._handle_reading(event)
         raise TypeError(f"not a stream event: {type(event).__name__}")
 
-    def _handle_reading(self, reading: MeterReading) -> SlotDetection:
+    def _handle_reading(self, reading: MeterReading) -> SlotDetection | None:
         if self._current_update is None:
             raise RuntimeError(
                 "no active day: a PriceUpdate must precede the first MeterReading"
             )
+        day_start = self._current_update.day * self.slots_per_day
+        day_end = day_start + self.slots_per_day
+        error = reading.validation_error(
+            horizon=int(self._current_update.clean_prices.size)
+        )
+        if error is not None:
+            PERF.add("stream.faults.rejected")
+            if reading.slot == self._next_slot and day_start <= reading.slot < day_end:
+                # The slot's only reading is unusable: mark it lost.
+                return self._emit_gap(reading.slot, reason="corrupt")
+            return None
+        if reading.slot < self._next_slot:
+            # Duplicate or late straggler for an already-settled slot.
+            PERF.add("stream.stale_readings")
+            return None
+        if reading.slot != self._next_slot:
+            # Early arrival (reordered/delayed): park it until its turn.
+            self._pending[reading.slot] = reading
+            PERF.add("stream.pending_readings")
+            return None
+        detection = self._process_reading(reading)
+        self._drain_pending()
+        return detection
+
+    def _process_reading(self, reading: MeterReading) -> SlotDetection:
+        assert self._current_update is not None
         flags = self.single_event.observe(reading, rng=self.rng)
         observation = int(flags.sum())
         realized = self._realized_grid(reading)
@@ -254,9 +328,61 @@ class OnlinePipeline:
             truth=reading.truth,
         )
         self._timeline.append(detection)
+        self._next_slot = reading.slot + 1
+        self._n_meters = reading.n_meters
         PERF.add("stream.readings")
         PERF.add("stream.flags", observation)
         return detection
+
+    def _drain_pending(self) -> None:
+        """Process parked early arrivals that are now in order."""
+        while self._next_slot in self._pending:
+            self._process_reading(self._pending.pop(self._next_slot))
+
+    def _emit_gap(self, slot: int, *, reason: str) -> SlotDetection:
+        """Record an explicit placeholder for a slot with no usable reading.
+
+        The monitor's belief is deliberately *not* updated — a missing
+        observation carries no evidence, so the posterior holds.
+        """
+        width = self._n_meters
+        if width is None:
+            width = self.monitor.n_meters if self.monitor is not None else 0
+        detection = SlotDetection(
+            slot=slot,
+            day=slot // self.slots_per_day,
+            flags=np.zeros(width, dtype=bool),
+            observation=0,
+            action=None,
+            belief_mean=None,
+            repaired=False,
+            repaired_count=0,
+            realized_grid=None,
+            truth=None,
+            gap=True,
+            gap_reason=reason,
+        )
+        self._timeline.append(detection)
+        self._next_slot = slot + 1
+        PERF.add("stream.gaps")
+        return detection
+
+    def _flush_through(self, end_slot: int, *, reason: str) -> None:
+        """Settle every slot below ``end_slot``: parked readings are
+        processed, the rest become gap markers."""
+        while self._next_slot < end_slot:
+            parked = self._pending.pop(self._next_slot, None)
+            if parked is not None:
+                self._process_reading(parked)
+                self._drain_pending()
+            else:
+                self._emit_gap(self._next_slot, reason=reason)
+        if self._pending:
+            self._pending = {
+                slot: reading
+                for slot, reading in sorted(self._pending.items())
+                if slot >= end_slot
+            }
 
     def _realized_grid(self, reading: MeterReading) -> float | None:
         """Realized grid demand: benign response plus hacked-share deltas.
@@ -281,7 +407,8 @@ class OnlinePipeline:
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, Any]:
-        """JSON-serializable runtime state (day binding, monitor, timeline)."""
+        """JSON-serializable runtime state (day binding, monitor, timeline,
+        slot cursor and parked readings)."""
         return {
             "current_update": (
                 None
@@ -291,6 +418,12 @@ class OnlinePipeline:
             "days_completed": self._days_completed,
             "monitor": None if self.monitor is None else self.monitor.state_dict(),
             "timeline": [det.to_dict() for det in self._timeline],
+            "next_slot": self._next_slot,
+            "pending": [
+                event_to_dict(reading)
+                for _, reading in sorted(self._pending.items())
+            ],
+            "n_meters": self._n_meters,
         }
 
     def load_state(self, state: dict[str, Any]) -> None:
@@ -308,6 +441,19 @@ class OnlinePipeline:
         if self.monitor is not None and state["monitor"] is not None:
             self.monitor.load_state(state["monitor"])
         self._timeline = [SlotDetection.from_dict(det) for det in state["timeline"]]
+        # Pre-robustness checkpoints lack the cursor fields; derive them.
+        self._next_slot = int(state.get("next_slot", len(self._timeline)))
+        pending: dict[int, MeterReading] = {}
+        for payload in state.get("pending", []):
+            event = event_from_dict(payload)
+            if not isinstance(event, MeterReading):
+                raise ValueError("pending entries must be meter_reading events")
+            pending[event.slot] = event
+        self._pending = pending
+        n_meters = state.get("n_meters")
+        if n_meters is None and self._timeline:
+            n_meters = int(self._timeline[-1].flags.size)
+        self._n_meters = None if n_meters is None else int(n_meters)
 
 
 class StreamEngine:
@@ -329,13 +475,20 @@ class StreamEngine:
         build_spec: dict[str, Any] | None = None,
         tp_rate: float = 0.0,
         fp_rate: float = 0.0,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] | None = None,
     ) -> None:
         self.source = source
         self.pipeline = pipeline
         self.rng = rng
-        self.build_spec = build_spec
+        self.build_spec = build_spec  # repro: noqa[CKPT001] persisted as the checkpoint's build section
         self.tp_rate = tp_rate
         self.fp_rate = fp_rate
+        # Backoff sleeping is injected (the service passes time.sleep);
+        # by default a stalled poll retries immediately, which keeps the
+        # engine wall-clock-free and chaos tests instant.
+        self.retry = retry  # repro: noqa[CKPT001] re-derived from the build spec's fault plan on resume
+        self._sleep = sleep
         self._events_processed = 0
         if pipeline.repair_hook is None:
             pipeline.repair_hook = source.apply_repair
@@ -371,8 +524,16 @@ class StreamEngine:
         *,
         max_events: int | None = None,
         until_day: int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> list[SlotDetection]:
         """Pump events until the source dries up (or a bound is hit).
+
+        A poll that yields no event from a non-exhausted source (a
+        stalled feed) is retried under the engine's
+        :class:`~repro.core.config.RetryPolicy` — per-call ``retry``
+        overrides the engine default.  The retry budget resets on every
+        successful delivery; when it runs out the run stops cleanly
+        (``stream.stalls_aborted`` perf counter) rather than raising.
 
         Parameters
         ----------
@@ -381,29 +542,75 @@ class StreamEngine:
             points in tests).
         until_day:
             Stop once ``until_day`` full days have been completed.
+        retry:
+            Stall policy for this call only.
 
         Returns
         -------
-        The verdicts produced by *this* call (the full history stays on
-        :attr:`timeline`).
+        The verdicts appended by *this* call, gap markers included (the
+        full history stays on :attr:`timeline`).
         """
         if max_events is not None and max_events < 0:
             raise ValueError(f"max_events must be >= 0, got {max_events}")
-        produced: list[SlotDetection] = []
+        policy = retry if retry is not None else self.retry
+        start = self.pipeline.n_slots_processed
         pumped = 0
+        stalls = 0
         while True:
             if max_events is not None and pumped >= max_events:
                 break
             if until_day is not None and self.pipeline.days_completed >= until_day:
                 break
             before = self._events_processed
-            detection = self.step()
-            if self._events_processed == before:  # source exhausted
-                break
+            self.step()
+            if self._events_processed == before:
+                if self.exhausted or policy is None:
+                    break
+                stalls += 1
+                PERF.add("stream.stalls")
+                if stalls > policy.max_retries:
+                    PERF.add("stream.stalls_aborted")
+                    break
+                if self._sleep is not None:
+                    delay = policy.delay(stalls)
+                    if delay > 0.0:
+                        self._sleep(delay)
+                continue
+            stalls = 0
             pumped += 1
-            if detection is not None:
-                produced.append(detection)
-        return produced
+        return list(self.pipeline.timeline[start:])
+
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Wrap the engine's source in a seeded fault injector.
+
+        Re-installing replaces any previous injector (the clean source
+        is unwrapped first, never stacked).  The repair feedback edge is
+        rewired through the injector, the plan is recorded in
+        ``build_spec`` so checkpoints resume faulted, and — when the
+        plan can stall the feed and no policy is set — a default retry
+        policy sized to ``max_stall`` is installed.
+        """
+        from repro.faults.injector import FaultInjector
+
+        source = self.source
+        if isinstance(source, FaultInjector):
+            source = source.source
+        injector = FaultInjector(source, plan)
+        self.source = injector
+        self.pipeline.repair_hook = injector.apply_repair
+        if self.build_spec is not None:
+            self.build_spec["faults"] = plan.to_dict()
+        if self.retry is None and plan.stall_prob > 0.0:
+            self.retry = RetryPolicy(max_retries=plan.max_stall + 4)
+        return injector
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The active injector, or ``None`` when the source is clean."""
+        from repro.faults.injector import FaultInjector
+
+        return self.source if isinstance(self.source, FaultInjector) else None
 
     # ------------------------------------------------------------------
     def result(self, *, slots_per_day: int | None = None) -> ScenarioResult:
@@ -418,6 +625,11 @@ class StreamEngine:
         for i, det in enumerate(timeline):
             if det.slot != i:
                 raise RuntimeError(f"timeline gap: expected slot {i}, got {det.slot}")
+            if det.gap:
+                raise RuntimeError(
+                    f"slot {i} is a gap marker ({det.gap_reason}); a degraded "
+                    "timeline cannot be assembled into a ScenarioResult"
+                )
             if det.truth is None or det.realized_grid is None:
                 raise RuntimeError(
                     "timeline is not truth-scored; ScenarioResult needs a replay engine"
@@ -475,6 +687,8 @@ def build_replay_engine(
     calibration_trials: int = 30,
     seed: int | None = None,
     cache: GameSolutionCache | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StreamEngine:
     """Scenario-equivalent streaming engine.
 
@@ -482,7 +696,9 @@ def build_replay_engine(
     reproduces :func:`~repro.simulation.scenario.run_long_term_scenario`
     bit for bit (same flags, observations, repair actions and realized
     grid) — the equivalence test in ``tests/test_stream_equivalence.py``
-    asserts exactly that.
+    asserts exactly that.  Passing ``faults`` wraps the source in a
+    seeded :class:`~repro.faults.injector.FaultInjector` (see
+    :meth:`StreamEngine.install_faults`).
     """
     world = build_replay_world(
         config,
@@ -520,14 +736,18 @@ def build_replay_engine(
         "calibration_trials": calibration_trials,
         "seed": seed,
     }
-    return StreamEngine(
+    engine = StreamEngine(
         source,
         pipeline,
         rng=world.rng,
         build_spec=build_spec,
         tp_rate=world.tp_rate,
         fp_rate=world.fp_rate,
+        retry=retry,
     )
+    if faults is not None:
+        engine.install_faults(faults)
+    return engine
 
 
 def build_synthetic_engine(
@@ -542,6 +762,8 @@ def build_synthetic_engine(
     detector: DetectorKind = "aware",
     seed: int = 0,
     cache: GameSolutionCache | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StreamEngine:
     """Lightweight scripted engine for the service layer and examples.
 
@@ -625,14 +847,18 @@ def build_synthetic_engine(
         "detector": detector,
         "seed": seed,
     }
-    return StreamEngine(
+    engine = StreamEngine(
         source,
         pipeline,
         rng=pipeline.rng,
         build_spec=build_spec,
         tp_rate=tp_rate if detector != "none" else 0.0,
         fp_rate=fp_rate if detector != "none" else 0.0,
+        retry=retry,
     )
+    if faults is not None:
+        engine.install_faults(faults)
+    return engine
 
 
 def default_synthetic_attack(slots_per_day: int, strength: float) -> PeakIncreaseAttack:

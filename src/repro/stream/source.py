@@ -56,7 +56,13 @@ from repro.stream.events import DayBoundary, MeterReading, PriceUpdate, StreamEv
 
 
 class EventSource(Protocol):
-    """What the stream engine pumps: an ordered, resumable event feed."""
+    """What the stream engine pumps: an ordered, resumable event feed.
+
+    ``next_event`` may return ``None`` for a *non*-exhausted source (a
+    stalled feed — see :class:`repro.faults.injector.FaultInjector`);
+    the engine distinguishes the two via ``exhausted`` and retries
+    stalls under its :class:`~repro.core.config.RetryPolicy`.
+    """
 
     def next_event(self) -> StreamEvent | None: ...
 
@@ -65,6 +71,9 @@ class EventSource(Protocol):
     def state_dict(self) -> dict[str, Any]: ...
 
     def load_state(self, state: dict[str, Any]) -> None: ...
+
+    @property
+    def exhausted(self) -> bool: ...
 
 
 @dataclass

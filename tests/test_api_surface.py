@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.prediction",
     "repro.attacks",
     "repro.detection",
+    "repro.faults",
     "repro.simulation",
     "repro.stream",
     "repro.service",

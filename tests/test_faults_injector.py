@@ -1,0 +1,234 @@
+"""Unit tests for the event-stream fault injector (scripted source)."""
+
+import json
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.stream.events import (
+    DayBoundary,
+    MeterReading,
+    PriceUpdate,
+    event_to_dict,
+)
+
+
+class ScriptedSource:
+    """Minimal EventSource: replays a fixed event list, counts repairs."""
+
+    def __init__(self, events):
+        self.events = list(events)
+        self.cursor = 0
+        self.repairs = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor >= len(self.events)
+
+    def next_event(self):
+        if self.exhausted:
+            return None
+        event = self.events[self.cursor]
+        self.cursor += 1
+        return event
+
+    def apply_repair(self) -> int:
+        self.repairs += 1
+        return 1
+
+    def state_dict(self) -> dict[str, Any]:
+        return {"cursor": self.cursor, "repairs": self.repairs}
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.cursor = int(state["cursor"])
+        self.repairs = int(state["repairs"])
+
+
+def day_events(day: int, *, slots_per_day: int = 6, n_meters: int = 3):
+    """One day's worth of events: update, readings, boundary."""
+    prices = np.linspace(1.0, 2.0, slots_per_day)
+    events = [PriceUpdate(day=day, clean_prices=prices, predicted_prices=prices)]
+    for s in range(slots_per_day):
+        slot = day * slots_per_day + s
+        received = np.tile(prices, (n_meters, 1)) + 0.01 * slot
+        events.append(MeterReading(slot=slot, received=received))
+    events.append(DayBoundary(day=day))
+    return events
+
+
+def pump(injector: FaultInjector, *, max_polls: int = 10_000):
+    """Drain the injector, recording delivered events (None polls skipped)."""
+    delivered = []
+    for _ in range(max_polls):
+        if injector.exhausted:
+            break
+        event = injector.next_event()
+        if event is not None:
+            delivered.append(event)
+    assert injector.exhausted, "injector did not drain within the poll budget"
+    return delivered
+
+
+def stream(n_days: int = 2):
+    events = []
+    for day in range(n_days):
+        events.extend(day_events(day))
+    return events
+
+
+class TestNoopAndDeterminism:
+    def test_noop_plan_passes_stream_through_unchanged(self):
+        events = stream()
+        delivered = pump(FaultInjector(ScriptedSource(events), FaultPlan()))
+        assert [event_to_dict(e) for e in delivered] == [
+            event_to_dict(e) for e in events
+        ]
+
+    def test_same_seed_means_identical_fault_pattern(self):
+        plan = FaultPlan(
+            seed=7,
+            drop_prob=0.2,
+            duplicate_prob=0.2,
+            reorder_prob=0.2,
+            delay_prob=0.2,
+            corrupt_prob=0.2,
+            stall_prob=0.3,
+        )
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(ScriptedSource(stream()), plan)
+            runs.append(
+                (
+                    # json text, not dicts: NaN-corrupted cells must
+                    # compare equal to themselves across runs
+                    [json.dumps(event_to_dict(e)) for e in pump(injector)],
+                    dict(injector.counts),
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seed_changes_the_pattern(self):
+        plan = FaultPlan(seed=1, drop_prob=0.5)
+        a = pump(FaultInjector(ScriptedSource(stream()), plan))
+        b = pump(
+            FaultInjector(ScriptedSource(stream()), plan.with_updates(seed=2))
+        )
+        assert [event_to_dict(e) for e in a] != [event_to_dict(e) for e in b]
+
+
+class TestFaultFamilies:
+    def test_drop_removes_readings_only(self):
+        injector = FaultInjector(ScriptedSource(stream()), FaultPlan(drop_prob=1.0))
+        delivered = pump(injector)
+        assert not any(isinstance(e, MeterReading) for e in delivered)
+        # Structure events always survive.
+        assert sum(isinstance(e, PriceUpdate) for e in delivered) == 2
+        assert sum(isinstance(e, DayBoundary) for e in delivered) == 2
+        assert injector.counts["drop"] == 12
+
+    def test_duplicate_delivers_replica_immediately_after(self):
+        injector = FaultInjector(
+            ScriptedSource(stream(1)), FaultPlan(duplicate_prob=1.0)
+        )
+        delivered = pump(injector)
+        readings = [e for e in delivered if isinstance(e, MeterReading)]
+        assert [r.slot for r in readings] == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5]
+        assert injector.counts["duplicate"] == 6
+
+    def test_corrupt_always_fails_validation(self):
+        injector = FaultInjector(
+            ScriptedSource(stream(1)), FaultPlan(corrupt_prob=1.0)
+        )
+        for event in pump(injector):
+            if isinstance(event, MeterReading):
+                assert event.validation_error() is not None
+        assert injector.counts["corrupt"] == 6
+
+    def test_reorder_swaps_adjacent_readings(self):
+        injector = FaultInjector(
+            ScriptedSource(stream(1)), FaultPlan(reorder_prob=1.0)
+        )
+        delivered = pump(injector)
+        slots = [e.slot for e in delivered if isinstance(e, MeterReading)]
+        assert sorted(slots) == list(range(6))
+        assert slots != list(range(6))
+        # A reading never crosses a day-structure event.
+        kinds = [type(e).__name__ for e in delivered]
+        assert kinds[0] == "PriceUpdate" and kinds[-1] == "DayBoundary"
+
+    def test_delay_holds_readings_but_loses_none(self):
+        injector = FaultInjector(
+            ScriptedSource(stream(1)), FaultPlan(delay_prob=1.0, max_delay=3)
+        )
+        delivered = pump(injector)
+        slots = sorted(e.slot for e in delivered if isinstance(e, MeterReading))
+        assert slots == list(range(6))
+        assert injector.counts["delay"] == 6
+
+    def test_stall_emits_empty_polls_then_the_update(self):
+        injector = FaultInjector(
+            ScriptedSource(stream(1)), FaultPlan(stall_prob=1.0, max_stall=3)
+        )
+        polls = []
+        while not injector.exhausted:
+            polls.append(injector.next_event())
+        assert None in polls  # at least one stalled poll
+        updates = [e for e in polls if isinstance(e, PriceUpdate)]
+        assert len(updates) == 1  # the update still arrives exactly once
+        assert injector.counts["stall"] == 1
+
+
+class TestInjectorCheckpoint:
+    def test_state_round_trips_mid_stream(self):
+        plan = FaultPlan(
+            seed=13,
+            drop_prob=0.15,
+            duplicate_prob=0.15,
+            reorder_prob=0.15,
+            delay_prob=0.15,
+            corrupt_prob=0.15,
+            stall_prob=0.2,
+        )
+        reference = FaultInjector(ScriptedSource(stream()), plan)
+        expected = [
+            None if e is None else json.dumps(event_to_dict(e))
+            for e in _poll_all(reference)
+        ]
+
+        probe = FaultInjector(ScriptedSource(stream()), plan)
+        head = [probe.next_event() for _ in range(9)]
+        state = probe.state_dict()
+        resumed = FaultInjector(ScriptedSource(stream()), plan)
+        resumed.load_state(state)
+        tail = _poll_all(resumed)
+        got = [
+            None if e is None else json.dumps(event_to_dict(e))
+            for e in head + tail
+        ]
+        assert got == expected
+
+    def test_load_rejects_plan_mismatch(self):
+        a = FaultInjector(ScriptedSource(stream()), FaultPlan(drop_prob=0.5))
+        state = a.state_dict()
+        b = FaultInjector(ScriptedSource(stream()), FaultPlan(drop_prob=0.4))
+        with pytest.raises(ValueError, match="fault plan differs"):
+            b.load_state(state)
+
+    def test_load_rejects_foreign_state(self):
+        injector = FaultInjector(ScriptedSource(stream()), FaultPlan())
+        with pytest.raises(ValueError, match="not a fault-injector state"):
+            injector.load_state({"kind": "synthetic"})
+
+
+def _poll_all(injector: FaultInjector, *, max_polls: int = 10_000):
+    """Every poll result (including None stalls) until exhaustion."""
+    polls = []
+    for _ in range(max_polls):
+        if injector.exhausted:
+            break
+        polls.append(injector.next_event())
+    assert injector.exhausted
+    return polls

@@ -1,0 +1,87 @@
+"""Golden-master regression: fresh runs must match the committed digests.
+
+The committed fixture under ``tests/golden/`` pins every number the
+smoke preset produces for the fig3–fig6/table1 pipeline.  Any silent
+behaviour drift — pricing, prediction, game solving, detection,
+streaming replay — shows up here as a named leaf diff.  After an
+*intentional* change, regenerate with ``make refresh-golden`` and commit
+the new fixture alongside the change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.presets import smoke_preset
+from repro.reporting.golden import (
+    GOLDEN_FORMAT,
+    GOLDEN_VERSION,
+    compute_golden_digests,
+    diff_digests,
+    load_golden_digests,
+    write_golden_digests,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+class TestSmokeFixture:
+    def test_fixture_is_committed_and_well_formed(self):
+        fixture = load_golden_digests(GOLDEN_DIR / "smoke_digests.json")
+        assert fixture["format"] == GOLDEN_FORMAT
+        assert fixture["version"] == GOLDEN_VERSION
+        assert set(fixture["scenarios"]) == {"none", "unaware", "aware"}
+        for digest in fixture["scenarios"].values():
+            assert len(digest["flags_sha256"]) == 64
+
+    def test_fresh_run_matches_committed_digests(self):
+        """The headline regression gate: recompute everything, diff."""
+        expected = load_golden_digests(GOLDEN_DIR / "smoke_digests.json")
+        actual = compute_golden_digests(smoke_preset())
+        diffs = diff_digests(expected, actual)
+        assert not diffs, (
+            "golden drift (run `make refresh-golden` only if intentional):\n"
+            + "\n".join(diffs)
+        )
+
+
+class TestDigestIo:
+    def test_write_load_round_trip(self, tmp_path):
+        digests = {"format": GOLDEN_FORMAT, "version": GOLDEN_VERSION, "x": 1.25}
+        path = write_golden_digests(digests, tmp_path / "d.json")
+        assert load_golden_digests(path) == digests
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else", "version": 1}')
+        with pytest.raises(ValueError, match="not a golden digest file"):
+            load_golden_digests(path)
+
+    def test_load_rejects_version_skew(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(f'{{"format": "{GOLDEN_FORMAT}", "version": 99}}')
+        with pytest.raises(ValueError, match="version"):
+            load_golden_digests(path)
+
+
+class TestDiffDigests:
+    def test_equal_documents_diff_empty(self):
+        doc = {"a": 1, "nested": {"b": "x"}}
+        assert diff_digests(doc, doc) == []
+
+    def test_leaf_change_is_named_with_full_path(self):
+        diffs = diff_digests(
+            {"scenarios": {"aware": {"mean_par": 1.0}}},
+            {"scenarios": {"aware": {"mean_par": 2.0}}},
+        )
+        assert diffs == ["scenarios.aware.mean_par: expected 1.0, got 2.0"]
+
+    def test_missing_and_unexpected_entries_reported(self):
+        diffs = diff_digests({"gone": 1}, {"new": 2})
+        assert any("gone: missing" in d for d in diffs)
+        assert any("new: unexpected" in d for d in diffs)
+
+    def test_type_change_dict_vs_scalar_is_a_diff(self):
+        assert diff_digests({"a": {"b": 1}}, {"a": 5}) == [
+            "a: expected {'b': 1}, got 5"
+        ]

@@ -1,0 +1,295 @@
+"""Chaos suite: every built-in fault plan against live engines.
+
+The acceptance contract for the fault-injection harness:
+
+- no exception ever escapes ``StreamEngine.run`` under any built-in
+  plan — the engine recovers bitwise-identically to the clean run for
+  lossless plans, and emits explicit gap markers otherwise;
+- an identical fault seed produces an identical outcome;
+- checkpoint/resume under injected faults stays bitwise identical;
+- damaged checkpoint files fail loudly with ``CheckpointError``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    RetryPolicy,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.faults import FaultPlan, bitflip_file, builtin_plan, truncate_file
+from repro.faults.plan import BUILTIN_PLANS
+from repro.simulation.cache import GameSolutionCache
+from repro.stream.checkpoint import (
+    CheckpointError,
+    resume_engine,
+    save_checkpoint,
+)
+from repro.stream.pipeline import build_replay_engine, build_synthetic_engine
+
+N_DAYS = 2
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> CommunityConfig:
+    return CommunityConfig(
+        n_customers=6,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=12, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def replay_config(tiny_config) -> CommunityConfig:
+    # The replay path samples the default hacking window, which needs a
+    # full 24-slot day.
+    import dataclasses
+
+    return dataclasses.replace(tiny_config, time=TimeGrid(slots_per_day=24, n_days=1))
+
+
+@pytest.fixture(scope="module")
+def cache() -> GameSolutionCache:
+    return GameSolutionCache()
+
+
+def synthetic(tiny_config, cache, *, detector="aware", faults=None, retry=None):
+    return build_synthetic_engine(
+        tiny_config,
+        n_days=N_DAYS,
+        attack_days=(0, 1),
+        detector=detector,
+        cache=cache,
+        faults=faults,
+        retry=retry,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_timeline(tiny_config, cache):
+    engine = synthetic(tiny_config, cache)
+    engine.run()
+    return [det.to_dict() for det in engine.timeline]
+
+
+class TestBuiltinPlansRecoverOrGap:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_PLANS))
+    def test_no_exception_and_recover_or_gap(
+        self, name, tiny_config, cache, clean_timeline
+    ):
+        """The headline chaos contract, per built-in plan."""
+        plan = builtin_plan(name, seed=101)
+        engine = synthetic(tiny_config, cache, faults=plan)
+        engine.run()  # must not raise
+        timeline = [det.to_dict() for det in engine.timeline]
+        slots = [det["slot"] for det in timeline]
+        assert slots == list(range(N_DAYS * 12)), f"{name}: timeline has holes"
+        if plan.is_lossless:
+            assert timeline == clean_timeline, (
+                f"{name}: lossless plan must recover bitwise"
+            )
+        else:
+            gaps = [det for det in timeline if det.get("gap")]
+            clean_slots = [det for det in timeline if not det.get("gap")]
+            for det in gaps:
+                assert det["gap_reason"] in ("dropped", "corrupt")
+                assert det["observation"] == 0
+            # Non-gap verdicts are real detections over the full fleet.
+            for det in clean_slots:
+                assert len(det["flags"]) == 4
+        assert engine.pipeline.days_completed == N_DAYS
+
+    def test_reorder_is_bitwise_without_repair_feedback(self, tiny_config, cache):
+        """Reorder is lossless when no repair can land inside the swap
+        window (detector="none" has no feedback edge)."""
+        reference = synthetic(tiny_config, cache, detector="none")
+        reference.run()
+        engine = synthetic(
+            tiny_config,
+            cache,
+            detector="none",
+            faults=builtin_plan("reorder", seed=3),
+        )
+        engine.run()
+        assert [d.to_dict() for d in engine.timeline] == [
+            d.to_dict() for d in reference.timeline
+        ]
+        assert engine.fault_injector.counts.get("reorder", 0) > 0
+
+
+class TestSeedDeterminism:
+    def test_identical_fault_seed_identical_outcome(self, tiny_config, cache):
+        outcomes = []
+        for _ in range(2):
+            engine = synthetic(
+                tiny_config, cache, faults=builtin_plan("chaos", seed=77)
+            )
+            engine.run()
+            outcomes.append(
+                (
+                    [d.to_dict() for d in engine.timeline],
+                    dict(engine.fault_injector.counts),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_fault_seed_changes_outcome(self, tiny_config, cache):
+        timelines = []
+        for seed in (77, 78):
+            engine = synthetic(
+                tiny_config, cache, faults=builtin_plan("chaos", seed=seed)
+            )
+            engine.run()
+            timelines.append([d.to_dict() for d in engine.timeline])
+        assert timelines[0] != timelines[1]
+
+
+class TestCheckpointUnderFaults:
+    def test_resume_is_bitwise_identical(self, tiny_config, cache, tmp_path):
+        plan = builtin_plan("chaos", seed=21)
+        reference = synthetic(tiny_config, cache, faults=plan)
+        reference.run()
+        expected = [d.to_dict() for d in reference.timeline]
+
+        rng = np.random.default_rng(5)
+        for cut in sorted(set(rng.integers(1, 24, size=4).tolist())):
+            engine = synthetic(tiny_config, cache, faults=plan)
+            engine.run(max_events=cut)
+            path = tmp_path / f"chaos-cut{cut}.json"
+            save_checkpoint(engine, path)
+            resumed = resume_engine(path, cache=cache)
+            assert resumed.fault_injector is not None
+            assert resumed.fault_injector.plan == plan
+            resumed.run()
+            got = [d.to_dict() for d in resumed.timeline]
+            assert got == expected, f"divergence after resume at event {cut}"
+
+
+class TestStallHandling:
+    def test_exhausted_retry_budget_stops_cleanly(self, tiny_config, cache):
+        """With a zero-retry policy, a stalled feed aborts the run —
+        without an exception — and a later run() call finishes the job."""
+        engine = synthetic(
+            tiny_config,
+            cache,
+            faults=FaultPlan(seed=1, stall_prob=1.0, max_stall=3),
+        )
+        engine.retry = RetryPolicy(max_retries=0)
+        engine.run()  # must not raise
+        assert not engine.exhausted  # gave up mid-stream on the first stall
+        engine.retry = RetryPolicy(max_retries=8)
+        engine.run()
+        assert engine.exhausted
+        assert engine.pipeline.n_slots_processed == N_DAYS * 12
+
+    def test_default_retry_policy_absorbs_stalls(self, tiny_config, cache):
+        """install_faults sizes a retry policy from max_stall, so a
+        stall-only plan completes in one run() call, bitwise clean."""
+        reference = synthetic(tiny_config, cache)
+        reference.run()
+        engine = synthetic(
+            tiny_config,
+            cache,
+            faults=FaultPlan(seed=2, stall_prob=1.0, max_stall=3),
+        )
+        assert engine.retry is not None
+        engine.run()
+        assert engine.exhausted
+        assert [d.to_dict() for d in engine.timeline] == [
+            d.to_dict() for d in reference.timeline
+        ]
+
+
+class TestCheckpointCorruption:
+    def _checkpoint(self, tiny_config, cache, tmp_path):
+        engine = synthetic(
+            tiny_config, cache, faults=builtin_plan("chaos", seed=33)
+        )
+        engine.run(max_events=10)
+        return save_checkpoint(engine, tmp_path / "victim.json")
+
+    def test_control_resume_works_before_damage(
+        self, tiny_config, cache, tmp_path
+    ):
+        path = self._checkpoint(tiny_config, cache, tmp_path)
+        assert resume_engine(path, cache=cache).events_processed == 10
+
+    def test_truncated_checkpoint_fails_loudly(self, tiny_config, cache, tmp_path):
+        path = self._checkpoint(tiny_config, cache, tmp_path)
+        truncate_file(path, keep_fraction=0.6)
+        with pytest.raises(CheckpointError):
+            resume_engine(path, cache=cache)
+
+    def test_bitflipped_header_fails_loudly(self, tiny_config, cache, tmp_path):
+        path = self._checkpoint(tiny_config, cache, tmp_path)
+        # Flip inside the leading format marker so either JSON decoding
+        # or the format check must reject the file.
+        bitflip_file(path, np.random.default_rng(0), lo=2, hi=24)
+        with pytest.raises(CheckpointError):
+            resume_engine(path, cache=cache)
+
+    def test_missing_checkpoint_fails_loudly(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            resume_engine(tmp_path / "never-written.json")
+
+
+class TestReplayChaos:
+    def test_replay_engine_survives_chaos(self, replay_config, cache):
+        """The scenario-replay engine (shared RNG, repair feedback)
+        degrades gracefully under the mixed plan too."""
+        engine = build_replay_engine(
+            replay_config,
+            detector="aware",
+            n_slots=24,
+            calibration_trials=5,
+            cache=cache,
+            faults=builtin_plan("chaos", seed=55),
+        )
+        engine.run()
+        slots = [det.slot for det in engine.timeline]
+        assert slots == list(range(24))
+        assert engine.pipeline.n_gaps > 0
+        with pytest.raises(RuntimeError, match="gap marker"):
+            engine.result()
+
+    def test_replay_lossless_plan_matches_clean(self, replay_config, cache):
+        clean = build_replay_engine(
+            replay_config,
+            detector="aware",
+            n_slots=24,
+            calibration_trials=5,
+            cache=cache,
+        )
+        clean.run()
+        faulted = build_replay_engine(
+            replay_config,
+            detector="aware",
+            n_slots=24,
+            calibration_trials=5,
+            cache=cache,
+            faults=FaultPlan(seed=8, duplicate_prob=0.3, stall_prob=0.3),
+        )
+        faulted.run()
+        assert [d.to_dict() for d in faulted.timeline] == [
+            d.to_dict() for d in clean.timeline
+        ]

@@ -1,0 +1,152 @@
+"""Property-style invariants for checkpoint/resume under random faults.
+
+A seeded sweep over 50+ randomly drawn fault plans and cut points
+asserts the harness's core guarantees on every draw:
+
+- cutting a run at an arbitrary event, checkpointing, and resuming
+  reproduces the uninterrupted run bitwise;
+- the timeline always covers every slot exactly once, in order;
+- lossless plans reproduce the clean timeline bitwise.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.faults import FaultPlan
+from repro.simulation.cache import GameSolutionCache
+from repro.stream.checkpoint import resume_engine, save_checkpoint
+from repro.stream.pipeline import build_synthetic_engine
+
+N_DAYS = 2
+SLOTS_PER_DAY = 12
+N_TRIALS = 52
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> CommunityConfig:
+    return CommunityConfig(
+        n_customers=6,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=SLOTS_PER_DAY, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def cache() -> GameSolutionCache:
+    return GameSolutionCache()
+
+
+@pytest.fixture(scope="module")
+def clean_text(tiny_config, cache) -> list[str]:
+    engine = _engine(tiny_config, cache, None)
+    engine.run()
+    return _timeline_text(engine)
+
+
+def _engine(config, cache, faults):
+    return build_synthetic_engine(
+        config,
+        n_days=N_DAYS,
+        attack_days=(0, 1),
+        detector="aware",
+        cache=cache,
+        faults=faults,
+    )
+
+
+def _timeline_text(engine) -> list[str]:
+    # json text, not dicts: NaN never reaches the timeline, but text
+    # comparison keeps the assertion robust if a float repr ever drifts.
+    return [json.dumps(det.to_dict(), sort_keys=True) for det in engine.timeline]
+
+
+def _random_plan(rng: np.random.Generator) -> FaultPlan:
+    """One random plan; probabilities kept small enough that most slots
+    still process, which keeps cut points meaningful."""
+    probs = rng.uniform(0.0, 0.25, size=6) * (rng.random(6) < 0.6)
+    return FaultPlan(
+        seed=int(rng.integers(0, 2**31)),
+        drop_prob=float(probs[0]),
+        duplicate_prob=float(probs[1]),
+        reorder_prob=float(probs[2]),
+        delay_prob=float(probs[3]),
+        max_delay=int(rng.integers(1, 4)),
+        corrupt_prob=float(probs[4]),
+        stall_prob=float(probs[5]),
+        max_stall=int(rng.integers(1, 4)),
+    )
+
+
+def test_cut_checkpoint_resume_equals_full_run(
+    tiny_config, cache, clean_text, tmp_path
+):
+    rng = np.random.default_rng(2026)
+    for trial in range(N_TRIALS):
+        plan = _random_plan(rng)
+        label = f"trial {trial}: {plan.to_dict()}"
+
+        full = _engine(tiny_config, cache, plan)
+        full.run()
+        expected = _timeline_text(full)
+
+        slots = [det.slot for det in full.timeline]
+        assert slots == list(range(N_DAYS * SLOTS_PER_DAY)), label
+
+        if plan.is_lossless:
+            assert expected == clean_text, f"{label}: lossless must match clean"
+
+        # Cut somewhere strictly inside the run, checkpoint, resume.
+        cut = int(rng.integers(1, max(2, full.events_processed)))
+        head = _engine(tiny_config, cache, plan)
+        head.run(max_events=cut)
+        path = tmp_path / f"trial-{trial}.json"
+        save_checkpoint(head, path)
+        resumed = resume_engine(path, cache=cache)
+        resumed.run()
+        assert _timeline_text(resumed) == expected, (
+            f"{label}: resume at event {cut} diverged"
+        )
+        path.unlink()
+
+
+def test_double_cut_still_converges(tiny_config, cache, tmp_path):
+    """Checkpointing twice along the same run changes nothing."""
+    rng = np.random.default_rng(7)
+    plan = _random_plan(rng)
+    full = _engine(tiny_config, cache, plan)
+    full.run()
+    expected = _timeline_text(full)
+
+    engine = _engine(tiny_config, cache, plan)
+    for stage, cut in enumerate((5, 9)):
+        engine.run(max_events=cut)
+        path = tmp_path / f"stage-{stage}.json"
+        save_checkpoint(engine, path)
+        engine = resume_engine(path, cache=cache)
+    engine.run()
+    assert _timeline_text(engine) == expected
