@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint typecheck coverage refresh-golden bench bench-quick figures stream-smoke
+.PHONY: test lint typecheck coverage refresh-golden bench bench-quick figures stream-smoke obs-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -54,3 +54,12 @@ figures:
 # Pump a short synthetic detection stream end to end (CI smoke).
 stream-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro stream --preset smoke --days 2
+
+# Traced stream run + artifact validation (CI's obs-smoke job): writes
+# trace.json (open in Perfetto) and audit.jsonl, then checks the trace
+# shape, the audit schema, and a Prometheus render/parse round trip.
+obs-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro stream --preset smoke --days 2 \
+		--trace-out trace.json --audit audit.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/validate_obs.py \
+		--trace trace.json --audit audit.jsonl

@@ -1,0 +1,155 @@
+"""Validate observability artifacts produced by a traced stream run.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_obs.py \
+        --trace trace.json --audit audit.jsonl
+
+Three independent checks (all run; first failure reported per check):
+
+1. **Trace JSON** — Chrome trace-event object format: a ``traceEvents``
+   list opening with one ``M`` process-name metadata event, followed by
+   only ``X`` complete events with non-negative ``ts``/``dur`` and the
+   span-id correlation args, plus the run manifest in ``metadata``.
+2. **Audit JSONL** — every line parses and carries the versioned
+   ``repro-audit-record`` envelope with a known ``kind`` and the
+   kind's required evidence fields.
+3. **Prometheus round trip** — in-process: exercise a fresh
+   ``PerfRegistry``, render it with :func:`render_prometheus`, and
+   re-parse with :func:`parse_prometheus_text` (the strict parser CI
+   relies on to reject malformed expositions).
+
+Exit code 0 only when every requested check passes — CI's ``obs-smoke``
+job runs this right after ``repro stream --trace --audit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.audit import load_audit_jsonl  # noqa: E402
+from repro.obs.prometheus import (  # noqa: E402
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.perf.counters import PerfRegistry  # noqa: E402
+
+REQUIRED_SPANS = {"stream.run", "stream.day", "stream.slot", "detector.update"}
+AUDIT_REQUIRED = {"format", "version", "kind", "slot", "day", "observation"}
+AUDIT_KINDS = {"detection", "gap"}
+
+
+def validate_trace(path: Path) -> list[str]:
+    """Return a list of problems with a Chrome trace-event export."""
+    problems: list[str] = []
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace JSON: {exc}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    if "run_id" not in doc.get("metadata", {}):
+        problems.append("metadata.run_id missing (no run manifest?)")
+    if events[0].get("ph") != "M":
+        problems.append("first event is not the process_name metadata event")
+    for i, event in enumerate(events[1:], start=1):
+        if event.get("ph") != "X":
+            problems.append(f"event {i}: ph={event.get('ph')!r}, expected 'X'")
+        elif event.get("ts", -1) < 0 or event.get("dur", -1) < 0:
+            problems.append(f"event {i} ({event.get('name')}): negative ts/dur")
+        elif "span_id" not in event.get("args", {}):
+            problems.append(f"event {i} ({event.get('name')}): no span_id arg")
+        if problems:
+            break  # one representative failure is enough
+    missing = REQUIRED_SPANS - {event.get("name") for event in events}
+    if missing:
+        problems.append(f"required span names absent: {sorted(missing)}")
+    return problems
+
+
+def validate_audit(path: Path) -> list[str]:
+    """Return a list of problems with an audit JSONL file."""
+    try:
+        records = load_audit_jsonl(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable audit JSONL: {exc}"]
+    if not records:
+        return ["audit trail is empty"]
+    for i, record in enumerate(records):
+        missing = AUDIT_REQUIRED - set(record)
+        if missing:
+            return [f"record {i}: missing fields {sorted(missing)}"]
+        if record["kind"] not in AUDIT_KINDS:
+            return [f"record {i}: unknown kind {record['kind']!r}"]
+        if record["kind"] == "gap" and "gap_reason" not in record:
+            return [f"record {i}: gap record without gap_reason"]
+    return []
+
+
+def validate_prometheus() -> list[str]:
+    """Render a fresh registry and re-parse it with the strict parser."""
+    registry = PerfRegistry()
+    registry.add("validate.events", 3)
+    registry.set_gauge("validate.level", 0.5)
+    for sample in (1.0, 2.0, 4.0):
+        registry.observe("validate.latency", sample)
+    text = render_prometheus(registry)
+    try:
+        parsed = parse_prometheus_text(text)
+    except ValueError as exc:
+        return [f"renderer emitted unparseable exposition: {exc}"]
+    samples = parsed["samples"]
+    expectations = {
+        ("repro_validate_events_total", ()): 3.0,
+        ("repro_validate_level", ()): 0.5,
+        ("repro_validate_latency", (("quantile", "0.5"),)): 2.0,
+        ("repro_validate_latency_count", ()): 3.0,
+    }
+    return [
+        f"sample {key}: expected {expected}, got {samples.get(key)}"
+        for key, expected in expectations.items()
+        if samples.get(key) != expected
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", type=Path, help="Chrome trace-event JSON")
+    parser.add_argument("--audit", type=Path, help="audit-trail JSONL")
+    parser.add_argument(
+        "--skip-prometheus",
+        action="store_true",
+        help="skip the in-process render/parse round trip",
+    )
+    args = parser.parse_args(argv)
+
+    checks: list[tuple[str, list[str]]] = []
+    if args.trace is not None:
+        checks.append(("trace", validate_trace(args.trace)))
+    if args.audit is not None:
+        checks.append(("audit", validate_audit(args.audit)))
+    if not args.skip_prometheus:
+        checks.append(("prometheus", validate_prometheus()))
+    if not checks:
+        parser.error("nothing to do: pass --trace and/or --audit")
+
+    failed = False
+    for name, problems in checks:
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"FAIL {name}: {problem}")
+        else:
+            print(f"ok   {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

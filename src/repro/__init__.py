@@ -24,6 +24,8 @@ The package is organized as one subpackage per subsystem:
 - :mod:`repro.stream` -- the online twin of the scenario engine: event
   sources, incremental detectors and checkpoint/resume.
 - :mod:`repro.service` -- a stdlib HTTP monitoring API over a stream.
+- :mod:`repro.obs` -- observability: hierarchical span tracing,
+  structured logging, run manifests and the detection audit trail.
 - :mod:`repro.data` -- synthetic pricing, solar and appliance generators.
 - :mod:`repro.metrics` -- PAR, accuracy, labor-cost and error metrics.
 """
@@ -51,4 +53,4 @@ __all__ = [
     "TimeGrid",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -14,6 +14,7 @@ from repro.analysis.rules.determinism import (
     UnorderedIterationRule,
     WallClockRule,
 )
+from repro.analysis.rules.observability import PrintCallRule
 
 #: Every shipped rule class, in rule-id order.
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -23,6 +24,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     CheckpointRoundTripRule,
     PublicApiAnnotationRule,
     FloatEqualityRule,
+    PrintCallRule,
 )
 
 
@@ -37,6 +39,7 @@ __all__ = [
     "CheckpointRoundTripRule",
     "FloatEqualityRule",
     "GlobalRngRule",
+    "PrintCallRule",
     "PublicApiAnnotationRule",
     "UnorderedIterationRule",
     "WallClockRule",

@@ -1,0 +1,42 @@
+"""Observability rule: OBS001 (no ``print()`` in library code).
+
+Progress and diagnostics from library modules must flow through
+:mod:`repro.obs.logs` — structured, level-filtered, and stamped with the
+active run/span ids — not through bare ``print()`` calls that bypass
+every collector.  Terminal-facing surfaces are exempt: the CLI entry
+points render for humans, and :mod:`repro.reporting` *is* the renderer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Rule, Violation
+
+
+class PrintCallRule(Rule):
+    """OBS001 — library modules log via repro.obs, never print()."""
+
+    rule_id = "OBS001"
+    summary = (
+        "no print() in library code; use repro.obs.logs.get_logger() "
+        "(CLI entry points and repro.reporting are exempt)"
+    )
+    default_include = ("src/repro/",)
+    default_exclude = ("cli.py", "/reporting/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.violation(
+                    self.rule_id,
+                    node,
+                    "print() bypasses structured logging; use "
+                    "repro.obs.logs.get_logger() so output carries the "
+                    "run/span context",
+                )

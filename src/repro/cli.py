@@ -14,9 +14,11 @@ and drives the streaming subsystem:
     python -m repro stream          # pump an event stream, print timeline
     python -m repro serve           # HTTP monitoring API over a stream
 
-plus the static-analysis gate (see ``docs/STATIC_ANALYSIS.md``):
+plus the static-analysis gate (see ``docs/STATIC_ANALYSIS.md``) and the
+audit-trail inspector (see ``docs/OBSERVABILITY.md``):
 
     python -m repro lint            # == repro-lint src tests
+    python -m repro trace FILE      # query an audit-trail JSONL file
 
 Common options: ``--preset {smoke,bench,paper}``, ``--seed N``,
 ``--slots H`` (fig6/table1 horizon), ``--json PATH`` (dump scenario
@@ -30,11 +32,17 @@ on completion; with ``--resume``, continue from it), ``--faults PLAN``
 (seeded fault injection: builtin name, JSON file, or inline JSON; see
 ``docs/ROBUSTNESS.md``) with ``--fault-seed N`` and ``--retries N``,
 ``--format {ascii,json}``; ``serve`` adds ``--host``/``--port``.
+
+Observability options (``docs/OBSERVABILITY.md``): ``--trace`` /
+``--trace-out PATH`` (or the ``REPRO_TRACE`` environment variable)
+export a Chrome-trace-event span timeline viewable in Perfetto;
+``--audit PATH`` appends the detection audit trail to a JSONL file.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -218,6 +226,8 @@ def _build_stream_engine(config: CommunityConfig, args: argparse.Namespace):
     from repro.stream.checkpoint import resume_engine
     from repro.stream.pipeline import build_replay_engine, build_synthetic_engine
 
+    from repro.obs.audit import AuditTrail
+
     faults = _parse_stream_faults(args)
     retry = None if args.retries is None else RetryPolicy(max_retries=args.retries)
     checkpoint_path = None
@@ -238,6 +248,9 @@ def _build_stream_engine(config: CommunityConfig, args: argparse.Namespace):
         engine = resume_engine(checkpoint_path)
         if retry is not None:
             engine.retry = retry
+        if args.audit is not None:
+            engine.pipeline.audit = AuditTrail(args.audit)
+            engine.pipeline.audit.backfill(engine.timeline)
         return engine, checkpoint_path
     if args.stream_source == "replay":
         engine = build_replay_engine(
@@ -256,6 +269,8 @@ def _build_stream_engine(config: CommunityConfig, args: argparse.Namespace):
             faults=faults,
             retry=retry,
         )
+    if args.audit is not None:
+        engine.pipeline.audit = AuditTrail(args.audit)
     return engine, checkpoint_path
 
 
@@ -292,6 +307,8 @@ def _cmd_stream(config: CommunityConfig, args: argparse.Namespace) -> None:
     if checkpoint_path is not None:
         save_checkpoint(engine, checkpoint_path)
         print(f"checkpoint saved to {checkpoint_path}")
+    if args.audit is not None and args.format != "json":
+        print(f"audit trail appended to {args.audit}")
 
 
 def _cmd_serve(config: CommunityConfig, args: argparse.Namespace) -> None:
@@ -310,8 +327,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # So does the audit-trail inspector.
+        from repro.obs.cli import trace_main
+
+        return trace_main(argv[1:])
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'15 net-metering detection reproduction"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument(
         "command",
@@ -386,6 +413,26 @@ def main(argv: list[str] | None = None) -> int:
     stream_opts.add_argument("--format", choices=("ascii", "json"), default="ascii")
     stream_opts.add_argument("--host", default="127.0.0.1")
     stream_opts.add_argument("--port", type=int, default=8008)
+    obs_opts = parser.add_argument_group("observability options")
+    obs_opts.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a hierarchical span trace of the run "
+        "(also enabled by REPRO_TRACE=1 or --trace-out)",
+    )
+    obs_opts.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="Chrome-trace-event JSON output path "
+        "(default trace-<command>.json; implies --trace)",
+    )
+    obs_opts.add_argument(
+        "--audit",
+        type=Path,
+        default=None,
+        help="append the stream's detection audit trail to this JSONL file",
+    )
     args = parser.parse_args(argv)
 
     config = PRESETS[args.preset]()
@@ -393,6 +440,23 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_updates(seed=args.seed)
     if args.json is not None:
         args.json.mkdir(parents=True, exist_ok=True)
+
+    trace_out = args.trace_out
+    trace_enabled = (
+        args.trace
+        or trace_out is not None
+        or os.environ.get("REPRO_TRACE", "") not in ("", "0")
+    )
+    if trace_enabled:
+        from repro.obs.manifest import build_manifest
+        from repro.obs.trace import TRACER
+
+        if trace_out is None:
+            trace_out = Path(f"trace-{args.command}.json")
+        TRACER.enable(
+            run_id=f"{args.command}-{args.preset}-seed{config.seed}",
+            metadata=build_manifest(config, command=args.command),
+        )
 
     if args.command in ("stream", "serve"):
         if args.days < 1:
@@ -404,6 +468,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.perf:
             print()
             print(PERF.report())
+        _finish_trace(trace_out)
         return 0
 
     env = _Environment(config)
@@ -436,7 +501,19 @@ def main(argv: list[str] | None = None) -> int:
                 "perf_counters": PERF.snapshot(),
             },
         )
+    _finish_trace(trace_out)
     return 0
+
+
+def _finish_trace(trace_out: Path | None) -> None:
+    """Export and disable the span tracer if this run enabled it."""
+    from repro.obs.trace import TRACER
+
+    if not TRACER.enabled or trace_out is None:
+        return
+    TRACER.write(trace_out)
+    TRACER.disable()
+    print(f"trace written to {trace_out}")
 
 
 if __name__ == "__main__":

@@ -228,6 +228,29 @@ class SingleEventDetector:
             noise=noise,
         )
 
+    def check_meters(
+        self,
+        received_per_meter: NDArray[np.float64],
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> list[SingleEventDetection]:
+        """Full per-meter check outcomes (the audit trail's evidence).
+
+        ``received_per_meter`` has shape ``(n_meters, horizon)``: row ``i``
+        is the guideline-price vector meter ``i`` received.  Identical
+        rows reuse one cached game solution; the measurement noise is
+        drawn independently per meter, in ascending meter order — the
+        exact draw sequence of :meth:`observe_meters`, so collecting the
+        evidence never changes a verdict.
+        """
+        received = np.asarray(received_per_meter, dtype=float)
+        if received.ndim != 2 or received.shape[1] != self.predicted_prices.size:
+            raise ValueError(
+                f"received_per_meter must have shape (n_meters, "
+                f"{self.predicted_prices.size}), got {received.shape}"
+            )
+        return [self.check(received[i], rng=rng) for i in range(received.shape[0])]
+
     def observe_meters(
         self,
         received_per_meter: NDArray[np.float64],
@@ -236,18 +259,10 @@ class SingleEventDetector:
     ) -> NDArray[np.bool_]:
         """Flag each monitored meter; returns a boolean mask.
 
-        ``received_per_meter`` has shape ``(n_meters, horizon)``: row ``i``
-        is the guideline-price vector meter ``i`` received.  Identical
-        rows reuse one cached game solution; the measurement noise is
-        drawn independently per meter.
+        Delegates to :meth:`check_meters` and keeps only the flags.
         """
-        received = np.asarray(received_per_meter, dtype=float)
-        if received.ndim != 2 or received.shape[1] != self.predicted_prices.size:
-            raise ValueError(
-                f"received_per_meter must have shape (n_meters, "
-                f"{self.predicted_prices.size}), got {received.shape}"
-            )
-        flags = np.zeros(received.shape[0], dtype=bool)
-        for i in range(received.shape[0]):
-            flags[i] = self.check(received[i], rng=rng).flagged
+        checks = self.check_meters(received_per_meter, rng=rng)
+        flags = np.zeros(len(checks), dtype=bool)
+        for i, detection in enumerate(checks):
+            flags[i] = detection.flagged
         return flags

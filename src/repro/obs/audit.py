@@ -1,0 +1,214 @@
+"""Detection audit trail: one explainable record per monitoring slot.
+
+The pipeline's :class:`~repro.stream.pipeline.SlotDetection` says *what*
+was decided; an audit record says *why*.  For every processed reading it
+captures the evidence the paper's detection rule actually weighed:
+
+- the day's price series (clean and predicted guideline prices),
+- per-meter PAR margins — ``PAR_received − PAR_predicted`` (+ the
+  check's measurement noise) against the threshold ``δ_P``,
+- the POMDP belief before and after the observation, and the chosen
+  monitor action,
+- whether the slot was really a fault gap, and why.
+
+Records are plain JSON-ready dicts, kept in a bounded in-memory window
+and optionally appended to a JSONL file as they happen.  The service's
+``GET /trace`` endpoint and the ``repro trace`` CLI subcommand both read
+this format.
+
+Auditing is opt-in: a pipeline with ``audit=None`` runs the exact code
+path it always did, so golden-master digests are untouched.  When a
+trail is attached, the per-meter detail rides on the *same* noise draws
+(see :meth:`SingleEventDetector.check_meters`), so enabling the audit
+never changes a verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from repro.detection.single_event import SingleEventDetection
+    from repro.stream.events import PriceUpdate
+    from repro.stream.pipeline import SlotDetection
+
+AUDIT_FORMAT = "repro-audit-record"
+AUDIT_VERSION = 1
+
+
+class AuditTrail:
+    """Bounded in-memory audit log with optional JSONL persistence.
+
+    Parameters
+    ----------
+    path:
+        Append each record as one JSON line here; ``None`` keeps the
+        trail memory-only.
+    max_records:
+        In-memory window size (old records roll off; the JSONL file, if
+        any, keeps everything).  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        max_records: int | None = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.path = None if path is None else Path(path)
+        self.max_records = max_records
+        self._records: deque[dict[str, Any]] = deque(maxlen=max_records)
+        self._total = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Truncate: a trail owns its file for the run it witnesses.
+            self.path.write_text("", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_records(self) -> int:
+        """Lifetime record count (>= ``len(records())`` when bounded)."""
+        return self._total
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Store (and persist, if configured) one finished record."""
+        self._records.append(record)
+        self._total += 1
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record) + "\n")
+
+    def records(
+        self,
+        *,
+        since: int = 0,
+        day: int | None = None,
+        kind: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Filtered view of the in-memory window, slot order preserved."""
+        selected = [
+            rec
+            for rec in self._records
+            if rec["slot"] >= since
+            and (day is None or rec["day"] == day)
+            and (kind is None or rec["kind"] == kind)
+        ]
+        if limit is not None:
+            selected = selected[:limit]
+        return selected
+
+    def clear(self) -> None:
+        """Drop the in-memory window (the JSONL file is left alone)."""
+        self._records.clear()
+
+    # ------------------------------------------------------------------
+    def record_detection(
+        self,
+        detection: "SlotDetection",
+        *,
+        checks: Sequence["SingleEventDetection"] | None = None,
+        update: "PriceUpdate | None" = None,
+        belief_before: float | None = None,
+        span_id: int | None = None,
+        restored: bool = False,
+    ) -> dict[str, Any]:
+        """Build and append the audit record for one slot verdict."""
+        record: dict[str, Any] = {
+            "format": AUDIT_FORMAT,
+            "version": AUDIT_VERSION,
+            "kind": "detection",
+            "slot": detection.slot,
+            "day": detection.day,
+            "observation": detection.observation,
+            "action": detection.action,
+            "belief_before": belief_before,
+            "belief_after": detection.belief_mean,
+            "repaired": detection.repaired,
+            "repaired_count": detection.repaired_count,
+            "flags": detection.flags.astype(int).tolist(),
+        }
+        if checks:
+            record["threshold"] = checks[0].threshold
+            record["predicted_par"] = checks[0].predicted_par
+            record["meters"] = [
+                {
+                    "meter": i,
+                    "received_par": check.received_par,
+                    "margin": check.margin,
+                    "noise": check.noise,
+                    "flagged": check.flagged,
+                }
+                for i, check in enumerate(checks)
+            ]
+        if update is not None:
+            record["clean_prices"] = update.clean_prices.tolist()
+            record["predicted_prices"] = update.predicted_prices.tolist()
+        if span_id is not None:
+            record["span_id"] = span_id
+        if restored:
+            record["restored"] = True
+        self.append(record)
+        return record
+
+    def record_gap(
+        self, detection: "SlotDetection", *, span_id: int | None = None
+    ) -> dict[str, Any]:
+        """Audit record for a slot whose reading never arrived usable."""
+        record: dict[str, Any] = {
+            "format": AUDIT_FORMAT,
+            "version": AUDIT_VERSION,
+            "kind": "gap",
+            "slot": detection.slot,
+            "day": detection.day,
+            "gap_reason": detection.gap_reason,
+            "observation": detection.observation,
+            "belief_held": True,
+        }
+        if span_id is not None:
+            record["span_id"] = span_id
+        self.append(record)
+        return record
+
+    def backfill(self, timeline: Iterable["SlotDetection"]) -> int:
+        """Minimal records for verdicts produced before the trail existed.
+
+        Called on checkpoint resume so ``GET /trace`` covers the whole
+        timeline; restored records carry the verdict but not the
+        per-meter evidence (the noise draws are gone).  Returns how many
+        records were added.
+        """
+        added = 0
+        have = {(rec["slot"], rec["kind"]) for rec in self._records}
+        for detection in timeline:
+            kind = "gap" if detection.gap else "detection"
+            if (detection.slot, kind) in have:
+                continue
+            if detection.gap:
+                self.record_gap(detection)
+            else:
+                self.record_detection(detection, restored=True)
+            added += 1
+        return added
+
+
+def load_audit_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read an audit JSONL file back into a list of records."""
+    records: list[dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid JSON line ({exc})") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: audit record must be an object")
+        records.append(record)
+    return records

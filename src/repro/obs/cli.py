@@ -1,0 +1,100 @@
+"""The ``repro trace`` subcommand: query an audit trail from the shell.
+
+Reads a detection-audit JSONL file (written by ``repro stream --audit``
+or by a service started with tracing on) and prints the records —
+filtered by slot/day/kind — either as a compact table or as raw JSON
+lines.  For a *live* service, ``GET /trace`` serves the same records
+over HTTP.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.obs.audit import load_audit_jsonl
+
+
+def _format_row(record: dict[str, object]) -> str:
+    slot = record.get("slot", "?")
+    day = record.get("day", "?")
+    kind = str(record.get("kind", "?"))
+    if kind == "gap":
+        return f"{slot:>5}  {day:>4}  gap        reason={record.get('gap_reason')}"
+    observation = record.get("observation")
+    action = record.get("action")
+    belief = record.get("belief_after")
+    belief_text = "-" if not isinstance(belief, (int, float)) else f"{belief:.3f}"
+    meters = record.get("meters")
+    margin_text = "-"
+    if isinstance(meters, list) and meters:
+        margins = [
+            m.get("margin") for m in meters if isinstance(m, dict)
+        ]
+        numeric = [m for m in margins if isinstance(m, (int, float))]
+        if numeric:
+            margin_text = f"{max(numeric):+.4f}"
+    repaired = "repair" if record.get("repaired") else ""
+    restored = "restored" if record.get("restored") else ""
+    return (
+        f"{slot:>5}  {day:>4}  detection  obs={observation} action={action} "
+        f"belief={belief_text} max_margin={margin_text} {repaired}{restored}"
+    ).rstrip()
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro trace`` (and ``python -m repro trace``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="query a detection audit trail (JSONL) from disk",
+    )
+    parser.add_argument("path", type=Path, help="audit JSONL file to read")
+    parser.add_argument(
+        "--since", type=int, default=0, help="only records with slot >= SINCE"
+    )
+    parser.add_argument("--slot", type=int, default=None, help="one exact slot")
+    parser.add_argument("--day", type=int, default=None, help="one exact day")
+    parser.add_argument(
+        "--kind",
+        choices=("detection", "gap"),
+        default=None,
+        help="only this record kind",
+    )
+    parser.add_argument(
+        "--gaps-only",
+        action="store_true",
+        help="shorthand for --kind gap",
+    )
+    parser.add_argument("--limit", type=int, default=None)
+    parser.add_argument("--format", choices=("table", "json"), default="table")
+    args = parser.parse_args(argv)
+
+    if not args.path.is_file():
+        print(f"no such audit file: {args.path}")
+        return 2
+    try:
+        records = load_audit_jsonl(args.path)
+    except ValueError as exc:
+        print(f"bad audit file: {exc}")
+        return 2
+    kind = "gap" if args.gaps_only else args.kind
+    selected = [
+        rec
+        for rec in records
+        if rec.get("slot", -1) >= args.since
+        and (args.slot is None or rec.get("slot") == args.slot)
+        and (args.day is None or rec.get("day") == args.day)
+        and (kind is None or rec.get("kind") == kind)
+    ]
+    if args.limit is not None:
+        selected = selected[: args.limit]
+    if args.format == "json":
+        for rec in selected:
+            print(json.dumps(rec))
+    else:
+        print(f"{'slot':>5}  {'day':>4}  record")
+        for rec in selected:
+            print(_format_row(rec))
+        print(f"{len(selected)} record(s) of {len(records)} in {args.path}")
+    return 0

@@ -1,0 +1,108 @@
+"""Structured logging on top of the stdlib :mod:`logging` package.
+
+Every module that used to ``print()`` progress now goes through one
+logger hierarchy rooted at ``"repro"``.  Two output shapes:
+
+- **JSON lines** (``json_lines=True``, the service default) — one JSON
+  object per record with ``ts`` (monotonic seconds relative to logging
+  setup, keeping the core wall-clock-free), level, logger name, message,
+  and any ``extra={...}`` fields, plus run-id/span-id correlation from
+  the active :data:`~repro.obs.trace.TRACER`;
+- **plain text** (``json_lines=False``, the CLI/bench default) — the
+  classic human-readable single line.
+
+``configure_logging`` is idempotent: it replaces the handlers it
+installed before rather than stacking duplicates, so libraries and
+entry points can both call it safely.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from repro.obs.trace import TRACER
+
+#: Attributes of a LogRecord that are bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "run_id", "span_id", "mono_ts"}
+
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+class ContextFilter(logging.Filter):
+    """Stamp run-id/span-id correlation from the active tracer."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = TRACER.run_id
+        record.span_id = TRACER.current_span_id
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; extras become top-level fields."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._origin = time.perf_counter()
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(time.perf_counter() - self._origin, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        run_id = getattr(record, "run_id", None)
+        span_id = getattr(record, "span_id", None)
+        if run_id is not None:
+            payload["run_id"] = run_id
+        if span_id is not None:
+            payload["span_id"] = span_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    *,
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+    json_lines: bool = False,
+) -> logging.Logger:
+    """Attach one handler to the ``"repro"`` logger and return it.
+
+    Re-invocation replaces the previously installed handler (never
+    stacks), so entry points can reconfigure freely.  Returns the root
+    ``repro`` logger.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    setattr(handler, _HANDLER_FLAG, True)
+    if json_lines:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(name)s %(levelname)s %(message)s"))
+    handler.addFilter(ContextFilter())
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>`` unless
+    the name already starts with ``repro``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

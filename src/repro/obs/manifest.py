@@ -1,0 +1,87 @@
+"""Run manifests: what produced this artifact, reproducibly.
+
+A manifest pins everything needed to re-run (and trust) an artifact:
+the package version, a content hash of the full configuration, the
+seeds in play, and the platform triple (Python/NumPy/OS).  It carries
+**no timestamps** on purpose — manifests are embedded in checkpoints
+and trace exports, whose bitwise-identity guarantees a wall-clock field
+would silently break.
+
+Embedded in: checkpoint documents (``"manifest"`` key), Chrome trace
+export metadata, and the service's ``GET /status`` response.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from typing import Any, Mapping
+
+import numpy as np
+
+MANIFEST_FORMAT = "repro-run-manifest"
+MANIFEST_VERSION = 1
+
+
+def config_digest(config: Any) -> str:
+    """SHA-256 of the canonical JSON form of a configuration.
+
+    Accepts a :class:`~repro.core.config.CommunityConfig` or the dict
+    produced by :func:`~repro.core.config.config_to_dict` (checkpoints
+    store the latter).  Same canonicalization as the golden-master
+    layer: sorted keys over the config dict.
+    """
+    if isinstance(config, Mapping):
+        config_dict: Mapping[str, Any] = config
+    else:
+        from repro.core.config import config_to_dict
+
+        config_dict = config_to_dict(config)
+    return hashlib.sha256(
+        json.dumps(config_dict, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def build_manifest(
+    config: Any | None = None,
+    *,
+    seeds: Mapping[str, Any] | None = None,
+    command: str | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a run manifest (deterministic: no wall clock, no RNG).
+
+    Parameters
+    ----------
+    config:
+        Configuration (object or dict) to hash; ``None`` omits the hash.
+    seeds:
+        Named seeds in play, e.g. ``{"config": 7, "fault": 3}``.
+    command:
+        The entry point that produced the artifact (``"fig6"``,
+        ``"stream"``, ...).
+    extra:
+        Additional flat fields merged into the manifest.
+    """
+    from repro import __version__
+
+    manifest: dict[str, Any] = {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "package_version": __version__,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "system": platform.platform(),
+        },
+    }
+    if config is not None:
+        manifest["config_sha256"] = config_digest(config)
+    if seeds is not None:
+        manifest["seeds"] = dict(seeds)
+    if command is not None:
+        manifest["command"] = command
+    if extra:
+        manifest.update(extra)
+    return manifest

@@ -1,0 +1,140 @@
+"""Prometheus text-format exposition for the perf registry.
+
+Renders a :class:`~repro.perf.counters.PerfRegistry` into the Prometheus
+text exposition format (version 0.0.4) — the dialect every standard
+scraper understands — alongside the service's existing JSON deltas:
+
+- counters → ``repro_<name>_total``
+- timers → ``repro_<name>_seconds_total``
+- gauges → ``repro_<name>``
+- bounded histograms → Prometheus *summaries*: ``{quantile="0.5|0.95|0.99"}``
+  sample lines plus ``_sum``/``_count``
+
+Counters that exist but have never moved still appear (value 0) — that
+is the point of ``delta_since(..., include_zero=True)``: a scraper must
+be able to tell an idle counter from an absent one.
+
+:func:`parse_prometheus_text` is a minimal parser of the same dialect,
+used by the test suite to round-trip the exposition and by
+``scripts/validate_obs.py`` to validate live scrapes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+from repro.perf.counters import PerfRegistry
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+#: Quantiles exported for every bounded histogram.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def metric_name(name: str, *, prefix: str = "repro") -> str:
+    """Sanitize a dotted counter name into a Prometheus metric name."""
+    cleaned = _NAME_SANITIZER.sub("_", name)
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: PerfRegistry, *, prefix: str = "repro"
+) -> str:
+    """The registry as Prometheus text exposition (trailing newline).
+
+    Uses ``delta_since({}, include_zero=True)`` so counters pinned at
+    exactly zero are still exposed — scrape consumers distinguish idle
+    from absent.
+    """
+    lines: list[str] = []
+    full = registry.delta_since({}, include_zero=True)
+    counters = {
+        name: value for name, value in full.items() if not name.endswith("_s")
+    }
+    timers = {
+        name[:-2]: value for name, value in full.items() if name.endswith("_s")
+    }
+    for name in sorted(counters):
+        metric = metric_name(name, prefix=prefix) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    for name in sorted(timers):
+        metric = metric_name(name, prefix=prefix) + "_seconds_total"
+        lines.append(f"# HELP {metric} repro timer {name} (accumulated seconds)")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(timers[name])}")
+    gauges = registry.gauges()
+    for name in sorted(gauges):
+        metric = metric_name(name, prefix=prefix)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    for name in sorted(registry.histograms()):
+        hist = registry.histogram(name)
+        assert hist is not None
+        metric = metric_name(name, prefix=prefix)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for q in SUMMARY_QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {_format_value(hist.quantile(q))}'
+            )
+        lines.append(f"{metric}_sum {_format_value(hist.total)}")
+        lines.append(f"{metric}_count {_format_value(float(hist.count))}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, Any]:
+    """Minimal parser of the text exposition format.
+
+    Returns ``{"types": {metric: type}, "samples": {(metric, labels): value}}``
+    where ``labels`` is a sorted tuple of ``(key, value)`` pairs.
+    Raises ``ValueError`` on lines that are neither comments, blanks,
+    nor well-formed samples — which is exactly what makes it useful as a
+    scrape validator.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("# TYPE "):
+            parts = stripped.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            types[parts[2]] = parts[3]
+            continue
+        if stripped.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(stripped)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample line: {line!r}")
+        labels_raw = match.group("labels") or ""
+        labels = tuple(sorted(_LABEL_PAIR.findall(labels_raw)))
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad sample value {raw_value!r}"
+            ) from exc
+        samples[(match.group("name"), labels)] = value
+    return {"types": types, "samples": samples}

@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
+from repro.obs.trace import TRACER
 from repro.perf.counters import PERF
 
 Objective = Callable[[NDArray[np.float64]], float]
@@ -173,6 +174,13 @@ class CrossEntropyOptimizer:
         n_evaluations = 0
         converged = False
 
+        solve_span = TRACER.begin(
+            "ce.minimize",
+            category="optimization",
+            parent_id=TRACER.current_span_id,
+            dimension=self.dimension,
+            n_samples=self.n_samples,
+        )
         for iteration in range(self.n_iterations):
             samples = rng.normal(mean, std, size=(self.n_samples, self.dimension))
             samples = np.clip(samples, self.lower, self.upper)
@@ -208,6 +216,8 @@ class CrossEntropyOptimizer:
                 converged = True
                 break
 
+        TRACER.end(solve_span)
+        PERF.observe("ce.iterations", len(history))
         if not np.isfinite(best_f):
             raise RuntimeError(
                 "cross-entropy optimization never found a finite objective value"

@@ -11,13 +11,14 @@ Three small, dependency-free building blocks the simulation stack shares:
   trajectory records (``BENCH_*.json``) appended by the bench harness.
 """
 
-from repro.perf.counters import PERF, PerfRegistry
+from repro.perf.counters import PERF, BoundedHistogram, PerfRegistry
 from repro.perf.parallel import SERIAL_MAP, ParallelMap, spawn_seeds
 
 __all__ = [
+    "BoundedHistogram",
     "PERF",
-    "PerfRegistry",
     "ParallelMap",
+    "PerfRegistry",
     "SERIAL_MAP",
     "spawn_seeds",
 ]

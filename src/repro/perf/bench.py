@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.config import CommunityConfig
 from repro.core.presets import bench_preset, smoke_preset
+from repro.obs.logs import configure_logging, get_logger
 from repro.data.community import build_community
 from repro.optimization.battery import BatteryOptimizer, BatteryProblem
 from repro.optimization.cross_entropy import CrossEntropyOptimizer
@@ -283,25 +284,28 @@ def main(argv: list[str] | None = None) -> int:
         args.skip_scenario = True
     config = PRESETS[args.preset]()
 
-    print(f"== CE battery step ({args.preset} preset) ==", flush=True)
+    configure_logging()
+    logger = get_logger("bench")
+
+    logger.info("== CE battery step (%s preset) ==", args.preset)
     ce = _bench_ce_step(config)
     for name, value in ce.items():
-        print(f"  {name}: {value:.5f}")
+        logger.info("  %s: %.5f", name, value)
 
-    print("== game solve ==", flush=True)
+    logger.info("== game solve ==")
     game = _bench_game_solve(config)
     for name, value in game.items():
-        print(f"  {name}: {value:.5f}")
+        logger.info("  %s: %.5f", name, value)
 
     scenario: dict[str, object] = {}
     if not args.skip_scenario:
-        print("== scenario / aggregate ==", flush=True)
+        logger.info("== scenario / aggregate ==")
         scenario = _bench_scenario(
             config, n_slots=args.slots, workers=args.workers
         )
         for name, value in scenario.items():
             rendered = f"{value:.5f}" if isinstance(value, float) else value
-            print(f"  {name}: {rendered}")
+            logger.info("  %s: %s", name, rendered)
 
     entry: dict[str, object] = {
         "environment": collect_environment(),
@@ -317,7 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         },
     }
     write_bench_json(args.out, entry)
-    print(f"appended entry to {args.out}")
+    logger.info("appended entry to %s", args.out)
     return 0
 
 

@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.obs.trace import TRACER
 from repro.perf.counters import PERF
 from repro.scheduling.appliance import ApplianceSchedule, ApplianceTask, InfeasibleTaskError
 
@@ -51,6 +52,7 @@ def _build_cost_table(
     return table
 
 
+@TRACER.traced("dp.solve", category="scheduling")
 def schedule_appliance_table(
     task: ApplianceTask,
     cost_table: NDArray[np.float64],

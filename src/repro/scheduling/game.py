@@ -28,6 +28,7 @@ from numpy.typing import ArrayLike, NDArray
 
 from repro.core.config import GameConfig
 from repro.netmetering.cost import NetMeteringCostModel
+from repro.obs.trace import TRACER
 from repro.optimization.battery import BatteryOptimizer, BatteryProblem
 from repro.perf.counters import PERF
 from repro.scheduling.customer import Customer, CustomerState
@@ -331,22 +332,26 @@ class SchedulingGame:
         for rounds in range(1, self.config.max_rounds + 1):
             max_delta = 0.0
             order = rng.permutation(len(states))
-            for index in order:
-                state, count = states[index], counts[index]
-                others = total - count * tradings[index]
-                new_state = self.best_response(
-                    state,
-                    others,
-                    rng,
-                    multiplicity=count,
-                    hysteresis_scale=float(rounds),
-                )
-                new_trading = new_state.trading
-                delta = float(np.max(np.abs(new_trading - tradings[index])))
-                max_delta = max(max_delta, delta)
-                total = total + count * (new_trading - tradings[index])
-                states[index] = new_state
-                tradings[index] = new_trading
+            with TRACER.span("game.round", round=rounds):
+                for index in order:
+                    state, count = states[index], counts[index]
+                    others = total - count * tradings[index]
+                    with TRACER.span(
+                        "game.customer", customer=int(index), multiplicity=int(count)
+                    ):
+                        new_state = self.best_response(
+                            state,
+                            others,
+                            rng,
+                            multiplicity=count,
+                            hysteresis_scale=float(rounds),
+                        )
+                    new_trading = new_state.trading
+                    delta = float(np.max(np.abs(new_trading - tradings[index])))
+                    max_delta = max(max_delta, delta)
+                    total = total + count * (new_trading - tradings[index])
+                    states[index] = new_state
+                    tradings[index] = new_trading
             residuals.append(max_delta)
             if max_delta < self.config.convergence_tol:
                 converged = True
@@ -354,6 +359,7 @@ class SchedulingGame:
 
         PERF.add("game.solves")
         PERF.add("game.rounds", rounds)
+        PERF.observe("game.rounds", rounds)
         return GameResult(
             states=tuple(states),
             counts=counts,

@@ -17,7 +17,12 @@ Endpoints
 - ``GET /status`` — run progress, belief, repair totals.
 - ``GET /detections?since=S&limit=L`` — the slot-by-slot timeline.
 - ``GET /metrics`` — perf-counter *deltas since the previous scrape*
-  plus process-lifetime totals.
+  plus process-lifetime totals; ``?format=prometheus`` returns the
+  text exposition format (lifetime totals, gauges and histogram
+  summaries) for scrape-based collectors instead.
+- ``GET /trace`` — the detection audit trail: one explainable record
+  per slot verdict (per-meter PAR evidence, belief before/after) and
+  per gap, filterable by ``since``/``day``/``kind``/``limit``.
 - ``GET /faults`` / ``POST /faults`` — inspect or install a seeded
   fault-injection plan on the engine's source (chaos drills against a
   live service).
@@ -44,6 +49,10 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.core.config import RetryPolicy
 from repro.faults.plan import FaultPlan, FaultPlanError, builtin_plan
+from repro.obs.audit import AuditTrail
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.manifest import build_manifest
+from repro.obs.prometheus import render_prometheus
 from repro.perf.counters import PERF
 from repro.stream.checkpoint import save_checkpoint
 from repro.stream.events import MeterReading, event_from_dict
@@ -74,6 +83,11 @@ class DetectionService:
     retry:
         Stall policy applied to every :meth:`advance`; ``None`` uses the
         engine's own policy (if any).
+    audit:
+        Attach an in-memory :class:`~repro.obs.audit.AuditTrail` to the
+        pipeline when it has none (default), so ``GET /trace`` always
+        has a record for every served detection.  ``False`` leaves the
+        pipeline as built.
     """
 
     def __init__(
@@ -82,12 +96,19 @@ class DetectionService:
         *,
         checkpoint_path: str | Path | None = None,
         retry: RetryPolicy | None = None,
+        audit: bool = True,
     ) -> None:
         self.engine = engine
         self.checkpoint_path = None if checkpoint_path is None else Path(checkpoint_path)
         self.retry = retry
         self._lock = threading.Lock()
         self._metrics_baseline = PERF.snapshot()
+        if audit and engine.pipeline.audit is None:
+            engine.pipeline.audit = AuditTrail()
+        if engine.pipeline.audit is not None:
+            # Detections served before the trail existed (a resumed
+            # checkpoint, a pre-attached timeline) still get records.
+            engine.pipeline.audit.backfill(engine.timeline)
 
     # ------------------------------------------------------------------
     def push_event(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -134,7 +155,17 @@ class DetectionService:
             stats["checkpoint_path"] = (
                 None if self.checkpoint_path is None else str(self.checkpoint_path)
             )
+            stats["manifest"] = self._manifest()
             return stats
+
+    def _manifest(self) -> dict[str, Any]:
+        """Run manifest for the engine under service (caller holds the lock)."""
+        spec = self.engine.build_spec or {}
+        return build_manifest(
+            spec.get("config"),
+            seeds=None if "seed" not in spec else {"stream": spec["seed"]},
+            command=spec.get("kind"),
+        )
 
     def detections(
         self, *, since: int = 0, limit: int | None = None
@@ -172,6 +203,46 @@ class DetectionService:
                 "faults": PERF.prefixed("stream.faults."),
                 "events_processed": self.engine.events_processed,
             }
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text-format exposition of the perf registry.
+
+        Unlike :meth:`metrics` this does *not* re-baseline: the format
+        exports lifetime totals and collectors compute rates themselves,
+        so JSON delta scrapes and Prometheus scrapes can interleave.
+        """
+        with self._lock:
+            return render_prometheus(PERF)
+
+    def trace(
+        self,
+        *,
+        since: int = 0,
+        day: int | None = None,
+        kind: str | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """Audit-trail slice: explainable records with ``slot >= since``."""
+        if since < 0:
+            raise ServiceError(f"since must be >= 0, got {since}")
+        if limit is not None and limit < 1:
+            raise ServiceError(f"limit must be >= 1, got {limit}")
+        if kind is not None and kind not in ("detection", "gap"):
+            raise ServiceError(
+                f"kind must be 'detection' or 'gap', got {kind!r}"
+            )
+        with self._lock:
+            trail = self.engine.pipeline.audit
+            if trail is None:
+                raise ServiceError(
+                    "audit trail disabled on this service", code="audit_disabled"
+                )
+            records = trail.records(since=since, day=day, kind=kind)
+            total = trail.total_records
+        truncated = limit is not None and len(records) > limit
+        if truncated:
+            records = records[:limit]
+        return {"records": records, "total_records": total, "truncated": truncated}
 
     def faults(self) -> dict[str, Any]:
         """The engine's active fault plan and per-kind injection counts."""
@@ -219,8 +290,17 @@ class DetectionService:
         return {"checkpoint": str(path), "events_processed": self.engine.events_processed}
 
 
+class _TextResponse:
+    """Marker for routes that answer plain text instead of JSON."""
+
+    def __init__(self, body: str, *, content_type: str = "text/plain; version=0.0.4") -> None:
+        self.body = body
+        self.content_type = content_type
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Routes HTTP verbs/paths onto the service; JSON in, JSON out."""
+    """Routes HTTP verbs/paths onto the service; JSON in, JSON out
+    (except routes that return a :class:`_TextResponse`)."""
 
     service: DetectionService  # set by create_server()
 
@@ -231,8 +311,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _respond_text(self, status: int, response: _TextResponse) -> None:
+        self._send_body(
+            status, response.body.encode("utf-8"), response.content_type
+        )
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -282,12 +370,14 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": 404,
                 },
             )
+        elif isinstance(payload, _TextResponse):
+            self._respond_text(200, payload)
         else:
             self._respond(200, payload)
 
     def _route(
         self, method: str, path: str, query: dict[str, list[str]]
-    ) -> dict[str, Any] | None:
+    ) -> dict[str, Any] | _TextResponse | None:
         service = self.service
         if method == "GET":
             if path == "/status":
@@ -298,7 +388,22 @@ class _Handler(BaseHTTPRequestHandler):
                     limit=_int_param(query, "limit", None),
                 )
             if path == "/metrics":
+                fmt = query.get("format", ["json"])[0]
+                if fmt == "prometheus":
+                    return _TextResponse(service.metrics_prometheus())
+                if fmt != "json":
+                    raise ServiceError(
+                        f"format must be 'json' or 'prometheus', got {fmt!r}"
+                    )
                 return service.metrics()
+            if path == "/trace":
+                kind_values = query.get("kind")
+                return service.trace(
+                    since=_int_param(query, "since", 0) or 0,
+                    day=_int_param(query, "day", None),
+                    kind=None if not kind_values else kind_values[0],
+                    limit=_int_param(query, "limit", None),
+                )
             if path == "/faults":
                 return service.faults()
             if path == "/healthz":
@@ -385,11 +490,13 @@ def run_service(
     if install_signals:
         signal.signal(signal.SIGTERM, _shutdown)
         signal.signal(signal.SIGINT, _shutdown)
+    configure_logging()
+    logger = get_logger("service")
     bound_host, bound_port = server.server_address[0], server.server_address[1]
-    print(f"serving detection API on http://{bound_host}:{bound_port}")
+    logger.info("serving detection API on http://%s:%s", bound_host, bound_port)
     try:
         server.serve_forever()
     finally:
         server.server_close()
     if service.checkpoint_path is not None:
-        print(f"checkpoint saved to {service.checkpoint_path}")
+        logger.info("checkpoint saved to %s", service.checkpoint_path)

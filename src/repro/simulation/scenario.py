@@ -47,6 +47,7 @@ from repro.detection.solvers import PbviPolicy, QmdpPolicy
 from repro.metrics.accuracy import confusion_counts, per_meter_accuracy
 from repro.metrics.cost import LaborCostModel
 from repro.metrics.par import par
+from repro.obs.trace import TRACER
 from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
 from repro.simulation.cache import GameSolutionCache, global_game_cache
 from repro.simulation.calibration import measure_single_event_rates
@@ -163,6 +164,10 @@ def run_long_term_scenario(
     n_days = n_slots // spd
     rng = np.random.default_rng(config.seed if seed is None else seed)
     cache = cache if cache is not None else global_game_cache()
+    scenario_span = TRACER.begin(
+        "scenario.run", detector=str(detector), n_slots=n_slots
+    )
+    setup_span = TRACER.begin("scenario.setup", parent_id=scenario_span)
 
     day_config = config.with_updates(time=replace(config.time, n_days=1))
     community = build_community(day_config, rng=rng)
@@ -282,6 +287,7 @@ def run_long_term_scenario(
         long_term = LongTermDetector(model, policy=chosen_policy)
 
     # --- per-slot loop -------------------------------------------------------
+    TRACER.end(setup_span)
     truth = np.zeros((n_slots, n_meters), dtype=bool)
     flags = np.zeros((n_slots, n_meters), dtype=bool)
     observations = np.zeros(n_slots, dtype=int)
@@ -293,34 +299,40 @@ def run_long_term_scenario(
         day = slot // spd
         slot_in_day = slot % spd
         clean = day_clean_prices[day]
-        if slot > 0 and slot_in_day == 0:
-            # New day, new guideline-price vector: the attacker rolls a
-            # fresh manipulation of it.
-            hacking.new_campaign()
-        hacking.step()
-        truth[slot] = hacking.hacked_mask
+        with TRACER.span("scenario.slot", slot=slot, day=day):
+            if slot > 0 and slot_in_day == 0:
+                # New day, new guideline-price vector: the attacker rolls a
+                # fresh manipulation of it.
+                hacking.new_campaign()
+            hacking.step()
+            truth[slot] = hacking.hacked_mask
 
-        received = np.tile(clean, (n_meters, 1))
-        for meter in hacking.hacked_meters:
-            received[meter.meter_id] = meter.attack.apply(clean)
-        flags[slot] = day_detectors[day].observe_meters(received, rng=rng)
-        observations[slot] = int(flags[slot].sum())
+            received = np.tile(clean, (n_meters, 1))
+            for meter in hacking.hacked_meters:
+                received[meter.meter_id] = meter.attack.apply(clean)
+            flags[slot] = day_detectors[day].observe_meters(received, rng=rng)
+            observations[slot] = int(flags[slot].sum())
 
-        # Realized grid demand: each monitored meter stands for 1/n of the
-        # community; hacked shares respond to their manipulated prices.
-        benign = truth_simulator.response(clean).grid_demand
-        demand = benign[slot_in_day]
-        for meter in hacking.hacked_meters:
-            attacked = truth_simulator.response(received[meter.meter_id]).grid_demand
-            demand += (attacked[slot_in_day] - benign[slot_in_day]) / n_meters
-        realized_grid[slot] = max(demand, 0.0)
+            # Realized grid demand: each monitored meter stands for 1/n of
+            # the community; hacked shares respond to their manipulated
+            # prices.
+            benign = truth_simulator.response(clean).grid_demand
+            demand = benign[slot_in_day]
+            for meter in hacking.hacked_meters:
+                attacked = truth_simulator.response(
+                    received[meter.meter_id]
+                ).grid_demand
+                demand += (attacked[slot_in_day] - benign[slot_in_day]) / n_meters
+            realized_grid[slot] = max(demand, 0.0)
 
-        if long_term is not None:
-            step = long_term.step(observations[slot])
-            if step.repaired:
-                repaired_counts[slot] = hacking.repair_all()
-                repairs[slot] = True
+            if long_term is not None:
+                with TRACER.span("detector.update", observation=int(observations[slot])):
+                    step = long_term.step(observations[slot])
+                if step.repaired:
+                    repaired_counts[slot] = hacking.repair_all()
+                    repairs[slot] = True
 
+    TRACER.end(scenario_span)
     return ScenarioResult(
         detector=detector,
         truth=truth,

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.config import config_from_dict
 from repro.faults.plan import FaultPlan
+from repro.obs.manifest import build_manifest
 from repro.simulation.cache import GameSolutionCache
 
 if TYPE_CHECKING:
@@ -53,10 +54,18 @@ def checkpoint_payload(engine: Any) -> dict[str, Any]:
             "engine has no build spec; only engines created by "
             "build_replay_engine/build_synthetic_engine can be checkpointed"
         )
+    spec = engine.build_spec
     return {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
-        "build": engine.build_spec,
+        # Provenance only — the loader ignores it, and it carries no
+        # timestamps, so identical runs still produce identical files.
+        "manifest": build_manifest(
+            spec.get("config"),
+            seeds=None if "seed" not in spec else {"stream": spec["seed"]},
+            command=spec.get("kind"),
+        ),
+        "build": spec,
         "state": engine.state_dict(),
     }
 

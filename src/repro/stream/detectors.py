@@ -28,6 +28,7 @@ from repro.data.pricing import PriceHistory
 from repro.detection.long_term import LongTermDetector, MonitoringStep
 from repro.detection.single_event import (
     CommunityResponseSimulator,
+    SingleEventDetection,
     SingleEventDetector,
 )
 from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
@@ -98,6 +99,21 @@ class IncrementalSingleEvent:
                 "no active day: a PriceUpdate must precede the first MeterReading"
             )
         return self._detector.observe_meters(reading.received, rng=rng)
+
+    def observe_checks(
+        self, reading: MeterReading, *, rng: np.random.Generator | None = None
+    ) -> "list[SingleEventDetection]":
+        """Per-meter check detail for one reading (audit-trail evidence).
+
+        Consumes the measurement-noise stream in the exact order
+        :meth:`observe` would, so an auditing pipeline stays bitwise
+        equivalent to a non-auditing one.
+        """
+        if self._detector is None:
+            raise RuntimeError(
+                "no active day: a PriceUpdate must precede the first MeterReading"
+            )
+        return self._detector.check_meters(reading.received, rng=rng)
 
 
 class IncrementalMonitor:

@@ -31,6 +31,7 @@ from repro.detection.long_term import LongTermDetector
 from repro.detection.pomdp import build_detection_pomdp
 from repro.detection.single_event import CommunityResponseSimulator
 from repro.detection.solvers import QmdpPolicy
+from repro.obs.trace import TRACER
 from repro.perf.counters import PERF
 from repro.simulation.cache import GameSolutionCache, global_game_cache
 from repro.simulation.scenario import DetectorKind, ScenarioResult
@@ -51,8 +52,10 @@ from repro.stream.source import (
 )
 
 if TYPE_CHECKING:  # runtime import stays lazy to keep faults optional
+    from repro.detection.single_event import SingleEventDetection
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
+    from repro.obs.audit import AuditTrail
 
 
 @dataclass(frozen=True)
@@ -151,6 +154,13 @@ class OnlinePipeline:
         Called when the monitor dispatches a repair; returns the number
         of meters actually fixed.  The engine wires this to the source's
         ``apply_repair``.
+    audit:
+        Optional :class:`~repro.obs.audit.AuditTrail` receiving one
+        explainable record per verdict (per-meter PAR margins, belief
+        before/after, gap reasons).  ``None`` — the default — runs the
+        exact historical code path; attaching a trail consumes the
+        measurement-noise stream in the identical order, so verdicts
+        never change.
     """
 
     def __init__(
@@ -162,6 +172,7 @@ class OnlinePipeline:
         slots_per_day: int,
         grid_simulator: CommunityResponseSimulator | None = None,
         repair_hook: Callable[[], int] | None = None,
+        audit: "AuditTrail | None" = None,
     ) -> None:
         if slots_per_day < 1:
             raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
@@ -171,12 +182,14 @@ class OnlinePipeline:
         self.slots_per_day = slots_per_day
         self.grid_simulator = grid_simulator
         self.repair_hook = repair_hook
+        self.audit = audit
         self._current_update: PriceUpdate | None = None
         self._days_completed = 0
         self._timeline: list[SlotDetection] = []
         self._next_slot = 0
         self._pending: dict[int, MeterReading] = {}
         self._n_meters: int | None = None
+        self._day_span: int | None = None  # repro: noqa[CKPT001] trace bookkeeping, not simulation state
 
     # ------------------------------------------------------------------
     @property
@@ -254,6 +267,11 @@ class OnlinePipeline:
                 self._flush_through(event.day * self.slots_per_day, reason="dropped")
             self.single_event.start_day(event)
             self._current_update = event
+            if TRACER.enabled:
+                TRACER.end(self._day_span)
+                self._day_span = TRACER.begin(
+                    "stream.day", category="stream", day=event.day
+                )
             return None
         if isinstance(event, DayBoundary):
             if self.current_day is not None and event.day == self.current_day:
@@ -261,6 +279,9 @@ class OnlinePipeline:
                     (event.day + 1) * self.slots_per_day, reason="dropped"
                 )
             self._days_completed = max(self._days_completed, event.day + 1)
+            if TRACER.enabled and self._day_span is not None:
+                TRACER.end(self._day_span)
+                self._day_span = None
             return None
         if isinstance(event, MeterReading):
             return self._handle_reading(event)
@@ -297,42 +318,73 @@ class OnlinePipeline:
 
     def _process_reading(self, reading: MeterReading) -> SlotDetection:
         assert self._current_update is not None
-        flags = self.single_event.observe(reading, rng=self.rng)
-        observation = int(flags.sum())
-        realized = self._realized_grid(reading)
-
-        action: int | None = None
-        belief_mean: float | None = None
-        repaired = False
-        repaired_count = 0
-        if self.monitor is not None:
-            step = self.monitor.observe(observation)
-            action = step.action
-            belief_mean = step.belief_mean
-            repaired = step.repaired
-            if repaired:
-                PERF.add("stream.repairs")
-                if self.repair_hook is not None:
-                    repaired_count = self.repair_hook()
-
-        detection = SlotDetection(
+        with TRACER.span(
+            "stream.slot",
+            category="stream",
             slot=reading.slot,
             day=self._current_update.day,
-            flags=flags,
-            observation=observation,
-            action=action,
-            belief_mean=belief_mean,
-            repaired=repaired,
-            repaired_count=repaired_count,
-            realized_grid=realized,
-            truth=reading.truth,
-        )
-        self._timeline.append(detection)
-        self._next_slot = reading.slot + 1
-        self._n_meters = reading.n_meters
-        PERF.add("stream.readings")
-        PERF.add("stream.flags", observation)
-        return detection
+        ):
+            slot_span = TRACER.current_span_id
+            # The audit path collects per-meter evidence on the *same*
+            # noise draws observe() would consume; flags are identical.
+            checks: "list[SingleEventDetection] | None" = None
+            if self.audit is None:
+                flags = self.single_event.observe(reading, rng=self.rng)
+            else:
+                checks = self.single_event.observe_checks(reading, rng=self.rng)
+                flags = np.zeros(len(checks), dtype=bool)
+                for i, single_check in enumerate(checks):
+                    flags[i] = single_check.flagged
+            observation = int(flags.sum())
+            realized = self._realized_grid(reading)
+
+            action: int | None = None
+            belief_mean: float | None = None
+            belief_before: float | None = None
+            repaired = False
+            repaired_count = 0
+            if self.monitor is not None:
+                if self.audit is not None:
+                    belief_before = self.monitor.belief_mean
+                with TRACER.span(
+                    "detector.update", category="stream", observation=observation
+                ):
+                    step = self.monitor.observe(observation)
+                action = step.action
+                belief_mean = step.belief_mean
+                PERF.set_gauge("stream.belief_mean", step.belief_mean)
+                repaired = step.repaired
+                if repaired:
+                    PERF.add("stream.repairs")
+                    if self.repair_hook is not None:
+                        repaired_count = self.repair_hook()
+
+            detection = SlotDetection(
+                slot=reading.slot,
+                day=self._current_update.day,
+                flags=flags,
+                observation=observation,
+                action=action,
+                belief_mean=belief_mean,
+                repaired=repaired,
+                repaired_count=repaired_count,
+                realized_grid=realized,
+                truth=reading.truth,
+            )
+            self._timeline.append(detection)
+            self._next_slot = reading.slot + 1
+            self._n_meters = reading.n_meters
+            PERF.add("stream.readings")
+            PERF.add("stream.flags", observation)
+            if self.audit is not None:
+                self.audit.record_detection(
+                    detection,
+                    checks=checks,
+                    update=self._current_update,
+                    belief_before=belief_before,
+                    span_id=slot_span,
+                )
+            return detection
 
     def _drain_pending(self) -> None:
         """Process parked early arrivals that are now in order."""
@@ -365,6 +417,8 @@ class OnlinePipeline:
         self._timeline.append(detection)
         self._next_slot = slot + 1
         PERF.add("stream.gaps")
+        if self.audit is not None:
+            self.audit.record_gap(detection, span_id=TRACER.current_span_id)
         return detection
 
     def _flush_through(self, end_slot: int, *, reason: str) -> None:
@@ -454,6 +508,8 @@ class OnlinePipeline:
         if n_meters is None and self._timeline:
             n_meters = int(self._timeline[-1].flags.size)
         self._n_meters = None if n_meters is None else int(n_meters)
+        if self.audit is not None:
+            self.audit.backfill(self._timeline)
 
 
 class StreamEngine:
@@ -509,7 +565,7 @@ class StreamEngine:
         if event is None:
             return None
         self._events_processed += 1
-        with PERF.timer("stream.pump"):
+        with PERF.timer("stream.pump", hist=True):
             return self.pipeline.handle(event)
 
     @property
@@ -553,6 +609,12 @@ class StreamEngine:
         if max_events is not None and max_events < 0:
             raise ValueError(f"max_events must be >= 0, got {max_events}")
         policy = retry if retry is not None else self.retry
+        run_span = TRACER.begin(
+            "stream.run",
+            category="stream",
+            max_events=max_events,
+            until_day=until_day,
+        )
         start = self.pipeline.n_slots_processed
         pumped = 0
         stalls = 0
@@ -578,6 +640,7 @@ class StreamEngine:
                 continue
             stalls = 0
             pumped += 1
+        TRACER.end(run_span)
         return list(self.pipeline.timeline[start:])
 
     # ------------------------------------------------------------------

@@ -412,8 +412,53 @@ class TestFLT001FloatEquality:
         assert violations == []
 
 
+class TestOBS001PrintCall:
+    def test_print_in_library_module_flagged(self):
+        violations = lint(
+            """\
+            def report(total: int) -> None:
+                print(f"processed {total} slots")
+            """,
+            select="OBS001",
+        )
+        assert [v.rule for v in violations] == ["OBS001"]
+        assert violations[0].line == 2
+
+    def test_logger_use_clean(self):
+        violations = lint(
+            """\
+            from repro.obs.logs import get_logger
+
+            def report(total: int) -> None:
+                get_logger("stream").info("processed %d slots", total)
+            """,
+            select="OBS001",
+        )
+        assert violations == []
+
+    def test_cli_and_reporting_exempt(self):
+        source = """\
+            def show() -> None:
+                print("table")
+            """
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/analysis/cli.py",
+            "src/repro/reporting/ascii.py",
+        ):
+            assert lint(source, path=path, select="OBS001") == []
+
+    def test_tests_and_scripts_out_of_scope(self):
+        source = """\
+            def show() -> None:
+                print("debugging is fine here")
+            """
+        for path in ("tests/test_fake.py", "scripts/fake.py"):
+            assert lint(source, path=path, select="OBS001") == []
+
+
 class TestRuleCatalogue:
-    def test_six_rules_with_unique_ids(self):
+    def test_seven_rules_with_unique_ids(self):
         ids = [rule_cls.rule_id for rule_cls in ALL_RULES]
         assert len(ids) == len(set(ids))
         assert set(ids) == {
@@ -423,6 +468,7 @@ class TestRuleCatalogue:
             "CKPT001",
             "API001",
             "FLT001",
+            "OBS001",
         }
 
     def test_every_rule_has_a_summary(self):

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.simulation",
     "repro.stream",
     "repro.service",
+    "repro.obs",
     "repro.billing",
     "repro.reporting",
     "repro.data",

@@ -1,0 +1,178 @@
+"""Tests for the detection audit trail (`repro.obs.audit`)."""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.faults.plan import builtin_plan
+from repro.obs.audit import AUDIT_FORMAT, AUDIT_VERSION, AuditTrail, load_audit_jsonl
+from repro.simulation.cache import GameSolutionCache
+from repro.stream.checkpoint import checkpoint_payload, resume_engine
+from repro.stream.pipeline import build_synthetic_engine
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> CommunityConfig:
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+def _run_engine(config, *, audit=None, faults=None, n_days=3):
+    engine = build_synthetic_engine(
+        config, n_days=n_days, attack_days=(1, 2), cache=GameSolutionCache()
+    )
+    if faults is not None:
+        engine.install_faults(faults)
+    engine.pipeline.audit = audit
+    engine.run()
+    return engine
+
+
+class TestRecordSchema:
+    def test_detection_records_carry_full_evidence(self, tiny_config, tmp_path):
+        trail = AuditTrail(tmp_path / "audit.jsonl")
+        engine = _run_engine(tiny_config, audit=trail)
+        detections = [d for d in engine.timeline if not d.gap]
+        records = trail.records(kind="detection")
+        assert len(records) == len(detections)
+        for record, det in zip(records, detections):
+            assert record["format"] == AUDIT_FORMAT
+            assert record["version"] == AUDIT_VERSION
+            assert record["slot"] == det.slot
+            assert record["day"] == det.day
+            assert record["observation"] == det.observation
+            assert record["flags"] == det.flags.astype(int).tolist()
+            assert record["belief_after"] == pytest.approx(det.belief_mean)
+            # Per-meter evidence: margin vs threshold explains each flag.
+            assert len(record["meters"]) == det.flags.size
+            for meter in record["meters"]:
+                assert meter["flagged"] == (
+                    meter["margin"] > record["threshold"]
+                )
+            assert len(record["clean_prices"]) == 24
+            assert len(record["predicted_prices"]) == 24
+
+    def test_belief_before_and_after_chain(self, tiny_config):
+        trail = AuditTrail()
+        _run_engine(tiny_config, audit=trail)
+        records = trail.records(kind="detection")
+        for prev, cur in zip(records, records[1:]):
+            assert cur["belief_before"] == pytest.approx(prev["belief_after"])
+
+    def test_gap_records_under_injected_faults(self, tiny_config):
+        trail = AuditTrail()
+        plan = builtin_plan("drop", seed=5)
+        engine = _run_engine(tiny_config, audit=trail, faults=plan)
+        gaps = [d for d in engine.timeline if d.gap]
+        assert gaps, "drop plan should produce at least one gap"
+        gap_records = trail.records(kind="gap")
+        assert len(gap_records) == len(gaps)
+        for record, det in zip(gap_records, gaps):
+            assert record["kind"] == "gap"
+            assert record["slot"] == det.slot
+            assert record["gap_reason"] == det.gap_reason
+            assert record["belief_held"] is True
+        # Every timeline entry has exactly one audit record.
+        assert trail.total_records == len(engine.timeline)
+
+    def test_jsonl_file_round_trips(self, tiny_config, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        trail = AuditTrail(path)
+        _run_engine(tiny_config, audit=trail, faults=builtin_plan("drop", seed=5))
+        loaded = load_audit_jsonl(path)
+        assert loaded == trail.records()
+
+    def test_load_rejects_damage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_audit_jsonl(path)
+        path.write_text('[1, 2]\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="must be an object"):
+            load_audit_jsonl(path)
+
+
+class TestAuditNeverChangesVerdicts:
+    def test_timeline_bitwise_identical_with_and_without_audit(self, tiny_config):
+        plain = _run_engine(tiny_config, audit=None)
+        audited = _run_engine(tiny_config, audit=AuditTrail())
+        a = json.dumps([d.to_dict() for d in plain.timeline], sort_keys=True)
+        b = json.dumps([d.to_dict() for d in audited.timeline], sort_keys=True)
+        assert a == b
+
+    def test_checkpoint_state_identical_with_and_without_audit(self, tiny_config):
+        plain = _run_engine(tiny_config, audit=None)
+        audited = _run_engine(tiny_config, audit=AuditTrail())
+        a = json.dumps(checkpoint_payload(plain), sort_keys=True)
+        b = json.dumps(checkpoint_payload(audited), sort_keys=True)
+        assert a == b
+
+
+class TestWindowAndBackfill:
+    def test_bounded_window_rolls_but_total_counts(self, tiny_config):
+        trail = AuditTrail(max_records=10)
+        engine = _run_engine(tiny_config, audit=trail)
+        assert len(trail.records()) == 10
+        assert trail.total_records == len(engine.timeline)
+        # The window keeps the most recent slots.
+        assert trail.records()[-1]["slot"] == engine.timeline[-1].slot
+
+    def test_filters(self, tiny_config):
+        trail = AuditTrail()
+        _run_engine(tiny_config, audit=trail, faults=builtin_plan("drop", seed=5))
+        day1 = trail.records(day=1)
+        assert day1 and all(rec["day"] == 1 for rec in day1)
+        late = trail.records(since=30)
+        assert late and all(rec["slot"] >= 30 for rec in late)
+        assert trail.records(limit=3) == trail.records()[:3]
+
+    def test_backfill_after_resume_covers_whole_timeline(self, tiny_config):
+        engine = _run_engine(tiny_config, audit=None)
+        payload = checkpoint_payload(engine)
+        resumed = resume_engine(payload, cache=GameSolutionCache())
+        trail = AuditTrail()
+        resumed.pipeline.audit = trail
+        added = trail.backfill(resumed.timeline)
+        assert added == len(resumed.timeline)
+        assert all(
+            rec.get("restored") for rec in trail.records(kind="detection")
+        )
+        # Idempotent: a second backfill adds nothing.
+        assert trail.backfill(resumed.timeline) == 0
+
+    def test_pipeline_load_state_backfills_attached_trail(self, tiny_config):
+        engine = _run_engine(tiny_config, audit=None)
+        payload = checkpoint_payload(engine)
+        resumed = resume_engine(payload, cache=GameSolutionCache())
+        # resume_engine rebuilds without a trail; attaching one and
+        # re-loading state (as the CLI --resume path does) backfills.
+        trail = AuditTrail()
+        resumed.pipeline.audit = trail
+        resumed.pipeline.load_state(payload["state"]["pipeline"])
+        assert trail.total_records == len(resumed.timeline)

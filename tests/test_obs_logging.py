@@ -1,0 +1,136 @@
+"""Tests for structured logging and run manifests (`repro.obs`)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.core.presets import smoke_preset
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.manifest import MANIFEST_FORMAT, build_manifest, config_digest
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+
+
+class TestConfigureLogging:
+    def test_plain_format(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("unit").info("hello %d", 7)
+        assert stream.getvalue() == "repro.unit INFO hello 7\n"
+
+    def test_json_lines_format(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream, json_lines=True)
+        get_logger("unit").warning("look out", extra={"slot": 3})
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "WARNING"
+        assert record["logger"] == "repro.unit"
+        assert record["message"] == "look out"
+        assert record["slot"] == 3
+        assert record["ts"] >= 0
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(stream=first)
+        configure_logging(stream=second)
+        get_logger("unit").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream, level=logging.WARNING)
+        get_logger("unit").info("quiet")
+        get_logger("unit").error("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_exception_serialized_in_json(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream, json_lines=True)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("unit").exception("failed")
+        record = json.loads(stream.getvalue())
+        assert "ValueError: boom" in record["exception"]
+
+    def test_get_logger_normalizes_names(self):
+        assert get_logger("stream").name == "repro.stream"
+        assert get_logger("repro.service").name == "repro.service"
+        assert get_logger("repro").name == "repro"
+
+
+class TestRunCorrelation:
+    def test_run_and_span_ids_stamped(self, monkeypatch):
+        tracer = Tracer()
+        monkeypatch.setattr("repro.obs.logs.TRACER", tracer)
+        tracer.enable(run_id="corr-run")
+        stream = io.StringIO()
+        configure_logging(stream=stream, json_lines=True)
+        with tracer.span("outer") as span:
+            get_logger("unit").info("inside")
+        record = json.loads(stream.getvalue())
+        assert record["run_id"] == "corr-run"
+        assert record["span_id"] == span.span_id
+
+    def test_no_ids_when_tracer_idle(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream, json_lines=True)
+        get_logger("unit").info("plain")
+        record = json.loads(stream.getvalue())
+        assert "span_id" not in record
+
+
+class TestManifest:
+    def test_shape_and_no_timestamps(self):
+        manifest = build_manifest(
+            smoke_preset(), seeds={"stream": 7}, command="stream"
+        )
+        assert manifest["format"] == MANIFEST_FORMAT
+        assert manifest["command"] == "stream"
+        assert manifest["seeds"] == {"stream": 7}
+        assert set(manifest["platform"]) == {"python", "numpy", "system"}
+        assert len(manifest["config_sha256"]) == 64
+        # Checkpoints embed manifests: no clock-derived fields allowed,
+        # or bitwise checkpoint identity breaks.
+        flat = json.dumps(manifest).lower()
+        for banned in ("time", "date", "clock"):
+            assert banned not in flat
+
+    def test_config_digest_stable_and_sensitive(self):
+        config = smoke_preset()
+        assert config_digest(config) == config_digest(config)
+        changed = config.with_updates(seed=config.seed + 1)
+        assert config_digest(config) != config_digest(changed)
+
+    def test_dict_config_matches_object_digest(self):
+        from repro.core.config import config_to_dict
+
+        config = smoke_preset()
+        assert config_digest(config_to_dict(config)) == config_digest(config)
+
+    def test_manifest_without_config(self):
+        manifest = build_manifest()
+        assert "config_sha256" not in manifest
+        assert "seeds" not in manifest
+        assert manifest["format"] == MANIFEST_FORMAT
+
+    def test_extra_fields_merged(self):
+        manifest = build_manifest(extra={"preset": "smoke"})
+        assert manifest["preset"] == "smoke"
+
+    def test_version_matches_package(self):
+        from repro import __version__
+
+        assert build_manifest()["package_version"] == __version__

@@ -1,0 +1,204 @@
+"""Tests for gauges, bounded histograms and Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.prometheus import (
+    metric_name,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.perf.counters import BoundedHistogram, PerfRegistry
+
+
+class TestBoundedHistogram:
+    def test_empty_quantiles_are_nan(self):
+        hist = BoundedHistogram()
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.quantile(0.0))
+        assert math.isnan(hist.quantile(1.0))
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["p50"])
+
+    def test_single_sample_dominates_every_quantile(self):
+        hist = BoundedHistogram()
+        hist.observe(3.5)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(3.5)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["min"] == pytest.approx(3.5)
+        assert summary["max"] == pytest.approx(3.5)
+
+    def test_heavy_tail_separates_p50_from_p99(self):
+        hist = BoundedHistogram()
+        # 99 fast samples and one extreme outlier: the median must stay
+        # at the bulk while the tail quantile finds the outlier.
+        for _ in range(99):
+            hist.observe(1.0)
+        hist.observe(1000.0)
+        assert hist.quantile(0.5) == pytest.approx(1.0)
+        assert hist.quantile(0.99) == pytest.approx(1.0)
+        assert hist.quantile(1.0) == pytest.approx(1000.0)
+        hist.observe(1000.0)
+        hist.observe(1000.0)
+        assert hist.quantile(0.99) == pytest.approx(1000.0)
+
+    def test_nearest_rank_on_uniform_grid(self):
+        hist = BoundedHistogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.quantile(0.5) == pytest.approx(50.0)
+        assert hist.quantile(0.95) == pytest.approx(95.0)
+        assert hist.quantile(0.99) == pytest.approx(99.0)
+
+    def test_ring_buffer_keeps_recent_window_but_lifetime_stats(self):
+        hist = BoundedHistogram(max_samples=4)
+        for value in (100.0, 1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        # 100.0 rolled out of the quantile window...
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+        # ...but lifetime count/total/min/max remember it.
+        assert hist.count == 5
+        assert hist.total == pytest.approx(110.0)
+        assert hist.max == pytest.approx(100.0)
+        assert hist.min == pytest.approx(1.0)
+
+    def test_quantile_validates_range(self):
+        hist = BoundedHistogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ValueError):
+            BoundedHistogram(max_samples=0)
+
+
+class TestRegistryGaugesAndHistograms:
+    def test_set_gauge_overwrites(self):
+        reg = PerfRegistry()
+        reg.set_gauge("belief", 0.25)
+        reg.set_gauge("belief", 0.75)
+        assert reg.gauges() == {"belief": pytest.approx(0.75)}
+
+    def test_observe_accumulates_into_named_histogram(self):
+        reg = PerfRegistry()
+        reg.observe("latency", 1.0)
+        reg.observe("latency", 3.0)
+        hist = reg.histogram("latency")
+        assert hist is not None
+        assert hist.count == 2
+        assert "latency" in reg.histograms()
+
+    def test_timer_hist_folds_elapsed_into_histogram(self):
+        reg = PerfRegistry()
+        with reg.timer("op", hist=True):
+            pass
+        hist = reg.histogram("op")
+        assert hist is not None
+        assert hist.count == 1
+        # The plain timer counter still accumulates alongside.
+        assert "op_s" in reg.snapshot()
+
+    def test_plain_timer_has_no_histogram(self):
+        reg = PerfRegistry()
+        with reg.timer("op"):
+            pass
+        assert reg.histogram("op") is None
+
+    def test_reset_clears_gauges_and_histograms(self):
+        reg = PerfRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        reg.add("c")
+        reg.reset()
+        assert reg.gauges() == {}
+        assert reg.histograms() == {}
+        assert reg.snapshot() == {}
+
+
+class TestDeltaSinceIncludeZero:
+    def test_default_drops_unmoved_counters(self):
+        reg = PerfRegistry()
+        reg.add("moved", 2)
+        reg.add("idle", 0)
+        baseline = reg.snapshot()
+        reg.add("moved", 1)
+        delta = reg.delta_since(baseline)
+        assert delta == {"moved": 3 - baseline["moved"]}
+
+    def test_include_zero_reports_exact_zero_counters(self):
+        reg = PerfRegistry()
+        reg.add("moved", 2)
+        reg.add("idle", 0)
+        delta = reg.delta_since({}, include_zero=True)
+        assert delta["moved"] == 2
+        # The satellite fix: an incremented-by-zero counter must appear.
+        assert delta["idle"] == 0
+
+    def test_include_zero_against_equal_baseline(self):
+        reg = PerfRegistry()
+        reg.add("steady", 5)
+        baseline = reg.snapshot()
+        full = reg.delta_since(baseline, include_zero=True)
+        assert full == {"steady": 0}
+        assert reg.delta_since(baseline) == {}
+
+
+class TestPrometheusExposition:
+    def test_metric_name_sanitization(self):
+        assert metric_name("stream.pump") == "repro_stream_pump"
+        assert metric_name("a.b-c d", prefix="x") == "x_a_b_c_d"
+        assert metric_name("bare", prefix="") == "bare"
+
+    def test_render_parse_round_trip(self):
+        reg = PerfRegistry()
+        reg.add("stream.readings", 48)
+        reg.add("stream.flags", 0)
+        with reg.timer("stream.pump", hist=True):
+            pass
+        reg.set_gauge("stream.belief_mean", 0.125)
+        for value in (1.0, 2.0, 3.0):
+            reg.observe("ce.iterations", value)
+
+        text = render_prometheus(reg)
+        parsed = parse_prometheus_text(text)
+        samples = parsed["samples"]
+        types = parsed["types"]
+
+        assert samples[("repro_stream_readings_total", ())] == pytest.approx(48.0)
+        # Zero counters are exposed, not dropped.
+        assert samples[("repro_stream_flags_total", ())] == pytest.approx(0.0)
+        assert types["repro_stream_flags_total"] == "counter"
+        assert types["repro_stream_pump_seconds_total"] == "counter"
+        assert samples[("repro_stream_belief_mean", ())] == pytest.approx(0.125)
+        assert types["repro_stream_belief_mean"] == "gauge"
+        assert types["repro_ce_iterations"] == "summary"
+        assert samples[
+            ("repro_ce_iterations", (("quantile", "0.5"),))
+        ] == pytest.approx(2.0)
+        assert samples[("repro_ce_iterations_sum", ())] == pytest.approx(6.0)
+        assert samples[("repro_ce_iterations_count", ())] == pytest.approx(3.0)
+
+    def test_parser_accepts_special_float_values(self):
+        parsed = parse_prometheus_text("x NaN\ny +Inf\nz -Inf\n")
+        assert math.isnan(parsed["samples"][("x", ())])
+        assert math.isinf(parsed["samples"][("y", ())])
+        assert parsed["samples"][("z", ())] < 0
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not a metric line!!\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE broken\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_name not_a_number\n")
+
+    def test_comments_and_blanks_ignored(self):
+        parsed = parse_prometheus_text("\n# HELP x y\n\nx 1.0\n")
+        assert parsed["samples"][("x", ())] == pytest.approx(1.0)

@@ -1,0 +1,280 @@
+"""Service and CLI integration tests for the observability layer."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.obs.prometheus import parse_prometheus_text
+from repro.obs.trace import TRACER
+from repro.service.app import DetectionService, ServiceError, create_server
+from repro.simulation.cache import GameSolutionCache
+from repro.stream.pipeline import build_synthetic_engine
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> CommunityConfig:
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+@pytest.fixture()
+def service_url(tiny_config):
+    engine = build_synthetic_engine(
+        tiny_config, n_days=3, attack_days=(1, 2), cache=GameSolutionCache()
+    )
+    service = DetectionService(engine)
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _get_raw(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.read().decode("utf-8"), response.headers.get("Content-Type")
+
+
+def _post(base: str, path: str, body: dict | None = None) -> dict:
+    data = json.dumps(body or {}).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestTraceEndpoint:
+    def test_every_detection_has_an_audit_record(self, service_url):
+        base, _ = service_url
+        _post(base, "/advance", {"until_day": 2})
+        detections = _get(base, "/detections")["detections"]
+        assert detections
+        trace = _get(base, "/trace")
+        records = trace["records"]
+        by_slot = {rec["slot"]: rec for rec in records}
+        for det in detections:
+            record = by_slot[det["slot"]]
+            assert record["observation"] == det["observation"]
+            expected_kind = "gap" if det.get("gap") else "detection"
+            assert record["kind"] == expected_kind
+        assert trace["total_records"] == len(records)
+
+    def test_trace_filters_and_limit(self, service_url):
+        base, _ = service_url
+        _post(base, "/advance", {"until_day": 2})
+        day1 = _get(base, "/trace?day=1")["records"]
+        assert day1 and all(rec["day"] == 1 for rec in day1)
+        limited = _get(base, "/trace?limit=2")
+        assert len(limited["records"]) == 2
+        assert limited["truncated"] is True
+        only_detections = _get(base, "/trace?kind=detection")["records"]
+        assert all(rec["kind"] == "detection" for rec in only_detections)
+
+    def test_bad_kind_is_400(self, service_url):
+        base, _ = service_url
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/trace?kind=bogus")
+        assert err.value.code == 400
+
+    def test_audit_disabled_service_errors(self, tiny_config):
+        engine = build_synthetic_engine(
+            tiny_config, n_days=2, attack_days=(1, 1), cache=GameSolutionCache()
+        )
+        service = DetectionService(engine, audit=False)
+        with pytest.raises(ServiceError, match="audit trail disabled"):
+            service.trace()
+
+
+class TestPrometheusEndpoint:
+    def test_scrape_parses_and_exposes_stream_counters(self, service_url):
+        base, _ = service_url
+        _post(base, "/advance", {"until_day": 1})
+        text, content_type = _get_raw(base, "/metrics?format=prometheus")
+        assert content_type.startswith("text/plain")
+        parsed = parse_prometheus_text(text)
+        samples = parsed["samples"]
+        assert samples[("repro_stream_readings_total", ())] >= 24.0
+        assert parsed["types"]["repro_stream_pump_seconds_total"] == "counter"
+        # The pump timer histogram exports as a summary.
+        assert ("repro_stream_pump", (("quantile", "0.5"),)) in samples
+        # The belief gauge rides along.
+        assert parsed["types"]["repro_stream_belief_mean"] == "gauge"
+
+    def test_prometheus_scrape_does_not_rebaseline_json_deltas(self, service_url):
+        base, _ = service_url
+        _post(base, "/advance", {"until_day": 1})
+        _get_raw(base, "/metrics?format=prometheus")
+        interval = _get(base, "/metrics")["interval"]
+        # The JSON delta still sees the advance despite the scrape.
+        assert interval.get("stream.readings", 0) >= 24
+
+    def test_unknown_format_is_400(self, service_url):
+        base, _ = service_url
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/metrics?format=xml")
+        assert err.value.code == 400
+
+    def test_json_default_unchanged(self, service_url):
+        base, _ = service_url
+        payload = _get(base, "/metrics")
+        assert set(payload) >= {"interval", "totals", "events_processed"}
+
+
+class TestStatusManifest:
+    def test_status_carries_manifest(self, service_url):
+        base, _ = service_url
+        status = _get(base, "/status")
+        manifest = status["manifest"]
+        assert manifest["format"] == "repro-run-manifest"
+        assert manifest["command"] == "synthetic"
+        assert manifest["seeds"] == {"stream": 0}
+        assert len(manifest["config_sha256"]) == 64
+
+    def test_checkpoint_embeds_same_manifest(self, tiny_config, tmp_path):
+        from repro.stream.checkpoint import checkpoint_payload
+
+        engine = build_synthetic_engine(
+            tiny_config, n_days=2, attack_days=(1, 1), cache=GameSolutionCache()
+        )
+        service = DetectionService(engine)
+        payload = checkpoint_payload(engine)
+        assert payload["manifest"] == service.status()["manifest"]
+
+
+class TestCliObservability:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_trace_subcommand_reads_audit_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "audit.jsonl"
+        records = [
+            {
+                "format": "repro-audit-record",
+                "version": 1,
+                "kind": "detection",
+                "slot": 0,
+                "day": 0,
+                "observation": 2,
+                "action": 0,
+                "belief_before": 0.0,
+                "belief_after": 0.4,
+                "repaired": False,
+                "repaired_count": 0,
+                "flags": [1, 1, 0, 0],
+            },
+            {
+                "format": "repro-audit-record",
+                "version": 1,
+                "kind": "gap",
+                "slot": 1,
+                "day": 0,
+                "gap_reason": "missing",
+                "observation": 0,
+                "belief_held": True,
+            },
+        ]
+        path.write_text(
+            "".join(json.dumps(rec) + "\n" for rec in records), encoding="utf-8"
+        )
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "detection" in out and "gap" in out
+
+        assert main(["trace", str(path), "--kind", "gap", "--format", "json"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert [rec["kind"] for rec in lines] == ["gap"]
+
+    def test_trace_subcommand_missing_file_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+        capsys.readouterr()
+
+    def test_stream_trace_flag_writes_perfetto_loadable_json(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        trace_path = tmp_path / "trace.json"
+        audit_path = tmp_path / "audit.jsonl"
+        code = main(
+            [
+                "stream",
+                "--preset",
+                "smoke",
+                "--days",
+                "2",
+                "--trace-out",
+                str(trace_path),
+                "--audit",
+                str(audit_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert TRACER.enabled is False  # CLI disables after export
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert doc["metadata"]["run_id"].startswith("stream-smoke-seed")
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        names = {event["name"] for event in events}
+        assert {"stream.run", "stream.day", "stream.slot", "detector.update"} <= names
+        for event in events[1:]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # Audit file covers every slot of the run.
+        from repro.obs.audit import load_audit_jsonl
+
+        assert len(load_audit_jsonl(audit_path)) == 48

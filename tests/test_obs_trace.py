@@ -1,0 +1,203 @@
+"""Tests for the hierarchical span tracer (`repro.obs.trace`)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import TRACER, Span, Tracer, _NOOP_SPAN
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.enable(run_id="test-run")
+    return t
+
+
+class TestDisabledTracer:
+    def test_span_returns_shared_noop(self):
+        t = Tracer()
+        assert t.span("anything") is _NOOP_SPAN
+        assert t.span("other", category="x", attr=1) is _NOOP_SPAN
+
+    def test_noop_span_is_inert_context_manager(self):
+        t = Tracer()
+        with t.span("ignored") as span:
+            assert span is None
+        assert t.spans() == ()
+
+    def test_begin_end_are_noops(self):
+        t = Tracer()
+        span_id = t.begin("detached")
+        assert span_id is None
+        t.end(span_id)  # must not raise
+        assert t.spans() == ()
+
+    def test_current_span_id_none(self):
+        t = Tracer()
+        assert t.current_span_id is None
+
+    def test_global_tracer_starts_disabled(self):
+        assert TRACER.enabled is False
+
+
+class TestSpanRecording:
+    def test_ids_are_sequential_from_one(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.span_id for s in tracer.spans()] == [1, 2, 3]
+
+    def test_enable_resets_sequence(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.enable(run_id="second")
+        with tracer.span("z"):
+            pass
+        spans = tracer.spans()
+        assert [s.span_id for s in spans] == [1]
+        assert spans[0].name == "z"
+
+    def test_nesting_sets_parent_id(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        outer, inner, sibling = tracer.spans()
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+
+    def test_attrs_and_category_recorded(self, tracer):
+        with tracer.span("game.round", category="scheduling", round=3):
+            pass
+        (span,) = tracer.spans()
+        assert span.category == "scheduling"
+        assert span.attrs == {"round": 3}
+
+    def test_timestamps_monotonic(self, tracer):
+        with tracer.span("timed"):
+            pass
+        (span,) = tracer.spans()
+        assert span.end_us is not None
+        assert span.end_us >= span.start_us >= 0
+        assert span.duration_us == span.end_us - span.start_us
+
+    def test_current_span_id_tracks_stack(self, tracer):
+        assert tracer.current_span_id is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id == outer.span_id
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id == inner.span_id
+            assert tracer.current_span_id == outer.span_id
+        assert tracer.current_span_id is None
+
+    def test_exception_still_closes_span(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.end_us is not None
+
+
+class TestDetachedSpans:
+    def test_begin_end_round_trip(self, tracer):
+        span_id = tracer.begin("stream.day", category="stream", day=2)
+        assert span_id == 1
+        tracer.end(span_id)
+        (span,) = tracer.spans()
+        assert span.name == "stream.day"
+        assert span.end_us is not None
+
+    def test_detached_span_not_on_stack(self, tracer):
+        span_id = tracer.begin("detached")
+        assert tracer.current_span_id is None
+        with tracer.span("stacked") as stacked:
+            assert tracer.current_span_id == stacked.span_id
+        tracer.end(span_id)
+
+    def test_explicit_parent_id(self, tracer):
+        parent = tracer.begin("outer")
+        child = tracer.begin("inner", parent_id=parent)
+        tracer.end(child)
+        tracer.end(parent)
+        spans = tracer.spans()
+        assert spans[1].parent_id == parent
+
+    def test_end_unknown_id_is_harmless(self, tracer):
+        tracer.end(999)
+        assert tracer.spans() == ()
+
+
+class TestDecorator:
+    def test_traced_wraps_call_in_span(self, tracer):
+        @tracer.traced("work.unit", category="test")
+        def work(x: int) -> int:
+            return x * 2
+
+        assert work(21) == 42
+        (span,) = tracer.spans()
+        assert span.name == "work.unit"
+        assert span.category == "test"
+
+    def test_traced_is_free_when_disabled(self):
+        t = Tracer()
+
+        @t.traced("work.unit")
+        def work() -> int:
+            return 7
+
+        assert work() == 7
+        assert t.spans() == ()
+
+
+class TestChromeExport:
+    def test_export_shape(self, tracer):
+        with tracer.span("outer", category="repro", label="x"):
+            with tracer.span("inner"):
+                pass
+        doc = tracer.to_chrome_trace()
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata"}
+        assert doc["metadata"]["run_id"] == "test-run"
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro:test-run"
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in x_events] == ["outer", "inner"]
+        for event in x_events:
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "span_id" in event["args"]
+
+    def test_metadata_passthrough(self):
+        t = Tracer()
+        t.enable(run_id="meta", metadata={"config_sha256": "abc"})
+        doc = t.to_chrome_trace()
+        assert doc["metadata"]["config_sha256"] == "abc"
+
+    def test_still_open_span_exports_with_last_timestamp(self, tracer):
+        tracer.begin("never.closed")
+        with tracer.span("closed"):
+            pass
+        doc = tracer.to_chrome_trace()
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in x_events)
+
+    def test_write_round_trips_json(self, tracer, tmp_path):
+        with tracer.span("a"):
+            pass
+        path = tracer.write(tmp_path / "sub" / "trace.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["traceEvents"][1]["name"] == "a"
+
+    def test_span_to_dict(self):
+        span = Span(
+            span_id=4, parent_id=2, name="n", category="c", start_us=1, end_us=9
+        )
+        payload = span.to_dict()
+        assert payload["span_id"] == 4
+        assert payload["parent_id"] == 2
+        assert payload["end_us"] == 9
