@@ -231,6 +231,39 @@ class DetectionConfig:
 
 
 @dataclass(frozen=True)
+class SolverConfig:
+    """Execution strategy for the scheduling-game solver.
+
+    Nothing here changes *what* is solved — only how fast.  ``backend``
+    picks the kernel implementation (all registered backends are
+    bitwise-identical; see :mod:`repro.kernels`), ``batch_games`` turns
+    on lockstep batching of independent solves
+    (:func:`repro.scheduling.batch.solve_games`, also bitwise-identical
+    to the sequential loop).  ``warm_start`` is the one knob that *does*
+    change results: solves are seeded from the nearest cached
+    equilibrium (within ``warm_start_max_distance`` in max-abs price
+    gap) with the CE sampling density narrowed by ``ce_warm_std_scale``.
+    Warm solutions live in their own cache namespace, so enabling it
+    never contaminates cold-start (golden) results, and runs stay
+    deterministic given the cache state.
+    """
+
+    backend: str = "auto"
+    batch_games: bool = True
+    warm_start: bool = False
+    warm_start_max_distance: float = 0.05
+    ce_warm_std_scale: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.backend:
+            raise ConfigError("backend must be a non-empty name or 'auto'")
+        if self.warm_start_max_distance < 0:
+            raise ConfigError("warm_start_max_distance must be >= 0")
+        if not 0 < self.ce_warm_std_scale <= 1:
+            raise ConfigError("ce_warm_std_scale must be in (0, 1]")
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Stall tolerance for the streaming engine's pump loop.
 
@@ -295,6 +328,7 @@ class CommunityConfig:
     pricing: PricingConfig = field(default_factory=PricingConfig)
     game: GameConfig = field(default_factory=GameConfig)
     detection: DetectionConfig = field(default_factory=DetectionConfig)
+    solver: SolverConfig = field(default_factory=SolverConfig)
     seed: int = 2015
 
     def __post_init__(self) -> None:
@@ -337,5 +371,8 @@ def config_from_dict(payload: dict[str, Any]) -> CommunityConfig:
         pricing=PricingConfig(**data["pricing"]),
         game=GameConfig(**data["game"]),
         detection=DetectionConfig(**data["detection"]),
+        # Checkpoints written before the solver layer existed carry no
+        # "solver" section; defaults reproduce the historical behaviour.
+        solver=SolverConfig(**data.get("solver", {})),
         seed=int(data["seed"]),
     )

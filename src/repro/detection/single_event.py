@@ -24,18 +24,23 @@ model assumes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
-from repro.core.config import GameConfig
+from repro.core.config import GameConfig, SolverConfig
+from repro.kernels import KernelBackend
 from repro.metrics.par import par, par_increase
+from repro.scheduling.batch import solve_games
 from repro.scheduling.game import Community, GameResult, SchedulingGame
 from repro.simulation.cache import (
     GameSolutionCache,
     solution_key,
     solve_context_key,
+    warm_context_key,
 )
 
 
@@ -63,6 +68,12 @@ class CommunityResponseSimulator:
         to reuse solutions across simulators and scenario runs — keys are
         content-addressed over the full solve context, so sharing is
         always safe.
+    solver:
+        Execution strategy (kernel backend, lockstep batching of
+        :meth:`prefetch`, equilibrium warm-starting).  The default is
+        bitwise-identical to the historical sequential path; only
+        ``solver.warm_start`` changes results, and warm solutions are
+        namespaced away from cold ones in the cache.
     """
 
     def __init__(
@@ -73,18 +84,26 @@ class CommunityResponseSimulator:
         sellback_divisor: float = 2.0,
         seed: int = 0,
         cache: GameSolutionCache | None = None,
+        solver: SolverConfig | None = None,
     ) -> None:
         self.community = community
         self.config = config if config is not None else GameConfig()
         self.sellback_divisor = sellback_divisor
         self.seed = seed
         self.cache = cache if cache is not None else GameSolutionCache()
+        self.solver = solver if solver is not None else SolverConfig()
         self._context_key = solve_context_key(
             community,
             self.config,
             sellback_divisor=sellback_divisor,
             seed=seed,
         )
+        if self.solver.warm_start:
+            self._context_key = warm_context_key(
+                self._context_key,
+                ce_std_scale=self.solver.ce_warm_std_scale,
+                max_distance=self.solver.warm_start_max_distance,
+            )
         self._keys_seen: set[str] = set()
 
     @property
@@ -96,6 +115,11 @@ class CommunityResponseSimulator:
         """Number of distinct price vectors this simulator has solved."""
         return len(self._keys_seen)
 
+    @property
+    def backend(self) -> KernelBackend | str | None:
+        """Kernel backend name forwarded to every solve."""
+        return self.solver.backend
+
     def response(self, prices: ArrayLike) -> GameResult:
         """Game solution for a posted price vector (memoized)."""
         p = np.asarray(prices, dtype=float)
@@ -103,18 +127,95 @@ class CommunityResponseSimulator:
             raise ValueError(f"prices must have shape ({self.horizon},), got {p.shape}")
         key = solution_key(self._context_key, p)
         self._keys_seen.add(key)
-        return self.cache.get_or_solve(
+        result = self.cache.get_or_solve(
             key, lambda: self._solve(p), community=self.community
         )
+        self.cache.register_prices(self._context_key, np.maximum(p, 0.0), key)
+        return result
 
-    def _solve(self, p: NDArray[np.float64]) -> GameResult:
-        game = SchedulingGame(
+    def prefetch(self, price_vectors: Iterable[ArrayLike]) -> int:
+        """Solve every not-yet-cached price vector in one lockstep batch.
+
+        Returns the number of games solved.  With ``solver.batch_games``
+        (the default) the pending solves run through
+        :func:`repro.scheduling.batch.solve_games`, which is
+        bitwise-identical to solving them one at a time — prefetching is
+        purely a wall-clock optimization, and the cache's hit/miss totals
+        match the sequential path (each batched solve books one miss, the
+        later lookup one hit).
+        """
+        pending: OrderedDict[str, NDArray[np.float64]] = OrderedDict()
+        for prices in price_vectors:
+            p = np.asarray(prices, dtype=float)
+            if p.shape != (self.horizon,):
+                raise ValueError(
+                    f"prices must have shape ({self.horizon},), got {p.shape}"
+                )
+            key = solution_key(self._context_key, p)
+            if key in pending:
+                continue
+            if self.cache.peek(key, community=self.community) is not None:
+                self.cache.register_prices(
+                    self._context_key, np.maximum(p, 0.0), key
+                )
+                continue
+            pending[key] = p
+        if not pending:
+            return 0
+        if not self.solver.batch_games or len(pending) == 1:
+            for key, p in pending.items():
+                self.cache.put(key, self._solve(p), community=self.community)
+                self.cache.register_prices(
+                    self._context_key, np.maximum(p, 0.0), key
+                )
+            return len(pending)
+        clamped = [np.maximum(p, 0.0) for p in pending.values()]
+        warm_starts: Sequence[GameResult | None] = [
+            self._warm_start(p) for p in clamped
+        ]
+        results = solve_games(
             self.community,
-            np.maximum(p, 0.0),
+            clamped,
             sellback_divisor=self.sellback_divisor,
             config=self.config,
+            seed=self.seed,
+            backend=self.solver.backend,
+            warm_starts=warm_starts,
+            ce_std_scale=self.solver.ce_warm_std_scale,
         )
-        return game.solve(rng=np.random.default_rng(self.seed))
+        for (key, p), result in zip(pending.items(), results):
+            self.cache.put(key, result, community=self.community)
+            self.cache.register_prices(
+                self._context_key, np.maximum(p, 0.0), key
+            )
+        return len(pending)
+
+    def _warm_start(self, clamped: NDArray[np.float64]) -> GameResult | None:
+        """Nearest cached equilibrium usable as a warm start, if enabled."""
+        if not self.solver.warm_start:
+            return None
+        near = self.cache.nearest(
+            self._context_key,
+            clamped,
+            max_distance=self.solver.warm_start_max_distance,
+        )
+        return near.result if near is not None else None
+
+    def _solve(self, p: NDArray[np.float64]) -> GameResult:
+        clamped = np.maximum(p, 0.0)
+        warm = self._warm_start(clamped)
+        game = SchedulingGame(
+            self.community,
+            clamped,
+            sellback_divisor=self.sellback_divisor,
+            config=self.config,
+            backend=self.solver.backend,
+        )
+        return game.solve(
+            rng=np.random.default_rng(self.seed),
+            warm_start=warm,
+            ce_std_scale=self.solver.ce_warm_std_scale if warm is not None else 1.0,
+        )
 
     def grid_par(self, prices: ArrayLike) -> float:
         """PAR of the grid demand the community would draw under ``prices``."""
@@ -205,6 +306,38 @@ class SingleEventDetector:
         self.margin_noise_std = margin_noise_std
         self.predicted_par = predicted_sim.grid_par(self.predicted_prices)
 
+    def draw_noise(self, rng: np.random.Generator | None) -> float:
+        """Draw one check's measurement noise (0 without an rng).
+
+        Exposed so callers can split a check into its two halves — draw
+        the noise now, evaluate the (cache-heavy) PAR comparison later —
+        without perturbing the shared rng's draw sequence.  ``check`` is
+        exactly ``evaluate(received, noise=draw_noise(rng))``.
+        """
+        if rng is not None and self.margin_noise_std > 0:
+            return float(rng.normal(0.0, self.margin_noise_std))
+        return 0.0
+
+    def evaluate(
+        self,
+        received_prices: ArrayLike,
+        *,
+        noise: float = 0.0,
+    ) -> SingleEventDetection:
+        """Run the PAR comparison with an externally drawn noise term."""
+        received = np.asarray(received_prices, dtype=float)
+        if received.shape != self.predicted_prices.shape:
+            raise ValueError(
+                f"received prices shape {received.shape} != predicted "
+                f"{self.predicted_prices.shape}"
+            )
+        return SingleEventDetection(
+            received_par=self.simulator.grid_par(received),
+            predicted_par=self.predicted_par,
+            threshold=self.threshold,
+            noise=noise,
+        )
+
     def check(
         self,
         received_prices: ArrayLike,
@@ -218,15 +351,7 @@ class SingleEventDetector:
                 f"received prices shape {received.shape} != predicted "
                 f"{self.predicted_prices.shape}"
             )
-        noise = 0.0
-        if rng is not None and self.margin_noise_std > 0:
-            noise = float(rng.normal(0.0, self.margin_noise_std))
-        return SingleEventDetection(
-            received_par=self.simulator.grid_par(received),
-            predicted_par=self.predicted_par,
-            threshold=self.threshold,
-            noise=noise,
-        )
+        return self.evaluate(received, noise=self.draw_noise(rng))
 
     def check_meters(
         self,
@@ -249,6 +374,12 @@ class SingleEventDetector:
                 f"received_per_meter must have shape (n_meters, "
                 f"{self.predicted_prices.size}), got {received.shape}"
             )
+        # Solve the distinct rows as one lockstep batch before the
+        # per-meter loop; every check below is then a cache hit.  The
+        # batch is bitwise-identical to solving inside the loop, and it
+        # consumes nothing from ``rng``, so the noise sequence is
+        # untouched.
+        self.simulator.prefetch(received[i] for i in range(received.shape[0]))
         return [self.check(received[i], rng=rng) for i in range(received.shape[0])]
 
     def observe_meters(

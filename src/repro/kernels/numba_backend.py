@@ -1,0 +1,167 @@
+"""Optional numba JIT backend (registered only when numba is importable).
+
+The kernels are straight scalar-loop transcriptions of the reference op
+order, compiled with numba's default IEEE-strict settings (``fastmath``
+off, so no FMA contraction or reassociation) — which is what makes the
+bitwise contract of :mod:`repro.kernels.base` attainable.  The hosting
+container does not ship numba; the backend exists for environments that
+do, and the parametrized equivalence suite validates it automatically
+wherever it registers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.kernels.base import (
+    BoolArray,
+    FloatArray,
+    Int16Array,
+    IntArray,
+)
+from repro.kernels.reference import ReferenceBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # pragma: no cover
+    numba = None
+
+NUMBA_AVAILABLE = numba is not None
+
+
+def _jit(func: Callable[..., Any]) -> Callable[..., Any]:  # pragma: no cover
+    assert numba is not None
+    return numba.njit(cache=True)(func)
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @_jit
+    def _clamp_kernel(
+        b: FloatArray, capacity: float, max_charge: float, max_discharge: float
+    ) -> None:
+        n, width = b.shape
+        for i in range(n):
+            for h in range(1, width):
+                prev = b[i, h - 1]
+                lo = max(0.0, prev - max_discharge)
+                hi = min(capacity, prev + max_charge)
+                b[i, h] = min(max(b[i, h], lo), hi)
+
+    @_jit
+    def _cost_kernel(
+        d: FloatArray,
+        initial: float,
+        load: FloatArray,
+        pv: FloatArray,
+        others: FloatArray,
+        prices: FloatArray,
+        sell_prices: FloatArray,
+        multiplicity: float,
+        out: FloatArray,
+    ) -> None:
+        # Per-slot costs only; the row reduction happens in numpy so the
+        # pairwise summation order matches the reference bit for bit.
+        n, horizon = d.shape
+        for i in range(n):
+            prev = initial
+            for h in range(horizon):
+                y = (load[h] + (d[i, h] - prev)) - pv[h]
+                prev = d[i, h]
+                total = max(others[h] + multiplicity * y, 0.0)
+                if y >= 0:
+                    out[i, h] = (prices[h] * total) * y
+                else:
+                    out[i, h] = (sell_prices[h] * total) * y
+
+
+class NumbaBackend:
+    """JIT-compiled kernels; DP falls back to the reference loops."""
+
+    name = "numba"
+
+    def __init__(self) -> None:  # pragma: no cover - needs numba
+        if not NUMBA_AVAILABLE:
+            raise RuntimeError("numba is not installed")
+        self._reference = ReferenceBackend()
+
+    def clamp_decisions(
+        self,
+        decisions: FloatArray,
+        *,
+        initial: float,
+        capacity: float,
+        max_charge: float,
+        max_discharge: float,
+    ) -> FloatArray:  # pragma: no cover - needs numba
+        d = np.asarray(decisions, dtype=float)
+        flat = d.reshape(-1, d.shape[-1])
+        b = np.empty((flat.shape[0], flat.shape[1] + 1))
+        b[:, 0] = initial
+        b[:, 1:] = flat
+        _clamp_kernel(b, capacity, max_charge, max_discharge)
+        return b[:, 1:].reshape(d.shape)
+
+    def battery_costs(
+        self,
+        decisions: FloatArray,
+        *,
+        initial: float,
+        load: FloatArray,
+        pv: FloatArray,
+        others: FloatArray,
+        prices: FloatArray,
+        sellback_divisor: float,
+        multiplicity: int,
+    ) -> FloatArray:  # pragma: no cover - needs numba
+        d = np.asarray(decisions, dtype=float)
+        # The scalar kernel needs per-row (H,) parameters; fall back to
+        # the reference for broadcast (grouped) parameter shapes.
+        params = (load, pv, others, prices)
+        if any(np.asarray(p).ndim != 1 for p in params):
+            return self._reference.battery_costs(
+                decisions,
+                initial=initial,
+                load=load,
+                pv=pv,
+                others=others,
+                prices=prices,
+                sellback_divisor=sellback_divisor,
+                multiplicity=multiplicity,
+            )
+        flat = d.reshape(-1, d.shape[-1])
+        cost = np.empty_like(flat)
+        _cost_kernel(
+            flat,
+            float(initial),
+            np.asarray(load, dtype=float),
+            np.asarray(pv, dtype=float),
+            np.asarray(others, dtype=float),
+            np.asarray(prices, dtype=float),
+            np.asarray(prices, dtype=float) / sellback_divisor,
+            float(multiplicity),
+            cost,
+        )
+        return np.asarray(cost.sum(axis=-1).reshape(d.shape[:-1]), dtype=float)
+
+    def dp_backward(
+        self,
+        cost_table: FloatArray,
+        level_units: IntArray,
+        n_states: int,
+        mask: BoolArray,
+    ) -> tuple[FloatArray, Int16Array]:  # pragma: no cover - needs numba
+        return self._reference.dp_backward(cost_table, level_units, n_states, mask)
+
+    def dp_backward_batch(
+        self,
+        cost_tables: FloatArray,
+        level_units: IntArray,
+        n_states: int,
+        mask: BoolArray,
+    ) -> tuple[FloatArray, Int16Array]:  # pragma: no cover - needs numba
+        return self._reference.dp_backward_batch(
+            cost_tables, level_units, n_states, mask
+        )

@@ -18,11 +18,13 @@ method; this module wires the generic optimizer to the battery problem:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.core.config import BatteryConfig
+from repro.kernels import KernelBackend, get_backend
 from repro.netmetering.battery import clamp_trajectory, clamp_trajectory_batch
 from repro.netmetering.cost import NetMeteringCostModel
 from repro.optimization.cross_entropy import CrossEntropyOptimizer, OptimizationResult
@@ -143,7 +145,12 @@ class BatteryProblem:
 
 
 class BatteryOptimizer:
-    """Cross-entropy search over battery trajectories for one customer."""
+    """Cross-entropy search over battery trajectories for one customer.
+
+    ``backend`` selects the kernel implementation running the projection
+    and cost evaluations (see :mod:`repro.kernels`); all backends are
+    bitwise-identical, so the choice only affects speed.
+    """
 
     def __init__(
         self,
@@ -152,11 +159,55 @@ class BatteryOptimizer:
         n_elites: int = 8,
         n_iterations: int = 12,
         smoothing: float = 0.7,
+        backend: KernelBackend | str | None = None,
     ) -> None:
         self.n_samples = n_samples
         self.n_elites = n_elites
         self.n_iterations = n_iterations
         self.smoothing = smoothing
+        self.backend = get_backend(backend)
+
+    def _hooks(
+        self, problem: BatteryProblem
+    ) -> tuple[
+        Callable[[NDArray[np.float64]], NDArray[np.float64]],
+        Callable[[NDArray[np.float64]], NDArray[np.float64]],
+    ]:
+        """Backend-routed (batch projection, batch objective) closures.
+
+        Row-for-row these match :meth:`BatteryProblem.project_batch` and
+        :meth:`BatteryProblem.cost_batch`; the kernel backend supplies
+        the (possibly fused) implementation.
+        """
+        spec = problem.spec
+        backend = self.backend
+        load = np.asarray(problem.load, dtype=float)
+        pv = np.asarray(problem.pv, dtype=float)
+        others = np.asarray(problem.others_trading, dtype=float)
+        prices = problem.cost_model.price_array
+
+        def project(decisions: NDArray[np.float64]) -> NDArray[np.float64]:
+            return backend.clamp_decisions(
+                decisions,
+                initial=spec.initial_kwh,
+                capacity=spec.capacity_kwh,
+                max_charge=spec.max_charge_kw * problem.slot_hours,
+                max_discharge=spec.max_discharge_kw * problem.slot_hours,
+            )
+
+        def cost(decisions: NDArray[np.float64]) -> NDArray[np.float64]:
+            return backend.battery_costs(
+                decisions,
+                initial=spec.initial_kwh,
+                load=load,
+                pv=pv,
+                others=others,
+                prices=prices,
+                sellback_divisor=problem.cost_model.sellback_divisor,
+                multiplicity=problem.multiplicity,
+            )
+
+        return project, cost
 
     def optimize(
         self,
@@ -164,6 +215,7 @@ class BatteryOptimizer:
         *,
         x0: ArrayLike | None = None,
         rng: np.random.Generator | None = None,
+        std_scale: float = 1.0,
     ) -> OptimizationResult:
         """Return the best feasible battery decision found by CE.
 
@@ -183,6 +235,7 @@ class BatteryOptimizer:
                 n_iterations=0,
                 converged=True,
             )
+        project, cost = self._hooks(problem)
         optimizer = CrossEntropyOptimizer(
             lower=np.zeros(h),
             upper=np.full(h, problem.spec.capacity_kwh),
@@ -191,7 +244,7 @@ class BatteryOptimizer:
             n_iterations=self.n_iterations,
             smoothing=self.smoothing,
             projection=problem.project,
-            batch_projection=problem.project_batch,
+            batch_projection=project,
         )
         # The optimizer projects the warm start through its own hook, so
         # projecting here would repair the same point twice.  (For a
@@ -204,7 +257,7 @@ class BatteryOptimizer:
             else np.full(h, problem.spec.initial_kwh)
         )
         result = optimizer.minimize(
-            problem.cost_batch, x0=start, rng=rng, batch=True
+            cost, x0=start, rng=rng, batch=True, std_scale=std_scale
         )
         # Every candidate the optimizer scored was already projected, so
         # result.x is feasible and result.fun is its exact cost — no

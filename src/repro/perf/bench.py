@@ -19,16 +19,18 @@ import platform
 import subprocess
 import sys
 import time
+from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
-from repro.core.config import CommunityConfig
+from repro.core.config import CommunityConfig, SolverConfig
 from repro.core.presets import bench_preset, smoke_preset
 from repro.obs.logs import configure_logging, get_logger
 from repro.data.community import build_community
+from repro.kernels import get_backend
 from repro.optimization.battery import BatteryOptimizer, BatteryProblem
 from repro.optimization.cross_entropy import CrossEntropyOptimizer
 from repro.perf.counters import PERF
@@ -95,7 +97,9 @@ def _time(fn: Callable[[], object], *, repeats: int = 1) -> float:
     return best
 
 
-def _bench_ce_step(config: CommunityConfig) -> dict[str, float]:
+def _bench_ce_step(
+    config: CommunityConfig, *, backend: str | None = None
+) -> dict[str, float]:
     """Batched-projection CE battery step vs the seed's per-sample loop."""
     rng = np.random.default_rng(config.seed)
     community = build_community(config, rng=rng)
@@ -106,7 +110,7 @@ def _bench_ce_step(config: CommunityConfig) -> dict[str, float]:
     prices = np.linspace(0.01, 0.05, horizon)
     game = SchedulingGame(
         community, prices, sellback_divisor=config.pricing.sellback_divisor,
-        config=config.game,
+        config=config.game, backend=backend,
     )
     state = game.initial_state(customer)
     problem = BatteryProblem(
@@ -146,6 +150,7 @@ def _bench_ce_step(config: CommunityConfig) -> dict[str, float]:
             n_elites=gc.ce_elites,
             n_iterations=gc.ce_iterations,
             smoothing=gc.ce_smoothing,
+            backend=backend,
         ).optimize(
             problem, rng=np.random.default_rng(customer.customer_id + 7919)
         )
@@ -173,7 +178,9 @@ def _bench_ce_step(config: CommunityConfig) -> dict[str, float]:
     }
 
 
-def _bench_game_solve(config: CommunityConfig) -> dict[str, float]:
+def _bench_game_solve(
+    config: CommunityConfig, *, backend: str | None = None
+) -> dict[str, float]:
     """One cold game solve at preset scale, with work counters."""
     rng = np.random.default_rng(config.seed)
     community = build_community(config, rng=rng)
@@ -183,7 +190,7 @@ def _bench_game_solve(config: CommunityConfig) -> dict[str, float]:
         SchedulingGame(
             community, prices,
             sellback_divisor=config.pricing.sellback_divisor,
-            config=config.game,
+            config=config.game, backend=backend,
         ).solve(rng=np.random.default_rng(3))
 
     before = PERF.snapshot()
@@ -200,6 +207,7 @@ def _bench_game_solve(config: CommunityConfig) -> dict[str, float]:
 
 def _bench_scenario(config: CommunityConfig, *, n_slots: int, workers: int) -> dict[str, object]:
     """Table-1-style scenario runs: cold vs cached, serial vs process pool."""
+    logger = get_logger("bench")
     cold_cache = GameSolutionCache()
     cold_s = _time(
         lambda: run_long_term_scenario(
@@ -207,6 +215,26 @@ def _bench_scenario(config: CommunityConfig, *, n_slots: int, workers: int) -> d
             calibration_trials=10, cache=cold_cache,
         )
     )
+
+    # Same scenario with equilibrium warm-starting enabled: solves are
+    # seeded from the nearest already-cached equilibrium of the run.
+    # Warm-started results live in their own cache namespace (they are
+    # *not* bitwise-identical to cold solves), so this timing measures
+    # the opt-in fast path rather than a cache replay.
+    warmstart_solver = SolverConfig(
+        backend=config.solver.backend,
+        warm_start=True,
+        warm_start_max_distance=10.0,
+        ce_warm_std_scale=0.25,
+    )
+    warmstart_config = config.with_updates(solver=warmstart_solver)
+    warmstart_s = _time(
+        lambda: run_long_term_scenario(
+            warmstart_config, detector="aware", n_slots=n_slots,
+            calibration_trials=10, cache=GameSolutionCache(),
+        )
+    )
+
     warm_cache = GameSolutionCache()
     run_long_term_scenario(
         config, detector="aware", n_slots=n_slots,
@@ -230,27 +258,110 @@ def _bench_scenario(config: CommunityConfig, *, n_slots: int, workers: int) -> d
             calibration_trials=10,
         )
     )
-    global_game_cache().clear()
-    parallel_s = _time(
-        lambda: run_aggregate_scenario(
-            config, detector="aware", seeds=seeds, n_slots=n_slots,
-            calibration_trials=10,
-            parallel=ParallelMap(backend="process", max_workers=workers),
+    pool = ParallelMap(backend="process", max_workers=workers)
+    effective_workers = pool.effective_workers
+    if effective_workers <= 1:
+        # A one-worker process pool measures fork overhead, not
+        # parallelism; a "speedup" derived from it is pure timing noise.
+        logger.warning(
+            "aggregate parallel bench skipped: only %d effective worker(s) "
+            "available (requested %d, cpu_count=%s) — a single-worker "
+            "speedup number would be noise",
+            effective_workers, workers, os.cpu_count(),
         )
-    )
+        parallel_s = None
+        speedup = None
+    else:
+        global_game_cache().clear()
+        parallel_s = _time(
+            lambda: run_aggregate_scenario(
+                config, detector="aware", seeds=seeds, n_slots=n_slots,
+                calibration_trials=10, parallel=pool,
+            )
+        )
+        speedup = serial_s / parallel_s
     return {
         "n_slots": n_slots,
         "scenario_cold_s": cold_s,
+        "scenario_cold_warmstart_s": warmstart_s,
+        "warmstart_speedup": cold_s / warmstart_s,
+        "warmstart_max_distance": warmstart_solver.warm_start_max_distance,
+        "warmstart_ce_std_scale": warmstart_solver.ce_warm_std_scale,
         "scenario_cached_s": warm_s,
         "cache_speedup": cold_s / warm_s,
         "cache_hit_rate": warm_cache.hit_rate,
         "cache_entries": warm_cache.size,
         "aggregate_serial_s": serial_s,
         "aggregate_process_s": parallel_s,
-        "aggregate_speedup": serial_s / parallel_s,
-        "aggregate_workers": workers,
+        "aggregate_speedup": speedup,
+        "aggregate_workers_requested": workers,
+        "aggregate_workers": effective_workers,
         "aggregate_seeds": len(seeds),
     }
+
+
+def _numeric_leaves(
+    section: object, prefix: str = ""
+) -> dict[str, float]:
+    """Flatten a bench entry section to dotted-path numeric leaves."""
+    leaves: dict[str, float] = {}
+    if isinstance(section, dict):
+        for key, value in section.items():
+            leaves.update(_numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(section, (int, float)) and not isinstance(section, bool):
+        leaves[prefix[:-1]] = float(section)
+    return leaves
+
+
+def _entry_stamp(entry: dict[str, object]) -> str:
+    """One-line provenance label for a bench entry."""
+    env = entry.get("environment")
+    env = env if isinstance(env, dict) else {}
+    return (
+        f"git={env.get('git_rev') or '?'} "
+        f"backend={entry.get('backend', '?')} "
+        f"preset={entry.get('preset', '?')} "
+        f"at {env.get('timestamp', '?')}"
+    )
+
+
+def compare_latest_entries(path: str | Path) -> int:
+    """Log the latest bench entry against the previous one.
+
+    Compares every shared numeric leaf of the timing sections and
+    renders the change as a speedup factor (previous / latest for
+    ``*_s`` timings, so >1 means the latest run is faster).  Returns a
+    shell-style exit code so ``repro-bench --compare`` can gate scripts.
+    """
+    logger = get_logger("bench")
+    target = Path(path)
+    if not target.exists():
+        logger.error("no bench file at %s", target)
+        return 1
+    entries = json.loads(target.read_text()).get("entries", [])
+    if len(entries) < 2:
+        logger.error(
+            "%s has %d entr%s; need at least two to compare",
+            target, len(entries), "y" if len(entries) == 1 else "ies",
+        )
+        return 1
+    previous, latest = entries[-2], entries[-1]
+    logger.info("latest:   %s", _entry_stamp(latest))
+    logger.info("previous: %s", _entry_stamp(previous))
+    sections = ("ce_step", "game_solve", "scenario", "global_cache")
+    for section in sections:
+        old = _numeric_leaves(previous.get(section, {}))
+        new = _numeric_leaves(latest.get(section, {}))
+        shared = [key for key in new if key in old]
+        if shared:
+            logger.info("-- %s --", section)
+        for key in shared:
+            line = f"  {key}: {old[key]:.5g} -> {new[key]:.5g}"
+            if key.endswith("_s") and new[key] > 0:
+                ratio = old[key] / new[key]
+                line += f"  ({ratio:.2f}x {'faster' if ratio >= 1 else 'slower'})"
+            logger.info("%s", line)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -266,6 +377,11 @@ def main(argv: list[str] | None = None) -> int:
         help="process-pool width for the aggregate comparison",
     )
     parser.add_argument(
+        "--backend", default=None,
+        help="kernel backend to bench (auto/reference/fused/...; recorded "
+        "in the entry so trajectories are keyed by git rev + backend)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("BENCH_hotpaths.json"),
         help="perf-trajectory file to append to",
     )
@@ -278,22 +394,40 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: smoke preset, micro benches only "
         "(shorthand for --preset smoke --skip-scenario)",
     )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="compare the two most recent entries in --out and exit "
+        "without running any benches",
+    )
     args = parser.parse_args(argv)
+
+    configure_logging()
+    if args.compare:
+        return compare_latest_entries(args.out)
+
     if args.quick:
         args.preset = "smoke"
         args.skip_scenario = True
     config = PRESETS[args.preset]()
+    try:
+        backend_name = get_backend(args.backend).name
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.backend is not None:
+        config = config.with_updates(
+            solver=replace(config.solver, backend=args.backend)
+        )
 
-    configure_logging()
     logger = get_logger("bench")
 
-    logger.info("== CE battery step (%s preset) ==", args.preset)
-    ce = _bench_ce_step(config)
+    logger.info("== CE battery step (%s preset, %s backend) ==",
+                args.preset, backend_name)
+    ce = _bench_ce_step(config, backend=args.backend)
     for name, value in ce.items():
         logger.info("  %s: %.5f", name, value)
 
     logger.info("== game solve ==")
-    game = _bench_game_solve(config)
+    game = _bench_game_solve(config, backend=args.backend)
     for name, value in game.items():
         logger.info("  %s: %.5f", name, value)
 
@@ -307,8 +441,13 @@ def main(argv: list[str] | None = None) -> int:
             rendered = f"{value:.5f}" if isinstance(value, float) else value
             logger.info("  %s: %s", name, rendered)
 
+    environment = collect_environment()
     entry: dict[str, object] = {
-        "environment": collect_environment(),
+        "environment": environment,
+        # Trajectory key: entries are identified by the code revision
+        # they measured plus the kernel backend they ran on.
+        "key": f"{environment['git_rev'] or 'unknown'}+{backend_name}",
+        "backend": backend_name,
         "preset": args.preset,
         "ce_step": ce,
         "game_solve": game,

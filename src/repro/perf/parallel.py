@@ -76,10 +76,19 @@ class ParallelMap:
 
     @property
     def effective_workers(self) -> int:
-        """Workers the process backend would use (1 for serial)."""
+        """Workers that can actually run concurrently (1 for serial).
+
+        Capped at the machine's CPU count: requesting a wider pool than
+        there are cores adds processes but no parallelism, and perf
+        numbers derived from the uncapped request would overstate what
+        the run could possibly exploit.
+        """
         if self.backend == "serial":
             return 1
-        return self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+        cpus = os.cpu_count() or 1
+        if self.max_workers is None:
+            return cpus
+        return min(self.max_workers, cpus)
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, preserving input order.

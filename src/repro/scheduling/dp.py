@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.kernels import KernelBackend, get_backend
 from repro.obs.trace import TRACER
 from repro.perf.counters import PERF
 from repro.scheduling.appliance import ApplianceSchedule, ApplianceTask, InfeasibleTaskError
@@ -52,12 +53,50 @@ def _build_cost_table(
     return table
 
 
+def _task_units(
+    task: ApplianceTask, horizon: int, *, slot_hours: float
+) -> tuple[NDArray[np.int_], int, NDArray[np.bool_]]:
+    """Shared DP setup: level units, required units and the window mask."""
+    unit = task.energy_unit(slot_hours=slot_hours)
+    level_units = np.array(
+        [round(p * slot_hours / unit) for p in task.power_levels], dtype=int
+    )
+    required_units = round(task.energy_kwh / unit)
+    mask = task.window_mask(horizon)
+    return level_units, required_units, mask
+
+
+def _backtrack(
+    task: ApplianceTask,
+    choice: NDArray[np.int16],
+    level_units: NDArray[np.int_],
+    required_units: int,
+    mask: NDArray[np.bool_],
+) -> NDArray[np.float64]:
+    """Recover the optimal power assignment from the DP choice table."""
+    horizon = choice.shape[0]
+    power = np.zeros(horizon)
+    remaining = required_units
+    for h in range(horizon):
+        if not mask[h]:
+            continue
+        j = int(choice[h, remaining])
+        power[h] = task.power_levels[j]
+        remaining -= int(level_units[j])
+    if remaining != 0:
+        raise AssertionError(
+            f"{task.name}: backtracking left {remaining} units unassigned"
+        )
+    return power
+
+
 @TRACER.traced("dp.solve", category="scheduling")
 def schedule_appliance_table(
     task: ApplianceTask,
     cost_table: NDArray[np.float64],
     *,
     slot_hours: float = 1.0,
+    backend: KernelBackend | str | None = None,
 ) -> tuple[ApplianceSchedule, DpDiagnostics]:
     """Optimal schedule from a dense cost table.
 
@@ -71,6 +110,10 @@ def schedule_appliance_table(
         Rows outside the task window are ignored (the level is forced to 0).
     slot_hours:
         Slot duration in hours; per-slot energy is ``level * slot_hours``.
+    backend:
+        Kernel backend (or name) running the backward recursion; resolved
+        via :func:`repro.kernels.get_backend` when omitted.  Backends are
+        bitwise-identical, so the choice never changes the schedule.
 
     Returns
     -------
@@ -89,43 +132,15 @@ def schedule_appliance_table(
             f"{len(task.power_levels)} power levels"
         )
     task.check_feasible(horizon, slot_hours=slot_hours)
+    kernel = get_backend(backend)
 
-    unit = task.energy_unit(slot_hours=slot_hours)
-    level_units = np.array(
-        [round(p * slot_hours / unit) for p in task.power_levels], dtype=int
+    level_units, required_units, mask = _task_units(
+        task, horizon, slot_hours=slot_hours
     )
-    required_units = round(task.energy_kwh / unit)
-    mask = task.window_mask(horizon)
-
-    # value[r] = minimal cost to consume exactly r units in slots [h, horizon).
-    # Iterate h from the last slot backwards.
-    n_states = required_units + 1
-    value = np.full(n_states, _INF)
-    value[0] = 0.0
+    # value[r] = minimal cost to consume exactly r units in slots [h, horizon);
     # choice[h, r] = level index chosen at slot h when r units remain.
-    choice = np.zeros((horizon, n_states), dtype=np.int16)
-
-    for h in range(horizon - 1, -1, -1):
-        if not mask[h]:
-            # Outside the window the appliance must idle; value carries over.
-            choice[h, :] = 0
-            continue
-        best = np.full(n_states, _INF)
-        best_choice = np.zeros(n_states, dtype=np.int16)
-        for j, du in enumerate(level_units):
-            cost_j = cost_table[h, j]
-            if not np.isfinite(cost_j):
-                continue
-            if du == 0:
-                candidate = value + cost_j
-            else:
-                candidate = np.full(n_states, _INF)
-                candidate[du:] = value[:-du] + cost_j if du < n_states else _INF
-            improved = candidate < best
-            best[improved] = candidate[improved]
-            best_choice[improved] = j
-        value = best
-        choice[h, :] = best_choice
+    n_states = required_units + 1
+    value, choice = kernel.dp_backward(cost_table, level_units, n_states, mask)
 
     if not np.isfinite(value[required_units]):
         raise InfeasibleTaskError(
@@ -133,19 +148,7 @@ def schedule_appliance_table(
             f"in window [{task.earliest_start}, {task.deadline}]"
         )
 
-    # Backtrack from the full requirement at slot 0.
-    power = np.zeros(horizon)
-    remaining = required_units
-    for h in range(horizon):
-        if not mask[h]:
-            continue
-        j = int(choice[h, remaining])
-        power[h] = task.power_levels[j]
-        remaining -= int(level_units[j])
-    if remaining != 0:
-        raise AssertionError(
-            f"{task.name}: backtracking left {remaining} units unassigned"
-        )
+    power = _backtrack(task, choice, level_units, required_units, mask)
 
     PERF.add("dp.cells", n_states * horizon)
     schedule = ApplianceSchedule(task=task, power=tuple(power))
@@ -155,6 +158,57 @@ def schedule_appliance_table(
         optimal_cost=float(value[required_units]),
     )
     return schedule, diagnostics
+
+
+@TRACER.traced("dp.solve_batch", category="scheduling")
+def schedule_appliance_tables(
+    task: ApplianceTask,
+    cost_tables: NDArray[np.float64],
+    *,
+    slot_hours: float = 1.0,
+    backend: KernelBackend | str | None = None,
+) -> tuple[list[ApplianceSchedule], NDArray[np.float64]]:
+    """Optimal schedules for one task under a batch of cost tables.
+
+    ``cost_tables`` has shape ``(G, H, L)`` — one dense table per game of
+    a lockstep batch.  Entry ``g`` of the result is bitwise-identical to
+    ``schedule_appliance_table(task, cost_tables[g])``; the backward
+    recursion runs once over the whole batch through the kernel backend.
+
+    Returns ``(schedules, optimal_costs)`` with ``optimal_costs`` of
+    shape ``(G,)``.
+    """
+    if cost_tables.ndim != 3 or cost_tables.shape[2] != len(task.power_levels):
+        raise ValueError(
+            f"cost_tables must have shape (G, H, {len(task.power_levels)}), "
+            f"got {cost_tables.shape}"
+        )
+    n_games, horizon, _ = cost_tables.shape
+    task.check_feasible(horizon, slot_hours=slot_hours)
+    kernel = get_backend(backend)
+
+    level_units, required_units, mask = _task_units(
+        task, horizon, slot_hours=slot_hours
+    )
+    n_states = required_units + 1
+    values, choices = kernel.dp_backward_batch(
+        cost_tables, level_units, n_states, mask
+    )
+    if not np.all(np.isfinite(values[:, required_units])):
+        raise InfeasibleTaskError(
+            f"{task.name}: no feasible schedule for {task.energy_kwh} kWh "
+            f"in window [{task.earliest_start}, {task.deadline}]"
+        )
+
+    schedules = []
+    for g in range(n_games):
+        power = _backtrack(task, choices[g], level_units, required_units, mask)
+        schedules.append(ApplianceSchedule(task=task, power=tuple(power)))
+    PERF.add("dp.cells", n_states * horizon * n_games)
+    optimal_costs = np.array(
+        [float(values[g, required_units]) for g in range(n_games)]
+    )
+    return schedules, optimal_costs
 
 
 def schedule_appliance(

@@ -27,6 +27,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.core.config import GameConfig
+from repro.kernels import KernelBackend, get_backend
 from repro.netmetering.cost import NetMeteringCostModel
 from repro.obs.trace import TRACER
 from repro.optimization.battery import BatteryOptimizer, BatteryProblem
@@ -127,6 +128,7 @@ class SchedulingGame:
         *,
         sellback_divisor: float = 2.0,
         config: GameConfig | None = None,
+        backend: KernelBackend | str | None = None,
     ) -> None:
         prices_arr = np.asarray(prices, dtype=float)
         if prices_arr.shape != (community.horizon,):
@@ -135,6 +137,7 @@ class SchedulingGame:
             )
         self.community = community
         self.config = config if config is not None else GameConfig()
+        self.backend = get_backend(backend)
         # Hourly slots: a kW power level consumes that many kWh per slot,
         # which keeps appliance loads, PV and trading in the same unit.
         self.slot_hours = 1.0
@@ -146,6 +149,7 @@ class SchedulingGame:
             n_elites=self.config.ce_elites,
             n_iterations=self.config.ce_iterations,
             smoothing=self.config.ce_smoothing,
+            backend=self.backend,
         )
         # Per-(customer, task) tables that are pure functions of static
         # identity: the DP tie-break jitter (a fresh seeded generator
@@ -207,6 +211,7 @@ class SchedulingGame:
         *,
         multiplicity: int = 1,
         hysteresis_scale: float = 1.0,
+        ce_std_scale: float = 1.0,
     ) -> CustomerState:
         """One inner-loop pass of Algorithm 1 for a single customer.
 
@@ -258,7 +263,7 @@ class SchedulingGame:
                 table = table + jitter
                 table[:, 0] = 0.0  # idling stays exactly free
                 schedule, diagnostics = schedule_appliance_table(
-                    task, table, slot_hours=self.slot_hours
+                    task, table, slot_hours=self.slot_hours, backend=self.backend
                 )
                 current_cost = self._schedule_cost(
                     table, levels, state.schedules[index]
@@ -282,7 +287,10 @@ class SchedulingGame:
                 # fixed points the outer loop can actually reach.
                 ce_rng = np.random.default_rng(customer.customer_id + 7919)
                 result = self._battery_optimizer.optimize(
-                    problem, x0=np.asarray(state.battery_decision), rng=ce_rng
+                    problem,
+                    x0=np.asarray(state.battery_decision),
+                    rng=ce_rng,
+                    std_scale=ce_std_scale,
                 )
                 current_cost = problem.cost(np.asarray(state.battery_decision))
                 # Accept only clear improvements: chasing CE sampling noise
@@ -316,10 +324,32 @@ class SchedulingGame:
     # ------------------------------------------------------------------
     # Outer loop
     # ------------------------------------------------------------------
-    def solve(self, *, rng: np.random.Generator | None = None) -> GameResult:
-        """Run Algorithm 1 to (approximate) convergence."""
+    def solve(
+        self,
+        *,
+        rng: np.random.Generator | None = None,
+        warm_start: GameResult | None = None,
+        ce_std_scale: float = 1.0,
+    ) -> GameResult:
+        """Run Algorithm 1 to (approximate) convergence.
+
+        ``warm_start`` replaces the greedy initial states with a previous
+        :class:`GameResult` for the same community (e.g. the nearest
+        cached equilibrium under a similar price vector), typically
+        cutting rounds-to-convergence sharply; ``ce_std_scale`` then
+        narrows the CE sampling density around the warm trajectories.
+        Both default to the historical cold start.
+        """
         rng = rng if rng is not None else np.random.default_rng(0)
-        states = [self.initial_state(c) for c in self.community.customers]
+        if warm_start is not None:
+            if len(warm_start.states) != len(self.community.customers):
+                raise ValueError(
+                    f"warm start has {len(warm_start.states)} archetype states "
+                    f"for {len(self.community.customers)} archetypes"
+                )
+            states = list(warm_start.states)
+        else:
+            states = [self.initial_state(c) for c in self.community.customers]
         counts = self.community.counts
         tradings = [s.trading for s in states]
         total = np.zeros(self.community.horizon)
@@ -345,6 +375,7 @@ class SchedulingGame:
                             rng,
                             multiplicity=count,
                             hysteresis_scale=float(rounds),
+                            ce_std_scale=ce_std_scale,
                         )
                     new_trading = new_state.trading
                     delta = float(np.max(np.abs(new_trading - tradings[index])))

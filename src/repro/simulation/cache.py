@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
@@ -121,6 +122,42 @@ def solution_key(context_key: str, prices: NDArray[np.float64]) -> str:
     return hasher.hexdigest()
 
 
+def warm_context_key(
+    context_key: str,
+    *,
+    ce_std_scale: float,
+    max_distance: float,
+) -> str:
+    """Context digest for warm-started solving.
+
+    Warm-started solutions depend on the cache state they were seeded
+    from, so they are *not* interchangeable with cold solutions of the
+    same context.  Namespacing the context key keeps the two populations
+    separate: a warm-starting simulator never reads (or pollutes) the
+    cold entries that golden-master runs rely on.  Both warm-start knobs
+    enter the digest because either changes which equilibrium a solve
+    lands on.
+    """
+    payload = "|".join(
+        (
+            context_key,
+            "warm",
+            repr(float(ce_std_scale)),
+            repr(float(max_distance)),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class NearHit:
+    """A cached solution for the nearest previously solved price vector."""
+
+    key: str
+    result: GameResult
+    distance: float
+
+
 def _result_to_arrays(result: GameResult) -> dict[str, np.ndarray]:
     """Flatten a GameResult into the arrays an ``.npz`` can hold."""
     arrays: dict[str, np.ndarray] = {
@@ -190,6 +227,9 @@ class GameSolutionCache:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[str, GameResult] = OrderedDict()
+        # Per-context index of solved price vectors, for near-hit lookup
+        # (equilibrium warm-starting): context key -> key -> prices.
+        self._price_index: dict[str, OrderedDict[str, NDArray[np.float64]]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -245,9 +285,112 @@ class GameSolutionCache:
             self._persist(key, result)
         return result
 
+    def peek(
+        self, key: str, *, community: Community | None = None
+    ) -> GameResult | None:
+        """Return the solution for ``key`` if available, without counting.
+
+        Unlike :meth:`get_or_solve` this neither solves nor touches the
+        hit/miss counters; prefetchers use it to decide which keys still
+        need solving.  With ``community`` the on-disk tier is consulted
+        (and a found solution promoted into memory).
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        if self.directory is not None and community is not None:
+            loaded = self._load(key, community)
+            if loaded is not None:
+                self._store(key, loaded)
+                return loaded
+        return None
+
+    def put(
+        self,
+        key: str,
+        result: GameResult,
+        *,
+        community: Community | None = None,
+    ) -> None:
+        """Insert an externally computed solution for ``key``.
+
+        Counts as a miss — the solution *was* computed rather than served
+        — so a prefetch-then-lookup sequence reports the same hit/miss
+        totals as the lookup-solves-on-miss sequence it replaces.
+        """
+        self.misses += 1
+        PERF.add("cache.misses")
+        self._store(key, result)
+        if self.directory is not None and community is not None:
+            self._persist(key, result)
+
+    # ------------------------------------------------------------------
+    # Near-hit lookup (equilibrium warm-starting)
+    # ------------------------------------------------------------------
+    def register_prices(
+        self,
+        context_key: str,
+        prices: NDArray[np.float64],
+        key: str,
+    ) -> None:
+        """Record that ``key`` solves ``prices`` within ``context_key``.
+
+        Builds the per-context price index that :meth:`nearest` scans.
+        Prices are rounded exactly as :func:`solution_key` rounds them,
+        so one registration per distinct key suffices.
+        """
+        index = self._price_index.setdefault(context_key, OrderedDict())
+        if key not in index:
+            index[key] = np.round(
+                np.asarray(prices, dtype=float), PRICE_DECIMALS
+            )
+
+    def nearest(
+        self,
+        context_key: str,
+        prices: NDArray[np.float64],
+        *,
+        max_distance: float = np.inf,
+    ) -> NearHit | None:
+        """Closest previously solved price vector in the same context.
+
+        Distance is the max-abs (Chebyshev) gap between rounded price
+        vectors — the same geometry as the game's convergence residual.
+        Returns ``None`` when nothing registered lies within
+        ``max_distance`` or the best candidate was evicted.  The scan is
+        deterministic given the cache state: insertion order, strict
+        improvement, first-registered wins ties.
+        """
+        index = self._price_index.get(context_key)
+        if not index:
+            return None
+        target = np.round(np.asarray(prices, dtype=float), PRICE_DECIMALS)
+        best_key: str | None = None
+        best_distance = np.inf
+        stale: list[str] = []
+        for key, candidate in index.items():
+            if key not in self._entries:
+                stale.append(key)
+                continue
+            distance = float(np.max(np.abs(candidate - target)))
+            if distance < best_distance:
+                best_key = key
+                best_distance = distance
+        for key in stale:
+            del index[key]
+        if best_key is None or best_distance > max_distance:
+            return None
+        return NearHit(
+            key=best_key,
+            result=self._entries[best_key],
+            distance=best_distance,
+        )
+
     def clear(self) -> None:
         """Drop every in-memory entry and reset the hit/miss counters."""
         self._entries.clear()
+        self._price_index.clear()
         self.hits = 0
         self.misses = 0
 

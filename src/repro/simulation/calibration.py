@@ -119,17 +119,31 @@ def measure_single_event_rates(
         tp_hits = sum(counts[:n_chunks])
         fp_hits = sum(counts[n_chunks:])
     else:
-        tp_hits = 0
+        # Phase split: replay the serial path's rng consumption exactly
+        # (attack, noise, attack, noise, ..., then the clean noises),
+        # then batch-solve every distinct attacked game in one lockstep
+        # prefetch, then evaluate the flags against the predrawn noises.
+        # Draw-for-draw and flag-for-flag identical to checking inline.
+        attacked: list[NDArray[np.float64]] = []
+        attack_noises: list[float] = []
         for _ in range(n_trials):
             attack = hacking.draw_attack()
-            attacked_prices = attack.apply(prices)
-            if detector.check(attacked_prices, rng=rng).flagged:
-                tp_hits += 1
+            attacked.append(attack.apply(prices))
+            attack_noises.append(detector.draw_noise(rng))
+        clean_noises = [detector.draw_noise(rng) for _ in range(n_trials)]
 
-        fp_hits = 0
-        for _ in range(n_trials):
-            if detector.check(prices, rng=rng).flagged:
-                fp_hits += 1
+        detector.simulator.prefetch(attacked + [prices])
+
+        tp_hits = sum(
+            1
+            for vector, noise in zip(attacked, attack_noises)
+            if detector.evaluate(vector, noise=noise).flagged
+        )
+        fp_hits = sum(
+            1
+            for noise in clean_noises
+            if detector.evaluate(prices, noise=noise).flagged
+        )
 
     return SingleEventRates(
         tp_rate=tp_hits / n_trials,

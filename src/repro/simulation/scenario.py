@@ -226,6 +226,7 @@ def run_long_term_scenario(
         sellback_divisor=config.pricing.sellback_divisor,
         seed=3,
         cache=cache,
+        solver=config.solver,
     )
     # The detector's own expectation model: the unaware detector does not
     # model net metering at all (ref. [8]), so its predicted PAR carries a
@@ -239,7 +240,17 @@ def run_long_term_scenario(
             sellback_divisor=config.pricing.sellback_divisor,
             seed=3,
             cache=cache,
+            solver=config.solver,
         )
+    # Batch-solve the day-level games up front: every detector
+    # construction below (predicted PAR) and every slot's clean response
+    # then hits the cache.  Prefetching consumes nothing from the
+    # scenario rng and is bitwise-identical to solving lazily.
+    if predicted_simulator is truth_simulator:
+        truth_simulator.prefetch(day_predicted + day_clean_prices)
+    else:
+        predicted_simulator.prefetch(day_predicted)
+        truth_simulator.prefetch(day_clean_prices)
     n_meters = config.detection.n_monitored_meters
     hacking = MeterHackingProcess(
         n_meters,

@@ -65,11 +65,19 @@ class TestGameUnderRandomPrices:
     @settings(max_examples=8, deadline=None)
     @given(
         prices=price_vectors,
-        scale=st.floats(min_value=0.5, max_value=3.0),
+        scale=st.sampled_from([0.5, 2.0, 4.0]),
     )
     def test_price_scale_invariance(self, community, prices, scale):
         """Scaling every price equally leaves the equilibrium load
-        unchanged (the quadratic game's argmin is scale-invariant)."""
+        unchanged (the quadratic game's argmin is scale-invariant).
+
+        Scales are powers of two on purpose: those rescale every cost
+        comparison exactly in binary floating point, so the argmin is
+        preserved bit for bit.  An arbitrary scale rounds each product
+        differently and can flip near-tied best-response decisions —
+        hypothesis eventually finds such a flip (it exists in the
+        original implementation too), which falsifies the stronger
+        property without indicating a solver bug."""
         a = SchedulingGame(community, prices, config=FAST).solve(
             rng=np.random.default_rng(0)
         )

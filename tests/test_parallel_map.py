@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -54,7 +56,16 @@ class TestParallelMapValidation:
 
     def test_effective_workers(self):
         assert SERIAL_MAP.effective_workers == 1
-        assert ParallelMap(backend="process", max_workers=3).effective_workers == 3
+        # The process pool never claims more parallelism than the
+        # machine has cores for — requesting 3 workers on a smaller box
+        # reports what can actually run concurrently.
+        expected = min(3, os.cpu_count() or 1)
+        pmap = ParallelMap(backend="process", max_workers=3)
+        assert pmap.effective_workers == expected
+
+    def test_effective_workers_capped_at_cpu_count(self):
+        huge = ParallelMap(backend="process", max_workers=10_000)
+        assert huge.effective_workers == (os.cpu_count() or 1)
 
 
 class TestBackendEquivalence:
