@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint typecheck coverage refresh-golden bench bench-quick figures stream-smoke obs-smoke
+.PHONY: test lint typecheck coverage refresh-golden bench bench-quick figures stream-smoke obs-smoke fleet-smoke fleet-bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -27,7 +27,7 @@ typecheck:
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
-			--cov=repro.stream --cov=repro.faults \
+			--cov=repro.stream --cov=repro.faults --cov=repro.fleet \
 			--cov-report=term-missing --cov-fail-under=80; \
 	else \
 		echo "pytest-cov not installed; skipping coverage (pip install pytest-cov)"; \
@@ -63,3 +63,15 @@ obs-smoke:
 		--trace-out trace.json --audit audit.jsonl
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/validate_obs.py \
 		--trace trace.json --audit audit.jsonl
+
+# Fleet-vs-sequential bitwise equivalence suite + a scaled-down
+# capacity bench run (CI's fleet-smoke job; see docs/FLEET.md).
+fleet-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_fleet_equivalence.py -x -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.fleet.bench --quick \
+		--out bench_fleet_smoke.json
+
+# Full fleet capacity bench; appends one entry to BENCH_fleet.json
+# (events/sec + lockstep-tick latency percentiles).
+fleet-bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.fleet.bench

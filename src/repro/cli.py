@@ -20,6 +20,11 @@ audit-trail inspector (see ``docs/OBSERVABILITY.md``):
     python -m repro lint            # == repro-lint src tests
     python -m repro trace FILE      # query an audit-trail JSONL file
 
+and the multi-community fleet layer (see ``docs/FLEET.md``):
+
+    python -m repro fleet serve     # sharded fleet aggregator service
+    python -m repro fleet bench     # == repro-fleet-bench
+
 Common options: ``--preset {smoke,bench,paper}``, ``--seed N``,
 ``--slots H`` (fig6/table1 horizon), ``--json PATH`` (dump scenario
 results), ``--perf`` (print hot-path counters — CE evaluations, DP
@@ -334,6 +339,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        # And the multi-community fleet layer.
+        from repro.fleet.cli import fleet_main
+
+        return fleet_main(argv[1:])
     from repro import __version__
 
     parser = argparse.ArgumentParser(

@@ -274,6 +274,14 @@ class RetryPolicy:
     exponential backoff schedule (:meth:`delay`) is honoured wherever a
     sleeper is wired in (the deterministic test path never sleeps).
 
+    The schedule is **jitter-free by design**: :meth:`delay` is a pure
+    function of the attempt number and the policy's fields, with no RNG
+    anywhere, so the total time a run spends backing off is exactly
+    reproducible — for a given policy and a given seeded fault plan, two
+    runs sleep for the same attempts and the same cumulative seconds
+    (:meth:`total_backoff`).  Randomness belongs to the fault plan's
+    seeded RNG, never to the retry clock.
+
     Parameters
     ----------
     max_retries:
@@ -303,12 +311,27 @@ class RetryPolicy:
             )
 
     def delay(self, attempt: int) -> float:
-        """Backoff in seconds before retry ``attempt`` (1-based)."""
+        """Backoff in seconds before retry ``attempt`` (1-based).
+
+        Deterministic: no jitter is ever applied, so the full schedule
+        is knowable up front (see :meth:`total_backoff`).
+        """
         if attempt < 1:
             raise ConfigError(f"attempt must be >= 1, got {attempt}")
         if self.backoff_base_s <= 0.0:
             return 0.0
         return min(self.backoff_base_s * 2.0 ** (attempt - 1), self.backoff_max_s)
+
+    def total_backoff(self, retries: int) -> float:
+        """Exact cumulative sleep for ``retries`` consecutive stalls.
+
+        ``sum(delay(a) for a in 1..retries)`` — because the schedule is
+        jitter-free this is not an estimate but the precise wall-clock
+        budget a stall burst costs, reproducible run to run.
+        """
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        return sum(self.delay(attempt) for attempt in range(1, retries + 1))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,327 @@
+"""Fleet-wide HTTP front door: status, detections, metrics, ingestion.
+
+The :class:`FleetAggregator` is the multi-tenant twin of
+:class:`repro.service.app.DetectionService`: one lock-guarded fleet
+engine behind a threaded stdlib HTTP server, structured 4xx JSON for
+every client error, checkpoint-on-SIGTERM.
+
+Endpoints
+---------
+- ``GET /status`` — fleet totals, per-shard/per-community stats, ring
+  assignments.
+- ``GET /shards`` — the consistent-hash ring layout.
+- ``GET /detections?community=ID&since=S&limit=L`` — merged fleet
+  timeline (tagged with community + shard) or one community's slice.
+- ``GET /metrics`` — perf-counter deltas since the previous scrape;
+  ``?format=prometheus`` publishes per-shard gauges and returns the
+  text exposition (fleet histograms included) instead.
+- ``GET /healthz`` — liveness.
+- ``POST /advance`` — lockstep ticks (``{"ticks": N}`` and/or
+  ``{"until_day": D}``).
+- ``POST /envelope`` — batched multi-community event ingestion.
+- ``POST /checkpoint`` — persist per-shard checkpoints now.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.fleet.checkpoint import save_fleet_checkpoint
+from repro.fleet.engine import FleetEngine
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.prometheus import render_prometheus
+from repro.perf.counters import PERF
+from repro.service.app import ServiceError, _int_field, _int_param, _TextResponse
+
+
+class FleetAggregator:
+    """Thread-safe facade over one fleet engine.
+
+    Parameters
+    ----------
+    fleet:
+        The fleet to serve.
+    checkpoint_dir:
+        Directory :meth:`checkpoint` (and the SIGTERM handler) writes
+        per-shard checkpoints into; ``None`` disables checkpointing.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetEngine,
+        *,
+        checkpoint_dir: str | Path | None = None,
+    ) -> None:
+        self.fleet = fleet
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        self._lock = threading.Lock()
+        self._metrics_baseline = PERF.snapshot()
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            status = self.fleet.status()
+            status["checkpoint_dir"] = (
+                None if self.checkpoint_dir is None else str(self.checkpoint_dir)
+            )
+            return status
+
+    def shards(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "vnodes": self.fleet.ring.vnodes,
+                "shards": list(self.fleet.shard_ids),
+                "assignments": self.fleet.ring.assignments(
+                    self.fleet.community_ids
+                ),
+            }
+
+    def detections(
+        self,
+        *,
+        community: str | None = None,
+        since: int = 0,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        with self._lock:
+            try:
+                return self.fleet.detections(
+                    community=community, since=since, limit=limit
+                )
+            except ValueError as exc:
+                raise ServiceError(str(exc)) from exc
+
+    def advance(
+        self, *, ticks: int | None = None, until_day: int | None = None
+    ) -> dict[str, Any]:
+        if ticks is not None and ticks < 0:
+            raise ServiceError(f"ticks must be >= 0, got {ticks}")
+        if until_day is not None and until_day < 0:
+            raise ServiceError(f"until_day must be >= 0, got {until_day}")
+        with self._lock:
+            stats = self.fleet.advance(max_ticks=ticks, until_day=until_day)
+            return stats.to_dict()
+
+    def ingest_envelope(self, payload: dict[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            try:
+                return self.fleet.ingest_envelope(payload)
+            except (ValueError, RuntimeError) as exc:
+                raise ServiceError(str(exc)) from exc
+
+    def metrics(self) -> dict[str, Any]:
+        """JSON deltas since the previous scrape plus lifetime totals."""
+        with self._lock:
+            delta = PERF.delta_since(self._metrics_baseline)
+            totals = PERF.snapshot()
+            self._metrics_baseline = totals
+            return {
+                "interval": delta,
+                "totals": totals,
+                "fleet": PERF.prefixed("fleet."),
+                "events_processed": self.fleet.events_processed,
+            }
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus exposition with fresh per-shard gauges.
+
+        Lifetime totals only (no JSON-delta re-baseline), so Prometheus
+        scrapes and JSON scrapes can interleave, exactly like the
+        single-community service.
+        """
+        with self._lock:
+            self.fleet.publish_shard_gauges()
+            return render_prometheus(PERF)
+
+    def checkpoint(self) -> dict[str, Any]:
+        if self.checkpoint_dir is None:
+            raise ServiceError("aggregator started without a checkpoint directory")
+        with self._lock:
+            manifest = save_fleet_checkpoint(self.fleet, self.checkpoint_dir)
+        return {
+            "checkpoint": str(manifest),
+            "shards": list(self.fleet.shard_ids),
+            "events_processed": self.fleet.events_processed,
+        }
+
+
+class _FleetHandler(BaseHTTPRequestHandler):
+    """JSON-in/JSON-out routing onto the aggregator."""
+
+    aggregator: FleetAggregator  # set by create_fleet_server()
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _respond_text(self, status: int, response: _TextResponse) -> None:
+        self._send_body(status, response.body.encode("utf-8"), response.content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            raise ServiceError("invalid Content-Length header") from exc
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        from urllib.parse import parse_qs, urlparse
+
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        try:
+            payload = self._route(method, parsed.path, query)
+        except ServiceError as exc:
+            self._respond(400, {"error": str(exc), "code": exc.code, "status": 400})
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._respond(
+                500,
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "code": "internal_error",
+                    "status": 500,
+                },
+            )
+            return
+        if payload is None:
+            self._respond(
+                404,
+                {
+                    "error": f"no route for {method} {parsed.path}",
+                    "code": "not_found",
+                    "status": 404,
+                },
+            )
+        elif isinstance(payload, _TextResponse):
+            self._respond_text(200, payload)
+        else:
+            self._respond(200, payload)
+
+    def _route(
+        self, method: str, path: str, query: dict[str, list[str]]
+    ) -> dict[str, Any] | _TextResponse | None:
+        aggregator = self.aggregator
+        if method == "GET":
+            if path == "/status":
+                return aggregator.status()
+            if path == "/shards":
+                return aggregator.shards()
+            if path == "/detections":
+                community_values = query.get("community")
+                return aggregator.detections(
+                    community=(
+                        None if not community_values else community_values[0]
+                    ),
+                    since=_int_param(query, "since", 0) or 0,
+                    limit=_int_param(query, "limit", None),
+                )
+            if path == "/metrics":
+                fmt = query.get("format", ["json"])[0]
+                if fmt == "prometheus":
+                    return _TextResponse(aggregator.metrics_prometheus())
+                if fmt != "json":
+                    raise ServiceError(
+                        f"format must be 'json' or 'prometheus', got {fmt!r}"
+                    )
+                return aggregator.metrics()
+            if path == "/healthz":
+                return {"ok": True}
+            return None
+        if method == "POST":
+            if path == "/advance":
+                body = self._read_json()
+                unknown = set(body) - {"ticks", "until_day"}
+                if unknown:
+                    raise ServiceError(f"unknown fields: {sorted(unknown)}")
+                return aggregator.advance(
+                    ticks=_int_field(body, "ticks"),
+                    until_day=_int_field(body, "until_day"),
+                )
+            if path == "/envelope":
+                return aggregator.ingest_envelope(self._read_json())
+            if path == "/checkpoint":
+                body = self._read_json()
+                if body:
+                    raise ServiceError(f"unknown fields: {sorted(body)}")
+                return aggregator.checkpoint()
+            return None
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("POST")
+
+
+def create_fleet_server(
+    aggregator: FleetAggregator, *, host: str = "127.0.0.1", port: int = 8010
+) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server to the aggregator (port 0 = ephemeral)."""
+    handler = type("BoundFleetHandler", (_FleetHandler,), {"aggregator": aggregator})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def run_fleet_service(
+    aggregator: FleetAggregator,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8010,
+    install_signals: bool = True,
+) -> None:
+    """Serve forever; checkpoint and exit cleanly on SIGTERM/SIGINT."""
+    server = create_fleet_server(aggregator, host=host, port=port)
+
+    def _shutdown(signum: int, frame: Any) -> None:
+        if aggregator.checkpoint_dir is not None:
+            aggregator.checkpoint()
+        # shutdown() must come from another thread; serve_forever() is
+        # blocking this one via the signal-interrupted frame.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _shutdown)
+        signal.signal(signal.SIGINT, _shutdown)
+    configure_logging()
+    logger = get_logger("fleet.service")
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    logger.info(
+        "serving fleet aggregator on http://%s:%s (%d communities, %d shards)",
+        bound_host,
+        bound_port,
+        aggregator.fleet.n_communities,
+        len(aggregator.fleet.shard_ids),
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    if aggregator.checkpoint_dir is not None:
+        logger.info("fleet checkpoint saved to %s", aggregator.checkpoint_dir)

@@ -1,0 +1,205 @@
+"""Fleet capacity benchmark: events/sec and lockstep-tick latency tails.
+
+``repro-fleet-bench`` builds a seeded multi-community fleet with the
+:class:`~repro.fleet.loadgen.LoadGenerator`, drains it tick by tick, and
+appends one entry to ``BENCH_fleet.json`` (same ``{"entries": [...]}``
+trajectory format as ``BENCH_hotpaths.json``): fleet shape, build time,
+sustained events/sec, and p50/p95/p99 per-tick latency, plus the
+``fleet.*`` perf counters and per-shard event totals.  ``--quick`` is
+the CI smoke shape (4 communities × 2 shards, 2 days).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.presets import smoke_preset
+from repro.fleet.engine import FleetEngine, build_fleet
+from repro.fleet.loadgen import LoadGenerator
+from repro.obs.logs import configure_logging, get_logger
+from repro.perf.counters import PERF
+from repro.perf.bench import collect_environment, write_bench_json
+from repro.simulation.cache import GameSolutionCache
+
+
+def _drain(
+    fleet: FleetEngine, *, max_ticks: int | None = None
+) -> tuple[list[float], int]:
+    """Tick the fleet dry, timing every lockstep tick.
+
+    Returns (per-tick wall-clock seconds, events pumped).  Stalls are
+    impossible here — the load generator attaches plain synthetic
+    sources — so the loop terminates exactly at exhaustion.
+    """
+    tick_seconds: list[float] = []
+    events = 0
+    while not fleet.exhausted:
+        if max_ticks is not None and len(tick_seconds) >= max_ticks:
+            break
+        start = time.perf_counter()
+        events += fleet.tick()
+        tick_seconds.append(time.perf_counter() - start)
+    return tick_seconds, events
+
+
+def run_fleet_bench(
+    *,
+    communities: int,
+    shards: int,
+    days: int,
+    customers: int,
+    meters: int,
+    seed: int,
+    max_ticks: int | None = None,
+) -> dict[str, Any]:
+    """Build, drain and measure one fleet; returns the bench entry body."""
+    logger = get_logger("fleet.bench")
+    base = smoke_preset(seed=seed)
+    base = base.with_updates(
+        n_customers=customers,
+        detection=replace(base.detection, n_monitored_meters=meters),
+    )
+    generator = LoadGenerator(
+        base, n_communities=communities, n_days=days, seed=seed
+    )
+    specs = generator.specs()
+
+    cache = GameSolutionCache()
+    build_start = time.perf_counter()
+    fleet = build_fleet(specs, n_shards=shards, cache=cache)
+    build_s = time.perf_counter() - build_start
+    logger.info(
+        "built fleet: %d communities on %d shards in %.2fs "
+        "(cache: %d entries, hit rate %.2f)",
+        fleet.n_communities, shards, build_s, cache.size, cache.hit_rate,
+    )
+
+    baseline = PERF.snapshot()
+    drain_start = time.perf_counter()
+    tick_seconds, events = _drain(fleet, max_ticks=max_ticks)
+    drain_s = time.perf_counter() - drain_start
+    counters = PERF.delta_since(baseline)
+
+    ticks_ms = np.asarray(tick_seconds) * 1e3
+    latency = {
+        "ticks": len(tick_seconds),
+        "p50_ms": float(np.percentile(ticks_ms, 50)) if len(ticks_ms) else 0.0,
+        "p95_ms": float(np.percentile(ticks_ms, 95)) if len(ticks_ms) else 0.0,
+        "p99_ms": float(np.percentile(ticks_ms, 99)) if len(ticks_ms) else 0.0,
+        "max_ms": float(ticks_ms.max()) if len(ticks_ms) else 0.0,
+    }
+    throughput = {
+        "events": events,
+        "drain_s": drain_s,
+        "events_per_s": events / drain_s if drain_s > 0 else 0.0,
+    }
+    per_shard = {
+        worker.shard_id: {
+            "communities": worker.n_communities,
+            "events_processed": worker.events_processed,
+        }
+        for worker in fleet.workers
+    }
+    status_totals = fleet.status()["totals"]
+
+    logger.info(
+        "drained %d events in %.2fs (%.0f events/s, tick p99 %.2f ms)",
+        events, drain_s, throughput["events_per_s"], latency["p99_ms"],
+    )
+    return {
+        "fleet": {
+            "communities": communities,
+            "shards": shards,
+            "days": days,
+            "customers": customers,
+            "meters": meters,
+            "seed": seed,
+            "vnodes": fleet.ring.vnodes,
+        },
+        "build_s": build_s,
+        "throughput": throughput,
+        "tick_latency": latency,
+        "per_shard": per_shard,
+        "totals": status_totals,
+        "cache": {
+            "entries": cache.size,
+            "hit_rate": cache.hit_rate,
+        },
+        "fleet_counters": {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("fleet.")
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet-bench",
+        description="Drain a seeded synthetic fleet and append events/sec "
+        "and tick-latency percentiles to a BENCH_fleet.json trajectory.",
+    )
+    parser.add_argument("--communities", type=int, default=12)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--days", type=int, default=3)
+    parser.add_argument(
+        "--customers", type=int, default=12,
+        help="customers per community (smoke-preset override)",
+    )
+    parser.add_argument(
+        "--meters", type=int, default=4,
+        help="monitored meters per community",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--max-ticks", type=int, default=None,
+        help="stop the drain early after this many lockstep ticks",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_fleet.json"),
+        help="perf-trajectory file to append to",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: 4 communities, 2 shards, 2 days",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.communities = 4
+        args.shards = 2
+        args.days = 2
+    for name in ("communities", "shards", "days", "customers", "meters"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name} must be >= 1")
+
+    configure_logging()
+    logger = get_logger("fleet.bench")
+    body = run_fleet_bench(
+        communities=args.communities,
+        shards=args.shards,
+        days=args.days,
+        customers=args.customers,
+        meters=args.meters,
+        seed=args.seed,
+        max_ticks=args.max_ticks,
+    )
+    environment = collect_environment()
+    entry: dict[str, Any] = {
+        "environment": environment,
+        "key": f"{environment['git_rev'] or 'unknown'}+fleet",
+        **body,
+    }
+    write_bench_json(args.out, entry)
+    logger.info("appended fleet entry to %s", args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""``repro fleet`` — serve or benchmark a multi-community fleet.
+
+Subcommands
+-----------
+- ``repro fleet serve`` builds a seeded fleet with the load generator
+  (or resumes one from a per-shard checkpoint directory) and runs the
+  :class:`~repro.fleet.aggregator.FleetAggregator` HTTP service.
+- ``repro fleet bench`` is the ``repro-fleet-bench`` capacity harness
+  (see :mod:`repro.fleet.bench`).
+
+Examples::
+
+    python -m repro fleet serve --communities 8 --shards 2 --port 8010
+    python -m repro fleet serve --checkpoint-dir /tmp/fleet --resume
+    python -m repro fleet bench --quick --out BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.presets import bench_preset, paper_preset, smoke_preset
+
+PRESETS = {
+    "smoke": smoke_preset,
+    "bench": bench_preset,
+    "paper": paper_preset,
+}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.faults.plan import FaultPlanError, parse_fault_spec
+    from repro.fleet.aggregator import FleetAggregator, run_fleet_service
+    from repro.fleet.checkpoint import FLEET_MANIFEST_NAME, resume_fleet
+    from repro.fleet.engine import build_fleet
+    from repro.fleet.loadgen import LoadGenerator
+    from repro.simulation.cache import GameSolutionCache
+
+    cache = GameSolutionCache()
+    if args.resume:
+        if args.checkpoint_dir is None:
+            raise SystemExit("--resume needs --checkpoint-dir")
+        manifest = args.checkpoint_dir / FLEET_MANIFEST_NAME
+        if not manifest.exists():
+            raise SystemExit(f"no fleet checkpoint manifest at {manifest}")
+        fleet = resume_fleet(args.checkpoint_dir, cache=cache)
+    else:
+        faults = None
+        if args.faults is not None:
+            try:
+                faults = parse_fault_spec(args.faults, seed=args.fault_seed)
+            except FaultPlanError as exc:
+                raise SystemExit(f"bad --faults spec: {exc}") from exc
+        elif args.fault_seed is not None:
+            raise SystemExit("--fault-seed requires --faults")
+        base = PRESETS[args.preset]()
+        if args.seed is not None:
+            base = base.with_updates(seed=args.seed)
+        generator = LoadGenerator(
+            base,
+            n_communities=args.communities,
+            n_days=args.days,
+            seed=base.seed,
+            faults=faults,
+        )
+        fleet = build_fleet(
+            generator.specs(), n_shards=args.shards, cache=cache
+        )
+    if args.checkpoint_dir is not None:
+        args.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    aggregator = FleetAggregator(fleet, checkpoint_dir=args.checkpoint_dir)
+    run_fleet_service(aggregator, host=args.host, port=args.port)
+    return 0
+
+
+def fleet_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro fleet",
+        description="Multi-community fleet: consistent-hash sharded "
+        "detection service and capacity benchmark.",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the fleet aggregator HTTP service"
+    )
+    serve.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--communities", type=int, default=4)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--days", type=int, default=4)
+    serve.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection plan template applied per community "
+        "(builtin name, JSON file, or inline JSON)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="override the fault template's RNG seed (requires --faults)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="directory for per-shard checkpoints (POST /checkpoint, SIGTERM)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="resume the fleet from --checkpoint-dir instead of building one",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8010)
+
+    bench = sub.add_parser(
+        "bench",
+        help="capacity benchmark (same surface as repro-fleet-bench)",
+        add_help=False,
+    )
+    bench.add_argument("args", nargs=argparse.REMAINDER)
+
+    if argv is None:
+        argv = sys.argv[1:]
+    # `bench` hands its whole tail to repro-fleet-bench so the two entry
+    # points stay one option surface.
+    if argv and argv[0] == "bench":
+        from repro.fleet.bench import main as bench_main
+
+        return bench_main(argv[1:])
+    args = parser.parse_args(argv)
+    if args.subcommand == "serve":
+        for name in ("communities", "shards", "days"):
+            if getattr(args, name) < 1:
+                parser.error(f"--{name} must be >= 1")
+        return _cmd_serve(args)
+    parser.error(f"unknown subcommand {args.subcommand!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":
+    sys.exit(fleet_main())

@@ -1,0 +1,123 @@
+"""Shard workers: each owns the engines of the communities its shard serves.
+
+A :class:`ShardWorker` is the fleet's unit of ownership: the consistent
+hash ring assigns each community id to exactly one shard, and the
+shard's worker holds those communities'
+:class:`~repro.stream.pipeline.StreamEngine` instances.  Workers advance
+their communities in *lockstep ticks* — one event per non-exhausted
+community per tick, in ascending community-id order.
+
+Determinism: every engine is fully self-contained (own source, own
+pipeline, own RNG), so no interleaving of communities can change any
+community's verdicts; the fixed tick order exists so fleet-level
+counters, envelope batches and checkpoint files are reproducible run to
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.stream.events import MeterReading, StreamEvent
+from repro.stream.pipeline import SlotDetection, StreamEngine
+
+
+class ShardWorker:
+    """One shard's communities and the engines that serve them."""
+
+    def __init__(self, shard_id: str, engines: Mapping[str, StreamEngine]) -> None:
+        if not shard_id:
+            raise ValueError("shard_id must be a non-empty string")
+        self.shard_id = shard_id
+        # Fixed iteration order: ascending community id.
+        self._engines: dict[str, StreamEngine] = {
+            cid: engines[cid] for cid in sorted(engines)
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def community_ids(self) -> tuple[str, ...]:
+        return tuple(self._engines)
+
+    @property
+    def n_communities(self) -> int:
+        return len(self._engines)
+
+    def engine(self, community_id: str) -> StreamEngine:
+        """The engine serving one community (raises on unknown ids)."""
+        try:
+            return self._engines[community_id]
+        except KeyError:
+            raise ValueError(
+                f"community {community_id!r} is not owned by shard {self.shard_id!r}"
+            ) from None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every owned community's source has dried up."""
+        return all(engine.exhausted for engine in self._engines.values())
+
+    @property
+    def events_processed(self) -> int:
+        return sum(engine.events_processed for engine in self._engines.values())
+
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Pump one event from each non-exhausted community.
+
+        Returns the number of events actually delivered this tick; a
+        stalled (fault-injected) community contributes zero and is
+        simply retried on the next tick.
+        """
+        pumped = 0
+        for engine in self._engines.values():
+            if engine.exhausted:
+                continue
+            before = engine.events_processed
+            engine.step()
+            pumped += engine.events_processed - before
+        return pumped
+
+    def ingest(self, community_id: str, event: StreamEvent) -> SlotDetection | None:
+        """Feed one externally supplied event into a community's pipeline.
+
+        Mirrors the single-community service's ``POST /events`` path:
+        the event bypasses the engine's own source and goes straight to
+        the pipeline, so ingestion composes with (but does not consume)
+        the attached source.
+        """
+        engine = self.engine(community_id)
+        detection = engine.pipeline.handle(event)
+        if isinstance(event, MeterReading):
+            return detection
+        return None
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Aggregated + per-community detection statistics for /status."""
+        per_community: dict[str, dict[str, Any]] = {}
+        totals = {
+            "communities": self.n_communities,
+            "events_processed": self.events_processed,
+            "slots_processed": 0,
+            "days_completed": 0,
+            "flags_total": 0,
+            "repairs": 0,
+            "gaps": 0,
+        }
+        for cid, engine in self._engines.items():
+            stats = engine.pipeline.detection_stats()
+            stats["events_processed"] = engine.events_processed
+            stats["exhausted"] = engine.exhausted
+            per_community[cid] = stats
+            totals["slots_processed"] += int(stats["slots_processed"])
+            totals["days_completed"] += int(stats["days_completed"])
+            totals["flags_total"] += int(stats["flags_total"])
+            totals["repairs"] += int(stats["repairs"])
+            totals["gaps"] += int(stats["gaps"])
+        return {
+            "shard": self.shard_id,
+            "exhausted": self.exhausted,
+            "totals": totals,
+            "communities": per_community,
+        }

@@ -325,26 +325,43 @@ def _entry_stamp(entry: dict[str, object]) -> str:
     )
 
 
-def compare_latest_entries(path: str | Path) -> int:
+def compare_latest_entries(path: str | Path, *, backend: str | None = None) -> int:
     """Log the latest bench entry against the previous one.
 
     Compares every shared numeric leaf of the timing sections and
     renders the change as a speedup factor (previous / latest for
-    ``*_s`` timings, so >1 means the latest run is faster).  Returns a
-    shell-style exit code so ``repro-bench --compare`` can gate scripts.
+    ``*_s`` timings, so >1 means the latest run is faster).  With
+    ``backend``, only entries recorded for that backend are considered,
+    so trajectories that interleave backends compare like with like.
+
+    A short history is not a failure: a missing file or fewer than two
+    (matching) entries logs what is there and returns 0, so a fresh
+    clone's first ``repro-bench --compare`` never breaks a script or a
+    CI gate.  Only an unreadable/corrupt trajectory file returns 1.
     """
     logger = get_logger("bench")
     target = Path(path)
     if not target.exists():
-        logger.error("no bench file at %s", target)
-        return 1
-    entries = json.loads(target.read_text()).get("entries", [])
-    if len(entries) < 2:
-        logger.error(
-            "%s has %d entr%s; need at least two to compare",
-            target, len(entries), "y" if len(entries) == 1 else "ies",
+        logger.info(
+            "no bench file at %s yet; nothing to compare (run repro-bench "
+            "to record a first entry)",
+            target,
         )
+        return 0
+    try:
+        entries = json.loads(target.read_text()).get("entries", [])
+    except json.JSONDecodeError as exc:
+        logger.error("%s is not valid JSON: %s", target, exc)
         return 1
+    if backend is not None:
+        entries = [e for e in entries if e.get("backend") == backend]
+    if len(entries) < 2:
+        scope = f" for backend {backend!r}" if backend is not None else ""
+        logger.info(
+            "%s has %d entr%s%s; need two to compare — nothing to do yet",
+            target, len(entries), "y" if len(entries) == 1 else "ies", scope,
+        )
+        return 0
     previous, latest = entries[-2], entries[-1]
     logger.info("latest:   %s", _entry_stamp(latest))
     logger.info("previous: %s", _entry_stamp(previous))
@@ -396,14 +413,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--compare", action="store_true",
-        help="compare the two most recent entries in --out and exit "
-        "without running any benches",
+        help="compare the two most recent entries in --out (filtered by "
+        "--backend when given) and exit without running any benches; "
+        "a short history logs a note and exits 0",
     )
     args = parser.parse_args(argv)
 
     configure_logging()
     if args.compare:
-        return compare_latest_entries(args.out)
+        compare_backend = None
+        if args.backend is not None:
+            # Resolve aliases (e.g. "auto") to the recorded backend name.
+            try:
+                compare_backend = get_backend(args.backend).name
+            except ValueError as exc:
+                parser.error(str(exc))
+        return compare_latest_entries(args.out, backend=compare_backend)
 
     if args.quick:
         args.preset = "smoke"

@@ -147,3 +147,33 @@ def tiny_config() -> CommunityConfig:
         detection=DetectionConfig(n_monitored_meters=4),
         seed=99,
     )
+
+
+@pytest.fixture(scope="session")
+def fleet_config() -> CommunityConfig:
+    """Tiny per-community config shared by the fleet test modules.
+
+    Session-scoped (frozen dataclass) so every fleet test builds
+    communities from the same world and the session-wide game-solution
+    cache keeps solves shared across modules.
+    """
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5, max_discharge_kw=0.5
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )

@@ -1,0 +1,150 @@
+"""The fleet determinism contract, pinned bitwise.
+
+A fleet run over K communities must be **bitwise-identical** to K
+independent single-community engine runs with the same seeds — across
+community × shard combinations, across a mid-run cut/resume through
+per-shard checkpoints, and under seeded fault injection.  Communities
+are fully independent (own source, own pipeline, own RNG), so this is
+the invariant that makes the fleet layer safe to exist.
+
+Solo timelines are computed once per community id and reused across
+parametrizations: the load generator spawns per-community seeds
+positionally, so the first K specs of a larger fleet equal the specs of
+a smaller one with the same fleet seed.
+"""
+
+import pytest
+
+from repro.faults.plan import builtin_plan
+from repro.fleet.checkpoint import resume_fleet, save_fleet_checkpoint
+from repro.fleet.engine import build_fleet
+from repro.fleet.loadgen import LoadGenerator
+from repro.simulation.cache import GameSolutionCache
+
+FLEET_SEED = 5
+N_DAYS = 2
+
+# community id -> timeline (list of SlotDetection dicts), filled lazily.
+_SOLO_TIMELINES: dict[str, list[dict]] = {}
+_SOLO_CACHE = GameSolutionCache()
+
+
+def _generator(fleet_config, n_communities, faults=None):
+    return LoadGenerator(
+        fleet_config,
+        n_communities=n_communities,
+        n_days=N_DAYS,
+        seed=FLEET_SEED,
+        faults=faults,
+    )
+
+
+def _solo_timeline(spec) -> list[dict]:
+    """The community's timeline from a standalone engine run."""
+    if spec.community_id not in _SOLO_TIMELINES:
+        engine = spec.build_engine(cache=_SOLO_CACHE)
+        engine.run()
+        assert engine.exhausted
+        _SOLO_TIMELINES[spec.community_id] = [
+            det.to_dict() for det in engine.timeline
+        ]
+    return _SOLO_TIMELINES[spec.community_id]
+
+
+def _fleet_timelines(fleet) -> dict[str, list[dict]]:
+    return {
+        cid: [det.to_dict() for det in fleet.engine_of(cid).timeline]
+        for cid in fleet.community_ids
+    }
+
+
+@pytest.mark.parametrize("n_communities, n_shards", [(3, 1), (4, 2), (5, 3)])
+def test_fleet_bitwise_equals_solo_runs(fleet_config, n_communities, n_shards):
+    specs = _generator(fleet_config, n_communities).specs()
+    fleet = build_fleet(specs, n_shards=n_shards, cache=GameSolutionCache())
+    stats = fleet.advance()
+    assert stats.exhausted
+
+    expected = {spec.community_id: _solo_timeline(spec) for spec in specs}
+    assert _fleet_timelines(fleet) == expected
+
+
+def test_spec_prefix_property(fleet_config):
+    """Smaller fleets are prefixes of larger ones (same fleet seed)."""
+    small = _generator(fleet_config, 3).specs()
+    large = _generator(fleet_config, 5).specs()
+    assert large[:3] == small
+
+
+def test_cut_and_resume_is_bitwise_identical(fleet_config, tmp_path):
+    specs = _generator(fleet_config, 4).specs()
+    fleet = build_fleet(specs, n_shards=2, cache=GameSolutionCache())
+    fleet.advance(max_ticks=17)  # mid-day cut, nowhere near a boundary
+    save_fleet_checkpoint(fleet, tmp_path)
+
+    resumed = resume_fleet(tmp_path, cache=GameSolutionCache())
+    assert resumed.community_ids == fleet.community_ids
+    assert resumed.events_processed == fleet.events_processed
+
+    fleet.advance()
+    resumed.advance()
+    expected = {spec.community_id: _solo_timeline(spec) for spec in specs}
+    assert _fleet_timelines(fleet) == expected
+    assert _fleet_timelines(resumed) == expected
+
+
+def test_fault_injected_fleet_matches_fault_injected_solo(fleet_config):
+    """Chaos plans (drop/dup/reorder/corrupt/stall) preserve equivalence.
+
+    The load generator re-seeds the plan per community, and the spec
+    carries the plan into both arms, so the injected fault sequence is
+    identical engine for engine; the fleet's stall budget and the solo
+    engines' auto-installed retry policy both outlast the plan's
+    ``max_stall``, so both arms drain completely.
+    """
+    template = builtin_plan("chaos")
+    specs = _generator(fleet_config, 3, faults=template).specs()
+    assert all(spec.faults is not None for spec in specs)
+    # Distinct per-community fault seeds, reproducible across calls.
+    seeds = [spec.faults.seed for spec in specs]
+    assert len(set(seeds)) == len(seeds)
+    assert _generator(fleet_config, 3, faults=template).specs() == specs
+
+    fleet = build_fleet(specs, n_shards=2, cache=GameSolutionCache())
+    stats = fleet.advance()
+    assert stats.exhausted
+
+    expected = {}
+    for spec in specs:
+        engine = spec.build_engine(cache=GameSolutionCache())
+        engine.run()
+        assert engine.exhausted
+        expected[spec.community_id] = [det.to_dict() for det in engine.timeline]
+    assert _fleet_timelines(fleet) == expected
+
+
+def test_envelope_ingestion_matches_direct_pipeline_feed(fleet_config):
+    """Batched envelope ingestion equals feeding each pipeline directly.
+
+    External feeds carry no repair feedback edge (exactly like the
+    single-community service's ``POST /events``), so the reference arm
+    is ``pipeline.handle`` on the same event sequence — not an
+    attached-source run.
+    """
+    generator = _generator(fleet_config, 3)
+    specs = generator.specs()
+
+    fleet = build_fleet(specs, n_shards=2, cache=GameSolutionCache())
+    for envelope in generator.envelopes(specs):
+        fleet.ingest_envelope(envelope)
+
+    expected = {}
+    for spec in specs:
+        engine = spec.build_engine(cache=GameSolutionCache())
+        source = generator.source_for(spec)
+        while not source.exhausted:
+            event = source.next_event()
+            if event is not None:
+                engine.pipeline.handle(event)
+        expected[spec.community_id] = [det.to_dict() for det in engine.timeline]
+    assert _fleet_timelines(fleet) == expected

@@ -1,0 +1,106 @@
+"""Consistent-hash ring: determinism, balance, and stability proofs."""
+
+import pytest
+
+from repro.fleet.ring import HashRing, ring_point
+
+KEYS = [f"c{i:04d}" for i in range(240)]
+
+
+class TestRingPoint:
+    def test_stable_across_instances(self):
+        assert ring_point("c0001") == ring_point("c0001")
+        assert 0 <= ring_point("anything") < 2**64
+
+    def test_distinct_tokens_distinct_points(self):
+        points = {ring_point(k) for k in KEYS}
+        assert len(points) == len(KEYS)
+
+
+class TestAssignment:
+    def test_deterministic_across_rings(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # construction order must not matter
+        assert a.assignments(KEYS) == b.assignments(KEYS)
+
+    def test_round_trip_preserves_assignments(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=32)
+        clone = HashRing.from_dict(ring.to_dict())
+        assert clone.vnodes == 32
+        assert clone.shards == ring.shards
+        assert clone.assignments(KEYS) == ring.assignments(KEYS)
+
+    def test_balance_smoke(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        counts = {sid: 0 for sid in ring.shards}
+        for key in KEYS:
+            counts[ring.assign(key)] += 1
+        # 64 vnodes keeps every shard well away from starvation.
+        assert all(count >= len(KEYS) // 16 for count in counts.values())
+
+    def test_all_keys_map_to_known_shards(self):
+        ring = HashRing(["s0", "s1"])
+        assert set(ring.assignments(KEYS).values()) <= {"s0", "s1"}
+
+
+class TestStabilityProofs:
+    """The consistent-hashing reassignment guarantees, checked exactly."""
+
+    def test_add_shard_moves_keys_only_to_the_new_shard(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = ring.assignments(KEYS)
+        ring.add_shard("s3")
+        after = ring.assignments(KEYS)
+        moved = {k for k in KEYS if before[k] != after[k]}
+        assert moved, "a new shard should claim at least one key"
+        assert all(after[k] == "s3" for k in moved)
+        # No key moved between the pre-existing shards.
+        for key in sorted(set(KEYS) - moved):
+            assert after[key] == before[key]
+
+    def test_remove_shard_moves_only_its_keys(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = ring.assignments(KEYS)
+        ring.remove_shard("s3")
+        after = ring.assignments(KEYS)
+        for key in KEYS:
+            if before[key] == "s3":
+                assert after[key] != "s3"
+            else:
+                assert after[key] == before[key]
+
+    def test_add_then_remove_restores_the_original_mapping(self):
+        ring = HashRing(["s0", "s1"])
+        before = ring.assignments(KEYS)
+        ring.add_shard("s2")
+        ring.remove_shard("s2")
+        assert ring.assignments(KEYS) == before
+
+
+class TestErrors:
+    def test_assign_on_empty_ring(self):
+        with pytest.raises(ValueError, match="empty ring"):
+            HashRing().assign("c0001")
+
+    def test_duplicate_shard(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add_shard("s0")
+
+    def test_remove_unknown_shard(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            HashRing(["s0"]).remove_shard("s9")
+
+    def test_bad_vnodes(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+
+    def test_bad_shard_id(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            HashRing([""])
+
+    def test_membership_helpers(self):
+        ring = HashRing(["s0", "s1"])
+        assert len(ring) == 2
+        assert "s0" in ring
+        assert "s9" not in ring

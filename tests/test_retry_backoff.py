@@ -1,0 +1,90 @@
+"""Jitter-free backoff: the retry schedule is exactly reproducible."""
+
+import pytest
+
+from repro.core.config import ConfigError, RetryPolicy
+from repro.faults.plan import FaultPlan
+from repro.simulation.cache import GameSolutionCache
+from repro.stream.pipeline import build_synthetic_engine
+
+
+class TestDelaySchedule:
+    def test_exact_exponential_schedule(self):
+        policy = RetryPolicy(max_retries=8, backoff_base_s=0.5, backoff_max_s=3.0)
+        assert [policy.delay(a) for a in range(1, 6)] == [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy(max_retries=8)
+        assert all(policy.delay(a) == 0.0 for a in range(1, 10))  # repro: noqa[FLT001] — exact zero
+        assert policy.total_backoff(10) == 0.0  # repro: noqa[FLT001] — exact zero
+
+    def test_total_backoff_is_the_exact_sum(self):
+        policy = RetryPolicy(max_retries=8, backoff_base_s=0.25, backoff_max_s=1.0)
+        # 0.25 + 0.5 + 1.0 + 1.0 + 1.0 — exact binary fractions, so the
+        # equality is bitwise, not approximate.
+        assert policy.total_backoff(5) == 0.25 + 0.5 + 1.0 + 1.0 + 1.0  # repro: noqa[FLT001] — exact binary fractions
+        assert policy.total_backoff(0) == 0.0  # repro: noqa[FLT001] — exact zero
+        assert policy.total_backoff(1) == policy.delay(1)
+
+    def test_total_backoff_matches_delay_sum_everywhere(self):
+        policy = RetryPolicy(max_retries=8, backoff_base_s=0.125, backoff_max_s=2.0)
+        for retries in range(12):
+            assert policy.total_backoff(retries) == sum(
+                policy.delay(a) for a in range(1, retries + 1)
+            )
+
+    def test_validation(self):
+        policy = RetryPolicy()
+        with pytest.raises(ConfigError, match="attempt"):
+            policy.delay(0)
+        with pytest.raises(ConfigError, match="retries"):
+            policy.total_backoff(-1)
+
+
+class TestEngineBackoffReproducibility:
+    """A stalled seeded run sleeps the same attempts — and the same total
+    seconds — every time."""
+
+    POLICY = RetryPolicy(max_retries=8, backoff_base_s=0.125, backoff_max_s=0.5)
+
+    def _recorded_sleeps(self, tiny_config) -> list[float]:
+        # Stalls fire on price updates (one per day), so every day of
+        # this run opens with a seeded burst of 1-3 empty polls.
+        engine = build_synthetic_engine(
+            tiny_config,
+            n_days=3,
+            attack_days=(0, 1),
+            cache=GameSolutionCache(),
+            faults=FaultPlan(seed=2, stall_prob=1.0, max_stall=3),
+            retry=self.POLICY,
+        )
+        recorded: list[float] = []
+        engine._sleep = recorded.append
+        engine.run()
+        assert engine.exhausted
+        return recorded
+
+    def test_sleep_schedule_is_bitwise_reproducible(self, tiny_config):
+        first = self._recorded_sleeps(tiny_config)
+        second = self._recorded_sleeps(tiny_config)
+        assert first, "the stall plan should have stalled at least once"
+        assert first == second
+        assert sum(first) == sum(second)
+
+    def test_total_sleep_decomposes_into_burst_budgets(self, tiny_config):
+        """Every stall burst's cost is exactly ``total_backoff(len)``.
+
+        The engine resets its stall counter on a successful poll, so the
+        recorded sleeps split into bursts that each restart at
+        ``delay(1)``; per burst, the exact budget accounting holds.
+        """
+        recorded = self._recorded_sleeps(tiny_config)
+        bursts: list[int] = []
+        for value in recorded:
+            if value == self.POLICY.delay(1) or not bursts:
+                bursts.append(1)
+            else:
+                bursts[-1] += 1
+        assert sum(recorded) == sum(
+            self.POLICY.total_backoff(length) for length in bursts
+        )

@@ -185,3 +185,43 @@ class TestServiceDirect:
             service.advance(max_events=-1)
         with pytest.raises(ServiceError, match="until_day"):
             service.advance(until_day=-2)
+
+
+class TestConcurrentAdvance:
+    """Concurrent ``POST /advance`` requests must serialize on the
+    service lock: the pipeline (belief filter, RNG, timeline) is not
+    re-entrant, so interleaved pumping would corrupt the run."""
+
+    def test_parallel_posts_serialize_without_losing_events(self, service_url):
+        base, service = service_url
+        n_threads, per_call = 4, 20
+        barrier = threading.Barrier(n_threads)
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def worker() -> None:
+            try:
+                barrier.wait(timeout=10)
+                results.append(_post(base, "/advance", {"max_events": per_call}))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(results) == n_threads
+
+        # Serialized execution: every event was pumped exactly once.
+        total = sum(r["events_pumped"] for r in results)
+        assert total == n_threads * per_call
+        assert service.engine.events_processed == total
+
+        # The timeline is one consistent, strictly ordered run: the same
+        # state a single caller pumping the same budget would produce.
+        slots = [det.slot for det in service.engine.timeline]
+        assert slots == sorted(slots)
+        assert len(slots) == len(set(slots))
+        assert len(slots) == service.engine.pipeline.n_slots_processed
