@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint typecheck coverage refresh-golden bench bench-quick figures stream-smoke obs-smoke fleet-smoke fleet-bench
+.PHONY: test lint lint-program typecheck coverage refresh-golden bench bench-quick figures stream-smoke obs-smoke fleet-smoke fleet-bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -9,7 +9,14 @@ test:
 # Determinism/API-contract AST lint (docs/STATIC_ANALYSIS.md); exits
 # nonzero on any violation.
 lint:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src tests
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src tests benchmarks scripts
+
+# Whole-program (interprocedural) analysis: lock discipline, RNG/seed
+# provenance, cross-class contracts — gated on the committed
+# .repro-lint-baseline.json (new findings fail; fixed findings report
+# stale entries).  See docs/STATIC_ANALYSIS.md.
+lint-program:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis --program src tests benchmarks scripts
 
 # mypy gate (strict on repro.core/stream/perf — see [tool.mypy] in
 # pyproject.toml).  Skips gracefully where mypy isn't installed; CI

@@ -111,7 +111,7 @@ def report(label: str, paper: float, measured: float) -> None:
     also replayed in the terminal summary so they survive pytest's
     output capture in recorded runs.
     """
-    if paper == 0.0:
+    if paper == 0.0:  # repro: noqa[FLT001] 0.0 is an exact sentinel for 'paper does not publish this'
         row = f"{label}: measured={measured:.4f}"
     else:
         deviation = (measured - paper) / paper * 100.0

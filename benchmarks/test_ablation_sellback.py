@@ -27,7 +27,7 @@ def sweep_results(environment):
             sellback_divisor=w,
             config=environment.config.game,
         )
-        result = game.solve(rng=np.random.default_rng(3))
+        result = game.solve(rng=np.random.default_rng(3))  # repro: noqa[SEED003] same stream per divisor isolates the ablation variable
         sold_total = 0.0
         for state, count in zip(result.states, result.counts):
             _, sold = net_position(state.trading)

@@ -57,7 +57,7 @@ def test_table1_labor_cost(scenario_aggregates, benchmark):
         rounds=1,
         iterations=1,
     )
-    assert scenario_aggregates["none"].labor_cost.mean == 0.0
+    assert scenario_aggregates["none"].labor_cost.mean == 0.0  # repro: noqa[FLT001] exactly zero by construction: no detector means no labor
     if unaware_cost > 0:
         ratio = normalized_labor_cost(aware_cost, unaware_cost)
         report("Table1 normalized labor cost (aware)", 1.0067, ratio)

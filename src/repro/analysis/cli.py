@@ -6,6 +6,13 @@ Usage::
     repro-lint --format json src
     repro-lint --select DET001,FLT001 src
     repro-lint --list-rules
+    repro-lint --program src          # whole-program passes (CONC/SEED/CTR)
+    repro-lint --program --update-baseline src
+
+In ``--program`` mode findings are matched against the committed
+``.repro-lint-baseline.json`` (when present): only *new* findings fail
+the gate, ``--update-baseline`` rewrites the file, ``--no-baseline``
+compares against nothing.
 
 Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
 Also reachable as ``repro lint ...`` and ``python -m repro.analysis``.
@@ -17,7 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.engine import LintConfig, LintEngine
+from repro.analysis.engine import LintConfig, LintEngine, LintReport
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.rules import default_rules
 
@@ -61,14 +68,87 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
+    parser.add_argument(
+        "--program",
+        action="store_true",
+        help="run the whole-program passes (CONC/SEED/CTR) instead of "
+        "the per-file rules",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file for --program mode "
+        "(default: ./.repro-lint-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --program: rewrite the baseline from this run's "
+        "findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="with --program: report every finding, ignoring any baseline",
+    )
     return parser
+
+
+def _run_program(args: argparse.Namespace, config: LintConfig) -> int:
+    from repro.analysis.program import (
+        BASELINE_FILENAME,
+        Baseline,
+        BaselineError,
+        ProgramAnalyzer,
+        apply_baseline,
+    )
+
+    analyzer = ProgramAnalyzer(config=config)
+    report = analyzer.run(args.paths, root=Path.cwd())
+    baseline_path = args.baseline or Path(BASELINE_FILENAME)
+
+    if args.update_baseline:
+        Baseline.from_violations(report.violations).save(baseline_path)
+        print(
+            f"repro-lint: wrote {len(report.violations)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baselined = 0
+    stale = 0
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return USAGE_ERROR
+        result = apply_baseline(report.violations, baseline)
+        report = LintReport(
+            violations=result.new, files_scanned=report.files_scanned
+        )
+        baselined = result.baselined
+        stale = len(result.stale)
+
+    print(
+        render_json(report, baselined=baselined, stale=stale)
+        if args.fmt == "json"
+        else render_text(report, baselined=baselined, stale=stale)
+    )
+    return report.exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    rules = default_rules()
+    if args.program:
+        from repro.analysis.program import program_rules
+
+        rules: list = list(program_rules())
+    else:
+        rules = default_rules()
     if args.list_rules:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.summary}")
@@ -96,6 +176,9 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return USAGE_ERROR
+
+    if args.program:
+        return _run_program(args, config)
 
     engine = LintEngine(rules, config)
     report = engine.run(args.paths)

@@ -1,0 +1,73 @@
+"""Whole-program analysis for ``repro-lint --program``.
+
+Where :mod:`repro.analysis.rules` lints one file at a time, this
+subpackage builds a **project-wide view** — a symbol table of every
+module/class/function under the scanned roots plus a call graph over
+them — and runs *interprocedural* passes on top:
+
+=========  ===========================================================
+CONC001    lock-guarded attributes must not be touched outside the lock
+           (lock inferred from ``with self._lock:`` bodies; helper
+           methods called only under the lock are recognised)
+CONC002    ``ParallelMap`` task closures must not capture shared
+           mutable state (``self``, locally-built containers)
+SEED001    every RNG construction must be seeded — no ``default_rng()``
+           falling back to OS entropy
+SEED002    no RNG object may cross a thread/process boundary
+           (``ParallelMap`` items, ``Thread``/``Process``/``submit``
+           args), including through helper-method returns
+SEED003    no RNG constructed inside a loop with a loop-invariant seed
+CTR001     ``state_dict``/``to_dict`` key sets must match their
+           ``load_state``/``from_dict``/``from_state``/``restore``
+           consumers key-for-key, computed from both method bodies
+CTR002     exception classes defined in the project must derive from
+           the repo error taxonomy (the ``ValueError`` family),
+           resolved transitively across modules
+=========  ===========================================================
+
+Findings flow through the same reporter/suppression/config machinery as
+the per-file rules, plus a JSON baseline file
+(:mod:`repro.analysis.program.baseline`) so CI fails only on
+*regressions*.  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.program.baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineError,
+    BaselineResult,
+    apply_baseline,
+)
+from repro.analysis.program.callgraph import CallGraph, CallSite
+from repro.analysis.program.framework import (
+    ProgramAnalyzer,
+    ProgramContext,
+    ProgramRule,
+    program_rules,
+)
+from repro.analysis.program.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Baseline",
+    "BaselineError",
+    "BaselineResult",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProgramAnalyzer",
+    "ProgramContext",
+    "ProgramRule",
+    "SymbolTable",
+    "apply_baseline",
+    "program_rules",
+]

@@ -1,0 +1,207 @@
+"""Helpers shared by the CONC and SEED passes.
+
+Both families care about the same *boundary sinks* — places where a
+value leaves the current thread/process: :class:`repro.perf.parallel.
+ParallelMap` task submission, ``threading.Thread`` /
+``multiprocessing.Process`` construction, and executor ``submit``
+calls.  The detection here is deliberately conservative: a receiver
+only counts as a ``ParallelMap`` when the AST proves it (constructed
+locally, annotated as one, the shared ``SERIAL_MAP`` instance, or a
+``self`` attribute assigned one in ``__init__``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.program.symbols import FunctionInfo, SymbolTable
+from repro.analysis.rules._names import dotted_name, resolve_call
+
+#: Resolved names that construct a ParallelMap.
+_PARALLEL_MAP = "repro.perf.parallel.ParallelMap"
+_SERIAL_MAP = "repro.perf.parallel.SERIAL_MAP"
+
+#: Mutable-container constructors whose capture in a task closure is a
+#: shared-state hazard.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.Counter",
+        "collections.OrderedDict",
+    }
+)
+
+
+def is_parallel_map_name(name: str | None) -> bool:
+    """True when a resolved dotted name denotes the ParallelMap class."""
+    return name is not None and (
+        name == _PARALLEL_MAP or name.endswith(".ParallelMap") or name == "ParallelMap"
+    )
+
+
+def _annotation_is_parallel_map(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    name = dotted_name(annotation)
+    if name is None and isinstance(annotation, ast.Constant):
+        name = annotation.value if isinstance(annotation.value, str) else None
+    return is_parallel_map_name(name)
+
+
+def parallel_map_receivers(
+    table: SymbolTable, fn: FunctionInfo
+) -> tuple[set[str], set[str]]:
+    """Names proven to hold a ParallelMap inside ``fn``.
+
+    Returns ``(locals_, self_attrs)``: local/parameter names, and
+    ``self.X`` attribute names assigned one in the owning class's
+    ``__init__``.
+    """
+    module = table.modules.get(fn.module)
+    imports = module.imports if module is not None else None
+    locals_: set[str] = set()
+    args = fn.node.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if _annotation_is_parallel_map(arg.annotation):
+            locals_.add(arg.arg)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            name = (
+                resolve_call(node.value, imports) if imports is not None else None
+            )
+            if is_parallel_map_name(name):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        locals_.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_parallel_map(node.annotation):
+                locals_.add(node.target.id)
+    if imports is not None:
+        for local, target in imports.aliases.items():
+            if target == _SERIAL_MAP or target.endswith(".SERIAL_MAP"):
+                locals_.add(local)
+    locals_.add("SERIAL_MAP")
+    self_attrs: set[str] = set()
+    if fn.class_qualname is not None:
+        cls_info = table.classes.get(fn.class_qualname)
+        init = cls_info.method("__init__") if cls_info is not None else None
+        if init is not None:
+            for node in ast.walk(init.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and imports is not None
+                    and is_parallel_map_name(resolve_call(node.value, imports))
+                ):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            self_attrs.add(target.attr)
+    return locals_, self_attrs
+
+
+def iter_parallel_map_calls(
+    table: SymbolTable, fn: FunctionInfo
+) -> Iterator[ast.Call]:
+    """Every ``<parallel-map>.map(...)`` call inside ``fn``."""
+    module = table.modules.get(fn.module)
+    imports = module.imports if module is not None else None
+    locals_, self_attrs = parallel_map_receivers(table, fn)
+    for node in ast.walk(fn.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "map"
+        ):
+            continue
+        recv = node.func.value
+        if isinstance(recv, ast.Name) and recv.id in locals_:
+            yield node
+        elif (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+            and recv.attr in self_attrs
+        ):
+            yield node
+        elif isinstance(recv, ast.Call) and imports is not None:
+            if is_parallel_map_name(resolve_call(recv, imports)):
+                yield node
+        elif isinstance(recv, ast.Name) and imports is not None:
+            resolved = imports.resolve(recv.id)
+            if resolved == _SERIAL_MAP or resolved.endswith(".SERIAL_MAP"):
+                yield node
+
+
+def free_names(node: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names a task callable reads but does not bind itself."""
+    bound: set[str] = set()
+    args = node.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    body: list[ast.AST] = (
+        list(node.body) if isinstance(node.body, list) else [node.body]
+    )
+    loaded: set[str] = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Load):
+                    loaded.add(sub.id)
+                else:
+                    bound.add(sub.id)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound.add(sub.name)
+    return loaded - bound
+
+
+def local_task_function(
+    fn: FunctionInfo, name: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """A nested ``def`` named ``name`` inside ``fn``, if any."""
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not fn.node
+            and node.name == name
+        ):
+            return node
+    return None
+
+
+def mutable_locals(fn: FunctionInfo) -> set[str]:
+    """Local names assigned a mutable container inside ``fn``."""
+    out: set[str] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        mutable = isinstance(
+            value, (ast.List, ast.ListComp, ast.Dict, ast.DictComp, ast.Set, ast.SetComp)
+        )
+        if not mutable and isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            mutable = name is not None and (
+                name in MUTABLE_CONSTRUCTORS
+                or name.rsplit(".", 1)[-1] in ("defaultdict", "deque", "Counter")
+            )
+        if mutable:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out

@@ -1,0 +1,150 @@
+"""The ``.repro-lint-baseline.json`` regression gate.
+
+A baseline records *accepted* findings so the program-analysis gate
+fails only when new violations appear.  Entries match on
+``(rule, path, message)`` with a count — line numbers are deliberately
+excluded so unrelated edits that shift code do not invalidate the
+baseline.  The committed repo policy (enforced by tests) is that the
+baseline never carries CONC or SEED entries: races and seed leaks get
+*fixed*, not baselined.
+
+File shape (stable, sorted, committed to the repo root)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "CTR001", "path": "src/...", "message": "...", "count": 1}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import Violation
+
+#: Default baseline file name, looked up in the working directory.
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+#: Bump when the baseline file shape changes incompatibly.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be read or has the wrong shape."""
+
+
+def _key(violation: Violation) -> tuple[str, str, str]:
+    return (violation.rule, violation.path, violation.message)
+
+
+@dataclass
+class Baseline:
+    """Accepted-finding counts keyed by ``(rule, path, message)``."""
+
+    counts: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        baseline = cls()
+        for violation in violations:
+            key = _key(violation)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {version!r}; "
+                f"this tool reads version {BASELINE_VERSION}"
+            )
+        entries = payload["entries"]
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {path}: 'entries' must be a list")
+        baseline = cls()
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise BaselineError(f"baseline {path}: entry {index} is not an object")
+            try:
+                key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+                count = int(entry.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(
+                    f"baseline {path}: entry {index} needs rule/path/message"
+                ) from exc
+            if count < 1:
+                raise BaselineError(
+                    f"baseline {path}: entry {index} count must be >= 1"
+                )
+            baseline.counts[key] = baseline.counts.get(key, 0) + count
+        return baseline
+
+    def to_payload(self) -> dict[str, object]:
+        entries = [
+            {"rule": rule, "path": path, "message": message, "count": count}
+            for (rule, path, message), count in sorted(self.counts.items())
+        ]
+        return {"version": BASELINE_VERSION, "entries": entries}
+
+    def save(self, path: Path) -> Path:
+        path.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def rules_present(self) -> set[str]:
+        return {rule for rule, _, _ in self.counts}
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching a run's violations against a baseline."""
+
+    #: Violations NOT covered by the baseline — these fail the gate.
+    new: list[Violation]
+    #: Number of violations absorbed by baseline entries.
+    baselined: int
+    #: Entries whose counted findings no longer occur (fixed since the
+    #: baseline was recorded) — candidates for a baseline refresh.
+    stale: list[tuple[str, str, str]]
+
+
+def apply_baseline(violations: list[Violation], baseline: Baseline) -> BaselineResult:
+    """Split violations into new vs baselined, consuming entry counts.
+
+    When a file has more identical findings than the baseline recorded,
+    the surplus is new; when it has fewer, the difference is stale.
+    """
+    remaining = dict(baseline.counts)
+    new: list[Violation] = []
+    baselined = 0
+    for violation in violations:
+        key = _key(violation)
+        left = remaining.get(key, 0)
+        if left > 0:
+            remaining[key] = left - 1
+            baselined += 1
+        else:
+            new.append(violation)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return BaselineResult(new=new, baselined=baselined, stale=stale)

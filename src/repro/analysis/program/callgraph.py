@@ -1,0 +1,129 @@
+"""Best-effort static call graph over the symbol table.
+
+Each function/method body contributes :class:`CallSite` records.  A
+site resolves to a project symbol when the callee is
+
+- a module-level function or class visible through the module's imports
+  (``build_fleet(...)``, ``FleetEngine(...)`` — constructors resolve to
+  ``Class.__init__`` when the class defines one);
+- a ``self.method(...)`` / ``cls.method(...)`` call inside a class
+  (resolved through the class, then its project-internal bases);
+- an explicit ``Module.symbol(...)`` attribute chain.
+
+Calls on values of unknown type (``obj.method()``) stay unresolved but
+keep their attribute name, which the lock-discipline pass uses for
+same-class reasoning.  The graph is deliberately an over-approximation
+in neither direction — rules that consume it treat resolution failures
+conservatively (no finding), never speculatively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.program.symbols import ClassInfo, FunctionInfo, SymbolTable
+from repro.analysis.rules._names import dotted_name
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a known function."""
+
+    caller: str
+    callee: str | None
+    #: Attribute name for unresolved ``<expr>.name(...)`` calls.
+    attr: str | None
+    node: ast.Call
+    #: True for ``self.x(...)`` / ``cls.x(...)`` receivers.
+    on_self: bool = False
+
+
+class CallGraph:
+    """Call sites grouped by caller, with reverse edges."""
+
+    def __init__(self) -> None:
+        self.sites_by_caller: dict[str, list[CallSite]] = {}
+        self._callers_of: dict[str, set[str]] = {}
+
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        graph = cls()
+        for fn in table.iter_functions():
+            graph.sites_by_caller[fn.qualname] = list(
+                _collect_sites(table, fn)
+            )
+        for caller, sites in graph.sites_by_caller.items():
+            for site in sites:
+                if site.callee is not None:
+                    graph._callers_of.setdefault(site.callee, set()).add(caller)
+        return graph
+
+    def callees_of(self, qualname: str) -> list[CallSite]:
+        return self.sites_by_caller.get(qualname, [])
+
+    def callers_of(self, qualname: str) -> set[str]:
+        return set(self._callers_of.get(qualname, set()))
+
+
+def _collect_sites(table: SymbolTable, fn: FunctionInfo) -> Iterator[CallSite]:
+    cls_info = (
+        table.classes.get(fn.class_qualname)
+        if fn.class_qualname is not None
+        else None
+    )
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        yield _resolve_site(table, fn, cls_info, node)
+
+
+def _resolve_site(
+    table: SymbolTable,
+    fn: FunctionInfo,
+    cls_info: ClassInfo | None,
+    node: ast.Call,
+) -> CallSite:
+    func = node.func
+    # self.method(...) / cls.method(...)
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+        and cls_info is not None
+    ):
+        callee = _resolve_method(table, cls_info, func.attr)
+        return CallSite(
+            caller=fn.qualname,
+            callee=callee,
+            attr=func.attr,
+            node=node,
+            on_self=True,
+        )
+    name = dotted_name(func)
+    if name is None:
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        return CallSite(caller=fn.qualname, callee=None, attr=attr, node=node)
+    resolved = table.resolve_name(fn.module, name)
+    if resolved is not None and resolved in table.classes:
+        # Constructor call: edge onto __init__ when the class defines one.
+        init = table.classes[resolved].method("__init__")
+        resolved = init.qualname if init is not None else resolved
+    attr = name.rsplit(".", 1)[-1] if "." in name else None
+    return CallSite(caller=fn.qualname, callee=resolved, attr=attr, node=node)
+
+
+def _resolve_method(
+    table: SymbolTable, cls_info: ClassInfo, method: str
+) -> str | None:
+    found = cls_info.method(method)
+    if found is not None:
+        return found.qualname
+    for base in sorted(table.base_chain(cls_info.qualname)):
+        base_cls = table.classes.get(base)
+        if base_cls is not None:
+            inherited = base_cls.method(method)
+            if inherited is not None:
+                return inherited.qualname
+    return None

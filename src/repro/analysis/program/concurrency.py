@@ -1,0 +1,356 @@
+"""CONC — lock-discipline race detection.
+
+CONC001 infers each class's *guarding lock* from its own usage: any
+attribute that is written (or whose interior — elements, sub-attributes,
+methods — is touched) inside a ``with self._lock:`` body is treated as
+lock-guarded.  The pass then walks every method reachable from a public
+entry point **without** the lock (directly, or through helper-method
+calls — the interprocedural part) and flags accesses to guarded
+attributes outside the lock:
+
+- attributes *reassigned* under the lock: any unlocked read or write is
+  a race (a torn or stale value can be observed);
+- attributes only *used* under the lock (``self.fleet.advance()``):
+  unlocked interior access or rebinding is a race; an unlocked plain
+  reference read (``return self.fleet``) is not flagged — handing out
+  the reference is the caller's concern.
+
+Helpers called exclusively from within the lock are recognised as
+lock-held and never flagged (``DetectionService._manifest``).  Known
+benign racy reads (a lock-free ``enabled`` fast path) carry a reasoned
+``# repro: noqa[CONC001]``.
+
+CONC002 guards the ParallelMap determinism contract ahead of the
+process-worker migration: task callables must be self-contained, so a
+closure passed to ``ParallelMap.map`` must not capture ``self`` or a
+locally-built mutable container (the classic accumulator race, and a
+silent pickle-time failure on the process backend).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.engine import Violation
+from repro.analysis.program._shared import (
+    free_names,
+    iter_parallel_map_calls,
+    local_task_function,
+    mutable_locals,
+)
+from repro.analysis.program.framework import ProgramContext, ProgramRule
+from repro.analysis.program.symbols import ClassInfo, FunctionInfo, ModuleInfo
+from repro.analysis.rules._names import ImportMap, resolve_call
+
+_LOCK_CONSTRUCTORS = frozenset(
+    {"threading.Lock", "threading.RLock", "threading.Condition"}
+)
+_THREAD_LOCAL = frozenset({"threading.local"})
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class _Access:
+    attr: str
+    kind: str  # "load" | "store" | "interior"
+    node: ast.AST
+    held: frozenset[str]
+
+
+@dataclass
+class _SelfCall:
+    method: str
+    held: frozenset[str]
+    node: ast.Call
+
+
+@dataclass
+class _MethodScan:
+    accesses: list[_Access] = field(default_factory=list)
+    self_calls: list[_SelfCall] = field(default_factory=list)
+
+
+class _LockWalker:
+    """One method body, annotated with the set of locks held per node."""
+
+    def __init__(self, lock_attrs: frozenset[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.scan = _MethodScan()
+
+    def walk(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> _MethodScan:
+        for stmt in fn.body:
+            self._visit(stmt, frozenset())
+        return self.scan
+
+    # ------------------------------------------------------------------
+    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested callable runs in an unknown lock context later;
+            # its body is out of scope for this pass (CONC002/SEED002
+            # police what closures may capture).
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: set[str] = set()
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr in self.lock_attrs:
+                    acquired.add(attr)
+                else:
+                    self._visit(item.context_expr, held)
+            inner = held | frozenset(acquired)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, held)
+            return
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            self._visit_access(node, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _visit_call(self, node: ast.Call, held: frozenset[str]) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) and (
+            func.value.id == "self"
+        ):
+            # self.m(...) — a self-call, not an attribute access.
+            self.scan.self_calls.append(
+                _SelfCall(method=func.attr, held=held, node=node)
+            )
+        else:
+            self._visit(func, held)
+        for arg in node.args:
+            self._visit(arg, held)
+        for kw in node.keywords:
+            self._visit(kw.value, held)
+
+    def _visit_access(
+        self, node: ast.Attribute | ast.Subscript, held: frozenset[str]
+    ) -> None:
+        base = _self_attr(node.value)
+        if base is not None:
+            # self.X.y / self.X[...] — interior access of X.
+            if base not in self.lock_attrs:
+                self.scan.accesses.append(
+                    _Access(attr=base, kind="interior", node=node, held=held)
+                )
+            if isinstance(node, ast.Subscript):
+                self._visit(node.slice, held)
+            return
+        direct = _self_attr(node)
+        if direct is not None:
+            if direct not in self.lock_attrs:
+                kind = (
+                    "store"
+                    if isinstance(node.ctx, (ast.Store, ast.Del))
+                    else "load"
+                )
+                self.scan.accesses.append(
+                    _Access(attr=direct, kind=kind, node=node, held=held)
+                )
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+def _lock_and_local_attrs(
+    cls_info: ClassInfo, imports: ImportMap
+) -> tuple[frozenset[str], frozenset[str]]:
+    """Lock attributes and thread-local attributes assigned in __init__."""
+    init = cls_info.method("__init__")
+    locks: set[str] = set()
+    locals_: set[str] = set()
+    if init is None:
+        return frozenset(), frozenset()
+    for node in ast.walk(init.node):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        name = resolve_call(node.value, imports)
+        if name is None:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if name in _LOCK_CONSTRUCTORS:
+                locks.add(attr)
+            elif name in _THREAD_LOCAL:
+                locals_.add(attr)
+    return frozenset(locks), frozenset(locals_)
+
+
+class LockDisciplineRule(ProgramRule):
+    """CONC001 — no guarded-attribute access outside the inferred lock."""
+
+    rule_id = "CONC001"
+    summary = (
+        "attributes used under 'with self._lock:' must not be read/"
+        "written on any unlocked path reachable from a public entry "
+        "point (helper calls included)"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        for cls_info in ctx.table.iter_classes():
+            module = ctx.table.modules.get(cls_info.module)
+            if module is None:
+                continue
+            yield from self._check_class(ctx, module, cls_info)
+
+    def _check_class(
+        self, ctx: ProgramContext, module: ModuleInfo, cls_info: ClassInfo
+    ) -> Iterator[Violation]:
+        locks, thread_locals = _lock_and_local_attrs(cls_info, module.imports)
+        if not locks:
+            return
+        scans: dict[str, _MethodScan] = {}
+        for name, fn in cls_info.methods.items():
+            if fn.is_staticmethod or fn.is_classmethod:
+                continue
+            scans[name] = _LockWalker(locks).walk(fn.node)
+
+        # Guarded sets, inferred from under-lock usage outside __init__.
+        stored_under: dict[str, set[str]] = {}
+        interior_under: dict[str, set[str]] = {}
+        for name, scan in scans.items():
+            if name == "__init__":
+                continue
+            for access in scan.accesses:
+                if not access.held or access.attr in thread_locals:
+                    continue
+                if access.kind == "store":
+                    stored_under.setdefault(access.attr, set()).update(access.held)
+                elif access.kind == "interior":
+                    interior_under.setdefault(access.attr, set()).update(access.held)
+        if not stored_under and not interior_under:
+            return
+
+        # Methods reachable with the lock NOT held: public entries, plus
+        # anything the call graph reaches from them through unlocked
+        # call sites, plus private methods called from outside the class.
+        witness: dict[str, str] = {}
+        worklist: list[str] = []
+        for name, fn in cls_info.methods.items():
+            if name == "__init__" or name not in scans:
+                continue
+            externally_called = any(
+                not caller.startswith(cls_info.qualname + ".")
+                for caller in ctx.graph.callers_of(fn.qualname)
+            )
+            if fn.is_public or externally_called:
+                witness[name] = name
+                worklist.append(name)
+        while worklist:
+            current = worklist.pop()
+            for call in scans[current].self_calls:
+                if call.held:
+                    continue
+                callee = call.method
+                if callee in scans and callee not in witness and callee != "__init__":
+                    witness[callee] = witness[current]
+                    worklist.append(callee)
+
+        for name in sorted(witness):
+            scan = scans[name]
+            entry = witness[name]
+            for access in scan.accesses:
+                if access.held or access.attr in thread_locals:
+                    continue
+                guards = stored_under.get(access.attr, set()) | interior_under.get(
+                    access.attr, set()
+                )
+                if not guards:
+                    continue
+                mutated = access.attr in stored_under
+                if not mutated and access.kind == "load":
+                    # Plain reference read of an interior-guarded attr.
+                    continue
+                lock_name = sorted(guards)[0]
+                verb = {
+                    "store": "write to",
+                    "interior": "unsynchronised use of",
+                    "load": "read of",
+                }[access.kind]
+                via = (
+                    ""
+                    if entry == name
+                    else f" (reachable without the lock via {cls_info.name}.{entry})"
+                )
+                yield ctx.violation(
+                    self.rule_id,
+                    module,
+                    access.node,
+                    f"{cls_info.name}.{name}: {verb} lock-guarded attribute "
+                    f"'{access.attr}' outside 'with self.{lock_name}:'{via}",
+                )
+
+
+class ParallelMapCaptureRule(ProgramRule):
+    """CONC002 — ParallelMap task closures must be self-contained."""
+
+    rule_id = "CONC002"
+    summary = (
+        "task callables passed to ParallelMap.map must not capture self "
+        "or locally-built mutable containers; pass data through items"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        for fn in ctx.table.iter_functions():
+            module = ctx.table.modules.get(fn.module)
+            if module is None:
+                continue
+            shared = mutable_locals(fn)
+            for call in iter_parallel_map_calls(ctx.table, fn):
+                if not call.args:
+                    continue
+                task = call.args[0]
+                captured = self._captured_hazards(fn, task, shared)
+                for name, node in captured:
+                    what = (
+                        "the enclosing instance 'self'"
+                        if name == "self"
+                        else f"locally-built mutable container '{name}'"
+                    )
+                    yield ctx.violation(
+                        self.rule_id,
+                        module,
+                        node,
+                        f"ParallelMap task closure captures {what}; tasks "
+                        "must be self-contained (module-level function + "
+                        "per-item data) to survive the process-worker "
+                        "migration",
+                    )
+
+    @staticmethod
+    def _captured_hazards(
+        fn: FunctionInfo, task: ast.expr, shared: set[str]
+    ) -> list[tuple[str, ast.AST]]:
+        target: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        anchor: ast.AST = task
+        if isinstance(task, ast.Lambda):
+            target = task
+        elif isinstance(task, ast.Name):
+            nested = local_task_function(fn, task.id)
+            if nested is not None:
+                target = nested
+                anchor = task
+        if target is None:
+            return []
+        hazards: list[tuple[str, ast.AST]] = []
+        for name in sorted(free_names(target)):
+            if name == "self" or name in shared:
+                hazards.append((name, anchor))
+        return hazards

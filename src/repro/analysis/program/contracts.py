@@ -1,0 +1,284 @@
+"""CTR — cross-class and cross-module contract checking.
+
+CTR001 pairs each serializer with its deserializer *by convention*
+(``to_dict`` ↔ ``from_dict``, ``state_dict`` ↔ ``load_state`` /
+``from_state`` / ``restore``) and compares the key sets computed from
+both method bodies: keys the reader consumes must be keys the writer
+produces, and vice versa.  Extraction is deliberately conservative —
+a writer that does not return a literal-keyed dict, or a reader that
+walks the payload dynamically, opts the pair out rather than guessing.
+
+CTR002 enforces the repo error taxonomy: every exception class defined
+in the project derives — transitively, across modules, through the
+symbol table's base-chain resolution — from ``ValueError``, matching
+``ConfigError`` / ``CheckpointError`` / ``ServiceError`` et al.  A
+module that subclasses a taxonomy error defined elsewhere is resolved
+through its imports, which is what makes the check interprocedural.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Violation
+from repro.analysis.program.framework import ProgramContext, ProgramRule
+from repro.analysis.program.symbols import ClassInfo, FunctionInfo, ModuleInfo
+
+#: serializer method -> accepted deserializer counterparts, checked in
+#: declaration order; the first counterpart the class defines is paired.
+SERIALIZER_PAIRS: dict[str, tuple[str, ...]] = {
+    "to_dict": ("from_dict",),
+    "state_dict": ("load_state", "from_state", "restore"),
+}
+
+#: The root(s) of the repo error taxonomy.
+TAXONOMY_ROOTS = frozenset({"ValueError"})
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "RuntimeError",
+        "TypeError",
+        "KeyError",
+        "OSError",
+        "IOError",
+        "ArithmeticError",
+        "LookupError",
+        "StopIteration",
+        "NotImplementedError",
+    }
+)
+
+
+def _literal_key(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def produced_keys(fn: FunctionInfo) -> set[str] | None:
+    """Keys a serializer writes, or None when not statically knowable.
+
+    Handles the two repo idioms: ``return {literal dict}``, and a local
+    dict built from a literal then extended with ``payload["k"] = ...``
+    subscript stores before ``return payload``.
+    """
+    returned_dicts: list[ast.Dict] = []
+    returned_names: set[str] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if isinstance(node.value, ast.Dict):
+            returned_dicts.append(node.value)
+        elif isinstance(node.value, ast.Name):
+            returned_names.add(node.value.id)
+        else:
+            return None
+    if not returned_dicts and not returned_names:
+        return None
+    keys: set[str] = set()
+    for dict_node in returned_dicts:
+        for key in dict_node.keys:
+            literal = _literal_key(key)
+            if literal is None:
+                return None  # **splat or computed key — bail.
+            keys.add(literal)
+    for name in returned_names:
+        local = _local_dict_keys(fn, name)
+        if local is None:
+            return None
+        keys |= local
+    return keys
+
+
+def _local_dict_keys(fn: FunctionInfo, name: str) -> set[str] | None:
+    keys: set[str] = set()
+    seeded = False
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        value = node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if not isinstance(value, ast.Dict):
+                    return None
+                for key in value.keys:
+                    literal = _literal_key(key)
+                    if literal is None:
+                        return None
+                    keys.add(literal)
+                seeded = True
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == name
+            ):
+                literal = _literal_key(target.slice)
+                if literal is None:
+                    return None
+                keys.add(literal)
+    return keys if seeded else None
+
+
+def consumed_keys(fn: FunctionInfo) -> set[str] | None:
+    """Keys a deserializer reads from its payload parameter, or None
+    when the payload is used dynamically (iterated, splatted, passed on
+    whole) and the key set cannot be trusted."""
+    args = fn.node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    if not positional:
+        return None
+    payload = positional[0].arg
+    keys: set[str] = set()
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == payload
+        ):
+            literal = _literal_key(node.slice)
+            if literal is None:
+                return None
+            keys.add(literal)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "pop")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == payload
+        ):
+            literal = _literal_key(node.args[0]) if node.args else None
+            if literal is None:
+                return None
+            keys.add(literal)
+    if not _payload_only_structured(fn.node, payload):
+        return None
+    return keys
+
+
+def _payload_only_structured(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef, payload: str
+) -> bool:
+    """True when every use of the payload name is a keyed access."""
+    structured: set[int] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            if node.value.id == payload:
+                structured.add(id(node.value))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "pop")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == payload
+        ):
+            structured.add(id(node.func.value))
+    for node in ast.walk(fn_node):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == payload
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in structured
+        ):
+            return False
+    return True
+
+
+class StateKeyContractRule(ProgramRule):
+    """CTR001 — serializer/deserializer key sets must agree."""
+
+    rule_id = "CTR001"
+    summary = (
+        "to_dict/from_dict and state_dict/load_state key sets must "
+        "match, computed statically from both method bodies"
+    )
+    default_include = ("src/repro/",)
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        for cls_info in ctx.table.iter_classes():
+            module = ctx.table.modules.get(cls_info.module)
+            if module is None:
+                continue
+            yield from self._check_class(ctx, module, cls_info)
+
+    def _check_class(
+        self, ctx: ProgramContext, module: ModuleInfo, cls_info: ClassInfo
+    ) -> Iterator[Violation]:
+        for writer_name, reader_names in SERIALIZER_PAIRS.items():
+            writer = cls_info.method(writer_name)
+            if writer is None:
+                continue
+            reader = next(
+                (
+                    found
+                    for name in reader_names
+                    if (found := cls_info.method(name)) is not None
+                ),
+                None,
+            )
+            if reader is None:
+                continue  # One-way DTOs are allowed.
+            written = produced_keys(writer)
+            read = consumed_keys(reader)
+            if written is None or read is None:
+                continue  # Dynamic on either side — opt out, don't guess.
+            for key in sorted(read - written):
+                yield ctx.violation(
+                    self.rule_id,
+                    module,
+                    reader.node,
+                    f"{cls_info.name}.{reader.name} reads key '{key}' that "
+                    f"{writer.name} never writes",
+                )
+            for key in sorted(written - read):
+                yield ctx.violation(
+                    self.rule_id,
+                    module,
+                    writer.node,
+                    f"{cls_info.name}.{writer.name} writes key '{key}' that "
+                    f"{reader.name} never reads — dead state or a missed "
+                    "restore",
+                )
+
+
+class ErrorTaxonomyRule(ProgramRule):
+    """CTR002 — project exception classes derive from the taxonomy."""
+
+    rule_id = "CTR002"
+    summary = (
+        "exception classes defined in the project must derive "
+        "(transitively, across modules) from the ValueError taxonomy"
+    )
+    default_include = ("src/repro/",)
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        for cls_info in ctx.table.iter_classes():
+            module = ctx.table.modules.get(cls_info.module)
+            if module is None:
+                continue
+            chain = ctx.table.base_chain(cls_info.qualname)
+            tails = {base.rsplit(".", 1)[-1] for base in chain}
+            looks_like_exception = cls_info.name.endswith(
+                ("Error", "Exception")
+            ) or bool(tails & _BUILTIN_EXCEPTIONS)
+            if not looks_like_exception:
+                continue
+            if tails & TAXONOMY_ROOTS:
+                continue
+            roots = "/".join(sorted(TAXONOMY_ROOTS))
+            yield ctx.violation(
+                self.rule_id,
+                module,
+                cls_info.node,
+                f"exception class '{cls_info.name}' does not derive from "
+                f"the repo error taxonomy ({roots} family); subclass an "
+                "existing *Error or ValueError directly",
+            )

@@ -1,0 +1,153 @@
+"""The interprocedural pass framework behind ``repro-lint --program``.
+
+A :class:`ProgramRule` sees the whole :class:`ProgramContext` — symbol
+table, call graph, config — instead of one file, and yields ordinary
+:class:`~repro.analysis.engine.Violation` records anchored to concrete
+source positions.  :class:`ProgramAnalyzer` builds the context once per
+run, executes every registered pass, and then routes findings through
+the *same* machinery the per-file rules use: per-rule path scoping from
+``[tool.repro-lint]`` and ``# repro: noqa[RULE]`` line suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    LintConfig,
+    LintEngine,
+    LintReport,
+    Rule,
+    Violation,
+)
+from repro.analysis.program.callgraph import CallGraph
+from repro.analysis.program.symbols import ModuleInfo, SymbolTable
+
+
+@dataclass
+class ProgramContext:
+    """Everything a whole-program pass may consult."""
+
+    table: SymbolTable
+    graph: CallGraph
+    config: LintConfig
+
+    def violation(
+        self, rule: str, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=rule,
+            message=message,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+class ProgramRule(Rule):
+    """Base class for one interprocedural invariant.
+
+    Subclasses implement :meth:`check_program` over the shared context.
+    Path scoping (``default_include``/``default_exclude`` plus pyproject
+    overrides) is applied *per finding*, since one pass may report into
+    many files.
+    """
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def check(self, ctx: object) -> Iterator[Violation]:  # pragma: no cover
+        # Program rules never run in the per-file engine loop.
+        return iter(())
+
+
+def program_rules() -> list[ProgramRule]:
+    """Fresh instances of every shipped whole-program rule, in id order."""
+    from repro.analysis.program.concurrency import (
+        LockDisciplineRule,
+        ParallelMapCaptureRule,
+    )
+    from repro.analysis.program.contracts import (
+        ErrorTaxonomyRule,
+        StateKeyContractRule,
+    )
+    from repro.analysis.program.seeds import (
+        LoopRngRule,
+        RngBoundaryRule,
+        UnseededRngRule,
+    )
+
+    return [
+        LockDisciplineRule(),
+        ParallelMapCaptureRule(),
+        UnseededRngRule(),
+        RngBoundaryRule(),
+        LoopRngRule(),
+        StateKeyContractRule(),
+        ErrorTaxonomyRule(),
+    ]
+
+
+class ProgramAnalyzer:
+    """Build the program view once, run every pass, filter, report."""
+
+    def __init__(
+        self,
+        rules: Sequence[ProgramRule] | None = None,
+        config: LintConfig | None = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else program_rules()
+        self.config = config or LintConfig()
+
+    def run(
+        self, paths: Iterable[Path | str], *, root: Path | None = None
+    ) -> LintReport:
+        root = root or Path.cwd()
+        files: list[tuple[Path, str]] = []
+        for path in LintEngine._iter_files(paths):
+            files.append((path, LintEngine._display_path(path, root)))
+        table = SymbolTable.build(files, root=root)
+        violations = [
+            Violation(
+                rule=PARSE_ERROR_RULE,
+                message=f"could not parse: {msg}",
+                path=display,
+                line=line,
+                col=0,
+            )
+            for display, line, msg in table.parse_errors
+        ]
+        violations.extend(self.check_table(table))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return LintReport(violations=violations, files_scanned=len(files))
+
+    def check_table(self, table: SymbolTable) -> list[Violation]:
+        """Run the passes over an already-built table (the test unit)."""
+        ctx = ProgramContext(
+            table=table, graph=CallGraph.build(table), config=self.config
+        )
+        suppressions = {
+            info.display_path: info.suppressions for info in table.iter_modules()
+        }
+        out: list[Violation] = []
+        for rule in self.rules:
+            if not self.config.rule_enabled(rule.rule_id):
+                continue
+            include, exclude = self.config.scope_for(rule)
+            for violation in rule.check_program(ctx):
+                posix = violation.path.replace("\\", "/")
+                if include and not any(frag in posix for frag in include):
+                    continue
+                if any(frag in posix for frag in exclude):
+                    continue
+                index = suppressions.get(violation.path)
+                if index is not None and index.is_suppressed(
+                    violation.line, violation.rule
+                ):
+                    continue
+                out.append(violation)
+        return out

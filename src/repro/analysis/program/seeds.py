@@ -1,0 +1,449 @@
+"""SEED — RNG and seed provenance dataflow.
+
+The repo's determinism story hinges on one discipline: every random
+stream is derived from an explicit seed (ultimately the experiment
+config), and streams never migrate between execution contexts — a
+``Generator`` is constructed *inside* the worker from a spawned
+``SeedSequence`` child, never shipped across a thread/process boundary.
+
+SEED001  every RNG construction takes an explicit seed.  A bare
+         ``np.random.default_rng()`` pulls OS entropy and silently
+         breaks run-to-run reproducibility.
+SEED002  no RNG object reaches a boundary sink — a ``ParallelMap.map``
+         task/item, a ``threading.Thread`` / ``multiprocessing.Process``
+         constructor, or an executor ``submit``.  Provenance is tracked
+         through helper calls with a ``returns_rng`` fixpoint over the
+         call graph, so ``pm.map(task, self._make_rngs())`` is caught
+         even though no Generator is visible at the call site.
+SEED003  no RNG constructed inside a loop (or comprehension) from a
+         loop-invariant seed — every iteration would replay the same
+         stream.  Intentional lockstep replicas carry a reasoned
+         ``# repro: noqa[SEED003]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Violation
+from repro.analysis.program._shared import (
+    free_names,
+    iter_parallel_map_calls,
+    local_task_function,
+)
+from repro.analysis.program.callgraph import CallGraph
+from repro.analysis.program.framework import ProgramContext, ProgramRule
+from repro.analysis.program.symbols import FunctionInfo, ModuleInfo, SymbolTable
+from repro.analysis.rules._names import ImportMap, dotted_name, resolve_call
+
+#: Constructors that must receive an explicit seed / entropy argument.
+SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "random.Random",
+    }
+)
+
+#: Constructors producing a *stream-bearing* RNG object that must not
+#: cross a thread/process boundary (SeedSequence children may — that is
+#: the sanctioned hand-off currency).
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+_THREAD_SINKS = frozenset({"threading.Thread", "multiprocessing.Process"})
+_EXECUTOR_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+    }
+)
+
+
+def _is_rng_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    name = dotted_name(annotation)
+    if name is None and isinstance(annotation, ast.Constant):
+        name = annotation.value if isinstance(annotation.value, str) else None
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1]
+    return tail in ("Generator", "RandomState")
+
+
+class UnseededRngRule(ProgramRule):
+    """SEED001 — no argument-free RNG construction anywhere."""
+
+    rule_id = "SEED001"
+    summary = (
+        "RNG constructors must take an explicit seed (derived from "
+        "SeedSequence or config); bare default_rng() pulls OS entropy"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        for module in ctx.table.iter_modules():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = resolve_call(node, module.imports)
+                if name not in SEEDED_CONSTRUCTORS:
+                    continue
+                if node.args or node.keywords:
+                    continue
+                short = name.rsplit(".", 1)[-1]
+                yield ctx.violation(
+                    self.rule_id,
+                    module,
+                    node,
+                    f"{short}() constructed without a seed — run-to-run "
+                    "reproducibility is lost; thread the config seed or a "
+                    "SeedSequence child through to this site",
+                )
+
+
+class _TaintScan:
+    """Per-function RNG taint: which locals provably hold a Generator."""
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        graph: CallGraph,
+        fn: FunctionInfo,
+        summaries: dict[str, bool],
+    ) -> None:
+        self.table = table
+        self.fn = fn
+        self.summaries = summaries
+        module = table.modules.get(fn.module)
+        self.imports: ImportMap | None = module.imports if module else None
+        self._callee_by_node: dict[int, str | None] = {
+            id(site.node): site.callee for site in graph.callees_of(fn.qualname)
+        }
+        self.tainted = self._collect()
+
+    def _collect(self) -> set[str]:
+        tainted: set[str] = set()
+        args = self.fn.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if _is_rng_annotation(arg.annotation):
+                tainted.add(arg.arg)
+        # One pass is enough for straight-line `a = default_rng(s); b = a`
+        # chains; re-run until stable for out-of-order aliasing.
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(self.fn.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not self.expr_is_rng(node.value, tainted):
+                    continue
+                for target in node.targets:
+                    names = (
+                        [target]
+                        if isinstance(target, ast.Name)
+                        else [
+                            elt
+                            for elt in getattr(target, "elts", [])
+                            if isinstance(elt, ast.Name)
+                        ]
+                    )
+                    for name_node in names:
+                        if name_node.id not in tainted:
+                            tainted.add(name_node.id)
+                            changed = True
+        return tainted
+
+    def call_returns_rng(self, node: ast.Call) -> bool:
+        if self.imports is not None:
+            resolved = resolve_call(node, self.imports)
+            if resolved in RNG_CONSTRUCTORS:
+                return True
+        callee = self._callee_by_node.get(id(node))
+        return bool(callee is not None and self.summaries.get(callee, False))
+
+    def expr_is_rng(self, expr: ast.expr, tainted: set[str]) -> bool:
+        """True when the expression's value provably contains an RNG."""
+        if isinstance(expr, ast.Name):
+            return expr.id in tainted
+        if isinstance(expr, ast.Call):
+            return self.call_returns_rng(expr)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.expr_is_rng(elt, tainted) for elt in expr.elts)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.expr_is_rng(expr.elt, tainted)
+        if isinstance(expr, ast.DictComp):
+            return self.expr_is_rng(expr.value, tainted)
+        if isinstance(expr, ast.Dict):
+            return any(
+                value is not None and self.expr_is_rng(value, tainted)
+                for value in expr.values
+            )
+        if isinstance(expr, ast.IfExp):
+            return self.expr_is_rng(expr.body, tainted) or self.expr_is_rng(
+                expr.orelse, tainted
+            )
+        if isinstance(expr, ast.Starred):
+            return self.expr_is_rng(expr.value, tainted)
+        if isinstance(expr, ast.BoolOp):
+            return any(self.expr_is_rng(v, tainted) for v in expr.values)
+        return False
+
+    def expr_mentions_rng(self, expr: ast.expr) -> str | None:
+        """Name of the first RNG reference anywhere inside ``expr``."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in self.tainted:
+                return node.id
+            if isinstance(node, ast.Call) and self.call_returns_rng(node):
+                callee = self._callee_by_node.get(id(node))
+                return (callee or "an RNG constructor").rsplit(".", 1)[-1] + "()"
+        return None
+
+
+def build_rng_summaries(table: SymbolTable, graph: CallGraph) -> dict[str, bool]:
+    """``returns_rng`` per function qualname, via fixpoint over the graph."""
+    summaries: dict[str, bool] = {fn.qualname: False for fn in table.iter_functions()}
+    changed = True
+    while changed:
+        changed = False
+        for fn in table.iter_functions():
+            if summaries[fn.qualname]:
+                continue
+            scan = _TaintScan(table, graph, fn, summaries)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if scan.expr_is_rng(node.value, scan.tainted):
+                        summaries[fn.qualname] = True
+                        changed = True
+                        break
+    return summaries
+
+
+def _executor_locals(fn: FunctionInfo, imports: ImportMap | None) -> set[str]:
+    out: set[str] = set()
+    if imports is None:
+        return out
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if resolve_call(node.value, imports) in _EXECUTOR_CONSTRUCTORS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and resolve_call(item.context_expr, imports)
+                    in _EXECUTOR_CONSTRUCTORS
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    out.add(item.optional_vars.id)
+    return out
+
+
+class RngBoundaryRule(ProgramRule):
+    """SEED002 — no RNG object crosses a thread/process boundary."""
+
+    rule_id = "SEED002"
+    summary = (
+        "Generators must not be passed across ParallelMap/Thread/Process/"
+        "executor boundaries; ship SeedSequence children and construct "
+        "the RNG inside the worker"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        summaries = build_rng_summaries(ctx.table, ctx.graph)
+        for fn in ctx.table.iter_functions():
+            module = ctx.table.modules.get(fn.module)
+            if module is None:
+                continue
+            scan = _TaintScan(ctx.table, ctx.graph, fn, summaries)
+            yield from self._check_parallel_map(ctx, module, fn, scan)
+            yield from self._check_thread_sinks(ctx, module, fn, scan)
+
+    def _check_parallel_map(
+        self,
+        ctx: ProgramContext,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        scan: _TaintScan,
+    ) -> Iterator[Violation]:
+        for call in iter_parallel_map_calls(ctx.table, fn):
+            if not call.args:
+                continue
+            task = call.args[0]
+            target = task if isinstance(task, ast.Lambda) else None
+            if target is None and isinstance(task, ast.Name):
+                target = local_task_function(fn, task.id)
+            if target is not None:
+                for name in sorted(free_names(target) & scan.tainted):
+                    yield ctx.violation(
+                        self.rule_id,
+                        module,
+                        task,
+                        f"ParallelMap task captures RNG '{name}'; construct "
+                        "the Generator inside the task from a spawned seed "
+                        "(spawn_seeds)",
+                    )
+            for items in call.args[1:] + [kw.value for kw in call.keywords]:
+                witness = scan.expr_mentions_rng(items)
+                if witness is not None:
+                    yield ctx.violation(
+                        self.rule_id,
+                        module,
+                        items,
+                        f"RNG ({witness}) crosses the ParallelMap boundary "
+                        "via the items iterable; pass SeedSequence children "
+                        "and construct Generators inside the worker",
+                    )
+
+    def _check_thread_sinks(
+        self,
+        ctx: ProgramContext,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        scan: _TaintScan,
+    ) -> Iterator[Violation]:
+        executors = _executor_locals(fn, module.imports)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            sink: str | None = None
+            resolved = resolve_call(node, module.imports)
+            if resolved in _THREAD_SINKS:
+                sink = resolved.rsplit(".", 1)[-1]
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in executors
+            ):
+                sink = "executor.submit"
+            if sink is None:
+                continue
+            for expr in list(node.args) + [kw.value for kw in node.keywords]:
+                witness = scan.expr_mentions_rng(expr)
+                if witness is not None:
+                    yield ctx.violation(
+                        self.rule_id,
+                        module,
+                        expr,
+                        f"RNG ({witness}) handed to {sink}; generators are "
+                        "not thread/process-portable — ship a SeedSequence "
+                        "child instead",
+                    )
+
+
+def _bound_names(target: ast.expr) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(target)
+        if isinstance(node, ast.Name)
+    }
+
+
+def _assigned_in(nodes: list[ast.stmt]) -> set[str]:
+    out: set[str] = set()
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                out.add(node.id)
+    return out
+
+
+class LoopRngRule(ProgramRule):
+    """SEED003 — no loop-invariant RNG construction inside loops."""
+
+    rule_id = "SEED003"
+    summary = (
+        "an RNG constructed in a loop must derive its seed from the "
+        "iteration; a loop-invariant seed replays the identical stream "
+        "every pass"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Violation]:
+        for module in ctx.table.iter_modules():
+            yield from self._walk(ctx, module, module.tree, frozenset(), False)
+
+    def _walk(
+        self,
+        ctx: ProgramContext,
+        module: ModuleInfo,
+        node: ast.AST,
+        varying: frozenset[str],
+        in_loop: bool,
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            inner = varying | _bound_names(node.target) | _assigned_in(node.body)
+            for stmt in node.body + node.orelse:
+                yield from self._walk(ctx, module, stmt, inner, True)
+            yield from self._walk(ctx, module, node.iter, varying, in_loop)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            inner = varying
+            for gen in node.generators:
+                inner = inner | _bound_names(gen.target)
+                yield from self._walk(ctx, module, gen.iter, varying, in_loop)
+            elts = (
+                [node.key, node.value]
+                if isinstance(node, ast.DictComp)
+                else [node.elt]
+            )
+            for elt in elts:
+                yield from self._walk(ctx, module, elt, inner, True)
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_call(ctx, module, node, varying, in_loop)
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(ctx, module, child, varying, in_loop)
+
+    def _check_call(
+        self,
+        ctx: ProgramContext,
+        module: ModuleInfo,
+        node: ast.Call,
+        varying: frozenset[str],
+        in_loop: bool,
+    ) -> Iterator[Violation]:
+        if not in_loop or not (node.args or node.keywords):
+            return
+        name = resolve_call(node, module.imports)
+        if name not in SEEDED_CONSTRUCTORS and name not in RNG_CONSTRUCTORS:
+            return
+        seed_exprs = list(node.args) + [kw.value for kw in node.keywords]
+        mentioned: set[str] = set()
+        for expr in seed_exprs:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call):
+                    # A call in the seed expression may vary per
+                    # iteration (next(...), .spawn(...)) — cannot prove
+                    # invariance, stay quiet.
+                    return
+                if isinstance(sub, ast.Name):
+                    mentioned.add(sub.id)
+        if mentioned & varying:
+            return
+        short = (name or "rng").rsplit(".", 1)[-1]
+        yield ctx.violation(
+            self.rule_id,
+            module,
+            node,
+            f"{short}(...) constructed inside a loop with a loop-invariant "
+            "seed — every iteration replays the same stream; derive the "
+            "seed from the loop variable or SeedSequence.spawn",
+        )

@@ -1,0 +1,288 @@
+"""Project-wide symbol table for the whole-program passes.
+
+One :class:`SymbolTable` indexes every module under the scanned roots:
+its AST, import aliases, module-level functions, classes with their
+methods, and the per-file suppression index.  Symbols are addressed by
+*qualified name* — the dotted module path (derived from the file's
+location under ``src/``) joined with the class/function name, e.g.
+``repro.fleet.aggregator.FleetAggregator.checkpoint``.
+
+The table deliberately stays syntactic: it records what each module
+*writes*, and the resolution helpers (:meth:`SymbolTable.resolve_name`,
+:meth:`SymbolTable.base_chain`) answer the cross-module questions the
+rule passes ask — "which project class does this name refer to?",
+"does this exception class ultimately derive from ValueError?" —
+without importing any analysed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.rules._names import ImportMap, dotted_name
+from repro.analysis.suppressions import SuppressionIndex
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_qualname: str | None = None
+    decorators: tuple[str, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    @property
+    def is_staticmethod(self) -> bool:
+        return "staticmethod" in self.decorators
+
+    @property
+    def is_classmethod(self) -> bool:
+        return "classmethod" in self.decorators
+
+    @property
+    def is_property(self) -> bool:
+        return "property" in self.decorators or any(
+            d.endswith(".setter") or d.endswith(".getter") for d in self.decorators
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and raw base names."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def method(self, name: str) -> FunctionInfo | None:
+        return self.methods.get(name)
+
+
+@dataclass
+class ModuleInfo:
+    """One analysed source file."""
+
+    name: str
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    suppressions: SuppressionIndex
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name for a file (``src/`` prefix stripped).
+
+    Files outside a recognisable package root still get a stable name
+    derived from their relative path so two files never collide.
+    """
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path.stem
+
+
+class SymbolTable:
+    """Every module/class/function under the scanned roots, by name."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.parse_errors: list[tuple[str, int, str]] = []
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(cls, files: Iterable[tuple[Path, str]], *, root: Path) -> "SymbolTable":
+        """Index ``(path, display_path)`` pairs (unparsable files are
+        recorded in :attr:`parse_errors`, not raised)."""
+        table = cls()
+        for path, display in files:
+            source = path.read_text(encoding="utf-8")
+            table.add_source(
+                source, module=module_name_for(path, root), path=path, display=display
+            )
+        return table
+
+    def add_source(
+        self,
+        source: str,
+        *,
+        module: str,
+        path: Path | None = None,
+        display: str | None = None,
+    ) -> ModuleInfo | None:
+        """Index one module given as text (the unit used by the tests)."""
+        display = display or (path.as_posix() if path is not None else f"<{module}>")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.parse_errors.append((display, exc.lineno or 1, exc.msg or "syntax error"))
+            return None
+        info = ModuleInfo(
+            name=module,
+            path=path or Path(display),
+            display_path=display,
+            source=source,
+            tree=tree,
+            imports=ImportMap.from_tree(tree),
+            suppressions=SuppressionIndex.from_source(source),
+        )
+        self._index_module(info)
+        self.modules[module] = info
+        return info
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._function_info(info, node, class_qualname=None)
+                info.functions[node.name] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(node, ast.ClassDef):
+                cls_info = self._class_info(info, node)
+                info.classes[node.name] = cls_info
+                self.classes[cls_info.qualname] = cls_info
+
+    def _class_info(self, info: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+        qualname = f"{info.name}.{node.name}"
+        bases = tuple(
+            name for name in (dotted_name(base) for base in node.bases) if name
+        )
+        cls_info = ClassInfo(
+            qualname=qualname,
+            module=info.name,
+            name=node.name,
+            node=node,
+            bases=bases,
+        )
+        for sub in node.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._function_info(info, sub, class_qualname=qualname)
+                cls_info.methods[sub.name] = fn
+                self.functions[fn.qualname] = fn
+        return cls_info
+
+    @staticmethod
+    def _function_info(
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        class_qualname: str | None,
+    ) -> FunctionInfo:
+        prefix = class_qualname if class_qualname is not None else info.name
+        decorators = tuple(
+            name
+            for name in (dotted_name(dec) for dec in node.decorator_list)
+            if name
+        )
+        return FunctionInfo(
+            qualname=f"{prefix}.{node.name}",
+            module=info.name,
+            name=node.name,
+            node=node,
+            class_qualname=class_qualname,
+            decorators=decorators,
+        )
+
+    # -- resolution -----------------------------------------------------
+    def resolve_name(self, module: str, name: str) -> str | None:
+        """Qualified name of the project symbol ``name`` refers to inside
+        ``module`` (via its import aliases), or ``None`` if the name does
+        not land on an indexed symbol."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        # Local definitions shadow imports.
+        if name in info.classes:
+            return info.classes[name].qualname
+        if name in info.functions:
+            return info.functions[name].qualname
+        target = info.imports.resolve(name)
+        if target in self.classes or target in self.functions:
+            return target
+        # ``import repro.fleet.engine as eng; eng.build_fleet`` resolves
+        # the head; the tail may name a symbol of that module.
+        head, _, tail = target.rpartition(".")
+        if head in self.modules and tail:
+            mod = self.modules[head]
+            if tail in mod.classes:
+                return mod.classes[tail].qualname
+            if tail in mod.functions:
+                return mod.functions[tail].qualname
+        return None
+
+    def base_chain(self, class_qualname: str, *, _seen: frozenset[str] = frozenset()) -> set[str]:
+        """Every base name reachable from the class, transitively.
+
+        Project-internal bases are followed across modules; external
+        bases (builtins, third-party) appear by their resolved dotted
+        name and terminate the walk.
+        """
+        if class_qualname in _seen:
+            return set()
+        cls_info = self.classes.get(class_qualname)
+        if cls_info is None:
+            return set()
+        out: set[str] = set()
+        for base in cls_info.bases:
+            head, _, tail = base.partition(".")
+            resolved = self.resolve_name(cls_info.module, base) or (
+                self.resolve_name(cls_info.module, head) if not tail else None
+            )
+            if resolved is not None and resolved in self.classes:
+                out.add(resolved)
+                out |= self.base_chain(
+                    resolved, _seen=_seen | {class_qualname}
+                )
+            else:
+                info = self.modules.get(cls_info.module)
+                out.add(info.imports.resolve(base) if info is not None else base)
+        return out
+
+    # -- iteration ------------------------------------------------------
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        for name in sorted(self.classes):
+            yield self.classes[name]
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for name in sorted(self.functions):
+            yield self.functions[name]
+
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def module_of(self, qualname: str) -> ModuleInfo | None:
+        fn = self.functions.get(qualname)
+        if fn is not None:
+            return self.modules.get(fn.module)
+        cls_info = self.classes.get(qualname)
+        if cls_info is not None:
+            return self.modules.get(cls_info.module)
+        return self.modules.get(qualname)

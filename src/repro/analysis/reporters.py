@@ -26,7 +26,17 @@ from repro.analysis.engine import LintReport
 JSON_SCHEMA_VERSION = 1
 
 
-def render_text(report: LintReport) -> str:
+def _baseline_note(baselined: int, stale: int) -> str:
+    note = f"{baselined} baselined finding(s) suppressed"
+    if stale:
+        note += (
+            f"; {stale} stale baseline entr(y/ies) no longer occur — "
+            "run --update-baseline to shrink the file"
+        )
+    return note
+
+
+def render_text(report: LintReport, *, baselined: int = 0, stale: int = 0) -> str:
     lines = [violation.format() for violation in report.violations]
     if report.violations:
         counts = ", ".join(f"{rule}: {n}" for rule, n in report.counts.items())
@@ -37,10 +47,12 @@ def render_text(report: LintReport) -> str:
         )
     else:
         lines.append(f"ok: {report.files_scanned} file(s) scanned, no violations")
+    if baselined or stale:
+        lines.append(_baseline_note(baselined, stale))
     return "\n".join(lines)
 
 
-def render_json(report: LintReport) -> str:
+def render_json(report: LintReport, *, baselined: int = 0, stale: int = 0) -> str:
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "files_scanned": report.files_scanned,
@@ -48,4 +60,7 @@ def render_json(report: LintReport) -> str:
         "counts": report.counts,
         "exit_code": report.exit_code,
     }
+    if baselined or stale:
+        payload["baselined"] = baselined
+        payload["stale_baseline_entries"] = stale
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,11 +1,17 @@
 """``# repro: noqa`` suppression comments.
 
-Two spellings are recognised, always attached to the physical line the
-violation is reported on:
+Two spellings are recognised:
 
-- ``# repro: noqa`` — silence every rule on that line;
+- ``# repro: noqa`` — silence every rule;
 - ``# repro: noqa[DET001]`` / ``# repro: noqa[DET001,FLT001]`` —
   silence only the listed rule ids.
+
+A suppression covers the **logical statement** it is written on: a
+comment on any physical line of a multi-line expression (a call split
+across lines, a comprehension, a parenthesised chain) silences the
+whole statement, so the comment can sit on the readable line even when
+the AST anchors the violation to the statement's first line.  A comment
+on its own line covers only that line.
 
 Anything after the closing bracket (or after bare ``noqa``) is free-form
 commentary — stating *why* the suppression is justified is encouraged
@@ -26,6 +32,30 @@ _NOQA = re.compile(
 #: Sentinel meaning "every rule is suppressed on this line".
 ALL_RULES = "*"
 
+_INSIGNIFICANT = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+def _parse_comment(comment: str) -> set[str] | None:
+    """Rule ids a noqa comment names (``{ALL_RULES}`` for the bare form),
+    or ``None`` when the comment is not a suppression."""
+    match = _NOQA.search(comment)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return {ALL_RULES}
+    return {part.strip().upper() for part in rules.split(",") if part.strip()}
+
 
 @dataclass
 class SuppressionIndex:
@@ -36,27 +66,38 @@ class SuppressionIndex:
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
         index = cls()
+        # Pending suppressions of the current logical line, with the
+        # line the statement started on; a NEWLINE token closes the
+        # logical line and spreads them over every physical line in it.
+        logical_start: int | None = None
+        pending: set[str] = set()
         try:
             tokens = tokenize.generate_tokens(io.StringIO(source).readline)
             for token in tokens:
-                if token.type != tokenize.COMMENT:
+                if token.type == tokenize.COMMENT:
+                    rules = _parse_comment(token.string)
+                    if rules is None:
+                        continue
+                    index._add(token.start[0], rules)
+                    if logical_start is not None:
+                        pending |= rules
                     continue
-                match = _NOQA.search(token.string)
-                if match is None:
+                if token.type == tokenize.NEWLINE:
+                    if logical_start is not None and pending:
+                        for line in range(logical_start, token.end[0] + 1):
+                            index._add(line, pending)
+                    logical_start = None
+                    pending = set()
                     continue
-                line = token.start[0]
-                rules = match.group("rules")
-                if rules is None:
-                    index.by_line.setdefault(line, set()).add(ALL_RULES)
-                else:
-                    for rule in rules.split(","):
-                        rule = rule.strip().upper()
-                        if rule:
-                            index.by_line.setdefault(line, set()).add(rule)
+                if token.type not in _INSIGNIFICANT and logical_start is None:
+                    logical_start = token.start[0]
         except tokenize.TokenError:
             # Unterminated strings etc.; the parser reports those as E999.
             pass
         return index
+
+    def _add(self, line: int, rules: set[str]) -> None:
+        self.by_line.setdefault(line, set()).update(rules)
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         rules = self.by_line.get(line)

@@ -118,7 +118,7 @@ class MeterHackingProcess:
         self.strength_range = (float(lo), float(hi))
         self.window_hours = (int(wlo), int(whi))
         self.window_hour_range = (int(plo), int(phi))
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._hacked: dict[int, HackedMeter] = {}
         self._slot = 0
         self._campaign_attack: PeakIncreaseAttack | None = None

@@ -145,10 +145,12 @@ class FleetAggregator:
             raise ServiceError("aggregator started without a checkpoint directory")
         with self._lock:
             manifest = save_fleet_checkpoint(self.fleet, self.checkpoint_dir)
+            shards = list(self.fleet.shard_ids)
+            events_processed = self.fleet.events_processed
         return {
             "checkpoint": str(manifest),
-            "shards": list(self.fleet.shard_ids),
-            "events_processed": self.fleet.events_processed,
+            "shards": shards,
+            "events_processed": events_processed,
         }
 
 

@@ -172,7 +172,8 @@ class Tracer:
 
     def disable(self) -> None:
         """Stop recording (the collected spans stay readable)."""
-        self.enabled = False
+        with self._lock:
+            self.enabled = False
 
     # ------------------------------------------------------------------
     def _now_us(self) -> int:
@@ -187,7 +188,7 @@ class Tracer:
     @property
     def current_span_id(self) -> int | None:
         """Innermost open stack span on this thread (None when idle)."""
-        if not self.enabled:
+        if not self.enabled:  # repro: noqa[CONC001] lock-free fast path; a stale read costs one extra no-op span check, never corruption
             return None
         stack = self._stack()
         return stack[-1] if stack else None
@@ -226,7 +227,7 @@ class Tracer:
         self, name: str, *, category: str = "repro", **attrs: _AttrValue
     ) -> _LiveSpan | _NoopSpan:
         """Context manager recording one nested span (no-op if disabled)."""
-        if not self.enabled:
+        if not self.enabled:  # repro: noqa[CONC001] lock-free fast path; a stale read costs one extra no-op span check, never corruption
             return _NOOP_SPAN
         return _LiveSpan(self, name, category, attrs)
 
@@ -244,7 +245,7 @@ class Tracer:
         many pump calls.  Close with :meth:`end`.  Returns ``None`` while
         the tracer is disabled.
         """
-        if not self.enabled:
+        if not self.enabled:  # repro: noqa[CONC001] lock-free fast path; a stale read costs one extra no-op span check, never corruption
             return None
         with self._lock:
             span_id = self._next_id
@@ -263,7 +264,7 @@ class Tracer:
 
     def end(self, span_id: int | None) -> None:
         """Close a detached span opened by :meth:`begin` (None is a no-op)."""
-        if span_id is None or not self.enabled:
+        if span_id is None or not self.enabled:  # repro: noqa[CONC001] lock-free fast path; a stale read costs one extra no-op span check, never corruption
             return
         with self._lock:
             span = self._open_spans.pop(span_id, None)
@@ -301,6 +302,8 @@ class Tracer:
         """
         with self._lock:
             spans = list(self._spans)
+            run_id = self.run_id
+            metadata = dict(self.metadata)
         last_us = max((s.end_us or s.start_us for s in spans), default=0)
         events: list[dict[str, Any]] = [
             {
@@ -308,7 +311,7 @@ class Tracer:
                 "ph": "M",
                 "pid": 1,
                 "tid": 1,
-                "args": {"name": f"repro:{self.run_id or 'run'}"},
+                "args": {"name": f"repro:{run_id or 'run'}"},
             }
         ]
         for span in spans:
@@ -332,7 +335,7 @@ class Tracer:
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "metadata": {"run_id": self.run_id, **self.metadata},
+            "metadata": {"run_id": run_id, **metadata},
         }
 
     def write(self, path: str | Path) -> Path:

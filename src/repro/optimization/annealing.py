@@ -62,7 +62,7 @@ def simulated_annealing(
         raise ValueError(f"cooling must be in (0, 1), got {cooling}")
     if step_fraction <= 0:
         raise ValueError(f"step_fraction must be > 0, got {step_fraction}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
 
     span = hi - lo
     if x0 is not None:

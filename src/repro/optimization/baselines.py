@@ -44,7 +44,7 @@ def random_search(
     if n_samples < 1:
         raise ValueError(f"n_samples must be >= 1, got {n_samples}")
     lo, hi = _check_bounds(lower, upper)
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     best_x = (lo + hi) / 2.0
     if projection is not None:
         best_x = projection(best_x)

@@ -152,7 +152,7 @@ class CrossEntropyOptimizer:
         """
         if std_scale <= 0:
             raise ValueError(f"std_scale must be > 0, got {std_scale}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         span = self.upper - self.lower
         if x0 is not None:
             x0_arr = np.atleast_1d(np.asarray(x0, dtype=float))

@@ -311,7 +311,9 @@ class LockstepGameSolver:
         best_f = np.where(np.isfinite(start_scores), start_scores, np.inf)
 
         rngs = [
-            np.random.default_rng(customer.customer_id + 7919)
+            # Lockstep contract: every game replays the standalone
+            # per-customer CE stream bit-for-bit.
+            np.random.default_rng(customer.customer_id + 7919)  # repro: noqa[SEED003]
             for _ in range(n_games)
         ]
         n_iterations = np.zeros(n_games, dtype=int)
@@ -498,7 +500,7 @@ class LockstepGameSolver:
         for y, count in zip(tradings, counts):
             total += count * y
 
-        rngs = [np.random.default_rng(seed) for _ in range(n_games)]
+        rngs = [np.random.default_rng(seed) for _ in range(n_games)]  # repro: noqa[SEED003] lockstep contract: identical per-game streams by design
         residuals: list[list[float]] = [[] for _ in range(n_games)]
         rounds = np.zeros(n_games, dtype=int)
         converged = np.zeros(n_games, dtype=bool)

@@ -176,7 +176,9 @@ class DetectionService:
         if limit is not None and limit < 1:
             raise ServiceError(f"limit must be >= 1, got {limit}")
         with self._lock:
-            timeline = self.engine.timeline
+            # Snapshot under the lock: the engine appends to the live
+            # list, so iterating an alias outside would race /advance.
+            timeline = list(self.engine.timeline)
         selected = [det.to_dict() for det in timeline if det.slot >= since]
         truncated = limit is not None and len(selected) > limit
         if truncated:
@@ -287,7 +289,8 @@ class DetectionService:
             raise ServiceError("service started without a checkpoint path")
         with self._lock:
             path = save_checkpoint(self.engine, self.checkpoint_path)
-        return {"checkpoint": str(path), "events_processed": self.engine.events_processed}
+            events_processed = self.engine.events_processed
+        return {"checkpoint": str(path), "events_processed": events_processed}
 
 
 class _TextResponse:

@@ -84,3 +84,74 @@ class TestEngineRespectsSuppressions:
             """
         )
         assert [(v.rule, v.line) for v in violations] == [("FLT001", 3)]
+
+
+class TestContinuationLines:
+    """A noqa anywhere on a multi-line logical statement covers the
+    whole statement, so the comment can live on the readable line even
+    though the AST anchors violations to the statement's first line."""
+
+    def test_noqa_on_continuation_line_covers_statement_start(self):
+        index = SuppressionIndex.from_source(
+            "value = compare(\n"
+            "    x,  # repro: noqa[FLT001] exact sentinel\n"
+            "    0.5,\n"
+            ")\n"
+        )
+        assert index.is_suppressed(1, "FLT001")
+        assert index.is_suppressed(2, "FLT001")
+        assert index.is_suppressed(3, "FLT001")
+        assert index.is_suppressed(4, "FLT001")
+        assert not index.is_suppressed(5, "FLT001")
+
+    def test_noqa_inside_comprehension_covers_statement(self):
+        index = SuppressionIndex.from_source(
+            "rngs = [\n"
+            "    make(seed)  # repro: noqa[SEED003] lockstep on purpose\n"
+            "    for _ in range(3)\n"
+            "]\n"
+        )
+        assert index.is_suppressed(1, "SEED003")
+        assert not index.is_suppressed(1, "SEED001")
+
+    def test_statement_scope_does_not_leak_to_neighbours(self):
+        index = SuppressionIndex.from_source(
+            "a = 1\n"
+            "b = f(\n"
+            "    2,  # repro: noqa[DET001]\n"
+            ")\n"
+            "c = 3\n"
+        )
+        assert not index.is_suppressed(1, "DET001")
+        assert index.is_suppressed(2, "DET001")
+        assert not index.is_suppressed(5, "DET001")
+
+    def test_multi_rule_list_spreads_across_statement(self):
+        index = SuppressionIndex.from_source(
+            "x = g(\n"
+            "    y,  # repro: noqa[DET001, FLT001] both justified\n"
+            ")\n"
+        )
+        assert index.is_suppressed(1, "DET001")
+        assert index.is_suppressed(1, "FLT001")
+        assert not index.is_suppressed(1, "DET002")
+
+    def test_standalone_comment_line_stays_local(self):
+        index = SuppressionIndex.from_source(
+            "# repro: noqa[DET001] explanation block\n"
+            "x = 1\n"
+        )
+        assert index.is_suppressed(1, "DET001")
+        assert not index.is_suppressed(2, "DET001")
+
+    def test_engine_sees_continuation_noqa(self):
+        violations = lint(
+            """\
+            def check(x: float, y: float) -> bool:
+                return (
+                    x
+                    == 0.5  # repro: noqa[FLT001] exact sentinel
+                ) and y > 0
+            """
+        )
+        assert violations == []

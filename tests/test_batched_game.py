@@ -65,7 +65,7 @@ def _sequential(
             SchedulingGame(
                 community, prices, sellback_divisor=2.0, config=FAST
             ).solve(
-                rng=np.random.default_rng(seed),
+                rng=np.random.default_rng(seed),  # repro: noqa[SEED003] lockstep oracle: same stream per game on purpose
                 warm_start=warm,
                 ce_std_scale=ce_std_scale if warm is not None else 1.0,
             )

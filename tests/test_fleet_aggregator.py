@@ -178,3 +178,254 @@ class TestErrors:
 
         with pytest.raises(ServiceError, match="checkpoint directory"):
             aggregator.checkpoint()
+
+
+class TestConcurrentHammer:
+    """Mixed concurrent ``POST /envelope`` + ``/advance`` + ``/checkpoint``.
+
+    The aggregator lock serializes every request, so hammering the
+    service from many threads must land in the bitwise-same final state
+    a serial caller would produce, and every mid-flight response must
+    be a consistent snapshot (never a torn read).
+
+    Two workload shapes keep the expected outcome schedule-independent:
+
+    - *envelope-driven*: each community's envelope stream is posted in
+      order by a dedicated thread.  Communities are independent, so
+      cross-community interleaving cannot change per-community state;
+      ``/advance`` runs as an ``until_day=0`` bound-hit whose
+      before/after delta accounting would go nonzero if an envelope
+      ever landed inside a supposedly-atomic advance.
+    - *advance-driven*: threads race ``/advance`` ticks until the fleet
+      drains.  Lockstep ticks pump one event per community, so any
+      consistent snapshot sees ``events_processed`` at a tick boundary
+      — a multiple of the community count (the regression check for
+      torn checkpoint receipts).
+    """
+
+    def _serve(self, fleet, tmp_path):
+        aggregator = FleetAggregator(fleet, checkpoint_dir=tmp_path / "ckpt")
+        server = create_fleet_server(aggregator, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        return aggregator, server, thread, base
+
+    @staticmethod
+    def _canon(payload: dict) -> str:
+        return json.dumps(payload, sort_keys=True)
+
+    def test_envelope_hammer_matches_serial_reference(
+        self, fleet_config, tmp_path
+    ):
+        cache = GameSolutionCache()
+        generator = LoadGenerator(fleet_config, n_communities=3, n_days=2, seed=5)
+        specs = generator.specs()
+
+        # Split the lockstep envelope stream into per-community streams:
+        # one posting thread per community preserves each community's
+        # event order no matter how the threads interleave.
+        per_community: dict[str, list[dict]] = {
+            spec.community_id: [] for spec in specs
+        }
+        for envelope in generator.envelopes(specs):
+            for entry in envelope["entries"]:
+                per_community[entry["community"]].append({"entries": [entry]})
+
+        fleet = build_fleet(specs, n_shards=2, cache=cache)
+        aggregator, server, thread, base = self._serve(fleet, tmp_path)
+        errors: list[Exception] = []
+        advance_results: list[dict] = []
+        receipts: list[dict] = []
+        accepted: dict[str, int] = {cid: 0 for cid in per_community}
+        barrier = threading.Barrier(len(per_community) + 4)
+
+        def post_envelopes(cid: str) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for envelope in per_community[cid]:
+                    accepted[cid] += _post(base, "/envelope", envelope)["accepted"]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def post_advances() -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(10):
+                    advance_results.append(
+                        _post(base, "/advance", {"until_day": 0})
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def post_checkpoints() -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(4):
+                    receipts.append(_post(base, "/checkpoint"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = (
+            [
+                threading.Thread(target=post_envelopes, args=(cid,))
+                for cid in per_community
+            ]
+            + [threading.Thread(target=post_advances) for _ in range(2)]
+            + [threading.Thread(target=post_checkpoints) for _ in range(2)]
+        )
+        try:
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=60)
+            assert not errors
+            final_status = _get(base, "/status")
+            final_status.pop("checkpoint_dir")
+            final_detections = _get(base, "/detections")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+        # Every envelope was applied exactly once.
+        for cid, envelopes in per_community.items():
+            assert accepted[cid] == len(envelopes)
+
+        # Each advance ran atomically: an envelope landing inside the
+        # advance's before/after accounting would show up as a nonzero
+        # detections/events delta on this bound-hit no-op.
+        assert len(advance_results) == 20
+        for result in advance_results:
+            assert result["ticks"] == 0
+            assert result["events"] == 0
+            assert result["detections"] == 0
+            assert not result["exhausted"]
+
+        # Bitwise-stable outcome: identical to a serial one-thread run
+        # ingesting the same envelopes.
+        reference = build_fleet(specs, n_shards=2, cache=cache)
+        for envelopes in per_community.values():
+            for envelope in envelopes:
+                reference.ingest_envelope(envelope)
+        assert self._canon(final_status) == self._canon(reference.status())
+        assert self._canon(final_detections) == self._canon(
+            reference.detections()
+        )
+
+        # The surviving checkpoint is a consistent snapshot from some
+        # serialization point: each community's restored timeline is a
+        # prefix of the final timeline, never a torn mixture.
+        assert len(receipts) == 8
+        resumed = resume_fleet(aggregator.checkpoint_dir, cache=cache)
+        assert resumed.community_ids == fleet.community_ids
+        for cid in fleet.community_ids:
+            final_timeline = [
+                det.to_dict() for det in fleet.engine_of(cid).timeline
+            ]
+            restored = [det.to_dict() for det in resumed.engine_of(cid).timeline]
+            assert restored == final_timeline[: len(restored)]
+
+    def test_advance_hammer_drains_once_and_snapshots_cleanly(
+        self, fleet_config, tmp_path
+    ):
+        cache = GameSolutionCache()
+        generator = LoadGenerator(fleet_config, n_communities=3, n_days=2, seed=5)
+        specs = generator.specs()
+        fleet = build_fleet(specs, n_shards=2, cache=cache)
+        aggregator, server, thread, base = self._serve(fleet, tmp_path)
+        errors: list[Exception] = []
+        advance_results: list[dict] = []
+        receipts: list[dict] = []
+        rejected = 0
+        barrier = threading.Barrier(6)
+
+        def post_advances() -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(200):
+                    result = _post(base, "/advance", {"ticks": 7})
+                    advance_results.append(result)
+                    if result["exhausted"]:
+                        return
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def post_checkpoints() -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(6):
+                    receipts.append(_post(base, "/checkpoint"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def post_bad_envelopes() -> None:
+            nonlocal rejected
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(6):
+                    code, payload = _error(
+                        base,
+                        "/envelope",
+                        {"entries": [{"community": "zz", "event": {}}]},
+                    )
+                    assert code == 400, payload
+                    rejected += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = (
+            [threading.Thread(target=post_advances) for _ in range(3)]
+            + [threading.Thread(target=post_checkpoints) for _ in range(2)]
+            + [threading.Thread(target=post_bad_envelopes)]
+        )
+        try:
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+            assert not errors
+            final_status = _get(base, "/status")
+            final_status.pop("checkpoint_dir")
+            final_detections = _get(base, "/detections")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+        # Rejected envelopes are atomic no-ops even under contention.
+        assert rejected == 6
+
+        # Conservation: racing advances pumped every event exactly once.
+        total_events = sum(r["events"] for r in advance_results)
+        assert advance_results and advance_results[-1] is not None
+        assert any(r["exhausted"] for r in advance_results)
+        assert final_status["totals"]["events_processed"] == total_events
+
+        # Every checkpoint receipt is a tick-boundary snapshot: lockstep
+        # ticks pump one event per community, so a torn read would show
+        # an events_processed that is not a multiple of the fleet size.
+        assert len(receipts) == 12
+        for receipt in receipts:
+            assert receipt["events_processed"] % len(specs) == 0
+            assert 0 <= receipt["events_processed"] <= total_events
+
+        # Bitwise-stable outcome: the drained fleet equals a serial
+        # single-caller drain of the same specs.
+        reference = build_fleet(specs, n_shards=2, cache=cache)
+        stats = reference.advance()
+        assert stats.exhausted
+        assert reference.events_processed == total_events
+        assert self._canon(final_status) == self._canon(reference.status())
+        assert self._canon(final_detections) == self._canon(
+            reference.detections()
+        )
+
+        # The last-written checkpoint restores to a consistent prefix.
+        resumed = resume_fleet(aggregator.checkpoint_dir, cache=cache)
+        for cid in fleet.community_ids:
+            final_timeline = [
+                det.to_dict() for det in fleet.engine_of(cid).timeline
+            ]
+            restored = [det.to_dict() for det in resumed.engine_of(cid).timeline]
+            assert restored == final_timeline[: len(restored)]

@@ -261,7 +261,7 @@ class TestEndToEndGameEquivalence:
             SchedulingGame(
                 community, prices, sellback_divisor=2.0, config=config,
                 backend=name,
-            ).solve(rng=np.random.default_rng(0))
+            ).solve(rng=np.random.default_rng(0))  # repro: noqa[SEED003] same stream per backend: the equivalence oracle
             for name in available_backends()
         ]
         first = results[0]

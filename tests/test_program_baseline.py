@@ -1,0 +1,229 @@
+"""Baseline regression gate: file format, matching semantics, CLI
+``--program`` flags, and precedence against ``# repro: noqa``.  Plus the
+repo-wide meta-gate: ``repro-lint --program`` must be clean here with a
+baseline that carries **zero** CONC/SEED entries (races and seed leaks
+get fixed, not baselined)."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import USAGE_ERROR, main
+from repro.analysis.engine import LintConfig, Violation
+from repro.analysis.program import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineError,
+    ProgramAnalyzer,
+    SymbolTable,
+    apply_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+UNSEEDED = textwrap.dedent(
+    """\
+    import numpy as np
+
+    def sample() -> float:
+        rng = np.random.default_rng()
+        return float(rng.random())
+    """
+)
+
+
+def violation(rule="SEED001", path="src/repro/x.py", message="m", line=1):
+    return Violation(rule=rule, message=message, path=path, line=line, col=0)
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_violations(
+            [violation(), violation(), violation(rule="CTR001")]
+        )
+        path = baseline.save(tmp_path / BASELINE_FILENAME)
+        loaded = Baseline.load(path)
+        assert loaded.counts == baseline.counts
+        assert loaded.total == 3
+        assert loaded.rules_present() == {"SEED001", "CTR001"}
+
+    def test_payload_is_sorted_and_versioned(self, tmp_path):
+        baseline = Baseline.from_violations(
+            [violation(rule="Z999"), violation(rule="A000")]
+        )
+        payload = baseline.to_payload()
+        assert payload["version"] == 1
+        assert [e["rule"] for e in payload["entries"]] == ["A000", "Z999"]
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / BASELINE_FILENAME
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError, match="version"):
+            Baseline.load(path)
+
+    def test_malformed_entries_rejected(self, tmp_path):
+        path = tmp_path / BASELINE_FILENAME
+        path.write_text(json.dumps({"version": 1, "entries": [{"rule": "X"}]}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / BASELINE_FILENAME
+        path.write_text("not json")
+        with pytest.raises(BaselineError, match="JSON"):
+            Baseline.load(path)
+
+
+class TestApplyBaseline:
+    def test_matching_findings_absorbed(self):
+        found = [violation(line=3), violation(rule="CTR001", line=9)]
+        baseline = Baseline.from_violations([violation(line=999)])
+        result = apply_baseline(found, baseline)
+        assert [v.rule for v in result.new] == ["CTR001"]
+        assert result.baselined == 1
+        assert result.stale == []
+
+    def test_line_numbers_do_not_matter(self):
+        baseline = Baseline.from_violations([violation(line=10)])
+        result = apply_baseline([violation(line=400)], baseline)
+        assert result.new == []
+
+    def test_surplus_identical_findings_are_new(self):
+        baseline = Baseline.from_violations([violation()])
+        result = apply_baseline([violation(line=1), violation(line=2)], baseline)
+        assert result.baselined == 1
+        assert len(result.new) == 1
+
+    def test_fixed_findings_reported_stale(self):
+        baseline = Baseline.from_violations([violation(), violation(rule="CTR001")])
+        result = apply_baseline([violation()], baseline)
+        assert result.new == []
+        assert result.stale == [("CTR001", "src/repro/x.py", "m")]
+
+
+class TestSuppressionPrecedence:
+    def test_noqa_wins_over_baseline(self):
+        """A suppressed finding never surfaces, so the matching baseline
+        entry goes stale instead of absorbing anything."""
+        source = UNSEEDED.replace(
+            "np.random.default_rng()",
+            "np.random.default_rng()  # repro: noqa[SEED001] fixture",
+        )
+        table = SymbolTable()
+        table.add_source(source, module="repro.fake_x", display="src/repro/x.py")
+        found = ProgramAnalyzer(config=LintConfig()).check_table(table)
+        assert found == []
+        baseline = Baseline.from_violations([violation()])
+        result = apply_baseline(found, baseline)
+        assert result.baselined == 0
+        assert len(result.stale) == 1
+
+
+class TestProgramCli:
+    def run(self, *argv, capsys):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_new_finding_fails_without_baseline(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(UNSEEDED)
+        code, out = self.run(
+            "--program", "--no-baseline", str(target), capsys=capsys
+        )
+        assert code == 1
+        assert "SEED001" in out
+
+    def test_update_baseline_then_gate_passes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(UNSEEDED)
+
+        code, out = self.run("--program", "--update-baseline", "src", capsys=capsys)
+        assert code == 0
+        assert (tmp_path / BASELINE_FILENAME).exists()
+
+        code, out = self.run("--program", "src", capsys=capsys)
+        assert code == 0
+        assert "baselined" in out
+
+    def test_regression_beyond_baseline_fails(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(UNSEEDED)
+        self.run("--program", "--update-baseline", "src", capsys=capsys)
+
+        target.write_text(
+            UNSEEDED
+            + textwrap.dedent(
+                """\
+
+    def second() -> float:
+        return float(np.random.default_rng().random())
+    """
+            )
+        )
+        code, out = self.run("--program", "src", capsys=capsys)
+        assert code == 1
+        assert "SEED001" in out
+        assert "1 baselined" in out
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(UNSEEDED)
+        (tmp_path / BASELINE_FILENAME).write_text("{}")
+        code = main(["--program", "src"])
+        capsys.readouterr()
+        assert code == USAGE_ERROR
+
+    def test_json_format_carries_baseline_counts(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(UNSEEDED)
+        self.run("--program", "--update-baseline", "src", capsys=capsys)
+        code, out = self.run("--program", "--format", "json", "src", capsys=capsys)
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["baselined"] == 1
+
+    def test_list_rules_in_program_mode(self, capsys):
+        code, out = self.run("--program", "--list-rules", capsys=capsys)
+        assert code == 0
+        for rule_id in (
+            "CONC001",
+            "CONC002",
+            "SEED001",
+            "SEED002",
+            "SEED003",
+            "CTR001",
+            "CTR002",
+        ):
+            assert rule_id in out
+
+
+class TestRepoMetaGate:
+    def test_repo_is_program_lint_clean(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["--program", "src", "tests", "benchmarks", "scripts"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+
+    def test_committed_baseline_has_no_conc_or_seed_entries(self):
+        baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+        forbidden = {
+            rule
+            for rule in baseline.rules_present()
+            if rule.startswith(("CONC", "SEED"))
+        }
+        assert forbidden == set(), (
+            "races and seed leaks must be fixed, not baselined"
+        )

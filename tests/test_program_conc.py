@@ -1,0 +1,310 @@
+"""CONC fixture tests: lock discipline (CONC001) and ParallelMap task
+closures (CONC002), including the interprocedural cases the per-file
+rules cannot see."""
+
+import textwrap
+
+from repro.analysis.engine import LintConfig
+from repro.analysis.program import ProgramAnalyzer, SymbolTable
+
+
+def check(sources, *, select=None):
+    config = LintConfig()
+    if select is not None:
+        config.select = frozenset({select})
+    table = SymbolTable()
+    for display, src in sources.items():
+        module = (
+            display.removeprefix("src/").removesuffix(".py").replace("/", ".")
+        )
+        table.add_source(textwrap.dedent(src), module=module, display=display)
+    return ProgramAnalyzer(config=config).check_table(table)
+
+
+def rules_hit(violations):
+    return {v.rule for v in violations}
+
+
+COUNTER_HEADER = """\
+    import threading
+
+    class Counter:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self.total = 0
+"""
+
+
+class TestCONC001LockDiscipline:
+    def test_unlocked_read_of_stored_attr_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_counter.py": COUNTER_HEADER
+                + """\
+
+        def add(self, n: int) -> None:
+            with self._lock:
+                self.total = self.total + n
+
+        def peek(self) -> int:
+            return self.total
+    """
+            },
+            select="CONC001",
+        )
+        assert [v.rule for v in violations] == ["CONC001"]
+        assert "Counter.peek" in violations[0].message
+        assert "'total'" in violations[0].message
+
+    def test_unlocked_write_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_counter.py": COUNTER_HEADER
+                + """\
+
+        def add(self, n: int) -> None:
+            with self._lock:
+                self.total = self.total + n
+
+        def reset(self) -> None:
+            self.total = 0
+    """
+            },
+            select="CONC001",
+        )
+        assert rules_hit(violations) == {"CONC001"}
+        assert "write to" in violations[0].message
+
+    def test_locked_access_everywhere_is_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_counter.py": COUNTER_HEADER
+                + """\
+
+        def add(self, n: int) -> None:
+            with self._lock:
+                self.total = self.total + n
+
+        def peek(self) -> int:
+            with self._lock:
+                return self.total
+    """
+            },
+            select="CONC001",
+        )
+        assert violations == []
+
+    def test_interprocedural_helper_reached_without_lock(self):
+        """The violation lives in a private helper that only a public
+        method reaches — invisible to any per-file, per-method rule."""
+        violations = check(
+            {
+                "src/repro/fake_counter.py": COUNTER_HEADER
+                + """\
+
+        def add(self, n: int) -> None:
+            with self._lock:
+                self.total = self.total + n
+
+        def snapshot(self) -> int:
+            return self._unsafe_read()
+
+        def _unsafe_read(self) -> int:
+            return self.total
+    """
+            },
+            select="CONC001",
+        )
+        assert [v.rule for v in violations] == ["CONC001"]
+        assert "Counter._unsafe_read" in violations[0].message
+        assert "via Counter.snapshot" in violations[0].message
+
+    def test_helper_called_only_under_lock_is_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_counter.py": COUNTER_HEADER
+                + """\
+
+        def add(self, n: int) -> None:
+            with self._lock:
+                self.total = self.total + n
+
+        def status(self) -> int:
+            with self._lock:
+                return self._fmt()
+
+        def _fmt(self) -> int:
+            return self.total
+    """
+            },
+            select="CONC001",
+        )
+        assert violations == []
+
+    def test_interior_use_outside_lock_flagged_plain_ref_not(self):
+        violations = check(
+            {
+                "src/repro/fake_wrap.py": """\
+    import threading
+
+    class Wrapper:
+        def __init__(self, engine) -> None:
+            self._lock = threading.Lock()
+            self.engine = engine
+
+        def advance(self) -> None:
+            with self._lock:
+                self.engine.advance()
+
+        def racy_status(self) -> int:
+            return self.engine.events_processed
+
+        def handle(self):
+            return self.engine
+    """
+            },
+            select="CONC001",
+        )
+        assert [v.rule for v in violations] == ["CONC001"]
+        assert "racy_status" in violations[0].message
+
+    def test_thread_local_attr_excluded(self):
+        violations = check(
+            {
+                "src/repro/fake_tls.py": """\
+    import threading
+
+    class Tracer:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._local = threading.local()
+            self.spans = []
+
+        def record(self, span) -> None:
+            with self._lock:
+                self.spans.append(span)
+                self._local.depth = 1
+
+        def depth(self) -> int:
+            return getattr(self._local, "depth", 0)
+    """
+            },
+            select="CONC001",
+        )
+        assert violations == []
+
+    def test_noqa_suppresses_benign_racy_read(self):
+        violations = check(
+            {
+                "src/repro/fake_counter.py": COUNTER_HEADER
+                + """\
+
+        def add(self, n: int) -> None:
+            with self._lock:
+                self.total = self.total + n
+
+        def peek(self) -> int:
+            return self.total  # repro: noqa[CONC001] monotonic gauge, staleness is fine
+    """
+            },
+            select="CONC001",
+        )
+        assert violations == []
+
+
+class TestCONC002ParallelMapCapture:
+    def test_mutable_local_capture_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_par.py": """\
+    from repro.perf.parallel import ParallelMap
+
+    def collect(items: list[int]) -> list[int]:
+        acc = []
+        pm = ParallelMap(max_workers=2)
+        return pm.map(lambda x: acc.append(x), items)
+    """
+            },
+            select="CONC002",
+        )
+        assert [v.rule for v in violations] == ["CONC002"]
+        assert "'acc'" in violations[0].message
+
+    def test_self_capture_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_par.py": """\
+    from repro.perf.parallel import ParallelMap
+
+    class Runner:
+        def __init__(self) -> None:
+            self.scale = 2.0
+            self.pool = ParallelMap(max_workers=2)
+
+        def run(self, items: list[float]) -> list[float]:
+            return self.pool.map(lambda x: x * self.scale, items)
+    """
+            },
+            select="CONC002",
+        )
+        assert [v.rule for v in violations] == ["CONC002"]
+        assert "'self'" in violations[0].message
+
+    def test_nested_def_capture_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_par.py": """\
+    from repro.perf.parallel import ParallelMap
+
+    def collect(items: list[int]) -> list[int]:
+        seen = {}
+        pm = ParallelMap(max_workers=2)
+
+        def task(x: int) -> int:
+            seen[x] = True
+            return x
+
+        return pm.map(task, items)
+    """
+            },
+            select="CONC002",
+        )
+        assert [v.rule for v in violations] == ["CONC002"]
+        assert "'seen'" in violations[0].message
+
+    def test_self_contained_task_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_par.py": """\
+    from repro.perf.parallel import ParallelMap
+
+    def double(x: int) -> int:
+        return x * 2
+
+    def collect(items: list[int], scale: int) -> list[int]:
+        pm = ParallelMap(max_workers=2)
+        pm.map(double, items)
+        return pm.map(lambda x: x * scale, items)
+    """
+            },
+            select="CONC002",
+        )
+        assert violations == []
+
+    def test_unrelated_map_receiver_ignored(self):
+        violations = check(
+            {
+                "src/repro/fake_par.py": """\
+    class Atlas:
+        def map(self, task, items):
+            return [task(i) for i in items]
+
+    def collect(items: list[int]) -> list[int]:
+        acc = []
+        atlas = Atlas()
+        return atlas.map(lambda x: acc.append(x), items)
+    """
+            },
+            select="CONC002",
+        )
+        assert violations == []

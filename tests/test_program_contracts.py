@@ -1,0 +1,226 @@
+"""CTR fixture tests: serializer key contracts (CTR001) and the error
+taxonomy (CTR002), including the cross-module inheritance case."""
+
+import textwrap
+
+from repro.analysis.engine import LintConfig
+from repro.analysis.program import ProgramAnalyzer, SymbolTable
+
+
+def check(sources, *, select=None):
+    config = LintConfig()
+    if select is not None:
+        config.select = frozenset({select})
+    table = SymbolTable()
+    for display, src in sources.items():
+        module = (
+            display.removeprefix("src/").removesuffix(".py").replace("/", ".")
+        )
+        table.add_source(textwrap.dedent(src), module=module, display=display)
+    return ProgramAnalyzer(config=config).check_table(table)
+
+
+class TestCTR001StateKeys:
+    def test_reader_key_never_written_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_box.py": """\
+    class Box:
+        def __init__(self, a: int, b: int) -> None:
+            self.a = a
+            self.b = b
+
+        def to_dict(self) -> dict:
+            return {"a": self.a}
+
+        @classmethod
+        def from_dict(cls, payload: dict) -> "Box":
+            return cls(payload["a"], payload["b"])
+    """
+            },
+            select="CTR001",
+        )
+        assert [v.rule for v in violations] == ["CTR001"]
+        assert "reads key 'b'" in violations[0].message
+
+    def test_writer_key_never_read_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_box.py": """\
+    class Tracker:
+        def __init__(self) -> None:
+            self.count = 0
+            self.history = []
+
+        def state_dict(self) -> dict:
+            return {"count": self.count, "history": list(self.history)}
+
+        def load_state(self, state: dict) -> None:
+            self.count = int(state["count"])
+    """
+            },
+            select="CTR001",
+        )
+        assert [v.rule for v in violations] == ["CTR001"]
+        assert "writes key 'history'" in violations[0].message
+        assert "never reads" in violations[0].message
+
+    def test_matching_keys_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_box.py": """\
+    class Box:
+        def __init__(self, a: int, b: int) -> None:
+            self.a = a
+            self.b = b
+
+        def to_dict(self) -> dict:
+            return {"a": self.a, "b": self.b}
+
+        @classmethod
+        def from_dict(cls, payload: dict) -> "Box":
+            return cls(int(payload["a"]), int(payload.get("b", 0)))
+    """
+            },
+            select="CTR001",
+        )
+        assert violations == []
+
+    def test_conditional_subscript_store_counts_as_written(self):
+        violations = check(
+            {
+                "src/repro/fake_box.py": """\
+    class Spec:
+        def __init__(self, base: int, extra=None) -> None:
+            self.base = base
+            self.extra = extra
+
+        def to_dict(self) -> dict:
+            payload = {"base": self.base}
+            if self.extra is not None:
+                payload["extra"] = self.extra
+            return payload
+
+        @classmethod
+        def from_dict(cls, payload: dict) -> "Spec":
+            return cls(int(payload["base"]), payload.get("extra"))
+    """
+            },
+            select="CTR001",
+        )
+        assert violations == []
+
+    def test_dynamic_reader_opts_out(self):
+        violations = check(
+            {
+                "src/repro/fake_box.py": """\
+    class Loose:
+        def __init__(self, **kw) -> None:
+            self.kw = kw
+
+        def to_dict(self) -> dict:
+            return {"only": 1}
+
+        @classmethod
+        def from_dict(cls, payload: dict) -> "Loose":
+            return cls(**payload)
+    """
+            },
+            select="CTR001",
+        )
+        assert violations == []
+
+    def test_one_way_dto_allowed(self):
+        violations = check(
+            {
+                "src/repro/fake_box.py": """\
+    class Stats:
+        def __init__(self, n: int) -> None:
+            self.n = n
+
+        def to_dict(self) -> dict:
+            return {"n": self.n, "derived": self.n * 2}
+    """
+            },
+            select="CTR001",
+        )
+        assert violations == []
+
+
+class TestCTR002ErrorTaxonomy:
+    def test_exception_outside_taxonomy_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_err.py": """\
+    class RogueError(Exception):
+        pass
+    """
+            },
+            select="CTR002",
+        )
+        assert [v.rule for v in violations] == ["CTR002"]
+        assert "RogueError" in violations[0].message
+
+    def test_value_error_subclass_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_err.py": """\
+    class GoodError(ValueError):
+        pass
+    """
+            },
+            select="CTR002",
+        )
+        assert violations == []
+
+    def test_cross_module_taxonomy_chain_resolved(self):
+        """ChildError's ValueError ancestry is only visible by chasing
+        RootError through another module — the interprocedural case."""
+        violations = check(
+            {
+                "src/repro/fake_err_root.py": """\
+    class RootError(ValueError):
+        pass
+    """,
+                "src/repro/fake_err_leaf.py": """\
+    from repro.fake_err_root import RootError
+
+    class ChildError(RootError):
+        pass
+
+    class OrphanError(RuntimeError):
+        pass
+    """,
+            },
+            select="CTR002",
+        )
+        assert [v.rule for v in violations] == ["CTR002"]
+        assert "OrphanError" in violations[0].message
+        assert violations[0].path == "src/repro/fake_err_leaf.py"
+
+    def test_non_exception_classes_ignored(self):
+        violations = check(
+            {
+                "src/repro/fake_err.py": """\
+    class Widget:
+        pass
+
+    class ErrorBudget:
+        pass
+    """
+            },
+            select="CTR002",
+        )
+        assert violations == []
+
+    def test_outside_src_repro_not_scoped(self):
+        violations = check(
+            {
+                "tests/fake_err_test.py": """\
+    class HelperError(Exception):
+        pass
+    """
+            },
+            select="CTR002",
+        )
+        assert violations == []

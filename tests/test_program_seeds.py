@@ -1,0 +1,319 @@
+"""SEED fixture tests: seed provenance (SEED001), boundary crossing
+(SEED002, including the helper-return interprocedural case), and
+loop-invariant construction (SEED003)."""
+
+import textwrap
+
+from repro.analysis.engine import LintConfig
+from repro.analysis.program import ProgramAnalyzer, SymbolTable
+from repro.analysis.program.seeds import build_rng_summaries
+from repro.analysis.program.callgraph import CallGraph
+
+
+def build_table(sources):
+    table = SymbolTable()
+    for display, src in sources.items():
+        module = (
+            display.removeprefix("src/").removesuffix(".py").replace("/", ".")
+        )
+        table.add_source(textwrap.dedent(src), module=module, display=display)
+    return table
+
+
+def check(sources, *, select=None):
+    config = LintConfig()
+    if select is not None:
+        config.select = frozenset({select})
+    return ProgramAnalyzer(config=config).check_table(build_table(sources))
+
+
+class TestSEED001UnseededRng:
+    def test_bare_default_rng_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_rng.py": """\
+    import numpy as np
+
+    def sample() -> float:
+        rng = np.random.default_rng()
+        return float(rng.random())
+    """
+            },
+            select="SEED001",
+        )
+        assert [v.rule for v in violations] == ["SEED001"]
+        assert "default_rng()" in violations[0].message
+
+    def test_unseeded_fallback_in_default_expr_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_rng.py": """\
+    import numpy as np
+
+    def sample(rng=None) -> float:
+        rng = rng if rng is not None else np.random.default_rng()
+        return float(rng.random())
+    """
+            },
+            select="SEED001",
+        )
+        assert [v.rule for v in violations] == ["SEED001"]
+
+    def test_unseeded_seed_sequence_and_stdlib_random_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_rng.py": """\
+    import random
+
+    import numpy as np
+
+    SEQ = np.random.SeedSequence()
+    RNG = random.Random()
+    """
+            },
+            select="SEED001",
+        )
+        assert sorted(v.message.split("(")[0] for v in violations) == [
+            "Random",
+            "SeedSequence",
+        ]
+
+    def test_seeded_constructions_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_rng.py": """\
+    import numpy as np
+
+    def sample(seed: int) -> float:
+        rng = np.random.default_rng(seed)
+        child = np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
+        return float(rng.random() + child.random())
+    """
+            },
+            select="SEED001",
+        )
+        assert violations == []
+
+
+class TestSEED002RngBoundary:
+    def test_rng_in_parallel_map_items_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_bound.py": """\
+    import numpy as np
+
+    from repro.perf.parallel import ParallelMap
+
+    def work(rng) -> float:
+        return float(rng.random())
+
+    def run(seed: int) -> list[float]:
+        rng = np.random.default_rng(seed)
+        pm = ParallelMap(max_workers=2)
+        return pm.map(work, [rng, rng])
+    """
+            },
+            select="SEED002",
+        )
+        assert [v.rule for v in violations] == ["SEED002"]
+        assert "items iterable" in violations[0].message
+
+    def test_rng_captured_by_task_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_bound.py": """\
+    import numpy as np
+
+    from repro.perf.parallel import ParallelMap
+
+    def run(seed: int, items: list[int]) -> list[float]:
+        rng = np.random.default_rng(seed)
+        pm = ParallelMap(max_workers=2)
+        return pm.map(lambda x: float(rng.random()) * x, items)
+    """
+            },
+            select="SEED002",
+        )
+        assert [v.rule for v in violations] == ["SEED002"]
+        assert "'rng'" in violations[0].message
+
+    def test_interprocedural_helper_returning_rngs_flagged(self):
+        """The RNG never appears at the call site — it flows out of a
+        helper method, visible only through the returns_rng summary."""
+        violations = check(
+            {
+                "src/repro/fake_bound.py": """\
+    import numpy as np
+
+    from repro.perf.parallel import ParallelMap
+
+    def work(rng) -> float:
+        return float(rng.random())
+
+    class Sweep:
+        def _rngs(self, n: int):
+            return [np.random.default_rng(i) for i in range(n)]
+
+        def run(self, pm: ParallelMap, n: int) -> list[float]:
+            return pm.map(work, self._rngs(n))
+    """
+            },
+            select="SEED002",
+        )
+        assert [v.rule for v in violations] == ["SEED002"]
+        assert "_rngs()" in violations[0].message
+
+    def test_rng_handed_to_thread_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_bound.py": """\
+    import threading
+
+    import numpy as np
+
+    def work(rng) -> None:
+        rng.random()
+
+    def run(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        thread = threading.Thread(target=work, args=(rng,))
+        thread.start()
+    """
+            },
+            select="SEED002",
+        )
+        assert [v.rule for v in violations] == ["SEED002"]
+        assert "Thread" in violations[0].message
+
+    def test_seed_children_crossing_is_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_bound.py": """\
+    import numpy as np
+
+    from repro.perf.parallel import ParallelMap
+
+    def work(child) -> float:
+        rng = np.random.default_rng(child)
+        return float(rng.random())
+
+    def run(seed: int, n: int) -> list[float]:
+        children = np.random.SeedSequence(seed).spawn(n)
+        pm = ParallelMap(max_workers=2)
+        return pm.map(work, children)
+    """
+            },
+            select="SEED002",
+        )
+        assert violations == []
+
+    def test_returns_rng_summary_fixpoint(self):
+        table = build_table(
+            {
+                "src/repro/fake_chain.py": """\
+    import numpy as np
+
+    def make(seed: int):
+        return np.random.default_rng(seed)
+
+    def relay(seed: int):
+        return make(seed)
+
+    def plain(seed: int) -> int:
+        return seed + 1
+    """
+            }
+        )
+        summaries = build_rng_summaries(table, CallGraph.build(table))
+        assert summaries["repro.fake_chain.make"] is True
+        assert summaries["repro.fake_chain.relay"] is True
+        assert summaries["repro.fake_chain.plain"] is False
+
+
+class TestSEED003LoopInvariantSeed:
+    def test_loop_invariant_seed_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_loop.py": """\
+    import numpy as np
+
+    def replay(n: int, seed: int) -> list:
+        out = []
+        for _ in range(n):
+            out.append(np.random.default_rng(seed))
+        return out
+    """
+            },
+            select="SEED003",
+        )
+        assert [v.rule for v in violations] == ["SEED003"]
+        assert "loop-invariant" in violations[0].message
+
+    def test_comprehension_invariant_seed_flagged(self):
+        violations = check(
+            {
+                "src/repro/fake_loop.py": """\
+    import numpy as np
+
+    def replay(n: int, seed: int) -> list:
+        return [np.random.default_rng(seed) for _ in range(n)]
+    """
+            },
+            select="SEED003",
+        )
+        assert [v.rule for v in violations] == ["SEED003"]
+
+    def test_iteration_derived_seed_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_loop.py": """\
+    import numpy as np
+
+    def streams(n: int, seed: int) -> list:
+        per_iter = [np.random.default_rng(seed + i) for i in range(n)]
+        from_children = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(n)
+        ]
+        return per_iter + from_children
+    """
+            },
+            select="SEED003",
+        )
+        assert violations == []
+
+    def test_derived_local_counts_as_varying(self):
+        violations = check(
+            {
+                "src/repro/fake_loop.py": """\
+    import numpy as np
+
+    def streams(n: int, seed: int) -> list:
+        out = []
+        for i in range(n):
+            mixed = seed + i * 7919
+            out.append(np.random.default_rng(mixed))
+        return out
+    """
+            },
+            select="SEED003",
+        )
+        assert violations == []
+
+    def test_construction_outside_loop_clean(self):
+        violations = check(
+            {
+                "src/repro/fake_loop.py": """\
+    import numpy as np
+
+    def run(seed: int, n: int) -> float:
+        rng = np.random.default_rng(seed)
+        total = 0.0
+        for _ in range(n):
+            total += float(rng.random())
+        return total
+    """
+            },
+            select="SEED003",
+        )
+        assert violations == []
