@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-program typecheck coverage refresh-golden bench bench-quick figures stream-smoke obs-smoke fleet-smoke fleet-bench
+.PHONY: test lint lint-program typecheck coverage refresh-golden bench bench-quick figures matrix matrix-smoke stream-smoke obs-smoke fleet-smoke fleet-bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -57,6 +57,19 @@ bench-quick:
 
 figures:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli all
+
+# Full tariff x attack x PV scenario matrix at smoke scale
+# (docs/SCENARIOS.md): JSON artifact + ASCII table + schema validation.
+matrix:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep-matrix --preset smoke \
+		--out matrix_smoke.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/validate_matrix.py matrix_smoke.json
+
+# 2x2 quick grid (CI's matrix-smoke job).
+matrix-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep-matrix --preset smoke \
+		--quick --slots 24 --out matrix_smoke.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/validate_matrix.py matrix_smoke.json
 
 # Pump a short synthetic detection stream end to end (CI smoke).
 stream-smoke:

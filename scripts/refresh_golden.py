@@ -4,9 +4,11 @@ Usage::
 
     PYTHONPATH=src python scripts/refresh_golden.py --preset smoke
     PYTHONPATH=src python scripts/refresh_golden.py --preset bench
+    PYTHONPATH=src python scripts/refresh_golden.py --matrix
     PYTHONPATH=src python scripts/refresh_golden.py --all
 
-Writes ``tests/golden/<preset>_digests.json``.  Run this only after an
+Writes ``tests/golden/<preset>_digests.json`` (and, for ``--matrix``,
+the scenario-matrix fixture ``matrix_digests.json``).  Run this only after an
 *intentional* behaviour change, eyeball the diff, and commit the result
 — the fixtures exist so unintentional drift fails the suite.
 """
@@ -23,6 +25,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.presets import bench_preset, smoke_preset  # noqa: E402
 from repro.reporting.golden import (  # noqa: E402
     compute_golden_digests,
+    compute_matrix_digests,
     write_golden_digests,
 )
 
@@ -39,17 +42,35 @@ def refresh(preset: str) -> Path:
     return path
 
 
+def refresh_matrix() -> Path:
+    """Recompute and write the scenario-matrix fixture (smoke preset)."""
+    digests = compute_matrix_digests(smoke_preset())
+    path = write_golden_digests(digests, GOLDEN_DIR / "matrix_digests.json")
+    print(f"wrote {path}")
+    return path
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--preset", choices=sorted(PRESETS), default=None)
     parser.add_argument(
-        "--all", action="store_true", help="refresh every preset fixture"
+        "--matrix",
+        action="store_true",
+        help="refresh the scenario-matrix fixture (matrix_digests.json)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="refresh every fixture"
     )
     args = parser.parse_args(argv)
-    if args.all == (args.preset is not None):
-        parser.error("pass exactly one of --preset or --all")
+    if sum([args.all, args.preset is not None, args.matrix]) != 1:
+        parser.error("pass exactly one of --preset, --matrix or --all")
+    if args.matrix:
+        refresh_matrix()
+        return 0
     for preset in sorted(PRESETS) if args.all else [args.preset]:
         refresh(preset)
+    if args.all:
+        refresh_matrix()
     return 0
 
 

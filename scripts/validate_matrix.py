@@ -1,0 +1,149 @@
+"""Validate a ``repro sweep-matrix`` JSON artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_matrix.py matrix.json
+
+Checks the artifact against the ``repro-sweep-matrix`` schema: format
+marker and version, axis lists, a cell for every coordinate in the axis
+product (no more, no fewer), axis membership of every cell, finite
+metrics, and well-formed SHA-256 digests.  Exits nonzero with a message
+on the first violation — CI's matrix-smoke job runs this after the
+quick grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+EXPECTED_FORMAT = "repro-sweep-matrix"
+EXPECTED_VERSION = 1
+AXIS_NAMES = ("tariff", "attack_family", "pv_adoption", "detector")
+METRIC_FIELDS = ("observation_accuracy", "mean_par", "labor_cost", "n_repairs")
+DIGEST_FIELDS = ("truth_sha256", "flags_sha256", "realized_grid_sha256")
+
+
+class MatrixValidationError(ValueError):
+    """The artifact violates the sweep-matrix schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise MatrixValidationError(message)
+
+
+def _check_digest(value: object, label: str) -> None:
+    _require(isinstance(value, str), f"{label}: digest must be a string")
+    assert isinstance(value, str)
+    _require(
+        len(value) == 64 and all(c in "0123456789abcdef" for c in value),
+        f"{label}: not a lowercase hex SHA-256 digest: {value!r}",
+    )
+
+
+def validate_matrix(payload: object) -> int:
+    """Validate one loaded artifact; returns the cell count."""
+    _require(isinstance(payload, dict), "artifact must be a JSON object")
+    assert isinstance(payload, dict)
+    _require(
+        payload.get("format") == EXPECTED_FORMAT,
+        f"format must be {EXPECTED_FORMAT!r}, got {payload.get('format')!r}",
+    )
+    _require(
+        payload.get("version") == EXPECTED_VERSION,
+        f"version must be {EXPECTED_VERSION}, got {payload.get('version')!r}",
+    )
+    axes = payload.get("axes")
+    _require(isinstance(axes, dict), "axes must be an object")
+    assert isinstance(axes, dict)
+    _require(
+        sorted(axes) == sorted(AXIS_NAMES),
+        f"axes must be exactly {sorted(AXIS_NAMES)}, got {sorted(axes)}",
+    )
+    for name in AXIS_NAMES:
+        values = axes[name]
+        _require(
+            isinstance(values, list) and len(values) > 0,
+            f"axis {name!r} must be a non-empty list",
+        )
+        _require(
+            len(set(map(str, values))) == len(values),
+            f"axis {name!r} has duplicate values",
+        )
+    n_slots = payload.get("n_slots")
+    _require(
+        isinstance(n_slots, int) and n_slots > 0,
+        f"n_slots must be a positive integer, got {n_slots!r}",
+    )
+    _check_digest(payload.get("config_sha256"), "config_sha256")
+    cells = payload.get("cells")
+    _require(isinstance(cells, list), "cells must be a list")
+    assert isinstance(cells, list)
+    expected = {
+        (tariff, family, pv, detector)
+        for tariff in axes["tariff"]
+        for family in axes["attack_family"]
+        for pv in axes["pv_adoption"]
+        for detector in axes["detector"]
+    }
+    seen = set()
+    for i, cell in enumerate(cells):
+        label = f"cells[{i}]"
+        _require(isinstance(cell, dict), f"{label}: must be an object")
+        coord = tuple(cell.get(name) for name in AXIS_NAMES)
+        _require(
+            coord in expected,
+            f"{label}: coordinate {coord!r} is not in the axis product",
+        )
+        _require(coord not in seen, f"{label}: duplicate coordinate {coord!r}")
+        seen.add(coord)
+        for field in METRIC_FIELDS:
+            value = cell.get(field)
+            _require(
+                isinstance(value, (int, float)) and math.isfinite(value),
+                f"{label}.{field}: must be a finite number, got {value!r}",
+            )
+        _require(
+            cell.get("n_repairs") == int(cell["n_repairs"])
+            and cell["n_repairs"] >= 0,
+            f"{label}.n_repairs: must be a non-negative integer",
+        )
+        _require(
+            0.0 <= cell["observation_accuracy"] <= 1.0,
+            f"{label}.observation_accuracy: must lie in [0, 1]",
+        )
+        for field in DIGEST_FIELDS:
+            _check_digest(cell.get(field), f"{label}.{field}")
+    missing = expected - seen
+    if missing:
+        raise MatrixValidationError(
+            f"grid incomplete: {len(missing)} coordinates have no cell "
+            f"(e.g. {min(missing)!r})"
+        )
+    return len(cells)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", type=Path, help="matrix JSON artifact path")
+    args = parser.parse_args(argv)
+    try:
+        payload = json.loads(args.artifact.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read {args.artifact}: {exc}")
+        return 1
+    try:
+        n_cells = validate_matrix(payload)
+    except MatrixValidationError as exc:
+        print(f"FAIL: {args.artifact}: {exc}")
+        return 1
+    print(f"OK: {args.artifact} ({n_cells} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

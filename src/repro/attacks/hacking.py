@@ -7,13 +7,20 @@ compromised meter stays compromised (and keeps receiving manipulated
 prices) until a repair dispatch fixes it.
 
 Compromises belong to a *campaign*: one attacker manipulates the
-guideline price one way (a
-:class:`~repro.attacks.pricing.PeakIncreaseAttack` with random window and
-strength), and every meter it compromises receives the same manipulated
-price — which is what makes the community load pile into one window and
-the PAR climb as the campaign spreads (Table 1's "No Detection" column).
-A new campaign, with a freshly drawn attack, starts after each repair
-sweep.
+guideline price one way (an attack with random window and strength drawn
+from the process's ``attack_family``), and every meter it compromises
+receives the same manipulated price — which is what makes the community
+load pile into one window and the PAR climb as the campaign spreads
+(Table 1's "No Detection" column).  A new campaign, with a freshly drawn
+attack, starts after each repair sweep.
+
+The family selects *what* each campaign installs (see
+:mod:`repro.attacks.pricing`): the default ``"peak_increase"`` is the
+historical cheap-window attack; ``"coordinated_ramp"`` installs the
+multi-meter ramp; ``"telemetry_spoof"`` and ``"meter_outage"`` pair the
+cheap-window manipulation with a dishonest (blended or clean) reading.
+All families consume the RNG identically, so switching families never
+perturbs the compromise dynamics themselves.
 """
 
 from __future__ import annotations
@@ -24,27 +31,33 @@ from typing import Any
 import numpy as np
 from numpy.typing import NDArray
 
-from repro.attacks.pricing import PeakIncreaseAttack, PricingAttack
+from repro.attacks.pricing import (
+    CoordinatedRampAttack,
+    MeterOutageAttack,
+    PeakIncreaseAttack,
+    PricingAttack,
+    TelemetrySpoofAttack,
+)
+from repro.attacks.registry import attack_from_dict, attack_to_dict
+
+ATTACK_FAMILIES: tuple[str, ...] = (
+    "peak_increase",
+    "coordinated_ramp",
+    "telemetry_spoof",
+    "meter_outage",
+)
 
 
-def _attack_to_dict(attack: PeakIncreaseAttack | None) -> dict[str, Any] | None:
+def _attack_to_dict(attack: PricingAttack | None) -> dict[str, Any] | None:
     if attack is None:
         return None
-    return {
-        "start_slot": attack.start_slot,
-        "end_slot": attack.end_slot,
-        "strength": attack.strength,
-    }
+    return attack_to_dict(attack)
 
 
-def _attack_from_dict(payload: dict[str, Any] | None) -> PeakIncreaseAttack | None:
+def _attack_from_dict(payload: dict[str, Any] | None) -> PricingAttack | None:
     if payload is None:
         return None
-    return PeakIncreaseAttack(
-        start_slot=int(payload["start_slot"]),
-        end_slot=int(payload["end_slot"]),
-        strength=float(payload["strength"]),
-    )
+    return attack_from_dict(payload)
 
 
 @dataclass(frozen=True)
@@ -75,6 +88,11 @@ class MeterHackingProcess:
     window_hour_range:
         Hours of the day (start-inclusive, end-exclusive) attack windows
         may occupy.
+    attack_family:
+        Which attack kind campaigns install (one of
+        :data:`ATTACK_FAMILIES`); every family draws the same window and
+        strength from the RNG, so the compromise dynamics are identical
+        across families.
     rng:
         Randomness source.
     """
@@ -88,6 +106,7 @@ class MeterHackingProcess:
         strength_range: tuple[float, float] = (0.3, 0.65),
         window_hours: tuple[int, int] = (1, 2),
         window_hour_range: tuple[int, int] = (9, 21),
+        attack_family: str = "peak_increase",
         rng: np.random.Generator | None = None,
     ) -> None:
         if n_meters < 1:
@@ -112,6 +131,11 @@ class MeterHackingProcess:
             raise ValueError(
                 "window_hour_range too narrow for the widest attack window"
             )
+        if attack_family not in ATTACK_FAMILIES:
+            raise ValueError(
+                f"attack_family must be one of {ATTACK_FAMILIES}, got {attack_family!r}"
+            )
+        self.attack_family = attack_family
         self.n_meters = n_meters
         self.hack_probability = hack_probability
         self.slots_per_day = slots_per_day
@@ -121,7 +145,7 @@ class MeterHackingProcess:
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._hacked: dict[int, HackedMeter] = {}
         self._slot = 0
-        self._campaign_attack: PeakIncreaseAttack | None = None
+        self._campaign_attack: PricingAttack | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -143,7 +167,7 @@ class MeterHackingProcess:
         return mask
 
     @property
-    def campaign_attack(self) -> PeakIncreaseAttack | None:
+    def campaign_attack(self) -> PricingAttack | None:
         """The attack every current compromise installs (None before the
         first compromise of a campaign)."""
         return self._campaign_attack
@@ -251,19 +275,28 @@ class MeterHackingProcess:
             )
 
     # ------------------------------------------------------------------
-    def draw_attack(self) -> PeakIncreaseAttack:
+    def draw_attack(self) -> PricingAttack:
         """Sample a fresh attack from the process's attack distribution.
 
         Windows land inside ``window_hour_range``: an attacker gains
         nothing by discounting hours when no deferrable load is awake to
-        chase the fake price.
+        chase the fake price.  Every family consumes exactly three RNG
+        draws (width, start, strength) in the same order, so the
+        compromise dynamics never depend on the family.
         """
         width = int(self._rng.integers(self.window_hours[0], self.window_hours[1] + 1))
         lo, hi = self.window_hour_range
         start = int(self._rng.integers(lo, hi - width + 1))
         strength = float(self._rng.uniform(*self.strength_range))
-        return PeakIncreaseAttack(
-            start_slot=start,
-            end_slot=start + width - 1,
-            strength=strength,
-        )
+        end = start + width - 1
+        if self.attack_family == "coordinated_ramp":
+            return CoordinatedRampAttack(
+                start_slot=start, end_slot=end, intensity=strength
+            )
+        if self.attack_family == "telemetry_spoof":
+            return TelemetrySpoofAttack(
+                start_slot=start, end_slot=end, strength=strength
+            )
+        if self.attack_family == "meter_outage":
+            return MeterOutageAttack(start_slot=start, end_slot=end, strength=strength)
+        return PeakIncreaseAttack(start_slot=start, end_slot=end, strength=strength)

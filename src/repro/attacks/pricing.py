@@ -11,6 +11,23 @@ zeroing attack the paper uses in Figure 5:
   down by a strength factor (strength 1 == zeroing).
 - :class:`BillIncreaseAttack`: inflate prices outside the victim's typical
   cheap window so the scheduler moves load to genuinely expensive slots.
+
+Beyond price manipulation, an attack may also lie about itself: the
+:meth:`PricingAttack.report` hook is the price vector the meter *tells*
+the utility it received.  Honest attacks report the manipulated vector
+(the detector sees exactly what the home responded to); the taxonomy's
+telemetry attacks decouple the two:
+
+- :class:`CoordinatedRampAttack`: a coordinated multi-meter ramp — the
+  discount deepens linearly across the window, so a fleet of compromised
+  meters drifts load toward the window's end in unison.  Intensity 0 is
+  the identity (attacked trace ≡ clean trace).
+- :class:`TelemetrySpoofAttack`: manipulates the price *and* spoofs the
+  reading — the report is blended back toward the clean vector, hiding
+  part of the manipulation from the PAR check.
+- :class:`MeterOutageAttack`: the meter goes dark — the utility fills
+  the gap with the posted (clean) price, so the report carries no trace
+  of the manipulation at all.
 """
 
 from __future__ import annotations
@@ -37,6 +54,17 @@ class PricingAttack(abc.ABC):
     @abc.abstractmethod
     def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
         """Return the manipulated price vector (input is not modified)."""
+
+    def report(
+        self, clean: NDArray[np.float64], received: NDArray[np.float64]
+    ) -> NDArray[np.float64]:
+        """The price vector the meter *reports* having received.
+
+        Honest attacks return ``received`` itself (same object, not a
+        copy) so the legacy detection path is bitwise-untouched; the
+        telemetry family overrides this to hide the manipulation.
+        """
+        return received
 
     def window_mask(self, horizon: int) -> NDArray[np.bool_]:
         """Slots touched by the attack; default: all slots."""
@@ -145,3 +173,101 @@ class BillIncreaseAttack(_WindowedAttack):
         mask = self.window_mask(p.size)
         p[~mask] = p[~mask] * self.inflation
         return p
+
+
+@dataclass(frozen=True)
+class CoordinatedRampAttack(_WindowedAttack):
+    """Coordinated multi-meter ramp: the discount deepens across the window.
+
+    Slot ``k`` of the window (0-based, width ``w``) is scaled by
+    ``1 - intensity * (k + 1) / w``: the window's first slot gets the
+    shallowest discount, its last the full ``intensity``.  Every
+    compromised meter in a campaign installs the same ramp, so the fleet
+    chases the window's end together — a slow pile-up rather than the
+    peak-increase family's cliff.  ``intensity=0`` is exactly the
+    identity transformation.
+    """
+
+    intensity: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {self.intensity}")
+
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        p = _validated_prices(prices).copy()
+        if self.intensity == 0.0:  # repro: noqa[FLT001] exact: inert attack is the identity
+            return p
+        mask = self.window_mask(p.size)
+        width = int(mask.sum())
+        ramp = self.intensity * np.arange(1, width + 1, dtype=float) / width
+        p[mask] = p[mask] * (1.0 - ramp)
+        return p
+
+
+@dataclass(frozen=True)
+class TelemetrySpoofAttack(_WindowedAttack):
+    """Manipulate the price and spoof the reading the utility receives.
+
+    The home responds to the peak-increase manipulation (``strength``),
+    but the compromised meter reports a reading blended back toward the
+    clean vector: ``report = received + blend * (clean - received)``.
+    ``blend=0`` is an honest report; ``blend=1`` reports the clean price
+    (indistinguishable from a benign meter at the PAR check), while the
+    realized grid still carries the manipulated response.
+    """
+
+    strength: float = 0.6
+    blend: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.strength <= 1.0:
+            raise ValueError(f"strength must be in [0, 1], got {self.strength}")
+        if not 0.0 <= self.blend <= 1.0:
+            raise ValueError(f"blend must be in [0, 1], got {self.blend}")
+
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        p = _validated_prices(prices).copy()
+        mask = self.window_mask(p.size)
+        p[mask] = p[mask] * (1.0 - self.strength)
+        return p
+
+    def report(
+        self, clean: NDArray[np.float64], received: NDArray[np.float64]
+    ) -> NDArray[np.float64]:
+        if self.blend == 0.0:  # repro: noqa[FLT001] exact: honest report shares the array
+            return received
+        return received + self.blend * (clean - received)
+
+
+@dataclass(frozen=True)
+class MeterOutageAttack(_WindowedAttack):
+    """Knock the meter offline while its home chases manipulated prices.
+
+    The household scheduler still receives the peak-increase manipulation
+    (``strength``), but the meter reports nothing; the utility fills the
+    gap with the posted guideline price, so the report *is* the clean
+    vector and the single-event check sees a benign meter.  Only the
+    realized grid (and the long-term belief, through other meters'
+    observations) betrays the attack.
+    """
+
+    strength: float = 0.6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.strength <= 1.0:
+            raise ValueError(f"strength must be in [0, 1], got {self.strength}")
+
+    def apply(self, prices: ArrayLike) -> NDArray[np.float64]:
+        p = _validated_prices(prices).copy()
+        mask = self.window_mask(p.size)
+        p[mask] = p[mask] * (1.0 - self.strength)
+        return p
+
+    def report(
+        self, clean: NDArray[np.float64], received: NDArray[np.float64]
+    ) -> NDArray[np.float64]:
+        return clean.copy()

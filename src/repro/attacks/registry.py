@@ -1,0 +1,80 @@
+"""Kind-tagged serialization registry for pricing attacks.
+
+Checkpoints, stream events and scripted scenarios all need to carry an
+attack across a process boundary.  Attacks are frozen dataclasses, so a
+flat ``{"kind": <tag>, **fields}`` payload round-trips them exactly;
+this module owns the tag → class mapping.
+
+Back-compat: checkpoints written before the taxonomy carried kind-less
+``{start_slot, end_slot, strength}`` payloads (the only attack the
+hacking process drew then was :class:`PeakIncreaseAttack`).
+:func:`attack_from_dict` still accepts those.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.attacks.pricing import (
+    BillIncreaseAttack,
+    CoordinatedRampAttack,
+    MeterOutageAttack,
+    PeakIncreaseAttack,
+    PricingAttack,
+    ScalingAttack,
+    TelemetrySpoofAttack,
+    ZeroPriceAttack,
+)
+
+_ATTACK_KINDS: dict[str, type[PricingAttack]] = {
+    "zero_price": ZeroPriceAttack,
+    "scaling": ScalingAttack,
+    "peak_increase": PeakIncreaseAttack,
+    "bill_increase": BillIncreaseAttack,
+    "coordinated_ramp": CoordinatedRampAttack,
+    "telemetry_spoof": TelemetrySpoofAttack,
+    "meter_outage": MeterOutageAttack,
+}
+
+_KIND_BY_CLASS = {cls: kind for kind, cls in _ATTACK_KINDS.items()}
+
+
+def attack_kinds() -> list[str]:
+    """Registered attack kind tags, sorted."""
+    return sorted(_ATTACK_KINDS)
+
+
+def attack_kind(attack: PricingAttack) -> str:
+    """The registry tag of an attack instance."""
+    kind = _KIND_BY_CLASS.get(type(attack))
+    if kind is None:
+        raise TypeError(
+            f"unregistered attack class: {type(attack).__name__} "
+            f"(known: {attack_kinds()})"
+        )
+    return kind
+
+
+def attack_to_dict(attack: PricingAttack) -> dict[str, Any]:
+    """Flat JSON payload: the kind tag plus every dataclass field."""
+    payload: dict[str, Any] = {"kind": attack_kind(attack)}
+    for field in dataclasses.fields(attack):  # type: ignore[arg-type]
+        payload[field.name] = getattr(attack, field.name)
+    return payload
+
+
+def attack_from_dict(payload: dict[str, Any]) -> PricingAttack:
+    """Rebuild an attack from its payload (kind-less == peak_increase)."""
+    data = dict(payload)
+    kind = data.pop("kind", "peak_increase")
+    cls = _ATTACK_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown attack kind {kind!r} (expected one of {attack_kinds()})"
+        )
+    names = {field.name for field in dataclasses.fields(cls)}  # type: ignore[arg-type]
+    extra = set(data) - names
+    if extra:
+        raise ValueError(f"unknown fields for attack kind {kind!r}: {sorted(extra)}")
+    return cls(**data)

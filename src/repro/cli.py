@@ -8,6 +8,7 @@ Regenerates each of the paper's evaluation artifacts from the terminal:
     python -m repro fig6            # observation-accuracy comparison
     python -m repro table1          # three-policy comparison
     python -m repro all             # everything above
+    python -m repro sweep-matrix    # tariff x attack scenario matrix
 
 and drives the streaming subsystem:
 
@@ -30,6 +31,10 @@ Common options: ``--preset {smoke,bench,paper}``, ``--seed N``,
 results), ``--perf`` (print hot-path counters — CE evaluations, DP
 cells, game rounds, cache hit rate — after the command), ``--bench-json
 PATH`` (append the counters to a ``BENCH_*.json`` perf trajectory).
+
+Matrix options (``docs/SCENARIOS.md``): ``--quick`` (2x2 grid, aware
+detector only), ``--out PATH`` (JSON artifact), ``--workers N``
+(process-parallel grid cells).
 
 Stream options: ``--stream-source {synthetic,replay}``, ``--detector``,
 ``--days N`` / ``--until-day D``, ``--checkpoint-dir PATH`` (checkpoint
@@ -114,6 +119,7 @@ class _Environment:
             config=config.game,
             sellback_divisor=config.pricing.sellback_divisor,
             seed=3,
+            tariff=config.tariff,
         )
         self.unaware_sim = CommunityResponseSimulator(
             self.community.without_net_metering(),
@@ -211,6 +217,44 @@ def _cmd_table1(env: _Environment, *, slots: int, json_dir: Path | None) -> None
             )
         )
     print(comparison_table(rows, title="Table 1 — detection comparison"))
+
+
+def _cmd_sweep_matrix(config: CommunityConfig, args: argparse.Namespace) -> None:
+    """Run the tariff x attack x PV scenario matrix (docs/SCENARIOS.md)."""
+    import json as _json
+
+    from repro.attacks import ATTACK_FAMILIES
+    from repro.perf.parallel import ParallelMap
+    from repro.simulation.sweep import render_matrix_table, sweep_matrix
+
+    if args.quick:
+        tariffs: tuple[str, ...] = ("flat", "nem3_spread")
+        families: tuple[str, ...] = ("peak_increase", "meter_outage")
+        detectors: tuple[Any, ...] = ("aware",)
+    else:
+        tariffs = ("flat", "nem3_spread", "tou", "monthly_netting")
+        families = ATTACK_FAMILIES
+        detectors = ("aware", "unaware", "none")
+    parallel = (
+        None
+        if args.workers is None
+        else ParallelMap(backend="process", max_workers=args.workers)
+    )
+    result = sweep_matrix(
+        config,
+        tariffs=tariffs,
+        attack_families=families,
+        detectors=detectors,
+        n_slots=args.slots,
+        parallel=parallel,
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(
+        _json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(render_matrix_table(result))
+    print(f"matrix artifact written to {args.out} ({len(result.cells)} cells)")
 
 
 def _parse_stream_faults(args: argparse.Namespace):
@@ -354,8 +398,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=("fig3", "fig4", "fig5", "fig6", "table1", "all", "stream", "serve"),
-        help="which artifact to regenerate (or stream/serve)",
+        choices=(
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "table1",
+            "all",
+            "sweep-matrix",
+            "stream",
+            "serve",
+        ),
+        help="which artifact to regenerate (or sweep-matrix/stream/serve)",
     )
     parser.add_argument("--preset", choices=sorted(PRESETS), default="bench")
     parser.add_argument("--seed", type=int, default=None)
@@ -438,6 +492,24 @@ def main(argv: list[str] | None = None) -> int:
     stream_opts.add_argument("--format", choices=("ascii", "json"), default="ascii")
     stream_opts.add_argument("--host", default="127.0.0.1")
     stream_opts.add_argument("--port", type=int, default=8008)
+    matrix_opts = parser.add_argument_group("sweep-matrix options")
+    matrix_opts.add_argument(
+        "--quick",
+        action="store_true",
+        help="sweep-matrix: 2x2 tariff x attack grid, aware detector only",
+    )
+    matrix_opts.add_argument(
+        "--out",
+        type=Path,
+        default=Path("matrix.json"),
+        help="sweep-matrix: JSON artifact output path",
+    )
+    matrix_opts.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep-matrix: spread grid cells over N worker processes",
+    )
     obs_opts = parser.add_argument_group("observability options")
     obs_opts.add_argument(
         "--trace",
@@ -498,6 +570,14 @@ def main(argv: list[str] | None = None) -> int:
             run_id=f"{args.command}-{args.preset}-seed{config.seed}",
             metadata=build_manifest(config, command=args.command),
         )
+
+    if args.command == "sweep-matrix":
+        _cmd_sweep_matrix(config, args)
+        if args.perf:
+            print()
+            print(PERF.report())
+        _finish_trace(trace_out)
+        return 0
 
     if args.command in ("stream", "serve"):
         if args.days < 1:

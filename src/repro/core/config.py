@@ -8,7 +8,10 @@ Every dataclass is immutable; derived quantities are exposed as properties.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.tariffs.base import Tariff
 
 
 class ConfigError(ValueError):
@@ -340,6 +343,12 @@ class CommunityConfig:
 
     The paper simulates 500 customers; scale the count down for fast tests.
     ``appliances_per_customer`` bounds the synthetic task fleet per home.
+
+    ``tariff`` selects the billing structure the scheduling game prices
+    decisions through (:mod:`repro.tariffs`).  ``None`` — the default —
+    is the paper's implicit flat net-metering tariff via the legacy code
+    path: bitwise-identical results, identical cache keys, identical
+    config fingerprints (serialization omits the field entirely).
     """
 
     n_customers: int = 500
@@ -352,6 +361,7 @@ class CommunityConfig:
     game: GameConfig = field(default_factory=GameConfig)
     detection: DetectionConfig = field(default_factory=DetectionConfig)
     solver: SolverConfig = field(default_factory=SolverConfig)
+    tariff: "Tariff | None" = None
     seed: int = 2015
 
     def __post_init__(self) -> None:
@@ -377,13 +387,30 @@ def config_to_dict(config: CommunityConfig) -> dict[str, Any]:
     self-contained, so the config rides along and
     :func:`config_from_dict` rebuilds the identical (validated)
     dataclass tree on resume.
+
+    ``tariff=None`` (the paper's implicit flat net metering) is omitted
+    from the payload rather than serialized as ``null``: every config
+    fingerprint computed before the tariff layer existed — golden-master
+    ``config_sha256`` digests, checkpoint manifests — stays byte-stable.
     """
-    return asdict(config)
+    data = asdict(config)
+    if config.tariff is None:
+        del data["tariff"]
+    else:
+        from repro.tariffs.base import tariff_to_dict
+
+        data["tariff"] = tariff_to_dict(config.tariff)
+    return data
 
 
 def config_from_dict(payload: dict[str, Any]) -> CommunityConfig:
     """Rebuild a :class:`CommunityConfig` from :func:`config_to_dict` output."""
     data = dict(payload)
+    tariff: "Tariff | None" = None
+    if data.get("tariff") is not None:
+        from repro.tariffs.base import tariff_from_dict
+
+        tariff = tariff_from_dict(data["tariff"])
     return CommunityConfig(
         n_customers=int(data["n_customers"]),
         appliances_per_customer=tuple(data["appliances_per_customer"]),
@@ -397,5 +424,6 @@ def config_from_dict(payload: dict[str, Any]) -> CommunityConfig:
         # Checkpoints written before the solver layer existed carry no
         # "solver" section; defaults reproduce the historical behaviour.
         solver=SolverConfig(**data.get("solver", {})),
+        tariff=tariff,
         seed=int(data["seed"]),
     )

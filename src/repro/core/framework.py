@@ -199,6 +199,7 @@ class DetectionFramework:
                 config=self.config.game,
                 sellback_divisor=self.config.pricing.sellback_divisor,
                 seed=3,
+                tariff=self.config.tariff,
             )
         predicted_simulator = self._simulator
         if not self.aware:

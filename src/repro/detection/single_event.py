@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
@@ -42,6 +42,9 @@ from repro.simulation.cache import (
     solve_context_key,
     warm_context_key,
 )
+
+if TYPE_CHECKING:
+    from repro.tariffs import Tariff
 
 
 class CommunityResponseSimulator:
@@ -74,6 +77,11 @@ class CommunityResponseSimulator:
         bitwise-identical to the historical sequential path; only
         ``solver.warm_start`` changes results, and warm solutions are
         namespaced away from cold ones in the cache.
+    tariff:
+        Optional pricing rule from :mod:`repro.tariffs`.  ``None`` (the
+        default) is the paper's flat net-metering tariff through the
+        historical code path; a non-``None`` tariff reprices every game
+        and is fingerprinted into the cache context key.
     """
 
     def __init__(
@@ -85,6 +93,7 @@ class CommunityResponseSimulator:
         seed: int = 0,
         cache: GameSolutionCache | None = None,
         solver: SolverConfig | None = None,
+        tariff: "Tariff | None" = None,
     ) -> None:
         self.community = community
         self.config = config if config is not None else GameConfig()
@@ -92,11 +101,13 @@ class CommunityResponseSimulator:
         self.seed = seed
         self.cache = cache if cache is not None else GameSolutionCache()
         self.solver = solver if solver is not None else SolverConfig()
+        self.tariff = tariff
         self._context_key = solve_context_key(
             community,
             self.config,
             sellback_divisor=sellback_divisor,
             seed=seed,
+            tariff=tariff,
         )
         if self.solver.warm_start:
             self._context_key = warm_context_key(
@@ -182,6 +193,7 @@ class CommunityResponseSimulator:
             backend=self.solver.backend,
             warm_starts=warm_starts,
             ce_std_scale=self.solver.ce_warm_std_scale,
+            tariff=self.tariff,
         )
         for (key, p), result in zip(pending.items(), results):
             self.cache.put(key, result, community=self.community)
@@ -210,6 +222,7 @@ class CommunityResponseSimulator:
             sellback_divisor=self.sellback_divisor,
             config=self.config,
             backend=self.solver.backend,
+            tariff=self.tariff,
         )
         return game.solve(
             rng=np.random.default_rng(self.seed),

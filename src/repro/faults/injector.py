@@ -27,6 +27,7 @@ import numpy as np
 from repro.faults.plan import FaultPlan
 from repro.perf.counters import PERF
 from repro.stream.events import (
+    AttackOccurrence,
     DayBoundary,
     MeterReading,
     PriceUpdate,
@@ -125,7 +126,9 @@ class FaultInjector:
         it before pulling), so queueing into it preserves stream order.
         """
         plan = self.plan
-        if isinstance(event, DayBoundary):
+        if isinstance(event, (DayBoundary, AttackOccurrence)):
+            # Boundaries and ground-truth occurrence announcements pass
+            # through untouched: neither is a wire reading.
             return event
         if isinstance(event, PriceUpdate):
             if plan.stall_prob > 0.0 and self._decide_rng.random() < plan.stall_prob:
@@ -189,7 +192,12 @@ class FaultInjector:
         else:
             received[row, col] = -1.0 - abs(received[row, col])
         self._count("corrupt")
-        return MeterReading(slot=reading.slot, received=received, truth=reading.truth)
+        return MeterReading(
+            slot=reading.slot,
+            received=received,
+            truth=reading.truth,
+            actual=reading.actual,
+        )
 
     # ------------------------------------------------------------------
     def apply_repair(self) -> int:

@@ -16,7 +16,11 @@ rate times the demand-scaled price.  Note the paper's Eqn. (2) carries a
 leading minus on the selling branch which, read literally, *charges*
 customers for selling whenever ``Y_h > 0`` — contradicting its own text
 ("the utility pays the customer with the rate p_h/W").  We implement the
-sign the text describes.
+sign the text describes by default; the explicit ``paper_literal=True``
+toggle keeps Eqn. (2)'s literal minus for anyone who wants the other
+reading (both are pinned in ``tests/test_tariff_properties.py``, and the
+tariff layer exposes the toggle as
+``FlatNetMetering(paper_literal=True)``).
 
 One guard is added on top: the community total entering the price is
 floored at zero.  When the community as a whole exports (``Y_h < 0``)
@@ -45,10 +49,16 @@ class NetMeteringCostModel:
         Guideline price per slot ``p_h``, shape ``(H,)``; must be >= 0.
     sellback_divisor:
         The paper's ``W >= 1``.
+    paper_literal:
+        ``True`` applies Eqn. (2)'s literal leading minus to the selling
+        branch (selling is *charged*); ``False`` (default) keeps the
+        rewarding sign the paper's text describes.  The default leaves
+        every numeric path bitwise-unchanged.
     """
 
     prices: tuple[float, ...]
     sellback_divisor: float = 2.0
+    paper_literal: bool = False
 
     def __post_init__(self) -> None:
         p = tuple(float(v) for v in self.prices)
@@ -111,11 +121,10 @@ class NetMeteringCostModel:
         p = self.price_array
         total = np.maximum(y_others + multiplicity * y, 0.0)
         buying = y >= 0
-        return np.where(
-            buying,
-            p * total * y,
-            (p / self.sellback_divisor) * total * y,
-        )
+        selling = (p / self.sellback_divisor) * total * y
+        if self.paper_literal:
+            selling = -selling
+        return np.where(buying, p * total * y, selling)
 
     def marginal_cost_table(
         self,
@@ -158,11 +167,10 @@ class NetMeteringCostModel:
         y_new = y0[:, None] + lv[None, :]
         p = self.price_array[:, None]
         total = np.maximum(y_others[:, None] + multiplicity * y_new, 0.0)
-        cost_new = np.where(
-            y_new >= 0,
-            p * total * y_new,
-            (p / self.sellback_divisor) * total * y_new,
-        )
+        selling = (p / self.sellback_divisor) * total * y_new
+        if self.paper_literal:
+            selling = -selling
+        cost_new = np.where(y_new >= 0, p * total * y_new, selling)
         return cost_new - base_cost[:, None]
 
     def _validated(self, values: ArrayLike) -> NDArray[np.float64]:

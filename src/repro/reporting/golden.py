@@ -92,6 +92,35 @@ def compute_golden_digests(
     }
 
 
+MATRIX_GOLDEN_TARIFFS = ("flat", "nem3_spread")
+MATRIX_GOLDEN_FAMILIES = ("peak_increase", "meter_outage")
+MATRIX_GOLDEN_DETECTORS = ("aware", "unaware", "none")
+
+
+def compute_matrix_digests(
+    config: CommunityConfig, *, n_slots: int = 48
+) -> dict[str, Any]:
+    """Run the pinned golden scenario-matrix grid and return its artifact.
+
+    The grid is a small tariff × attack corner of the full matrix
+    (``docs/SCENARIOS.md``), run at the same horizon as the scenario
+    digests in :func:`compute_golden_digests`.  Its ``("flat",
+    "peak_increase")`` cells are therefore bitwise the Table 1 runs
+    already pinned by the preset fixtures — ``tests/test_matrix_golden.py``
+    cross-checks the two files against each other.
+    """
+    from repro.simulation.sweep import sweep_matrix
+
+    result = sweep_matrix(
+        config,
+        tariffs=MATRIX_GOLDEN_TARIFFS,
+        attack_families=MATRIX_GOLDEN_FAMILIES,
+        detectors=MATRIX_GOLDEN_DETECTORS,
+        n_slots=n_slots,
+    )
+    return result.to_dict()
+
+
 def write_golden_digests(digests: dict[str, Any], path: str | Path) -> Path:
     """Persist a digest document (stable key order, trailing newline)."""
     path = Path(path)

@@ -29,7 +29,7 @@ are ``(games, H, levels)``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
@@ -43,6 +43,10 @@ from repro.scheduling.appliance import ApplianceSchedule, ApplianceTask
 from repro.scheduling.customer import Customer, CustomerState
 from repro.scheduling.dp import schedule_appliance_tables
 from repro.scheduling.game import Community, GameResult
+from repro.tariffs.model import TariffCostModel, tariff_cost_terms
+
+if TYPE_CHECKING:
+    from repro.tariffs.base import Tariff
 
 FloatArray = NDArray[np.float64]
 
@@ -89,6 +93,58 @@ def _marginal_tables(
         y_new >= 0,
         p * total * y_new,
         (p / sellback_divisor) * total * y_new,
+    )
+    return np.asarray(cost_new - base_cost[:, :, None])
+
+
+def _tariff_cost_per_slot(
+    trading: FloatArray,
+    others: FloatArray,
+    buy: FloatArray,
+    sell: FloatArray,
+    export_cap: float | None,
+    paper_literal: bool,
+    multiplicity: int,
+) -> FloatArray:
+    """Row-batched :meth:`TariffCostModel.customer_cost_per_slot`."""
+    return np.asarray(
+        tariff_cost_terms(
+            trading,
+            others,
+            buy_rates=buy,
+            sell_rates=sell,
+            export_cap_kwh=export_cap,
+            paper_literal=paper_literal,
+            multiplicity=multiplicity,
+        )
+    )
+
+
+def _tariff_marginal_tables(
+    base_trading: FloatArray,
+    others: FloatArray,
+    levels: FloatArray,
+    buy: FloatArray,
+    sell: FloatArray,
+    export_cap: float | None,
+    paper_literal: bool,
+    multiplicity: int,
+    slot_hours: float,
+) -> FloatArray:
+    """Row-batched :meth:`TariffCostModel.marginal_cost_table`."""
+    lv = np.asarray(levels, dtype=float) * slot_hours
+    base_cost = _tariff_cost_per_slot(
+        base_trading, others, buy, sell, export_cap, paper_literal, multiplicity
+    )
+    y_new = base_trading[:, :, None] + lv[None, None, :]
+    cost_new = tariff_cost_terms(
+        y_new,
+        others[:, :, None],
+        buy_rates=buy[:, :, None],
+        sell_rates=sell[:, :, None],
+        export_cap_kwh=export_cap,
+        paper_literal=paper_literal,
+        multiplicity=multiplicity,
     )
     return np.asarray(cost_new - base_cost[:, :, None])
 
@@ -150,6 +206,7 @@ class LockstepGameSolver:
         sellback_divisor: float = 2.0,
         config: GameConfig | None = None,
         backend: KernelBackend | str | None = None,
+        tariff: "Tariff | None" = None,
     ) -> None:
         if not price_vectors:
             raise ValueError("need at least one price vector")
@@ -158,6 +215,7 @@ class LockstepGameSolver:
         self.backend = get_backend(backend)
         self.slot_hours = 1.0
         self.sellback_divisor = float(sellback_divisor)
+        self.tariff = tariff
         horizon = community.horizon
         prices = np.stack(
             [np.asarray(p, dtype=float) for p in price_vectors]
@@ -170,12 +228,49 @@ class LockstepGameSolver:
         # Per-game cost models run the same validation as the one-game
         # solver (finite, non-negative prices) and keep the scalar paths
         # available for acceptance bookkeeping.
-        self.cost_models = [
-            NetMeteringCostModel(
-                prices=tuple(p), sellback_divisor=self.sellback_divisor
+        if tariff is None:
+            self.cost_models: list[NetMeteringCostModel | TariffCostModel] = [
+                NetMeteringCostModel(
+                    prices=tuple(p), sellback_divisor=self.sellback_divisor
+                )
+                for p in prices
+            ]
+        else:
+            self.cost_models = [
+                tariff.cost_model(p, sellback_divisor=self.sellback_divisor)
+                for p in prices
+            ]
+        first = self.cost_models[0]
+        if isinstance(first, NetMeteringCostModel) and not first.paper_literal:
+            # Flat net metering (with or without an explicit tariff):
+            # keep the scalar-divisor formulas and the kernel battery
+            # fast path.  The tariff may pin its own divisor, so take
+            # it from the built model rather than the argument.
+            self.sellback_divisor = float(first.sellback_divisor)
+            self._tariff_rates: tuple[FloatArray, FloatArray] | None = None
+            self._export_cap: float | None = None
+            self._paper_literal = False
+        else:
+            # Generalized path: stack per-game rate rows once; every
+            # costing site then shares the same pure-numpy formula the
+            # one-game TariffCostModel evaluates row by row.
+            models = [
+                m
+                if isinstance(m, TariffCostModel)
+                else TariffCostModel.from_net_metering(m)
+                for m in self.cost_models
+            ]
+            self._tariff_rates = (
+                np.stack([m.price_array for m in models]),
+                np.stack([m.sell_array for m in models]),
             )
-            for p in prices
-        ]
+            self._export_cap = models[0].export_cap_kwh
+            self._paper_literal = models[0].paper_literal
+        # The import-side rates drive the greedy warm start (identical
+        # to the guideline prices when no tariff reshapes them).
+        self.greedy_prices = np.stack(
+            [m.price_array for m in self.cost_models]
+        )
         self.prices = prices
         self.n_games = prices.shape[0]
         self._jitter_tables: dict[tuple[int, int], FloatArray] = {}
@@ -219,7 +314,7 @@ class LockstepGameSolver:
                 for t, task in enumerate(customer.tasks):
                     levels = np.asarray(task.power_levels)
                     tables = (
-                        self.prices[cold][:, :, None]
+                        self.greedy_prices[cold][:, :, None]
                         * levels[None, None, :]
                         * self.slot_hours
                     )
@@ -257,6 +352,7 @@ class LockstepGameSolver:
         x0: FloatArray,
         multiplicity: int,
         std_scales: FloatArray,
+        tariff_rates: tuple[FloatArray, FloatArray] | None,
     ) -> tuple[FloatArray, FloatArray]:
         """Batched CE over battery trajectories; one game per row.
 
@@ -291,16 +387,34 @@ class LockstepGameSolver:
         def score(decisions: FloatArray, rows: NDArray[np.int_]) -> FloatArray:
             grouped = decisions.ndim == 3
             expand = (lambda v: v[:, None, :]) if grouped else (lambda v: v)
-            return backend.battery_costs(
-                decisions,
-                initial=spec.initial_kwh,
-                load=expand(load[rows]),
-                pv=pv,
-                others=expand(others[rows]),
-                prices=expand(prices[rows]),
-                sellback_divisor=self.sellback_divisor,
+            if tariff_rates is None:
+                return backend.battery_costs(
+                    decisions,
+                    initial=spec.initial_kwh,
+                    load=expand(load[rows]),
+                    pv=pv,
+                    others=expand(others[rows]),
+                    prices=expand(prices[rows]),
+                    sellback_divisor=self.sellback_divisor,
+                    multiplicity=multiplicity,
+                )
+            # Generalized tariffs score through the same pure-numpy
+            # formula the one-game TariffCostModel.battery_costs uses —
+            # identical on every kernel backend by construction.
+            buy_rows, sell_rows = tariff_rates
+            start = np.full(decisions.shape[:-1] + (1,), spec.initial_kwh)
+            trajectory = np.concatenate([start, decisions], axis=-1)
+            trading = expand(load[rows]) + np.diff(trajectory, axis=-1) - pv
+            cost = tariff_cost_terms(
+                trading,
+                expand(others[rows]),
+                buy_rates=expand(buy_rows[rows]),
+                sell_rates=expand(sell_rows[rows]),
+                export_cap_kwh=self._export_cap,
+                paper_literal=self._paper_literal,
                 multiplicity=multiplicity,
             )
+            return np.asarray(cost.sum(axis=-1))
 
         mean = np.clip(x0, lower, upper)
         std = np.maximum(span / 4.0 * std_scales[:, None], _CE_STD_FLOOR)
@@ -396,11 +510,32 @@ class LockstepGameSolver:
         threshold_rate = self.config.hysteresis * hysteresis_scale
         customer = state.customer
         prices = self.prices[rows]
+        if self._tariff_rates is None:
+            rate_rows = None
+        else:
+            rate_rows = (
+                self._tariff_rates[0][rows],
+                self._tariff_rates[1][rows],
+            )
+
+        def costs_per_slot(trading: FloatArray) -> FloatArray:
+            if rate_rows is None:
+                return _cost_per_slot(
+                    trading, others, prices, self.sellback_divisor, multiplicity
+                )
+            return _tariff_cost_per_slot(
+                trading,
+                others,
+                rate_rows[0],
+                rate_rows[1],
+                self._export_cap,
+                self._paper_literal,
+                multiplicity,
+            )
+
         for _ in range(self.config.inner_iterations):
             trading = state.tradings(rows)
-            per_slot = _cost_per_slot(
-                trading, others, prices, self.sellback_divisor, multiplicity
-            )
+            per_slot = costs_per_slot(trading)
             reference = np.abs(per_slot.sum(axis=1)) + 1e-9
             threshold = threshold_rate * reference
             for index, task in enumerate(customer.tasks):
@@ -409,15 +544,28 @@ class LockstepGameSolver:
                 base_trading = (
                     trading - state.power[rows, index, :] * self.slot_hours
                 )
-                tables = _marginal_tables(
-                    base_trading,
-                    others,
-                    levels,
-                    prices,
-                    self.sellback_divisor,
-                    multiplicity,
-                    self.slot_hours,
-                )
+                if rate_rows is None:
+                    tables = _marginal_tables(
+                        base_trading,
+                        others,
+                        levels,
+                        prices,
+                        self.sellback_divisor,
+                        multiplicity,
+                        self.slot_hours,
+                    )
+                else:
+                    tables = _tariff_marginal_tables(
+                        base_trading,
+                        others,
+                        levels,
+                        rate_rows[0],
+                        rate_rows[1],
+                        self._export_cap,
+                        self._paper_literal,
+                        multiplicity,
+                        self.slot_hours,
+                    )
                 tables = tables + jitter[None, :, :]
                 tables[:, :, 0] = 0.0  # idling stays exactly free
                 schedules, optimal_costs = schedule_appliance_tables(
@@ -441,15 +589,10 @@ class LockstepGameSolver:
                     x0,
                     multiplicity,
                     ce_std_scales,
+                    rate_rows,
                 )
                 current_trading = state.tradings(rows)
-                current_costs = _cost_per_slot(
-                    current_trading,
-                    others,
-                    prices,
-                    self.sellback_divisor,
-                    multiplicity,
-                ).sum(axis=1)
+                current_costs = costs_per_slot(current_trading).sum(axis=1)
                 improvements = current_costs - best_f
                 for i, g in enumerate(rows):
                     if improvements[i] > threshold[i]:
@@ -579,6 +722,7 @@ def solve_games(
     backend: KernelBackend | str | None = None,
     warm_starts: Sequence[GameResult | None] | None = None,
     ce_std_scale: float = 1.0,
+    tariff: "Tariff | None" = None,
 ) -> list[GameResult]:
     """Solve independent games over one community in a lockstep batch.
 
@@ -587,6 +731,7 @@ def solve_games(
         SchedulingGame(
             community, price_vectors[g],
             sellback_divisor=sellback_divisor, config=config,
+            tariff=tariff,
         ).solve(
             rng=np.random.default_rng(seed),
             warm_start=warm_starts[g],
@@ -601,6 +746,7 @@ def solve_games(
         sellback_divisor=sellback_divisor,
         config=config,
         backend=backend,
+        tariff=tariff,
     )
     return solver.solve(
         seed=seed, warm_starts=warm_starts, ce_std_scale=ce_std_scale

@@ -22,6 +22,7 @@ tractable in pure Python.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
@@ -29,6 +30,9 @@ from numpy.typing import ArrayLike, NDArray
 from repro.core.config import GameConfig
 from repro.kernels import KernelBackend, get_backend
 from repro.netmetering.cost import NetMeteringCostModel
+
+if TYPE_CHECKING:
+    from repro.tariffs.base import CostModel, Tariff
 from repro.obs.trace import TRACER
 from repro.optimization.battery import BatteryOptimizer, BatteryProblem
 from repro.perf.counters import PERF
@@ -129,6 +133,7 @@ class SchedulingGame:
         sellback_divisor: float = 2.0,
         config: GameConfig | None = None,
         backend: KernelBackend | str | None = None,
+        tariff: "Tariff | None" = None,
     ) -> None:
         prices_arr = np.asarray(prices, dtype=float)
         if prices_arr.shape != (community.horizon,):
@@ -141,9 +146,19 @@ class SchedulingGame:
         # Hourly slots: a kW power level consumes that many kWh per slot,
         # which keeps appliance loads, PV and trading in the same unit.
         self.slot_hours = 1.0
-        self.cost_model = NetMeteringCostModel(
-            prices=tuple(prices_arr), sellback_divisor=sellback_divisor
-        )
+        self.tariff = tariff
+        # The cost hook: with no tariff, the paper's flat net-metering
+        # model is built exactly as before (bitwise-identical results);
+        # a tariff supplies its own model through the same duck-typed
+        # surface.
+        if tariff is None:
+            self.cost_model: CostModel = NetMeteringCostModel(
+                prices=tuple(prices_arr), sellback_divisor=sellback_divisor
+            )
+        else:
+            self.cost_model = tariff.cost_model(
+                prices_arr, sellback_divisor=sellback_divisor
+            )
         self._battery_optimizer = BatteryOptimizer(
             n_samples=self.config.ce_samples,
             n_elites=self.config.ce_elites,

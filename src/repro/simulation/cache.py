@@ -24,7 +24,7 @@ import json
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 from numpy.typing import NDArray
@@ -34,6 +34,9 @@ from repro.perf.counters import PERF
 from repro.scheduling.appliance import ApplianceSchedule
 from repro.scheduling.customer import CustomerState
 from repro.scheduling.game import Community, GameResult
+
+if TYPE_CHECKING:
+    from repro.tariffs.base import Tariff
 
 PRICE_DECIMALS = 9
 """Prices are rounded to this many decimals before hashing, matching the
@@ -97,21 +100,31 @@ def solve_context_key(
     *,
     sellback_divisor: float,
     seed: int,
+    tariff: "Tariff | None" = None,
 ) -> str:
     """Digest of everything except the price vector.
 
     Simulators compute this once and extend it per price with
     :func:`solution_key`, so the per-solve hashing cost is one SHA-256
     over ~200 bytes.
+
+    ``tariff=None`` (the legacy flat net-metering billing) hashes the
+    exact historical payload, so every pre-tariff cache entry — in
+    memory or on disk — remains addressable; a non-default tariff
+    appends its content fingerprint, giving each billing structure its
+    own key space.
     """
-    payload = "|".join(
-        (
-            community_fingerprint(community),
-            game_config_fingerprint(config),
-            repr(float(sellback_divisor)),
-            repr(int(seed)),
-        )
-    )
+    parts = [
+        community_fingerprint(community),
+        game_config_fingerprint(config),
+        repr(float(sellback_divisor)),
+        repr(int(seed)),
+    ]
+    if tariff is not None:
+        from repro.tariffs.base import tariff_fingerprint
+
+        parts.append(tariff_fingerprint(tariff))
+    payload = "|".join(parts)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 

@@ -125,6 +125,7 @@ def run_long_term_scenario(
     calibration_trials: int = 30,
     seed: int | None = None,
     cache: GameSolutionCache | None = None,
+    attack_family: str = "peak_increase",
 ) -> ScenarioResult:
     """Run the 48-hour monitored scenario of Section 5.
 
@@ -155,6 +156,12 @@ def run_long_term_scenario(
         solve each distinct game exactly once.  Solutions are
         content-addressed over the full solve input, so cached runs are
         numerically identical to cold ones.
+    attack_family:
+        What each compromise campaign installs (see
+        :data:`repro.attacks.hacking.ATTACK_FAMILIES`).  The default is
+        the paper's cheap-window attack through the historical code
+        path; the telemetry families additionally decouple the reading
+        the detector sees from the price the home responded to.
     """
     if n_slots < 1:
         raise ValueError(f"n_slots must be >= 1, got {n_slots}")
@@ -227,6 +234,7 @@ def run_long_term_scenario(
         seed=3,
         cache=cache,
         solver=config.solver,
+        tariff=config.tariff,
     )
     # The detector's own expectation model: the unaware detector does not
     # model net metering at all (ref. [8]), so its predicted PAR carries a
@@ -234,6 +242,8 @@ def run_long_term_scenario(
     if aware:
         predicted_simulator = truth_simulator
     else:
+        # The unaware detector's model predates tariffs entirely: it
+        # keeps the legacy flat pricing regardless of ``config.tariff``.
         predicted_simulator = CommunityResponseSimulator(
             community.without_net_metering(),
             config=config.game,
@@ -256,6 +266,7 @@ def run_long_term_scenario(
         n_meters,
         config.detection.hack_probability,
         slots_per_day=spd,
+        attack_family=attack_family,
         rng=rng,
     )
     day_detectors = [
@@ -318,10 +329,17 @@ def run_long_term_scenario(
             hacking.step()
             truth[slot] = hacking.hacked_mask
 
+            # ``received`` is what each home responded to; ``reported``
+            # is what its meter told the utility.  Honest families keep
+            # the two bitwise-identical; the telemetry families spoof or
+            # blank the reading, blinding the PAR check.
             received = np.tile(clean, (n_meters, 1))
+            reported = np.tile(clean, (n_meters, 1))
             for meter in hacking.hacked_meters:
-                received[meter.meter_id] = meter.attack.apply(clean)
-            flags[slot] = day_detectors[day].observe_meters(received, rng=rng)
+                attacked = meter.attack.apply(clean)
+                received[meter.meter_id] = attacked
+                reported[meter.meter_id] = meter.attack.report(clean, attacked)
+            flags[slot] = day_detectors[day].observe_meters(reported, rng=rng)
             observations[slot] = int(flags[slot].sum())
 
             # Realized grid demand: each monitored meter stands for 1/n of

@@ -31,6 +31,7 @@ semantics.
 """
 
 from repro.stream.events import (
+    AttackOccurrence,
     DayBoundary,
     MeterReading,
     PriceUpdate,
@@ -51,15 +52,17 @@ from repro.stream.checkpoint import (
     resume_engine,
     save_checkpoint,
 )
-from repro.stream.source import ReplaySource, SyntheticSource
+from repro.stream.source import ReplaySource, ScriptedOccurrence, SyntheticSource
 
 __all__ = [
+    "AttackOccurrence",
     "CheckpointError",
     "DayBoundary",
     "MeterReading",
     "OnlinePipeline",
     "PriceUpdate",
     "ReplaySource",
+    "ScriptedOccurrence",
     "SlotDetection",
     "StreamEngine",
     "StreamEvent",

@@ -157,8 +157,12 @@ def resume_engine(
             seed=build["seed"],
             cache=cache,
             faults=plan,
+            # Pre-taxonomy checkpoints predate attack families.
+            attack_family=build.get("attack_family", "peak_increase"),
         )
     elif kind == "synthetic":
+        from repro.stream.source import ScriptedOccurrence
+
         engine = build_synthetic_engine(
             config,
             n_days=int(build["n_days"]),
@@ -171,6 +175,11 @@ def resume_engine(
             seed=int(build["seed"]),
             cache=cache,
             faults=plan,
+            # Pre-taxonomy checkpoints carry no occurrence script.
+            occurrences=tuple(
+                ScriptedOccurrence.from_dict(payload)
+                for payload in build.get("occurrences", [])
+            ),
         )
     else:
         raise ValueError(f"unknown checkpoint build kind: {kind!r}")

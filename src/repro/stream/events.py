@@ -1,6 +1,6 @@
 """Wire-format event model of the streaming detection engine.
 
-Three event kinds cover everything the utility observes during a
+Four event kinds cover everything the utility observes during a
 monitoring run:
 
 - :class:`PriceUpdate` — a new day begins: the posted guideline-price
@@ -8,7 +8,15 @@ monitoring run:
 - :class:`MeterReading` — one monitoring slot: the guideline-price
   vector each monitored meter reports having received (hacked meters
   report the manipulated vector), plus an optional ground-truth
-  compromise mask for scoring replayed simulations.
+  compromise mask for scoring replayed simulations.  When a telemetry
+  attack decouples the reading from the price the home responded to,
+  the optional ``actual`` matrix carries the responded-to prices for
+  realized-grid accounting.
+- :class:`AttackOccurrence` — ground-truth announcement that an attack
+  of a registered kind (see :mod:`repro.attacks.registry`) went live on
+  a set of meters.  Detection never consumes these — the detector must
+  not peek at ground truth — but they ride the stream as first-class
+  occurrences for scoring, audit and checkpoint/resume.
 - :class:`DayBoundary` — the day's last slot has been processed.
 
 Events are immutable and JSON-serializable (:func:`event_to_dict` /
@@ -76,11 +84,19 @@ class MeterReading:
         Optional ground-truth compromise mask over the fleet; present in
         replayed simulations (used for scoring and realized-grid
         accounting), absent for externally pushed readings.
+    actual:
+        Optional per-meter prices the homes *actually* responded to,
+        shape ``(n_meters, slots_per_day)``.  ``None`` — the common,
+        honest-reporting case — means the report is the response
+        (``actual == received``); telemetry attacks set it so the
+        realized grid reflects the true response while detection only
+        sees the spoofed report.
     """
 
     slot: int
     received: NDArray[np.float64]
     truth: NDArray[np.bool_] | None = None
+    actual: NDArray[np.float64] | None = None
 
     def __post_init__(self) -> None:
         if self.slot < 0:
@@ -98,10 +114,22 @@ class MeterReading:
                     f"truth must have shape ({received.shape[0]},), got {truth.shape}"
                 )
             object.__setattr__(self, "truth", truth)
+        if self.actual is not None:
+            actual = np.asarray(self.actual, dtype=float)
+            if actual.shape != received.shape:
+                raise ValueError(
+                    f"actual must have shape {received.shape}, got {actual.shape}"
+                )
+            object.__setattr__(self, "actual", actual)
 
     @property
     def n_meters(self) -> int:
         return self.received.shape[0]
+
+    @property
+    def responded(self) -> NDArray[np.float64]:
+        """The prices the homes responded to (``actual`` or the report)."""
+        return self.received if self.actual is None else self.actual
 
     def validation_error(self, *, horizon: int | None = None) -> str | None:
         """Why this reading is unusable, or ``None`` when well-formed.
@@ -125,6 +153,51 @@ class MeterReading:
 
 
 @dataclass(frozen=True)
+class AttackOccurrence:
+    """Ground-truth announcement: an attack went live on some meters.
+
+    Attributes
+    ----------
+    slot:
+        Global slot index at which the occurrence takes effect (the
+        first reading it manipulates).
+    kind:
+        Registered attack kind tag (``attack["kind"]`` when present);
+        see :func:`repro.attacks.registry.attack_kinds`.
+    meter_ids:
+        Affected meters, ascending.
+    attack:
+        Kind-tagged attack payload
+        (:func:`repro.attacks.registry.attack_to_dict` format), exact
+        enough to rebuild the installed attack.
+    """
+
+    slot: int
+    kind: str
+    meter_ids: tuple[int, ...]
+    attack: dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError(f"slot must be >= 0, got {self.slot}")
+        if not self.kind:
+            raise ValueError("kind must be non-empty")
+        meter_ids = tuple(int(m) for m in self.meter_ids)
+        if not meter_ids:
+            raise ValueError("meter_ids must be non-empty")
+        if any(m < 0 for m in meter_ids):
+            raise ValueError(f"meter_ids must be >= 0, got {meter_ids}")
+        if tuple(sorted(set(meter_ids))) != meter_ids:
+            raise ValueError(f"meter_ids must be sorted and unique, got {meter_ids}")
+        object.__setattr__(self, "meter_ids", meter_ids)
+        payload_kind = self.attack.get("kind")
+        if payload_kind is not None and payload_kind != self.kind:
+            raise ValueError(
+                f"kind {self.kind!r} != attack payload kind {payload_kind!r}"
+            )
+
+
+@dataclass(frozen=True)
 class DayBoundary:
     """End-of-day marker."""
 
@@ -135,11 +208,12 @@ class DayBoundary:
             raise ValueError(f"day must be >= 0, got {self.day}")
 
 
-StreamEvent = Union[PriceUpdate, MeterReading, DayBoundary]
+StreamEvent = Union[PriceUpdate, MeterReading, AttackOccurrence, DayBoundary]
 
 _EVENT_TYPES = {
     "price_update": PriceUpdate,
     "meter_reading": MeterReading,
+    "attack_occurrence": AttackOccurrence,
     "day_boundary": DayBoundary,
 }
 
@@ -161,7 +235,17 @@ def event_to_dict(event: StreamEvent) -> dict[str, Any]:
         }
         if event.truth is not None:
             payload["truth"] = event.truth.astype(int).tolist()
+        if event.actual is not None:
+            payload["actual"] = event.actual.tolist()
         return payload
+    if isinstance(event, AttackOccurrence):
+        return {
+            "type": "attack_occurrence",
+            "slot": event.slot,
+            "kind": event.kind,
+            "meter_ids": list(event.meter_ids),
+            "attack": dict(event.attack),
+        }
     if isinstance(event, DayBoundary):
         return {"type": "day_boundary", "day": event.day}
     raise TypeError(f"not a stream event: {type(event).__name__}")
@@ -182,9 +266,18 @@ def event_from_dict(payload: dict[str, Any]) -> StreamEvent:
         )
     if kind == "meter_reading":
         truth = payload.get("truth")
+        actual = payload.get("actual")
         return MeterReading(
             slot=int(payload["slot"]),
             received=np.asarray(payload["received"], dtype=float),
             truth=None if truth is None else np.asarray(truth, dtype=bool),
+            actual=None if actual is None else np.asarray(actual, dtype=float),
+        )
+    if kind == "attack_occurrence":
+        return AttackOccurrence(
+            slot=int(payload["slot"]),
+            kind=str(payload["kind"]),
+            meter_ids=tuple(int(m) for m in payload["meter_ids"]),
+            attack=dict(payload["attack"]),
         )
     return DayBoundary(day=int(payload["day"]))

@@ -37,6 +37,7 @@ from repro.simulation.cache import GameSolutionCache, global_game_cache
 from repro.simulation.scenario import DetectorKind, ScenarioResult
 from repro.stream.detectors import IncrementalMonitor, IncrementalSingleEvent
 from repro.stream.events import (
+    AttackOccurrence,
     DayBoundary,
     MeterReading,
     PriceUpdate,
@@ -47,6 +48,7 @@ from repro.stream.events import (
 from repro.stream.source import (
     EventSource,
     ReplaySource,
+    ScriptedOccurrence,
     SyntheticSource,
     build_replay_world,
 )
@@ -188,6 +190,7 @@ class OnlinePipeline:
         self._timeline: list[SlotDetection] = []
         self._next_slot = 0
         self._pending: dict[int, MeterReading] = {}
+        self._occurrences: list[dict[str, Any]] = []
         self._n_meters: int | None = None
         self._day_span: int | None = None  # repro: noqa[CKPT001] trace bookkeeping, not simulation state
 
@@ -219,6 +222,16 @@ class OnlinePipeline:
         """Slots covered by an explicit gap marker instead of a verdict."""
         return sum(1 for det in self._timeline if det.gap)
 
+    @property
+    def occurrences(self) -> tuple[dict[str, Any], ...]:
+        """Ground-truth attack occurrences seen on the stream, in order.
+
+        Each entry is the event's JSON payload (slot, kind, meter ids,
+        kind-tagged attack).  Detection never consumes these; they are
+        the run's attack ledger for scoring and audit.
+        """
+        return tuple(self._occurrences)
+
     def detection_stats(self) -> dict[str, Any]:
         """Aggregate detection statistics for the monitoring API."""
         timeline = self._timeline
@@ -230,6 +243,7 @@ class OnlinePipeline:
             "repairs": self.n_repairs,
             "meters_repaired": int(sum(det.repaired_count for det in timeline)),
             "gaps": self.n_gaps,
+            "occurrences": len(self._occurrences),
         }
         if self.monitor is not None:
             stats["belief_mean"] = self.monitor.belief_mean
@@ -282,6 +296,12 @@ class OnlinePipeline:
             if TRACER.enabled and self._day_span is not None:
                 TRACER.end(self._day_span)
                 self._day_span = None
+            return None
+        if isinstance(event, AttackOccurrence):
+            # Ground-truth metadata: record it, never feed it to the
+            # detectors (the detector must not peek at ground truth).
+            self._occurrences.append(event_to_dict(event))
+            PERF.add("stream.occurrences")
             return None
         if isinstance(event, MeterReading):
             return self._handle_reading(event)
@@ -454,8 +474,12 @@ class OnlinePipeline:
         slot_in_day = reading.slot % self.slots_per_day
         benign = self.grid_simulator.response(clean).grid_demand
         demand = benign[slot_in_day]
+        # Homes respond to the prices they *received*, not the spoofed
+        # report — ``responded`` is ``received`` unless a telemetry
+        # attack decoupled the two.
+        responded = reading.responded
         for meter_id in np.flatnonzero(reading.truth):
-            attacked = self.grid_simulator.response(reading.received[meter_id]).grid_demand
+            attacked = self.grid_simulator.response(responded[meter_id]).grid_demand
             demand += (attacked[slot_in_day] - benign[slot_in_day]) / reading.n_meters
         return max(demand, 0.0)
 
@@ -477,6 +501,7 @@ class OnlinePipeline:
                 event_to_dict(reading)
                 for _, reading in sorted(self._pending.items())
             ],
+            "occurrences": [dict(payload) for payload in self._occurrences],
             "n_meters": self._n_meters,
         }
 
@@ -504,6 +529,8 @@ class OnlinePipeline:
                 raise ValueError("pending entries must be meter_reading events")
             pending[event.slot] = event
         self._pending = pending
+        # Pre-taxonomy checkpoints carry no occurrence ledger.
+        self._occurrences = [dict(p) for p in state.get("occurrences", [])]
         n_meters = state.get("n_meters")
         if n_meters is None and self._timeline:
             n_meters = int(self._timeline[-1].flags.size)
@@ -752,6 +779,7 @@ def build_replay_engine(
     cache: GameSolutionCache | None = None,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    attack_family: str = "peak_increase",
 ) -> StreamEngine:
     """Scenario-equivalent streaming engine.
 
@@ -771,6 +799,7 @@ def build_replay_engine(
         calibration_trials=calibration_trials,
         seed=seed,
         cache=cache,
+        attack_family=attack_family,
     )
     source = ReplaySource(world)
     single_event = IncrementalSingleEvent(
@@ -799,6 +828,8 @@ def build_replay_engine(
         "calibration_trials": calibration_trials,
         "seed": seed,
     }
+    if attack_family != "peak_increase":
+        build_spec["attack_family"] = attack_family
     engine = StreamEngine(
         source,
         pipeline,
@@ -827,6 +858,7 @@ def build_synthetic_engine(
     cache: GameSolutionCache | None = None,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    occurrences: tuple["ScriptedOccurrence", ...] = (),
 ) -> StreamEngine:
     """Lightweight scripted engine for the service layer and examples.
 
@@ -850,6 +882,7 @@ def build_synthetic_engine(
         sellback_divisor=config.pricing.sellback_divisor,
         seed=3,
         cache=cache,
+        tariff=config.tariff,
     )
     predicted_simulator = (
         truth_simulator
@@ -869,6 +902,7 @@ def build_synthetic_engine(
         attack_days=attack_days,
         hacked_meters=hacked_meters,
         attack=default_synthetic_attack(spd, attack_strength),
+        occurrences=occurrences,
     )
     single_event = IncrementalSingleEvent(
         truth_simulator,
@@ -910,6 +944,8 @@ def build_synthetic_engine(
         "detector": detector,
         "seed": seed,
     }
+    if occurrences:
+        build_spec["occurrences"] = [occ.to_dict() for occ in occurrences]
     engine = StreamEngine(
         source,
         pipeline,

@@ -31,7 +31,8 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.attacks.hacking import MeterHackingProcess
-from repro.attacks.pricing import PeakIncreaseAttack
+from repro.attacks.pricing import PeakIncreaseAttack, PricingAttack
+from repro.attacks.registry import attack_from_dict, attack_kind, attack_to_dict
 from repro.core.config import CommunityConfig
 from repro.data.community import build_community
 from repro.data.pricing import (
@@ -52,7 +53,13 @@ from repro.prediction.price import AwarePricePredictor, UnawarePricePredictor
 from repro.simulation.cache import GameSolutionCache, global_game_cache
 from repro.simulation.calibration import measure_single_event_rates
 from repro.simulation.scenario import DetectorKind
-from repro.stream.events import DayBoundary, MeterReading, PriceUpdate, StreamEvent
+from repro.stream.events import (
+    AttackOccurrence,
+    DayBoundary,
+    MeterReading,
+    PriceUpdate,
+    StreamEvent,
+)
 
 
 class EventSource(Protocol):
@@ -122,6 +129,7 @@ def build_replay_world(
     calibration_trials: int = 30,
     seed: int | None = None,
     cache: GameSolutionCache | None = None,
+    attack_family: str = "peak_increase",
 ) -> ReplayWorld:
     """Construct the streaming world exactly as the batch scenario does.
 
@@ -194,6 +202,7 @@ def build_replay_world(
         sellback_divisor=config.pricing.sellback_divisor,
         seed=3,
         cache=cache,
+        tariff=config.tariff,
     )
     if aware:
         predicted_simulator = truth_simulator
@@ -210,6 +219,7 @@ def build_replay_world(
         n_meters,
         config.detection.hack_probability,
         slots_per_day=spd,
+        attack_family=attack_family,
         rng=rng,
     )
     day_detectors = [
@@ -318,10 +328,21 @@ class ReplaySource:
             world.hacking.step()
             truth = world.hacking.hacked_mask
             clean = world.day_clean_prices[day]
+            # ``received`` is the reported reading (what detection sees);
+            # ``actual`` the responded-to prices.  Honest families keep
+            # them bitwise-identical and the event omits ``actual``.
             received = np.tile(clean, (world.n_meters, 1))
+            actual = np.tile(clean, (world.n_meters, 1))
             for meter in world.hacking.hacked_meters:
-                received[meter.meter_id] = meter.attack.apply(clean)
-            return MeterReading(slot=slot, received=received, truth=truth)
+                attacked = meter.attack.apply(clean)
+                actual[meter.meter_id] = attacked
+                received[meter.meter_id] = meter.attack.report(clean, attacked)
+            return MeterReading(
+                slot=slot,
+                received=received,
+                truth=truth,
+                actual=None if np.array_equal(actual, received) else actual,
+            )
         return DayBoundary(day=day)
 
     def apply_repair(self) -> int:
@@ -357,6 +378,58 @@ def synthetic_price_profile(
     return base_price * shape
 
 
+@dataclass(frozen=True)
+class ScriptedOccurrence:
+    """One scripted attack occurrence for :class:`SyntheticSource`.
+
+    During ``days`` (start-inclusive, end-exclusive) the ``attack`` is
+    installed on ``meter_ids``; the source announces it going live with
+    an :class:`~repro.stream.events.AttackOccurrence` event right after
+    each affected day's price update.  A repair dispatch clears it for
+    the rest of the day; it re-arms at the next affected day.
+    """
+
+    days: tuple[int, int]
+    meter_ids: tuple[int, ...]
+    attack: PricingAttack
+
+    def __post_init__(self) -> None:
+        lo, hi = self.days
+        if lo < 0 or hi < lo:
+            raise ValueError(f"days must satisfy 0 <= lo <= hi, got {self.days}")
+        object.__setattr__(self, "days", (int(lo), int(hi)))
+        meter_ids = tuple(sorted(set(int(m) for m in self.meter_ids)))
+        if not meter_ids:
+            raise ValueError("meter_ids must be non-empty")
+        if meter_ids[0] < 0:
+            raise ValueError(f"meter_ids must be >= 0, got {self.meter_ids}")
+        object.__setattr__(self, "meter_ids", meter_ids)
+
+    @property
+    def kind(self) -> str:
+        return attack_kind(self.attack)
+
+    def active_on(self, day: int) -> bool:
+        lo, hi = self.days
+        return lo <= day < hi
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "days": list(self.days),
+            "meter_ids": list(self.meter_ids),
+            "attack": attack_to_dict(self.attack),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ScriptedOccurrence":
+        days = payload["days"]
+        return cls(
+            days=(int(days[0]), int(days[1])),
+            meter_ids=tuple(int(m) for m in payload["meter_ids"]),
+            attack=attack_from_dict(payload["attack"]),
+        )
+
+
 class SyntheticSource:
     """Deterministic scripted event generator (no RNG anywhere).
 
@@ -382,6 +455,11 @@ class SyntheticSource:
         Meter ids compromised during the window.
     attack:
         The manipulation installed on compromised meters.
+    occurrences:
+        Additional scripted :class:`ScriptedOccurrence` entries — each
+        is announced on the stream with an
+        :class:`~repro.stream.events.AttackOccurrence` event when it
+        goes live and manipulates its meters' readings while active.
     base_price, modulation:
         Price scale and weekly modulation depth.
     """
@@ -395,6 +473,7 @@ class SyntheticSource:
         attack_days: tuple[int, int] = (0, 0),
         hacked_meters: Sequence[int] = (),
         attack: PeakIncreaseAttack | None = None,
+        occurrences: Sequence[ScriptedOccurrence] = (),
         base_price: float = 0.03,
         modulation: float = 0.05,
     ) -> None:
@@ -409,6 +488,12 @@ class SyntheticSource:
             if not 0 <= meter_id < n_meters:
                 raise ValueError(
                     f"hacked meter id {meter_id} out of range [0, {n_meters})"
+                )
+        for occurrence in occurrences:
+            if occurrence.meter_ids[-1] >= n_meters:
+                raise ValueError(
+                    f"occurrence meter id {occurrence.meter_ids[-1]} out of "
+                    f"range [0, {n_meters})"
                 )
         self.n_meters = n_meters
         self.n_days = n_days
@@ -426,13 +511,17 @@ class SyntheticSource:
         )
         self.base_price = base_price
         self.modulation = modulation
+        self.occurrences = tuple(occurrences)
         self.profile = synthetic_price_profile(slots_per_day, base_price=base_price)
         self._next_index = 0
         self._active: set[int] = set()
+        self._active_occurrences: set[int] = set()
+        self._due: list[StreamEvent] = []
 
     # ------------------------------------------------------------------
     @property
     def events_per_day(self) -> int:
+        """Grid events per day (occurrence announcements ride on top)."""
         return self.slots_per_day + 2
 
     @property
@@ -441,7 +530,7 @@ class SyntheticSource:
 
     @property
     def exhausted(self) -> bool:
-        return self._next_index >= self.n_events
+        return not self._due and self._next_index >= self.n_events
 
     def clean_prices(self, day: int) -> NDArray[np.float64]:
         """The posted guideline price of one day (deterministic)."""
@@ -456,6 +545,8 @@ class SyntheticSource:
         return lo <= day < hi
 
     def next_event(self) -> StreamEvent | None:
+        if self._due:
+            return self._due.pop(0)
         day, pos = divmod(self._next_index, self.events_per_day)
         if day >= self.n_days:
             return None
@@ -465,6 +556,24 @@ class SyntheticSource:
                 self._active = set(self.hacked_meters)
             else:
                 self._active = set()
+            previously_active = self._active_occurrences
+            self._active_occurrences = {
+                index
+                for index, occurrence in enumerate(self.occurrences)
+                if occurrence.active_on(day)
+            }
+            # Announce occurrences going live this day (newly active, or
+            # re-arming after a repair) right after the price update.
+            for index in sorted(self._active_occurrences - previously_active):
+                occurrence = self.occurrences[index]
+                self._due.append(
+                    AttackOccurrence(
+                        slot=day * self.slots_per_day,
+                        kind=occurrence.kind,
+                        meter_ids=occurrence.meter_ids,
+                        attack=attack_to_dict(occurrence.attack),
+                    )
+                )
             return PriceUpdate(
                 day=day,
                 clean_prices=self.clean_prices(day),
@@ -474,28 +583,86 @@ class SyntheticSource:
             slot = day * self.slots_per_day + (pos - 1)
             clean = self.clean_prices(day)
             received = np.tile(clean, (self.n_meters, 1))
+            actual = np.tile(clean, (self.n_meters, 1))
             truth = np.zeros(self.n_meters, dtype=bool)
             for meter_id in sorted(self._active):
-                received[meter_id] = self.attack.apply(clean)
+                attacked = self.attack.apply(clean)
+                actual[meter_id] = attacked
+                received[meter_id] = self.attack.report(clean, attacked)
                 truth[meter_id] = True
-            return MeterReading(slot=slot, received=received, truth=truth)
+            for index in sorted(self._active_occurrences):
+                occurrence = self.occurrences[index]
+                attacked = occurrence.attack.apply(clean)
+                reported = occurrence.attack.report(clean, attacked)
+                # A zero-intensity payload perturbs nothing — physically
+                # and observationally a clean meter — so it must not
+                # overlay rows or flip ground-truth labels (inertness
+                # pin in tests/test_attack_taxonomy.py).
+                if np.array_equal(attacked, clean) and np.array_equal(
+                    reported, clean
+                ):
+                    continue
+                for meter_id in occurrence.meter_ids:
+                    actual[meter_id] = attacked
+                    received[meter_id] = reported
+                    truth[meter_id] = True
+            return MeterReading(
+                slot=slot,
+                received=received,
+                truth=truth,
+                actual=None if np.array_equal(actual, received) else actual,
+            )
         return DayBoundary(day=day)
 
+    def _occurrence_perturbs(self, occurrence: ScriptedOccurrence, day: int) -> bool:
+        """Whether the occurrence actually changes the day's readings."""
+        clean = self.clean_prices(day)
+        attacked = occurrence.attack.apply(clean)
+        reported = occurrence.attack.report(clean, attacked)
+        return not (
+            np.array_equal(attacked, clean) and np.array_equal(reported, clean)
+        )
+
     def apply_repair(self) -> int:
-        """Clear the compromised set until the next scripted attack day."""
-        repaired = len(self._active)
+        """Clear the compromised set until the next scripted attack day.
+
+        Inert (zero-intensity) occurrences are cleared too but never
+        counted: their meters were indistinguishable from clean ones, so
+        a repair dispatch cannot have fixed anything there.
+        """
+        day = min(
+            max(self._next_index - 1, 0) // self.events_per_day,
+            self.n_days - 1,
+        )
+        repaired_meters = set(self._active)
+        for index in self._active_occurrences:
+            occurrence = self.occurrences[index]
+            if self._occurrence_perturbs(occurrence, day):
+                repaired_meters.update(occurrence.meter_ids)
         self._active.clear()
-        return repaired
+        self._active_occurrences.clear()
+        return len(repaired_meters)
 
     def state_dict(self) -> dict[str, Any]:
+        from repro.stream.events import event_to_dict
+
         return {
             "kind": "synthetic",
             "next_index": self._next_index,
             "active": sorted(self._active),
+            "active_occurrences": sorted(self._active_occurrences),
+            "due": [event_to_dict(event) for event in self._due],
         }
 
     def load_state(self, state: dict[str, Any]) -> None:
+        from repro.stream.events import event_from_dict
+
         if state.get("kind") != "synthetic":
             raise ValueError(f"not a synthetic-source state: {state.get('kind')!r}")
         self._next_index = int(state["next_index"])
         self._active = set(int(m) for m in state["active"])
+        # Pre-taxonomy checkpoints carry neither field; both default empty.
+        self._active_occurrences = set(
+            int(i) for i in state.get("active_occurrences", [])
+        )
+        self._due = [event_from_dict(payload) for payload in state.get("due", [])]

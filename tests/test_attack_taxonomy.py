@@ -1,0 +1,323 @@
+"""Tests for the attack taxonomy: registry, families, streams, resume.
+
+The taxonomy contracts of ``docs/SCENARIOS.md``:
+
+- every registered attack kind serializes through the kind-tagged
+  registry and round-trips to an equal instance; legacy kind-less
+  payloads (pre-taxonomy checkpoints) still deserialize;
+- zero-intensity attacks are inert — the attacked trace equals the
+  clean trace bitwise — and honest families report exactly what they
+  applied (object identity, so legacy events serialize unchanged);
+- :class:`~repro.attacks.hacking.MeterHackingProcess` round-trips its
+  compromise state per family, and its RNG consumption is
+  family-independent (same seed ⇒ same compromise dynamics whatever
+  the payload kind);
+- scripted :class:`~repro.stream.source.ScriptedOccurrence` campaigns
+  flow through the synthetic stream as first-class
+  :class:`~repro.stream.events.AttackOccurrence` events, land on the
+  pipeline's ground-truth ledger, and survive checkpoint cut/resume
+  bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ATTACK_FAMILIES,
+    CoordinatedRampAttack,
+    MeterOutageAttack,
+    PeakIncreaseAttack,
+    TelemetrySpoofAttack,
+    attack_from_dict,
+    attack_kind,
+    attack_kinds,
+    attack_to_dict,
+)
+from repro.attacks.hacking import MeterHackingProcess
+from repro.attacks.pricing import BillIncreaseAttack, ScalingAttack, ZeroPriceAttack
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.simulation.cache import GameSolutionCache
+from repro.stream import (
+    AttackOccurrence,
+    ScriptedOccurrence,
+    build_synthetic_engine,
+    event_from_dict,
+    event_to_dict,
+    resume_engine,
+    save_checkpoint,
+)
+
+PRICES = np.linspace(0.02, 0.12, 24)
+
+SAMPLE_ATTACKS = {
+    "zero_price": ZeroPriceAttack(start_slot=3, end_slot=5),
+    "scaling": ScalingAttack(start_slot=3, end_slot=5, factor=0.4),
+    "peak_increase": PeakIncreaseAttack(start_slot=3, end_slot=5, strength=0.6),
+    "bill_increase": BillIncreaseAttack(start_slot=3, end_slot=5, inflation=1.5),
+    "coordinated_ramp": CoordinatedRampAttack(
+        start_slot=3, end_slot=8, intensity=0.5
+    ),
+    "telemetry_spoof": TelemetrySpoofAttack(
+        start_slot=3, end_slot=5, strength=0.6, blend=0.5
+    ),
+    "meter_outage": MeterOutageAttack(start_slot=3, end_slot=5, strength=0.6),
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> CommunityConfig:
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0,
+            initial_kwh=0.0,
+            max_charge_kw=0.5,
+            max_discharge_kw=0.5,
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+class TestRegistry:
+    def test_every_kind_has_a_sample(self):
+        assert sorted(SAMPLE_ATTACKS) == sorted(attack_kinds())
+
+    @pytest.mark.parametrize("kind", sorted(SAMPLE_ATTACKS))
+    def test_round_trip(self, kind):
+        attack = SAMPLE_ATTACKS[kind]
+        payload = attack_to_dict(attack)
+        assert payload["kind"] == kind == attack_kind(attack)
+        assert attack_from_dict(payload) == attack
+
+    def test_legacy_kindless_payload_is_peak_increase(self):
+        """Pre-taxonomy checkpoints serialized bare windowed fields."""
+        attack = attack_from_dict(
+            {"start_slot": 3, "end_slot": 5, "strength": 0.45}
+        )
+        assert attack == PeakIncreaseAttack(start_slot=3, end_slot=5, strength=0.45)
+
+    def test_unknown_kind_and_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack kind"):
+            attack_from_dict({"kind": "emp_burst", "start_slot": 0, "end_slot": 1})
+        with pytest.raises(ValueError, match="unknown fields"):
+            attack_from_dict(
+                {"kind": "meter_outage", "start_slot": 0, "end_slot": 1, "x": 2}
+            )
+
+
+class TestInertnessAndReporting:
+    def test_zero_intensity_ramp_is_inert(self):
+        """Intensity 0 must leave the clean trace untouched, bitwise."""
+        attack = CoordinatedRampAttack(start_slot=2, end_slot=9, intensity=0.0)
+        attacked = attack.apply(PRICES)
+        assert np.array_equal(attacked, PRICES)
+        assert attack.report(PRICES, attacked) is attacked
+
+    def test_ramp_discounts_monotonically_inside_window(self):
+        attack = CoordinatedRampAttack(start_slot=4, end_slot=9, intensity=0.5)
+        attacked = attack.apply(np.full(24, 0.1))
+        window = attacked[4:10]
+        assert np.all(np.diff(window) < 0)
+        assert np.array_equal(attacked[:4], np.full(4, 0.1))
+        assert np.array_equal(attacked[10:], np.full(14, 0.1))
+
+    def test_honest_families_report_what_they_applied(self):
+        """Default ``report`` is the identity on the applied trace."""
+        for attack in (
+            SAMPLE_ATTACKS["peak_increase"],
+            SAMPLE_ATTACKS["coordinated_ramp"],
+            SAMPLE_ATTACKS["zero_price"],
+        ):
+            attacked = attack.apply(PRICES)
+            assert attack.report(PRICES, attacked) is attacked
+
+    def test_outage_reports_the_clean_trace(self):
+        """An outage meter responds to the attack but reports clean."""
+        attack = SAMPLE_ATTACKS["meter_outage"]
+        attacked = attack.apply(PRICES)
+        assert not np.array_equal(attacked, PRICES)
+        reported = attack.report(PRICES, attacked)
+        assert np.array_equal(reported, PRICES)
+        assert reported is not PRICES  # a copy: downstream may mutate
+
+    def test_spoof_blends_report_toward_clean(self):
+        attack = TelemetrySpoofAttack(
+            start_slot=3, end_slot=5, strength=0.6, blend=0.25
+        )
+        attacked = attack.apply(PRICES)
+        reported = attack.report(PRICES, attacked)
+        assert np.array_equal(reported, attacked + 0.25 * (PRICES - attacked))
+        full_blend = TelemetrySpoofAttack(
+            start_slot=3, end_slot=5, strength=0.6, blend=1.0
+        )
+        assert np.array_equal(
+            full_blend.report(PRICES, full_blend.apply(PRICES)), PRICES
+        )
+        no_blend = TelemetrySpoofAttack(
+            start_slot=3, end_slot=5, strength=0.6, blend=0.0
+        )
+        assert no_blend.report(PRICES, attacked) is attacked
+
+
+class TestHackingProcessFamilies:
+    @pytest.mark.parametrize("family", ATTACK_FAMILIES)
+    def test_state_round_trip(self, family):
+        process = MeterHackingProcess(
+            6, 0.6, rng=np.random.default_rng(5), attack_family=family
+        )
+        for _ in range(4):
+            process.step()
+        assert process.n_hacked > 0
+        state = process.state_dict()
+        clone = MeterHackingProcess(
+            6, 0.6, rng=np.random.default_rng(999), attack_family=family
+        )
+        clone.load_state(state)
+        assert clone.hacked_meters == process.hacked_meters
+        assert clone.state_dict() == state
+        for meter in clone.hacked_meters:
+            assert attack_kind(meter.attack) == family
+
+    def test_rng_consumption_is_family_independent(self):
+        """Same seed ⇒ identical compromise dynamics for every family:
+        each draw consumes exactly (width, start, strength)."""
+        baselines = None
+        for family in ATTACK_FAMILIES:
+            process = MeterHackingProcess(
+                8,
+                0.5,
+                rng=np.random.default_rng(21),  # repro: noqa[SEED003] same stream per family on purpose
+                attack_family=family,
+            )
+            for _ in range(6):
+                process.step()
+            trace = [
+                (m.meter_id, m.hacked_at_slot, m.attack.start_slot, m.attack.end_slot)
+                for m in process.hacked_meters
+            ]
+            if baselines is None:
+                baselines = trace
+            else:
+                assert trace == baselines, family
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="attack_family"):
+            MeterHackingProcess(4, 0.5, attack_family="carrier_pigeon")
+
+
+class TestOccurrenceEvents:
+    def test_event_round_trip(self):
+        event = AttackOccurrence(
+            slot=48,
+            kind="meter_outage",
+            meter_ids=(1, 3),
+            attack=attack_to_dict(SAMPLE_ATTACKS["meter_outage"]),
+        )
+        payload = event_to_dict(event)
+        restored = event_from_dict(payload)
+        assert restored == event
+        assert event_to_dict(restored) == payload
+
+    def test_scripted_occurrence_round_trip(self):
+        occurrence = ScriptedOccurrence(
+            days=(1, 3),  # active on days 1 and 2 (end-exclusive)
+            meter_ids=(0, 2),
+            attack=SAMPLE_ATTACKS["telemetry_spoof"],
+        )
+        assert ScriptedOccurrence.from_dict(occurrence.to_dict()) == occurrence
+        assert occurrence.kind == "telemetry_spoof"
+
+    def test_pipeline_ledger_and_cut_resume_bitwise(self, tiny_config, tmp_path):
+        """Occurrences appear on the ground-truth ledger and a killed
+        stream resumes bitwise-identically through them."""
+        occurrences = (
+            ScriptedOccurrence(
+                days=(1, 3),
+                meter_ids=(2,),
+                attack=MeterOutageAttack(start_slot=4, end_slot=5, strength=0.6),
+            ),
+            ScriptedOccurrence(
+                days=(2, 3),
+                meter_ids=(0, 3),
+                attack=TelemetrySpoofAttack(
+                    start_slot=3, end_slot=5, strength=0.5, blend=0.8
+                ),
+            ),
+        )
+        cache = GameSolutionCache()
+        reference = build_synthetic_engine(
+            tiny_config,
+            n_days=4,
+            attack_days=(1, 3),
+            occurrences=occurrences,
+            cache=cache,
+        )
+        reference.run()
+        ledger = reference.pipeline.occurrences
+        assert [entry["kind"] for entry in ledger].count("meter_outage") >= 1
+        assert [entry["kind"] for entry in ledger].count("telemetry_spoof") >= 1
+        assert reference.pipeline.detection_stats()["occurrences"] == len(ledger)
+
+        cut = build_synthetic_engine(
+            tiny_config,
+            n_days=4,
+            attack_days=(1, 3),
+            occurrences=occurrences,
+            cache=cache,
+        )
+        cut.run(max_events=19)
+        path = tmp_path / "cut.json"
+        save_checkpoint(cut, path)
+        resumed = resume_engine(path, cache=cache)
+        resumed.run()
+        assert len(resumed.pipeline.timeline) == len(reference.pipeline.timeline)
+        for a, b in zip(reference.pipeline.timeline, resumed.pipeline.timeline):
+            assert a.to_dict() == b.to_dict()
+        assert resumed.pipeline.occurrences == ledger
+
+    def test_zero_intensity_occurrence_leaves_stream_untouched(
+        self, tiny_config
+    ):
+        """An inert (zero-intensity) campaign must not change a single
+        detection or reading relative to a run with no campaign at all."""
+        cache = GameSolutionCache()
+        inert = ScriptedOccurrence(
+            days=(1, 2),
+            meter_ids=(1, 3),
+            attack=CoordinatedRampAttack(start_slot=4, end_slot=9, intensity=0.0),
+        )
+        with_inert = build_synthetic_engine(
+            tiny_config,
+            n_days=3,
+            attack_days=(1, 2),
+            occurrences=(inert,),
+            cache=cache,
+        )
+        with_inert.run()
+        without = build_synthetic_engine(
+            tiny_config, n_days=3, attack_days=(1, 2), cache=cache
+        )
+        without.run()
+        assert len(with_inert.pipeline.timeline) == len(without.pipeline.timeline)
+        for a, b in zip(with_inert.pipeline.timeline, without.pipeline.timeline):
+            assert a.to_dict() == b.to_dict()
