@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-program typecheck coverage refresh-golden bench bench-quick figures matrix matrix-smoke stream-smoke obs-smoke fleet-smoke fleet-bench
+.PHONY: test lint lint-program typecheck coverage refresh-golden bench bench-quick figures matrix matrix-smoke stream-smoke obs-smoke fleet-smoke fleet-bench scoreboard-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -95,3 +95,27 @@ fleet-smoke:
 # (events/sec + lockstep-tick latency percentiles).
 fleet-bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.fleet.bench
+
+# Campaign fleet + resilience scoreboard + merged fleet trace (CI's
+# scoreboard-smoke job): serve a traced fleet with announced attacks,
+# drain it over HTTP, scrape /scoreboard and the Prometheus series,
+# then validate the scoreboard merge and the Chrome-trace pid/tid grid.
+scoreboard-smoke:
+	@set -e; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet serve \
+		--communities 3 --shards 2 --days 2 --port 8051 \
+		--campaign --trace --trace-out fleet_trace.json & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 60); do \
+		curl -sf localhost:8051/healthz >/dev/null 2>&1 && break; sleep 1; \
+	done; \
+	curl -s -X POST localhost:8051/advance -d '{"until_day": 2}' >/dev/null; \
+	curl -sf localhost:8051/scoreboard > scoreboard.json; \
+	curl -sf localhost:8051/trace > fleet_trace_live.json; \
+	kill $$SERVE_PID; wait $$SERVE_PID 2>/dev/null || true; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/validate_obs.py \
+		--scoreboard scoreboard.json --fleet-trace fleet_trace_live.json \
+		--skip-prometheus; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/validate_obs.py \
+		--fleet-trace fleet_trace.json --skip-prometheus; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace fleet_trace.json

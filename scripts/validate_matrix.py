@@ -7,9 +7,11 @@ Usage::
 Checks the artifact against the ``repro-sweep-matrix`` schema: format
 marker and version, axis lists, a cell for every coordinate in the axis
 product (no more, no fewer), axis membership of every cell, finite
-metrics, and well-formed SHA-256 digests.  Exits nonzero with a message
-on the first violation — CI's matrix-smoke job runs this after the
-quick grid.
+metrics, well-formed SHA-256 digests, and an internally consistent
+resilience scoreboard block per cell (integer counters, mean == total /
+episodes, availability/false-alarm fractions derived from their sums).
+Exits nonzero with a message on the first violation — CI's matrix-smoke
+job runs this after the quick grid.
 """
 
 from __future__ import annotations
@@ -34,6 +36,83 @@ class MatrixValidationError(ValueError):
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise MatrixValidationError(message)
+
+
+def _check_counter(value: object, label: str) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+        f"{label}: must be a non-negative integer, got {value!r}",
+    )
+    assert isinstance(value, int)
+    return value
+
+
+def _check_scoreboard(block: object, label: str) -> None:
+    """One cell's resilience block (``repro-scoreboard`` report shape)."""
+    _require(isinstance(block, dict), f"{label}: must be an object")
+    assert isinstance(block, dict)
+    _require(
+        block.get("format") == "repro-scoreboard",
+        f"{label}.format: must be 'repro-scoreboard', got {block.get('format')!r}",
+    )
+    slots = block.get("slots")
+    _require(isinstance(slots, dict), f"{label}.slots: must be an object")
+    assert isinstance(slots, dict)
+    total = _check_counter(slots.get("total"), f"{label}.slots.total")
+    parts = sum(
+        _check_counter(slots.get(k), f"{label}.slots.{k}")
+        for k in ("scored", "unscored", "gaps")
+    )
+    _require(
+        parts == total,
+        f"{label}.slots: scored+unscored+gaps ({parts}) != total ({total})",
+    )
+    episodes = block.get("episodes")
+    _require(isinstance(episodes, dict), f"{label}.episodes: must be an object")
+    assert isinstance(episodes, dict)
+    for key in ("total", "detected", "missed", "resolved", "open"):
+        _check_counter(episodes.get(key), f"{label}.episodes.{key}")
+    for section in ("mttd", "mttr"):
+        stats = block.get(section)
+        _require(isinstance(stats, dict), f"{label}.{section}: must be an object")
+        assert isinstance(stats, dict)
+        n = _check_counter(stats.get("episodes"), f"{label}.{section}.episodes")
+        slots_sum = _check_counter(
+            stats.get("total_slots"), f"{label}.{section}.total_slots"
+        )
+        mean = stats.get("mean_slots")
+        if n == 0:
+            _require(
+                mean is None,
+                f"{label}.{section}.mean_slots: must be null with no episodes",
+            )
+        else:
+            _require(
+                mean == slots_sum / n,
+                f"{label}.{section}.mean_slots: {mean!r} != "
+                f"total_slots/episodes ({slots_sum}/{n})",
+            )
+    availability = block.get("availability")
+    _require(isinstance(availability, dict), f"{label}.availability: must be an object")
+    assert isinstance(availability, dict)
+    attacked = _check_counter(
+        availability.get("attacked_slots"), f"{label}.availability.attacked_slots"
+    )
+    observed = _check_counter(
+        availability.get("observed_slots"), f"{label}.availability.observed_slots"
+    )
+    fraction = availability.get("fraction")
+    if attacked == 0:
+        _require(
+            fraction is None,
+            f"{label}.availability.fraction: must be null with no attacked slots",
+        )
+    else:
+        _require(
+            fraction == observed / attacked,
+            f"{label}.availability.fraction: {fraction!r} != "
+            f"observed/attacked ({observed}/{attacked})",
+        )
 
 
 def _check_digest(value: object, label: str) -> None:
@@ -118,6 +197,7 @@ def validate_matrix(payload: object) -> int:
         )
         for field in DIGEST_FIELDS:
             _check_digest(cell.get(field), f"{label}.{field}")
+        _check_scoreboard(cell.get("scoreboard"), f"{label}.scoreboard")
     missing = expected - seen
     if missing:
         raise MatrixValidationError(

@@ -18,9 +18,17 @@ Three independent checks (all run; first failure reported per check):
    ``PerfRegistry``, render it with :func:`render_prometheus`, and
    re-parse with :func:`parse_prometheus_text` (the strict parser CI
    relies on to reject malformed expositions).
+4. **Fleet trace** (``--fleet-trace``) — a *merged* fleet Chrome trace:
+   all metadata events lead, the deterministic pid/tid grid names one
+   process per shard (plus the aggregator), and the fleet span names
+   (``fleet.tick``/``fleet.shard_tick``/``stream.slot``) are present.
+5. **Scoreboard** (``--scoreboard``) — a ``GET /scoreboard`` response
+   body: fleet/shards/communities blocks, each a consistent
+   ``repro-scoreboard`` report, with the fleet block equal to the
+   exact merge of the community reports.
 
 Exit code 0 only when every requested check passes — CI's ``obs-smoke``
-job runs this right after ``repro stream --trace --audit``.
+and ``scoreboard-smoke`` jobs run this right after their traced runs.
 """
 
 from __future__ import annotations
@@ -38,11 +46,17 @@ from repro.obs.prometheus import (  # noqa: E402
     parse_prometheus_text,
     render_prometheus,
 )
+from repro.obs.scoreboard import merge_reports  # noqa: E402
 from repro.perf.counters import PerfRegistry  # noqa: E402
 
 REQUIRED_SPANS = {"stream.run", "stream.day", "stream.slot", "detector.update"}
+FLEET_REQUIRED_SPANS = {"fleet.tick", "fleet.shard_tick", "stream.slot"}
 AUDIT_REQUIRED = {"format", "version", "kind", "slot", "day", "observation"}
 AUDIT_KINDS = {"detection", "gap"}
+SCOREBOARD_SECTIONS = (
+    "slots", "confusion", "episodes", "mttd", "mttr",
+    "availability", "false_alarms", "families",
+)
 
 
 def validate_trace(path: Path) -> list[str]:
@@ -71,6 +85,135 @@ def validate_trace(path: Path) -> list[str]:
     missing = REQUIRED_SPANS - {event.get("name") for event in events}
     if missing:
         problems.append(f"required span names absent: {sorted(missing)}")
+    return problems
+
+
+def validate_fleet_trace(path: Path) -> list[str]:
+    """Return a list of problems with a merged fleet Chrome trace."""
+    problems: list[str] = []
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace JSON: {exc}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    if "run_id" not in doc.get("metadata", {}):
+        problems.append("metadata.run_id missing (no run manifest?)")
+    if "fleet_layout" not in doc.get("metadata", {}):
+        problems.append("metadata.fleet_layout missing (not a fleet merge?)")
+    # All metadata (M) events lead: the pid/tid grid is declared before
+    # any span so Perfetto names every lane on first sight.
+    first_x = next(
+        (i for i, e in enumerate(events) if e.get("ph") != "M"), len(events)
+    )
+    straggler = next(
+        (i for i, e in enumerate(events[first_x:], start=first_x)
+         if e.get("ph") == "M"),
+        None,
+    )
+    if straggler is not None:
+        problems.append(f"metadata event {straggler} after the first span")
+    processes = {
+        e.get("pid"): e.get("args", {}).get("name")
+        for e in events[:first_x]
+        if e.get("name") == "process_name"
+    }
+    threads = [
+        e for e in events[:first_x] if e.get("name") == "thread_name"
+    ]
+    if len(processes) < 2:
+        problems.append(
+            f"expected aggregator + >=1 shard process, got {len(processes)}"
+        )
+    shard_names = [n for n in processes.values()
+                   if isinstance(n, str) and n.startswith("shard:")]
+    if not shard_names:
+        problems.append("no shard:* process in the pid grid")
+    if not any(
+        isinstance(t.get("args", {}).get("name"), str)
+        and t["args"]["name"].startswith("community:")
+        for t in threads
+    ):
+        problems.append("no community:* thread lane in the tid grid")
+    for i, event in enumerate(events[first_x:], start=first_x):
+        if event.get("ph") != "X":
+            problems.append(f"event {i}: ph={event.get('ph')!r}, expected 'X'")
+        elif event.get("ts", -1) < 0 or event.get("dur", -1) < 0:
+            problems.append(f"event {i} ({event.get('name')}): negative ts/dur")
+        elif "span_id" not in event.get("args", {}):
+            problems.append(f"event {i} ({event.get('name')}): no span_id arg")
+        elif event.get("pid") not in processes:
+            problems.append(
+                f"event {i} ({event.get('name')}): pid {event.get('pid')!r} "
+                "has no process_name metadata"
+            )
+        if problems:
+            break  # one representative failure is enough
+    missing = FLEET_REQUIRED_SPANS - {event.get("name") for event in events}
+    if missing:
+        problems.append(f"required fleet span names absent: {sorted(missing)}")
+    return problems
+
+
+def _scoreboard_problems(report: object, label: str) -> list[str]:
+    """Shape + internal-consistency problems of one scoreboard report."""
+    if not isinstance(report, dict):
+        return [f"{label}: not an object"]
+    if report.get("format") != "repro-scoreboard":
+        return [f"{label}: format={report.get('format')!r}"]
+    missing = [k for k in SCOREBOARD_SECTIONS if k not in report]
+    if missing:
+        return [f"{label}: missing sections {missing}"]
+    problems: list[str] = []
+    slots = report["slots"]
+    if slots["scored"] + slots["unscored"] + slots["gaps"] != slots["total"]:
+        problems.append(f"{label}: slots do not sum to total")
+    episodes = report["episodes"]
+    if episodes["detected"] + episodes["missed"] != episodes["total"]:
+        problems.append(f"{label}: detected+missed != total episodes")
+    for section in ("mttd", "mttr"):
+        stats = report[section]
+        n, total = stats["episodes"], stats["total_slots"]
+        mean = stats["mean_slots"]
+        if (mean is None) != (n == 0) or (n and mean != total / n):
+            problems.append(f"{label}: inconsistent {section} mean")
+    availability = report["availability"]
+    attacked = availability["attacked_slots"]
+    fraction = availability["fraction"]
+    if (fraction is None) != (attacked == 0) or (
+        attacked and fraction != availability["observed_slots"] / attacked
+    ):
+        problems.append(f"{label}: inconsistent availability fraction")
+    return problems
+
+
+def validate_scoreboard(path: Path) -> list[str]:
+    """Return a list of problems with a ``GET /scoreboard`` body."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"unreadable scoreboard JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["scoreboard body is not an object"]
+    missing = [k for k in ("fleet", "shards", "communities") if k not in doc]
+    if missing:
+        return [f"missing top-level blocks: {missing}"]
+    problems = _scoreboard_problems(doc["fleet"], "fleet")
+    for group in ("shards", "communities"):
+        block = doc[group]
+        if not isinstance(block, dict) or not block:
+            problems.append(f"{group}: missing or empty")
+            continue
+        for key in block:
+            problems.extend(_scoreboard_problems(block[key], f"{group}.{key}"))
+    if not problems:
+        # The fleet block must be the *exact* integer-sum merge of the
+        # per-community reports — the invariant the tests pin in-process,
+        # re-checked here against the live HTTP artifact.
+        merged = merge_reports(list(doc["communities"].values()))
+        if merged != doc["fleet"]:
+            problems.append("fleet block != merge of community reports")
     return problems
 
 
@@ -124,6 +267,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", type=Path, help="Chrome trace-event JSON")
     parser.add_argument("--audit", type=Path, help="audit-trail JSONL")
     parser.add_argument(
+        "--fleet-trace", type=Path,
+        help="merged fleet Chrome trace (GET /trace or --trace-out)",
+    )
+    parser.add_argument(
+        "--scoreboard", type=Path,
+        help="GET /scoreboard response body (JSON)",
+    )
+    parser.add_argument(
         "--skip-prometheus",
         action="store_true",
         help="skip the in-process render/parse round trip",
@@ -135,10 +286,16 @@ def main(argv: list[str] | None = None) -> int:
         checks.append(("trace", validate_trace(args.trace)))
     if args.audit is not None:
         checks.append(("audit", validate_audit(args.audit)))
+    if args.fleet_trace is not None:
+        checks.append(("fleet-trace", validate_fleet_trace(args.fleet_trace)))
+    if args.scoreboard is not None:
+        checks.append(("scoreboard", validate_scoreboard(args.scoreboard)))
     if not args.skip_prometheus:
         checks.append(("prometheus", validate_prometheus()))
     if not checks:
-        parser.error("nothing to do: pass --trace and/or --audit")
+        parser.error(
+            "nothing to do: pass --trace/--audit/--fleet-trace/--scoreboard"
+        )
 
     failed = False
     for name, problems in checks:

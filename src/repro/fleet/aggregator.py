@@ -13,8 +13,15 @@ Endpoints
 - ``GET /detections?community=ID&since=S&limit=L`` — merged fleet
   timeline (tagged with community + shard) or one community's slice.
 - ``GET /metrics`` — perf-counter deltas since the previous scrape;
-  ``?format=prometheus`` publishes per-shard gauges and returns the
-  text exposition (fleet histograms included) instead.
+  ``?format=prometheus`` publishes per-shard gauges plus the fleet
+  scoreboard series and returns the text exposition (fleet histograms
+  included) instead.
+- ``GET /scoreboard`` — resilience metrics (MTTD/MTTR/availability/
+  false alarms/per-family confusion) per community, per shard (exact
+  merge) and fleet-wide.
+- ``GET /trace`` — the merged fleet Chrome trace (deterministic
+  pid/tid per shard/community); 400 ``trace_disabled`` unless the
+  tracer is on.
 - ``GET /healthz`` — liveness.
 - ``POST /advance`` — lockstep ticks (``{"ticks": N}`` and/or
   ``{"until_day": D}``).
@@ -33,8 +40,11 @@ from typing import Any
 
 from repro.fleet.checkpoint import save_fleet_checkpoint
 from repro.fleet.engine import FleetEngine
+from repro.obs.fleettrace import to_fleet_chrome_trace
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.prometheus import render_prometheus
+from repro.obs.scoreboard import ScoreboardPublisher
+from repro.obs.trace import TRACER
 from repro.perf.counters import PERF
 from repro.service.app import ServiceError, _int_field, _int_param, _TextResponse
 
@@ -63,6 +73,9 @@ class FleetAggregator:
         )
         self._lock = threading.Lock()
         self._metrics_baseline = PERF.snapshot()
+        self._scoreboard_publisher = ScoreboardPublisher(
+            PERF, prefix="fleet.scoreboard"
+        )
 
     # ------------------------------------------------------------------
     def status(self) -> dict[str, Any]:
@@ -134,11 +147,33 @@ class FleetAggregator:
 
         Lifetime totals only (no JSON-delta re-baseline), so Prometheus
         scrapes and JSON scrapes can interleave, exactly like the
-        single-community service.
+        single-community service.  Each scrape also republishes the
+        fleet scoreboard: availability/false-alarm/episode gauges plus
+        ``fleet.scoreboard.mttd_slots``/``mttr_slots`` histogram
+        samples (only the episodes new since the previous scrape).
         """
         with self._lock:
             self.fleet.publish_shard_gauges()
+            scoreboard = self.fleet.scoreboard()
+            self._scoreboard_publisher.publish(
+                scoreboard["fleet"], scoreboard["communities"]
+            )
             return render_prometheus(PERF)
+
+    def scoreboard(self) -> dict[str, Any]:
+        """Resilience metrics: per community, per shard, fleet-wide."""
+        with self._lock:
+            return self.fleet.scoreboard()
+
+    def trace_chrome(self) -> dict[str, Any]:
+        """The merged fleet Chrome trace (Perfetto-loadable JSON)."""
+        with self._lock:
+            if not TRACER.enabled and not TRACER.spans():
+                raise ServiceError(
+                    "tracing is disabled (start with --trace)",
+                    code="trace_disabled",
+                )
+            return to_fleet_chrome_trace(TRACER, self.fleet.trace_layout())
 
     def checkpoint(self) -> dict[str, Any]:
         if self.checkpoint_dir is None:
@@ -253,6 +288,10 @@ class _FleetHandler(BaseHTTPRequestHandler):
                         f"format must be 'json' or 'prometheus', got {fmt!r}"
                     )
                 return aggregator.metrics()
+            if path == "/scoreboard":
+                return aggregator.scoreboard()
+            if path == "/trace":
+                return aggregator.trace_chrome()
             if path == "/healthz":
                 return {"ok": True}
             return None

@@ -36,6 +36,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.fleet.checkpoint import FLEET_MANIFEST_NAME, resume_fleet
     from repro.fleet.engine import build_fleet
     from repro.fleet.loadgen import LoadGenerator
+    from repro.obs.fleettrace import write_fleet_trace
+    from repro.obs.trace import TRACER
     from repro.simulation.cache import GameSolutionCache
 
     cache = GameSolutionCache()
@@ -64,14 +66,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             n_days=args.days,
             seed=base.seed,
             faults=faults,
+            announce_attacks=args.campaign,
         )
         fleet = build_fleet(
             generator.specs(), n_shards=args.shards, cache=cache
+        )
+    if args.trace or args.trace_out is not None:
+        from repro.obs.manifest import build_manifest
+
+        metadata = None
+        if not args.resume:
+            metadata = build_manifest(base, command="fleet-serve")
+        TRACER.enable(
+            run_id=f"fleet-{args.preset}-c{args.communities}s{args.shards}",
+            metadata=metadata,
         )
     if args.checkpoint_dir is not None:
         args.checkpoint_dir.mkdir(parents=True, exist_ok=True)
     aggregator = FleetAggregator(fleet, checkpoint_dir=args.checkpoint_dir)
     run_fleet_service(aggregator, host=args.host, port=args.port)
+    if TRACER.enabled and args.trace_out is not None:
+        write_fleet_trace(TRACER, fleet.trace_layout(), args.trace_out)
+        print(f"fleet trace written to {args.trace_out}")
+    if TRACER.enabled:
+        TRACER.disable()
     return 0
 
 
@@ -108,6 +126,22 @@ def fleet_main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--resume", action="store_true",
         help="resume the fleet from --checkpoint-dir instead of building one",
+    )
+    serve.add_argument(
+        "--campaign", action="store_true",
+        help="announce every community's attack window on the ground-truth "
+        "ledger (scripted campaign) so /scoreboard attributes episodes "
+        "to attack families",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="enable the fleet-wide span tracer (GET /trace serves the "
+        "merged Chrome trace)",
+    )
+    serve.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="write the merged fleet Chrome trace here on shutdown "
+        "(implies --trace)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8010)

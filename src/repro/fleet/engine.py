@@ -25,11 +25,19 @@ from repro.core.config import CommunityConfig, config_from_dict, config_to_dict
 from repro.faults.plan import FaultPlan
 from repro.fleet.ring import HashRing
 from repro.fleet.worker import ShardWorker
+from repro.obs.fleettrace import fleet_trace_layout
+from repro.obs.scoreboard import merge_reports
+from repro.obs.trace import TRACER, TraceContext
 from repro.perf.counters import PERF
 from repro.simulation.cache import GameSolutionCache
 from repro.simulation.scenario import DetectorKind
 from repro.stream.events import event_from_dict
-from repro.stream.pipeline import StreamEngine, build_synthetic_engine
+from repro.stream.pipeline import (
+    StreamEngine,
+    build_synthetic_engine,
+    default_synthetic_attack,
+)
+from repro.stream.source import ScriptedOccurrence
 
 
 @dataclass(frozen=True)
@@ -54,6 +62,7 @@ class CommunitySpec:
     detector: DetectorKind = "aware"
     seed: int = 0
     faults: FaultPlan | None = None
+    announce_attacks: bool = False
 
     def __post_init__(self) -> None:
         if not self.community_id:
@@ -62,11 +71,36 @@ class CommunitySpec:
             raise ValueError(f"n_days must be >= 1, got {self.n_days}")
 
     def build_engine(self, *, cache: GameSolutionCache | None = None) -> StreamEngine:
-        """The community's engine, identical to a standalone build."""
+        """The community's engine, identical to a standalone build.
+
+        With ``announce_attacks`` the window runs as a *scripted
+        campaign*: the same attack on the same meters over the same
+        days, but installed as a :class:`ScriptedOccurrence` — so the
+        source announces it on the ground-truth ledger
+        (:class:`~repro.stream.events.AttackOccurrence`) and the
+        resilience scoreboard can attribute episodes to a family.
+        """
+        attack_days = self.attack_days
+        occurrences: tuple[ScriptedOccurrence, ...] = ()
+        if self.announce_attacks:
+            spd = self.config.time.slots_per_day
+            n_meters = self.config.detection.n_monitored_meters
+            hacked = self.hacked_meters
+            if hacked is None:
+                # Mirror build_synthetic_engine's default hacked set.
+                hacked = tuple(range(max(1, n_meters // 2)))
+            occurrences = (
+                ScriptedOccurrence(
+                    days=self.attack_days,
+                    meter_ids=hacked,
+                    attack=default_synthetic_attack(spd, self.attack_strength),
+                ),
+            )
+            attack_days = (0, 0)
         return build_synthetic_engine(
             self.config,
             n_days=self.n_days,
-            attack_days=self.attack_days,
+            attack_days=attack_days,
             hacked_meters=self.hacked_meters,
             attack_strength=self.attack_strength,
             tp_rate=self.tp_rate,
@@ -75,6 +109,7 @@ class CommunitySpec:
             seed=self.seed,
             cache=cache,
             faults=self.faults,
+            occurrences=occurrences,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -94,6 +129,9 @@ class CommunitySpec:
         }
         if self.faults is not None:
             payload["faults"] = self.faults.to_dict()
+        # Omitted when False so pre-campaign payloads stay byte-stable.
+        if self.announce_attacks:
+            payload["announce_attacks"] = True
         return payload
 
     @classmethod
@@ -115,6 +153,7 @@ class CommunitySpec:
             detector=payload["detector"],
             seed=int(payload["seed"]),
             faults=None if faults is None else FaultPlan.from_dict(faults),
+            announce_attacks=bool(payload.get("announce_attacks", False)),
         )
 
 
@@ -240,8 +279,9 @@ class FleetEngine:
         non-exhausted community (one implicit envelope fleet-wide)."""
         pumped = 0
         with PERF.timer("fleet.advance", hist=True):
-            for worker in self._workers.values():
-                pumped += worker.tick()
+            with TRACER.span("fleet.tick", category="fleet"):
+                for worker in self._workers.values():
+                    pumped += worker.tick()
         PERF.add("fleet.ticks")
         PERF.add("fleet.events", pumped)
         return pumped
@@ -327,16 +367,29 @@ class FleetEngine:
 
         Wire format::
 
-            {"entries": [{"community": "c0001", "event": {...}}, ...]}
+            {"entries": [{"community": "c0001", "event": {...}}, ...],
+             "trace": {"run_id": "...", "span_id": 7}}
 
         Entries are processed in list order; each event is routed via
         the ring to its community's pipeline (the external-feed analogue
         of a lockstep tick).  The whole envelope is validated before any
         entry is applied, so a malformed envelope is rejected atomically.
+
+        The optional ``trace`` field is a propagated
+        :class:`~repro.obs.trace.TraceContext`: when the sender's run id
+        matches the local tracer's, the envelope's processing span is
+        spliced under the sender's parent span, stitching cross-shard
+        work into one fleet trace.
         """
-        unknown = set(payload) - {"entries"}
+        unknown = set(payload) - {"entries", "trace"}
         if unknown:
             raise ValueError(f"unknown envelope fields: {sorted(unknown)}")
+        trace_payload = payload.get("trace")
+        context: TraceContext | None = None
+        if trace_payload is not None:
+            if not isinstance(trace_payload, Mapping):
+                raise ValueError("envelope field 'trace' must be an object")
+            context = TraceContext.from_dict(dict(trace_payload))
         entries = payload.get("entries")
         if not isinstance(entries, list):
             raise ValueError("envelope must carry a list field 'entries'")
@@ -359,16 +412,27 @@ class FleetEngine:
                 raise ValueError(f"entry {index}: bad event: {exc}") from exc
             worker = self.worker_of(cid)
             parsed.append((cid, worker, event))
+        parent_id = (
+            context.span_id
+            if context is not None and context.run_id == TRACER.run_id
+            else None
+        )
         results: list[dict[str, Any]] = []
-        for cid, worker, event in parsed:
-            detection = worker.ingest(cid, event)
-            results.append(
-                {
-                    "community": cid,
-                    "shard": worker.shard_id,
-                    "detection": None if detection is None else detection.to_dict(),
-                }
-            )
+        with TRACER.span(
+            "fleet.envelope",
+            category="fleet",
+            parent_id=parent_id,
+            entries=len(parsed),
+        ):
+            for cid, worker, event in parsed:
+                detection = worker.ingest(cid, event)
+                results.append(
+                    {
+                        "community": cid,
+                        "shard": worker.shard_id,
+                        "detection": None if detection is None else detection.to_dict(),
+                    }
+                )
         PERF.add("fleet.envelopes")
         PERF.add("fleet.envelope_events", len(parsed))
         return {"accepted": len(parsed), "results": results}
@@ -447,6 +511,37 @@ class FleetEngine:
             "total_slots": total,
             "truncated": truncated,
         }
+
+    # ------------------------------------------------------------------
+    def scoreboard(self) -> dict[str, Any]:
+        """Resilience metrics at every granularity: community → fleet.
+
+        Every accumulator is an integer sum, so the shard and fleet
+        blocks are *exact* merges of the community reports — bitwise
+        what K solo runs would compute (``tests/test_fleet_scoreboard``
+        pins this, cut/resume and fault injection included).
+        """
+        communities: dict[str, dict[str, Any]] = {}
+        shards: dict[str, dict[str, Any]] = {}
+        for sid in sorted(self._workers):
+            reports = self._workers[sid].scoreboards()
+            shards[sid] = merge_reports(reports[cid] for cid in sorted(reports))
+            communities.update(reports)
+        fleet = merge_reports(communities[cid] for cid in sorted(communities))
+        return {
+            "fleet": fleet,
+            "shards": shards,
+            "communities": {cid: communities[cid] for cid in sorted(communities)},
+        }
+
+    def trace_layout(self) -> dict[str, Any]:
+        """The fleet's deterministic Chrome-trace pid/tid grid."""
+        return fleet_trace_layout(
+            {
+                sid: worker.community_ids
+                for sid, worker in self._workers.items()
+            }
+        )
 
     # ------------------------------------------------------------------
     def publish_shard_gauges(self) -> None:

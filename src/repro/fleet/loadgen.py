@@ -31,7 +31,7 @@ from repro.fleet.engine import CommunitySpec
 from repro.simulation.scenario import DetectorKind
 from repro.stream.events import event_to_dict
 from repro.stream.pipeline import default_synthetic_attack
-from repro.stream.source import SyntheticSource
+from repro.stream.source import ScriptedOccurrence, SyntheticSource
 
 
 class LoadGenerator:
@@ -59,6 +59,12 @@ class LoadGenerator:
         Optional fault plan template; each community gets a copy
         re-seeded from its own child stream so chaos differs per tenant
         but replays identically run to run.
+    announce_attacks:
+        Run every community's attack window as a *scripted campaign*:
+        the source announces it on the ground-truth ledger
+        (:class:`~repro.stream.events.AttackOccurrence`) so resilience
+        scoreboards attribute episodes to attack families.  The attack
+        itself — days, meters, strength — is unchanged.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class LoadGenerator:
         detector: DetectorKind = "aware",
         attack_strength_range: tuple[float, float] = (0.4, 0.8),
         faults: FaultPlan | None = None,
+        announce_attacks: bool = False,
     ) -> None:
         if n_communities < 1:
             raise ValueError(f"n_communities must be >= 1, got {n_communities}")
@@ -89,6 +96,7 @@ class LoadGenerator:
         self.detector: DetectorKind = detector
         self.attack_strength_range = (float(lo), float(hi))
         self.faults = faults
+        self.announce_attacks = announce_attacks
 
     # ------------------------------------------------------------------
     def specs(self) -> tuple[CommunitySpec, ...]:
@@ -127,6 +135,7 @@ class LoadGenerator:
                     detector=self.detector,
                     seed=stream_seed,
                     faults=faults,
+                    announce_attacks=self.announce_attacks,
                 )
             )
         return tuple(out)
@@ -143,13 +152,26 @@ class LoadGenerator:
         hacked = spec.hacked_meters
         if hacked is None:
             hacked = tuple(range(max(1, n_meters // 2)))
+        attack = default_synthetic_attack(spd, spec.attack_strength)
+        attack_days = spec.attack_days
+        occurrences: tuple[ScriptedOccurrence, ...] = ()
+        if spec.announce_attacks:
+            # Mirror CommunitySpec.build_engine's campaign conversion so
+            # the envelope stream stays the wire-format twin of a tick.
+            occurrences = (
+                ScriptedOccurrence(
+                    days=spec.attack_days, meter_ids=hacked, attack=attack
+                ),
+            )
+            attack_days = (0, 0)
         return SyntheticSource(
             n_meters=n_meters,
             n_days=spec.n_days,
             slots_per_day=spd,
-            attack_days=spec.attack_days,
+            attack_days=attack_days,
             hacked_meters=hacked,
-            attack=default_synthetic_attack(spd, spec.attack_strength),
+            attack=attack,
+            occurrences=occurrences,
         )
 
     def envelopes(

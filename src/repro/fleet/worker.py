@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.obs.scoreboard import attach_scoreboard
+from repro.obs.trace import TRACER
 from repro.stream.events import MeterReading, StreamEvent
 from repro.stream.pipeline import SlotDetection, StreamEngine
 
@@ -33,6 +35,13 @@ class ShardWorker:
         self._engines: dict[str, StreamEngine] = {
             cid: engines[cid] for cid in sorted(engines)
         }
+        for cid, engine in self._engines.items():
+            # Resilience scoreboard + trace identity: both pure
+            # observers (no RNG, no verdict influence).  The attach
+            # backfills any restored history, so a resumed fleet's
+            # boards equal the uncut run's.
+            attach_scoreboard(engine.pipeline)
+            engine.pipeline.trace_tags = {"shard": shard_id, "community": cid}
 
     # ------------------------------------------------------------------
     @property
@@ -70,12 +79,13 @@ class ShardWorker:
         simply retried on the next tick.
         """
         pumped = 0
-        for engine in self._engines.values():
-            if engine.exhausted:
-                continue
-            before = engine.events_processed
-            engine.step()
-            pumped += engine.events_processed - before
+        with TRACER.span("fleet.shard_tick", category="fleet", shard=self.shard_id):
+            for engine in self._engines.values():
+                if engine.exhausted:
+                    continue
+                before = engine.events_processed
+                engine.step()
+                pumped += engine.events_processed - before
         return pumped
 
     def ingest(self, community_id: str, event: StreamEvent) -> SlotDetection | None:
@@ -91,6 +101,16 @@ class ShardWorker:
         if isinstance(event, MeterReading):
             return detection
         return None
+
+    def scoreboards(self) -> dict[str, dict[str, Any]]:
+        """Per-community resilience scoreboard reports, ascending cid."""
+        reports: dict[str, dict[str, Any]] = {}
+        for cid, engine in self._engines.items():
+            board = engine.pipeline.scoreboard
+            if board is None:  # pragma: no cover - attached in __init__
+                board = attach_scoreboard(engine.pipeline)
+            reports[cid] = board.report()
+        return reports
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:

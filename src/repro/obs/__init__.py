@@ -13,7 +13,14 @@ core stays deterministic and golden-master digests bitwise stable:
   JSONL-persisted and served by ``GET /trace`` / ``repro trace``;
 - :func:`~repro.obs.prometheus.render_prometheus` — Prometheus
   text-format exposition of the perf registry (counters, gauges,
-  p50/p95/p99 summaries) for ``GET /metrics?format=prometheus``.
+  p50/p95/p99 summaries) for ``GET /metrics?format=prometheus``;
+- :class:`~repro.obs.scoreboard.ResilienceScoreboard` — online
+  MTTD/MTTR/availability/false-alarm fold over the detection timeline
+  and the attack-occurrence ledger, with exact integer-sum merging
+  across a fleet (``GET /scoreboard``);
+- :func:`~repro.obs.fleettrace.to_fleet_chrome_trace` — fleet-wide
+  Chrome-trace merge onto a deterministic pid/tid grid (one process
+  per shard, one thread lane per community).
 
 Run manifests (:func:`~repro.obs.manifest.build_manifest`) stamp every
 artifact — checkpoints, traces, ``GET /status`` — with the package
@@ -24,6 +31,11 @@ schema, and scrape examples.
 """
 
 from repro.obs.audit import AuditTrail, load_audit_jsonl
+from repro.obs.fleettrace import (
+    fleet_trace_layout,
+    to_fleet_chrome_trace,
+    write_fleet_trace,
+)
 from repro.obs.logs import (
     ContextFilter,
     JsonFormatter,
@@ -36,21 +48,37 @@ from repro.obs.prometheus import (
     parse_prometheus_text,
     render_prometheus,
 )
-from repro.obs.trace import Span, TRACER, Tracer
+from repro.obs.scoreboard import (
+    ResilienceScoreboard,
+    ScoreboardPublisher,
+    attach_scoreboard,
+    merge_reports,
+    scoreboard_from_arrays,
+)
+from repro.obs.trace import Span, TRACER, TraceContext, Tracer
 
 __all__ = [
     "AuditTrail",
     "ContextFilter",
     "JsonFormatter",
+    "ResilienceScoreboard",
+    "ScoreboardPublisher",
     "Span",
     "TRACER",
+    "TraceContext",
     "Tracer",
+    "attach_scoreboard",
     "build_manifest",
     "config_digest",
     "configure_logging",
+    "fleet_trace_layout",
     "get_logger",
     "load_audit_jsonl",
+    "merge_reports",
     "metric_name",
     "parse_prometheus_text",
     "render_prometheus",
+    "scoreboard_from_arrays",
+    "to_fleet_chrome_trace",
+    "write_fleet_trace",
 ]

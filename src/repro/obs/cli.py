@@ -5,6 +5,13 @@ or by a service started with tracing on) and prints the records —
 filtered by slot/day/kind — either as a compact table or as raw JSON
 lines.  For a *live* service, ``GET /trace`` serves the same records
 over HTTP.
+
+Chrome-trace JSON files (``{"traceEvents": [...]}`` — span-tracer
+exports, including the merged fleet trace from ``repro fleet serve
+--trace-out`` / the aggregator's ``GET /trace``) are auto-detected and
+summarised instead: the deterministic pid/tid grid (one process per
+shard, one thread lane per community) and per-name span counts and
+durations.
 """
 
 from __future__ import annotations
@@ -43,6 +50,70 @@ def _format_row(record: dict[str, object]) -> str:
     ).rstrip()
 
 
+def _summarize_chrome_trace(payload: dict[str, object], as_json: bool) -> int:
+    """Print a pid/tid-grid + per-span summary of a Chrome-trace export."""
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        print("bad chrome trace: traceEvents must be a list")
+        return 2
+    processes: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    spans: dict[str, list[float]] = {}
+    n_x = 0
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        phase = event.get("ph")
+        pid = int(event.get("pid", 0))
+        tid = int(event.get("tid", 0))
+        if phase == "M":
+            args = event.get("args")
+            name = args.get("name") if isinstance(args, dict) else None
+            if event.get("name") == "process_name" and isinstance(name, str):
+                processes[pid] = name
+            elif event.get("name") == "thread_name" and isinstance(name, str):
+                threads[(pid, tid)] = name
+        elif phase == "X":
+            n_x += 1
+            name = str(event.get("name", "?"))
+            dur = event.get("dur")
+            spans.setdefault(name, []).append(
+                float(dur) if isinstance(dur, (int, float)) else 0.0
+            )
+    if as_json:
+        summary = {
+            "processes": {str(pid): processes[pid] for pid in sorted(processes)},
+            "threads": {
+                f"{pid}/{tid}": threads[(pid, tid)]
+                for pid, tid in sorted(threads)
+            },
+            "spans": {
+                name: {
+                    "count": len(durations),
+                    "total_us": sum(durations),
+                }
+                for name, durations in sorted(spans.items())
+            },
+        }
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    run_id = payload.get("metadata", {})
+    if isinstance(run_id, dict):
+        run_id = run_id.get("run_id", "?")
+    print(f"chrome trace  run_id={run_id}  {n_x} span(s)")
+    for pid in sorted(processes):
+        print(f"  pid {pid:>3}  {processes[pid]}")
+        for (tpid, tid), name in sorted(threads.items()):
+            if tpid == pid:
+                print(f"    tid {tid:>3}  {name}")
+    print(f"{'span':<24} {'count':>7} {'total ms':>10} {'mean us':>10}")
+    for name, durations in sorted(spans.items()):
+        total = sum(durations)
+        mean = total / len(durations) if durations else 0.0
+        print(f"{name:<24} {len(durations):>7} {total / 1000:>10.3f} {mean:>10.1f}")
+    return 0
+
+
 def trace_main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro trace`` (and ``python -m repro trace``)."""
     parser = argparse.ArgumentParser(
@@ -73,6 +144,20 @@ def trace_main(argv: list[str] | None = None) -> int:
     if not args.path.is_file():
         print(f"no such audit file: {args.path}")
         return 2
+    # A span-tracer export (single JSON object with "traceEvents") gets a
+    # trace summary; anything else is treated as a detection-audit JSONL.
+    try:
+        first = args.path.read_text(encoding="utf-8").lstrip()[:1]
+    except OSError as exc:  # pragma: no cover - filesystem race
+        print(f"cannot read {args.path}: {exc}")
+        return 2
+    if first == "{":
+        try:
+            payload = json.loads(args.path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            return _summarize_chrome_trace(payload, args.format == "json")
     try:
         records = load_audit_jsonl(args.path)
     except ValueError as exc:

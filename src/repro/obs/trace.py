@@ -98,10 +98,40 @@ class _NoopSpan:
 _NOOP_SPAN = _NoopSpan()
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """Compact cross-process trace context (rides envelope payloads).
+
+    Carries just enough to stitch a remote child span under a local
+    parent: the originating run id and the parent span id.  A receiver
+    only honours the parent link when the run ids match — two unrelated
+    traces never splice.
+    """
+
+    run_id: str
+    span_id: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"run_id": self.run_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TraceContext":
+        unknown = set(payload) - {"run_id", "span_id"}
+        if unknown:
+            raise ValueError(f"unknown trace-context fields: {sorted(unknown)}")
+        run_id = payload.get("run_id")
+        span_id = payload.get("span_id")
+        if not isinstance(run_id, str) or not run_id:
+            raise ValueError(f"trace-context run_id must be a non-empty string, got {run_id!r}")
+        if isinstance(span_id, bool) or not isinstance(span_id, int) or span_id < 1:
+            raise ValueError(f"trace-context span_id must be a positive int, got {span_id!r}")
+        return cls(run_id=run_id, span_id=span_id)
+
+
 class _LiveSpan:
     """Context manager that opens a span on enter and closes it on exit."""
 
-    __slots__ = ("_tracer", "_name", "_category", "_attrs", "_span_id")
+    __slots__ = ("_tracer", "_name", "_category", "_attrs", "_parent_id", "_span_id")
 
     def __init__(
         self,
@@ -109,15 +139,19 @@ class _LiveSpan:
         name: str,
         category: str,
         attrs: dict[str, _AttrValue],
+        parent_id: int | None = None,
     ) -> None:
         self._tracer = tracer
         self._name = name
         self._category = category
         self._attrs = attrs
+        self._parent_id = parent_id
         self._span_id: int | None = None
 
     def __enter__(self) -> Span:
-        span = self._tracer._open(self._name, self._category, self._attrs)
+        span = self._tracer._open(
+            self._name, self._category, self._attrs, parent_id=self._parent_id
+        )
         self._span_id = span.span_id
         return span
 
@@ -193,8 +227,20 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def current_context(self) -> TraceContext | None:
+        """Propagatable context for the innermost open span, if any."""
+        span_id = self.current_span_id
+        run_id = self.run_id  # repro: noqa[CONC001] lock-free fast path; run_id only changes on enable(), a stale read yields a context the receiver ignores
+        if span_id is None or run_id is None:
+            return None
+        return TraceContext(run_id=run_id, span_id=span_id)
+
     def _open(
-        self, name: str, category: str, attrs: dict[str, _AttrValue]
+        self,
+        name: str,
+        category: str,
+        attrs: dict[str, _AttrValue],
+        parent_id: int | None = None,
     ) -> Span:
         with self._lock:
             span_id = self._next_id
@@ -202,7 +248,11 @@ class Tracer:
             stack = self._stack()
             span = Span(
                 span_id=span_id,
-                parent_id=stack[-1] if stack else None,
+                parent_id=(
+                    parent_id
+                    if parent_id is not None
+                    else (stack[-1] if stack else None)
+                ),
                 name=name,
                 category=category,
                 start_us=self._now_us(),
@@ -224,12 +274,22 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def span(
-        self, name: str, *, category: str = "repro", **attrs: _AttrValue
+        self,
+        name: str,
+        *,
+        category: str = "repro",
+        parent_id: int | None = None,
+        **attrs: _AttrValue,
     ) -> _LiveSpan | _NoopSpan:
-        """Context manager recording one nested span (no-op if disabled)."""
+        """Context manager recording one nested span (no-op if disabled).
+
+        ``parent_id`` overrides the stack parent — used to splice a span
+        under a *remote* parent carried by a :class:`TraceContext` (the
+        span still joins this thread's nesting stack for its children).
+        """
         if not self.enabled:  # repro: noqa[CONC001] lock-free fast path; a stale read costs one extra no-op span check, never corruption
             return _NOOP_SPAN
-        return _LiveSpan(self, name, category, attrs)
+        return _LiveSpan(self, name, category, attrs, parent_id)
 
     def begin(
         self,

@@ -23,6 +23,9 @@ Endpoints
 - ``GET /trace`` — the detection audit trail: one explainable record
   per slot verdict (per-meter PAR evidence, belief before/after) and
   per gap, filterable by ``since``/``day``/``kind``/``limit``.
+- ``GET /scoreboard`` — resilience metrics (MTTD/MTTR/availability/
+  false-alarm rate/per-family confusion) folded from the timeline and
+  the attack-occurrence ledger.
 - ``GET /faults`` / ``POST /faults`` — inspect or install a seeded
   fault-injection plan on the engine's source (chaos drills against a
   live service).
@@ -53,6 +56,7 @@ from repro.obs.audit import AuditTrail
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.manifest import build_manifest
 from repro.obs.prometheus import render_prometheus
+from repro.obs.scoreboard import ScoreboardPublisher, attach_scoreboard
 from repro.perf.counters import PERF
 from repro.stream.checkpoint import save_checkpoint
 from repro.stream.events import MeterReading, event_from_dict
@@ -88,6 +92,11 @@ class DetectionService:
         pipeline when it has none (default), so ``GET /trace`` always
         has a record for every served detection.  ``False`` leaves the
         pipeline as built.
+    scoreboard:
+        Attach a :class:`~repro.obs.scoreboard.ResilienceScoreboard`
+        (default), backfilled from any pre-served history, so ``GET
+        /scoreboard`` reports MTTD/MTTR/availability.  ``False`` leaves
+        the pipeline as built.
     """
 
     def __init__(
@@ -97,18 +106,25 @@ class DetectionService:
         checkpoint_path: str | Path | None = None,
         retry: RetryPolicy | None = None,
         audit: bool = True,
+        scoreboard: bool = True,
     ) -> None:
         self.engine = engine
         self.checkpoint_path = None if checkpoint_path is None else Path(checkpoint_path)
         self.retry = retry
         self._lock = threading.Lock()
         self._metrics_baseline = PERF.snapshot()
+        self._scoreboard_publisher = ScoreboardPublisher(
+            PERF, prefix="stream.scoreboard"
+        )
         if audit and engine.pipeline.audit is None:
             engine.pipeline.audit = AuditTrail()
         if engine.pipeline.audit is not None:
             # Detections served before the trail existed (a resumed
             # checkpoint, a pre-attached timeline) still get records.
             engine.pipeline.audit.backfill(engine.timeline)
+        if scoreboard:
+            # Idempotent: rebuilds (= backfills) from the timeline.
+            attach_scoreboard(engine.pipeline)
 
     # ------------------------------------------------------------------
     def push_event(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -212,9 +228,27 @@ class DetectionService:
         Unlike :meth:`metrics` this does *not* re-baseline: the format
         exports lifetime totals and collectors compute rates themselves,
         so JSON delta scrapes and Prometheus scrapes can interleave.
+        Each scrape republishes the scoreboard (when attached):
+        availability/false-alarm/episode gauges plus
+        ``stream.scoreboard.mttd_slots``/``mttr_slots`` histogram
+        samples for episodes new since the previous scrape.
         """
         with self._lock:
+            board = self.engine.pipeline.scoreboard
+            if board is not None:
+                report = board.report()
+                self._scoreboard_publisher.publish(report, {"stream": report})
             return render_prometheus(PERF)
+
+    def scoreboard(self) -> dict[str, Any]:
+        """The resilience scoreboard report for this engine."""
+        with self._lock:
+            board = self.engine.pipeline.scoreboard
+            if board is None:
+                raise ServiceError(
+                    "scoreboard disabled on this service", code="scoreboard_disabled"
+                )
+            return board.report()
 
     def trace(
         self,
@@ -407,6 +441,8 @@ class _Handler(BaseHTTPRequestHandler):
                     kind=None if not kind_values else kind_values[0],
                     limit=_int_param(query, "limit", None),
                 )
+            if path == "/scoreboard":
+                return service.scoreboard()
             if path == "/faults":
                 return service.faults()
             if path == "/healthz":

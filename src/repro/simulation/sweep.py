@@ -29,6 +29,7 @@ from numpy.typing import NDArray
 
 from repro.core.config import CommunityConfig, config_to_dict
 from repro.metrics.cost import LaborCostModel
+from repro.obs.scoreboard import scoreboard_from_arrays
 from repro.perf.parallel import SERIAL_MAP, ParallelMap
 from repro.simulation.scenario import DetectorKind, run_long_term_scenario
 
@@ -176,6 +177,12 @@ class MatrixCell:
     and the realized grid-demand trace, so a committed matrix fixture
     pins cell behaviour bitwise — the same convention the golden-master
     files under ``tests/golden/`` use.
+
+    ``scoreboard`` is the cell's resilience block
+    (:meth:`~repro.obs.scoreboard.ResilienceScoreboard.report`): MTTD,
+    MTTR, availability and false-alarm rate folded from the same
+    truth/flags/repairs arrays the digests pin, with every episode
+    attributed to the cell's attack family.
     """
 
     tariff: str
@@ -189,6 +196,7 @@ class MatrixCell:
     truth_sha256: str
     flags_sha256: str
     realized_grid_sha256: str
+    scoreboard: dict[str, Any]
 
     def to_dict(self) -> dict[str, Any]:
         """JSON payload of this cell (one entry of the artifact's list)."""
@@ -204,6 +212,7 @@ class MatrixCell:
             "truth_sha256": self.truth_sha256,
             "flags_sha256": self.flags_sha256,
             "realized_grid_sha256": self.realized_grid_sha256,
+            "scoreboard": self.scoreboard,
         }
 
 
@@ -280,6 +289,12 @@ def _run_matrix_cell(
         calibration_trials=trials,
         attack_family=family,
     )
+    scoreboard = scoreboard_from_arrays(
+        truth=result.truth,
+        flags=result.flags,
+        repairs=result.repairs,
+        family=family,
+    )
     return MatrixCell(
         tariff=tariff_name,
         attack_family=family,
@@ -292,6 +307,7 @@ def _run_matrix_cell(
         truth_sha256=_array_sha256(result.truth),
         flags_sha256=_array_sha256(result.flags),
         realized_grid_sha256=_array_sha256(result.realized_grid),
+        scoreboard=scoreboard.report(),
     )
 
 

@@ -58,6 +58,7 @@ if TYPE_CHECKING:  # runtime import stays lazy to keep faults optional
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
     from repro.obs.audit import AuditTrail
+    from repro.obs.scoreboard import ResilienceScoreboard
 
 
 @dataclass(frozen=True)
@@ -163,6 +164,12 @@ class OnlinePipeline:
         exact historical code path; attaching a trail consumes the
         measurement-noise stream in the identical order, so verdicts
         never change.
+    scoreboard:
+        Optional :class:`~repro.obs.scoreboard.ResilienceScoreboard`
+        folding each verdict and occurrence into MTTD/MTTR/availability
+        metrics.  Pure observer: it never touches the RNG stream and is
+        rebuilt from the restored timeline on resume, so attaching one
+        changes no verdict and no checkpoint byte.
     """
 
     def __init__(
@@ -175,6 +182,7 @@ class OnlinePipeline:
         grid_simulator: CommunityResponseSimulator | None = None,
         repair_hook: Callable[[], int] | None = None,
         audit: "AuditTrail | None" = None,
+        scoreboard: "ResilienceScoreboard | None" = None,
     ) -> None:
         if slots_per_day < 1:
             raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
@@ -185,6 +193,8 @@ class OnlinePipeline:
         self.grid_simulator = grid_simulator
         self.repair_hook = repair_hook
         self.audit = audit
+        self.scoreboard = scoreboard
+        self.trace_tags: dict[str, Any] = {}  # repro: noqa[CKPT001] trace bookkeeping, not simulation state
         self._current_update: PriceUpdate | None = None
         self._days_completed = 0
         self._timeline: list[SlotDetection] = []
@@ -284,7 +294,7 @@ class OnlinePipeline:
             if TRACER.enabled:
                 TRACER.end(self._day_span)
                 self._day_span = TRACER.begin(
-                    "stream.day", category="stream", day=event.day
+                    "stream.day", category="stream", day=event.day, **self.trace_tags
                 )
             return None
         if isinstance(event, DayBoundary):
@@ -302,6 +312,8 @@ class OnlinePipeline:
             # detectors (the detector must not peek at ground truth).
             self._occurrences.append(event_to_dict(event))
             PERF.add("stream.occurrences")
+            if self.scoreboard is not None:
+                self.scoreboard.record_occurrence(self._occurrences[-1])
             return None
         if isinstance(event, MeterReading):
             return self._handle_reading(event)
@@ -343,6 +355,7 @@ class OnlinePipeline:
             category="stream",
             slot=reading.slot,
             day=self._current_update.day,
+            **self.trace_tags,
         ):
             slot_span = TRACER.current_span_id
             # The audit path collects per-meter evidence on the *same*
@@ -404,6 +417,8 @@ class OnlinePipeline:
                     belief_before=belief_before,
                     span_id=slot_span,
                 )
+            if self.scoreboard is not None:
+                self.scoreboard.record(detection)
             return detection
 
     def _drain_pending(self) -> None:
@@ -439,6 +454,8 @@ class OnlinePipeline:
         PERF.add("stream.gaps")
         if self.audit is not None:
             self.audit.record_gap(detection, span_id=TRACER.current_span_id)
+        if self.scoreboard is not None:
+            self.scoreboard.record(detection)
         return detection
 
     def _flush_through(self, end_slot: int, *, reason: str) -> None:
@@ -537,6 +554,10 @@ class OnlinePipeline:
         self._n_meters = None if n_meters is None else int(n_meters)
         if self.audit is not None:
             self.audit.backfill(self._timeline)
+        # Scoreboard state is derived, not checkpointed: refold the
+        # restored history so a resumed board equals an uncut one.
+        if self.scoreboard is not None:
+            self.scoreboard.rebuild(self._timeline, self._occurrences)
 
 
 class StreamEngine:

@@ -429,3 +429,137 @@ class TestConcurrentHammer:
             ]
             restored = [det.to_dict() for det in resumed.engine_of(cid).timeline]
             assert restored == final_timeline[: len(restored)]
+
+
+class TestScoreboardAndTrace:
+    """``GET /scoreboard``, the Prometheus scoreboard series, ``GET /trace``."""
+
+    @pytest.fixture()
+    def campaign_fleet_url(self, fleet_config, tmp_path):
+        """A live aggregator over a scripted-campaign fleet."""
+        generator = LoadGenerator(
+            fleet_config, n_communities=3, n_days=2, seed=5,
+            announce_attacks=True,
+        )
+        fleet = build_fleet(
+            generator.specs(), n_shards=2, cache=GameSolutionCache()
+        )
+        aggregator = FleetAggregator(fleet, checkpoint_dir=tmp_path / "ckpt")
+        server = create_fleet_server(aggregator, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{server.server_address[1]}", aggregator
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_scoreboard_route_merges_exactly(self, campaign_fleet_url):
+        from repro.obs.scoreboard import merge_reports
+
+        base, aggregator = campaign_fleet_url
+        _post(base, "/advance", {"until_day": 2})
+        payload = _get(base, "/scoreboard")
+        assert set(payload) == {"fleet", "shards", "communities"}
+        assert sorted(payload["communities"]) == ["c0000", "c0001", "c0002"]
+        assert payload["fleet"] == merge_reports(
+            [payload["communities"][cid] for cid in sorted(payload["communities"])]
+        )
+        assert payload["fleet"]["slots"]["total"] == 3 * 48
+        # Campaign mode: the ledger names every episode's family.
+        assert payload["fleet"]["episodes"]["total"] >= 1
+        assert "unattributed" not in payload["fleet"]["families"]
+        # The shard split covers the fleet exactly.
+        assert payload["fleet"] == merge_reports(
+            [payload["shards"][sid] for sid in sorted(payload["shards"])]
+        )
+
+    def test_prometheus_scoreboard_series_round_trip(self, campaign_fleet_url):
+        base, _ = campaign_fleet_url
+        _post(base, "/advance", {"until_day": 2})
+        scoreboard = _get(base, "/scoreboard")
+
+        parsed = parse_prometheus_text(
+            _get_text(base, "/metrics?format=prometheus")
+        )
+        samples = parsed["samples"]
+        fleet = scoreboard["fleet"]
+        assert samples[("repro_fleet_scoreboard_episodes", ())] == float(
+            fleet["episodes"]["total"]
+        )
+        assert samples[("repro_fleet_scoreboard_episodes_detected", ())] == float(
+            fleet["episodes"]["detected"]
+        )
+        assert samples[("repro_fleet_scoreboard_attacked_slots", ())] == float(
+            fleet["availability"]["attacked_slots"]
+        )
+        fraction = fleet["availability"]["fraction"]
+        assert samples[("repro_fleet_scoreboard_availability", ())] == (
+            1.0 if fraction is None else float(fraction)
+        )
+        # Per-shard gauges still ride the same exposition.
+        gauge_names = {metric for metric, _ in samples}
+        assert any("fleet_shard_" in n for n in gauge_names)
+        # Every MTTD sample was observed into the summary exactly once,
+        # cursors holding across repeated scrapes.
+        n_ttd = len(fleet["mttd"]["samples"])
+        if n_ttd:
+            assert parsed["types"]["repro_fleet_scoreboard_mttd_slots"] == "summary"
+            # PERF is process-global, so the histogram may carry samples
+            # from earlier aggregators; this fleet contributed exactly
+            # its own, and re-scraping observes nothing twice (cursors).
+            count = samples[("repro_fleet_scoreboard_mttd_slots_count", ())]
+            assert count >= float(n_ttd)
+            parsed_again = parse_prometheus_text(
+                _get_text(base, "/metrics?format=prometheus")
+            )
+            assert parsed_again["samples"][
+                ("repro_fleet_scoreboard_mttd_slots_count", ())
+            ] == count
+
+    def test_trace_route_serves_the_merged_fleet_trace(self, campaign_fleet_url):
+        from repro.obs.trace import TRACER
+
+        base, aggregator = campaign_fleet_url
+        TRACER.enable(run_id="aggregator-trace-test")
+        try:
+            _post(base, "/advance", {"ticks": 6})
+            doc = _get(base, "/trace")
+        finally:
+            TRACER.disable()
+        events = doc["traceEvents"]
+        layout = aggregator.fleet.trace_layout()
+        # The metadata carries the pid/tid grid (the community->shard
+        # reverse index is an in-process convenience, not exported).
+        assert doc["metadata"]["fleet_layout"]["shards"] == layout["shards"]
+        assert (
+            doc["metadata"]["fleet_layout"]["aggregator_pid"]
+            == layout["aggregator_pid"]
+        )
+        phases = [event["ph"] for event in events]
+        first_x = phases.index("X")
+        assert set(phases[:first_x]) == {"M"}
+        assert "M" not in phases[first_x:]
+        names = {event["name"] for event in events}
+        assert {"fleet.tick", "fleet.shard_tick", "stream.slot"} <= names
+        # One process per shard plus the aggregator, deterministic pids.
+        pids = {
+            event["args"]["name"]: event["pid"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert pids["shard:s0"] == 2
+        assert pids["shard:s1"] == 3
+
+    def test_trace_route_without_tracer_is_an_error(self, campaign_fleet_url):
+        from repro.obs.trace import TRACER
+
+        base, _ = campaign_fleet_url
+        # The tracer is process-global: flush spans left by earlier
+        # tests (enable clears; disable stops recording).
+        TRACER.enable(run_id="flush")
+        TRACER.disable()
+        code, payload = _error(base, "/trace")
+        assert code == 400
+        assert payload["code"] == "trace_disabled"

@@ -113,6 +113,29 @@ class TestFleetBenchMain:
         assert len(payload["entries"]) == 2
         assert payload["entries"][1]["tick_latency"]["ticks"] == 4
 
+    def test_warm_percentiles_exclude_the_cold_first_tick(self, tmp_path):
+        """Cold-start skew is labelled, never folded into the warm block."""
+        out = tmp_path / "BENCH_fleet.json"
+        assert fleet_bench_main(
+            [
+                "--communities", "2", "--shards", "2", "--days", "1",
+                "--customers", "6", "--meters", "3", "--max-ticks", "6",
+                "--out", str(out),
+            ]
+        ) == 0
+        latency = json.loads(out.read_text())["entries"][0]["tick_latency"]
+        assert latency["cold_first_tick_ms"] >= 0.0
+        warm = latency["warm"]
+        # The warm window is everything after the first tick.
+        assert warm["ticks"] == latency["ticks"] - 1
+        assert warm["p50_ms"] <= warm["p95_ms"] <= warm["p99_ms"] <= warm["max_ms"]
+        # Warm stats are a subset of the raw ticks: nothing warm can
+        # exceed the overall max, which also covers the cold tick.
+        assert warm["max_ms"] <= latency["max_ms"]
+        assert max(warm["max_ms"], latency["cold_first_tick_ms"]) == (
+            latency["max_ms"]
+        )
+
     def test_rejects_bad_shape(self, tmp_path):
         with pytest.raises(SystemExit):
             fleet_bench_main(["--communities", "0"])

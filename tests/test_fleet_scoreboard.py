@@ -1,0 +1,187 @@
+"""Fleet resilience scoreboards: exact merge, campaign mode, resume.
+
+The fleet scoreboard contract extends the fleet ≡ K-solo bitwise
+invariant to the derived resilience metrics: the merged fleet report
+must equal :func:`merge_reports` over the K solo reports *exactly* —
+including across a mid-run checkpoint cut (scoreboards are rebuilt from
+the restored timeline, never serialized) and under seeded fault
+injection (gap slots scoring against availability identically in both
+arms).  Campaign mode (``announce_attacks``) additionally pins family
+attribution through the ground-truth ledger end to end.
+"""
+
+import pytest
+
+from repro.faults.plan import builtin_plan
+from repro.fleet.checkpoint import resume_fleet, save_fleet_checkpoint
+from repro.fleet.engine import build_fleet
+from repro.fleet.loadgen import LoadGenerator
+from repro.obs.audit import AuditTrail
+from repro.obs.scoreboard import attach_scoreboard, merge_reports
+from repro.simulation.cache import GameSolutionCache
+
+FLEET_SEED = 5
+N_DAYS = 2
+
+
+def _generator(fleet_config, n_communities, *, faults=None, campaign=False):
+    return LoadGenerator(
+        fleet_config,
+        n_communities=n_communities,
+        n_days=N_DAYS,
+        seed=FLEET_SEED,
+        faults=faults,
+        announce_attacks=campaign,
+    )
+
+
+def _solo_reports(specs) -> dict[str, dict]:
+    """Per-community reports from standalone engine runs."""
+    reports = {}
+    for spec in specs:
+        engine = spec.build_engine(cache=GameSolutionCache())
+        board = attach_scoreboard(engine.pipeline)
+        engine.run()
+        assert engine.exhausted
+        reports[spec.community_id] = board.report()
+    return reports
+
+
+def _assert_fleet_equals_solo(fleet, specs):
+    scoreboard = fleet.scoreboard()
+    expected = _solo_reports(specs)
+    assert scoreboard["communities"] == expected
+    assert scoreboard["fleet"] == merge_reports(
+        [expected[cid] for cid in sorted(expected)]
+    )
+    # Shard blocks are merges of exactly their own communities.
+    for worker in fleet.workers:
+        assert scoreboard["shards"][worker.shard_id] == merge_reports(
+            [expected[cid] for cid in worker.community_ids]
+        )
+    return scoreboard
+
+
+@pytest.mark.parametrize("campaign", [False, True])
+def test_fleet_scoreboard_equals_merged_solo(fleet_config, campaign):
+    specs = _generator(fleet_config, 3, campaign=campaign).specs()
+    fleet = build_fleet(specs, n_shards=2, cache=GameSolutionCache())
+    assert fleet.advance().exhausted
+    scoreboard = _assert_fleet_equals_solo(fleet, specs)
+    families = set(scoreboard["fleet"]["families"])
+    if campaign:
+        # Announced windows attribute every episode to a real family.
+        assert "unattributed" not in families
+        assert families
+    else:
+        assert families <= {"unattributed"}
+
+
+def test_campaign_mode_is_bitwise_identical_to_window(fleet_config):
+    """Announcing the attack changes the ledger, never the readings."""
+    window = _generator(fleet_config, 2, campaign=False).specs()
+    campaign = _generator(fleet_config, 2, campaign=True).specs()
+    for w_spec, c_spec in zip(window, campaign):
+        w_engine = w_spec.build_engine(cache=GameSolutionCache())
+        c_engine = c_spec.build_engine(cache=GameSolutionCache())
+        w_engine.run()
+        c_engine.run()
+        assert [d.to_dict() for d in c_engine.timeline] == [
+            d.to_dict() for d in w_engine.timeline
+        ]
+        # The campaign arm carries the ledger the window arm lacks.
+        assert c_engine.pipeline.occurrences
+        assert not w_engine.pipeline.occurrences
+
+
+def test_campaign_envelopes_match_direct_feed(fleet_config):
+    """``source_for`` mirrors the engine's campaign conversion."""
+    generator = _generator(fleet_config, 3, campaign=True)
+    specs = generator.specs()
+
+    fleet = build_fleet(specs, n_shards=2, cache=GameSolutionCache())
+    for envelope in generator.envelopes(specs):
+        fleet.ingest_envelope(envelope)
+
+    expected = {}
+    for spec in specs:
+        engine = spec.build_engine(cache=GameSolutionCache())
+        board = attach_scoreboard(engine.pipeline)
+        source = generator.source_for(spec)
+        while not source.exhausted:
+            event = source.next_event()
+            if event is not None:
+                engine.pipeline.handle(event)
+        expected[spec.community_id] = board.report()
+    assert fleet.scoreboard()["communities"] == expected
+    merged = fleet.scoreboard()["fleet"]
+    assert "unattributed" not in merged["families"]
+
+
+def test_cut_resume_scoreboard_and_audit_backfill(fleet_config, tmp_path):
+    """Mid-run cut: rebuilt scoreboards and backfilled audit trails.
+
+    Scoreboards are intentionally *not* checkpointed — the resumed
+    worker rebuilds them from the restored timeline + ledger, so the
+    resumed fleet's reports must equal the uncut run's bitwise.  Audit
+    trails attached after the resume backfill minimal ``restored``
+    records for the pre-cut verdicts and then record post-cut slots
+    identically to the uncut run.
+    """
+    specs = _generator(fleet_config, 4, campaign=True).specs()
+    fleet = build_fleet(specs, n_shards=2, cache=GameSolutionCache())
+    for cid in fleet.community_ids:
+        pipeline = fleet.engine_of(cid).pipeline
+        pipeline.audit = AuditTrail()
+    fleet.advance(max_ticks=17)  # mid-day cut, nowhere near a boundary
+    save_fleet_checkpoint(fleet, tmp_path)
+
+    resumed = resume_fleet(tmp_path, cache=GameSolutionCache())
+    for cid in resumed.community_ids:
+        pipeline = resumed.engine_of(cid).pipeline
+        assert pipeline.audit is None
+        pipeline.audit = AuditTrail()
+        pipeline.audit.backfill(pipeline.timeline)
+
+    assert fleet.advance().exhausted
+    assert resumed.advance().exhausted
+
+    # Scoreboards: resumed == uncut == merged solo, to the last bit.
+    uncut = _assert_fleet_equals_solo(fleet, specs)
+    assert resumed.scoreboard() == uncut
+
+    for cid in fleet.community_ids:
+        uncut_trail = fleet.engine_of(cid).pipeline.audit
+        resumed_trail = resumed.engine_of(cid).pipeline.audit
+        timeline = resumed.engine_of(cid).timeline
+        uncut_records = uncut_trail.records()
+        resumed_records = resumed_trail.records()
+        # One record per restored/processed slot, in slot order.
+        assert len(resumed_records) == len(timeline)
+        assert [r["slot"] for r in resumed_records] == [
+            r["slot"] for r in uncut_records
+        ]
+        for uncut_rec, resumed_rec in zip(uncut_records, resumed_records):
+            if resumed_rec.get("restored"):
+                # Pre-cut: the verdict survives, the evidence does not.
+                assert resumed_rec["slot"] == uncut_rec["slot"]
+                assert resumed_rec["kind"] == uncut_rec["kind"]
+                if uncut_rec["kind"] == "detection":
+                    assert resumed_rec["repaired"] == uncut_rec["repaired"]
+            else:
+                # Post-cut verdicts replay bitwise, evidence included.
+                assert resumed_rec == uncut_rec
+        assert any(r.get("restored") for r in resumed_records)
+        assert not any(r.get("restored") for r in uncut_records)
+
+
+def test_fault_injected_fleet_scoreboard_matches_solo(fleet_config):
+    """Gap slots from seeded chaos score identically fleet and solo."""
+    template = builtin_plan("chaos")
+    specs = _generator(fleet_config, 3, faults=template, campaign=True).specs()
+    fleet = build_fleet(specs, n_shards=2, cache=GameSolutionCache())
+    assert fleet.advance().exhausted
+    scoreboard = _assert_fleet_equals_solo(fleet, specs)
+    # Chaos drops/corrupts readings: the availability ledger must have
+    # seen real gaps somewhere in the fleet for this test to bite.
+    assert scoreboard["fleet"]["slots"]["gaps"] > 0

@@ -135,3 +135,97 @@ class TestTableOneCell:
             assert cell["mean_par"] == pinned["mean_par"]
             assert cell["observation_accuracy"] == pinned["observation_accuracy"]
             assert cell["n_repairs"] == pinned["n_repairs"]
+
+
+class TestCellScoreboards:
+    """Every matrix cell carries an internally consistent scoreboard."""
+
+    def test_every_cell_scoreboard_is_consistent(self):
+        matrix = _load_matrix_fixture()
+        for cell in matrix["cells"]:
+            board = cell["scoreboard"]
+            assert board["format"] == "repro-scoreboard"
+            episodes = board["episodes"]
+            assert episodes["resolved"] + episodes["open"] == episodes["total"]
+            # A still-open episode may be neither detected nor missed yet.
+            assert episodes["detected"] + episodes["missed"] <= episodes["total"]
+            undecided = (
+                episodes["total"] - episodes["detected"] - episodes["missed"]
+            )
+            assert undecided <= episodes["open"]
+            slots = board["slots"]
+            assert (
+                slots["scored"] + slots["unscored"] + slots["gaps"]
+                == slots["total"]
+            )
+            assert slots["total"] == matrix["n_slots"]
+            # Batch arrays have no telemetry gaps or unscored slots.
+            assert slots["gaps"] == 0 and slots["unscored"] == 0
+            assert len(board["mttd"]["samples"]) == episodes["detected"]
+            assert board["mttd"]["total_slots"] == sum(board["mttd"]["samples"])
+
+    def test_family_attribution_is_the_cell_axis(self):
+        """The batch path attributes every episode to the cell's family."""
+        matrix = _load_matrix_fixture()
+        for cell in matrix["cells"]:
+            board = cell["scoreboard"]
+            families = board["families"]
+            if board["episodes"]["total"]:
+                assert set(families) == {cell["attack_family"]}
+                block = families[cell["attack_family"]]
+                assert block["episodes"] == board["episodes"]["total"]
+                assert block["detected"] == board["episodes"]["detected"]
+            else:
+                assert families == {}
+
+    def test_none_detector_monitors_but_never_repairs(self):
+        """Table 1's "none" column: flags fire, nothing ever resolves.
+
+        The "none" detector keeps monitoring but never repairs, so every
+        compromise persists to the horizon — one perpetual open episode,
+        zero resolutions, an empty MTTR ledger.
+        """
+        matrix = _load_matrix_fixture()
+        none_cells = [c for c in matrix["cells"] if c["detector"] == "none"]
+        assert none_cells
+        for cell in none_cells:
+            board = cell["scoreboard"]
+            assert cell["n_repairs"] == 0
+            assert board["episodes"]["resolved"] == 0
+            assert board["episodes"]["open"] == board["episodes"]["total"]
+            assert board["mttr"]["samples"] == []
+
+    def test_fresh_cell_scoreboard_matches_its_arrays(self):
+        """A recomputed cell's block equals the fold of its own arrays.
+
+        Closes the loop between the fixture (pinned bitwise by
+        ``test_fresh_matrix_matches_committed_digests``) and the
+        scoreboard semantics: the block really is a pure function of the
+        already-digested truth/flags/repairs arrays.
+        """
+        from repro.obs.scoreboard import scoreboard_from_arrays
+        from repro.simulation.sweep import run_long_term_scenario
+
+        matrix = _load_matrix_fixture()
+        pv = matrix["axes"]["pv_adoption"][0]
+        (cell,) = [
+            c
+            for c in matrix["cells"]
+            if c["tariff"] == "flat"
+            and c["attack_family"] == "peak_increase"
+            and c["pv_adoption"] == pv
+            and c["detector"] == "aware"
+        ]
+        result = run_long_term_scenario(
+            smoke_preset(),
+            detector="aware",
+            n_slots=matrix["n_slots"],
+            attack_family="peak_increase",
+        )
+        board = scoreboard_from_arrays(
+            truth=result.truth,
+            flags=result.flags,
+            repairs=result.repairs,
+            family="peak_increase",
+        )
+        assert board.report() == cell["scoreboard"]

@@ -1,0 +1,304 @@
+"""Fleet Chrome-trace merge: layout grid, row assignment, propagation.
+
+The merged fleet trace is a pure function of (recorded spans, sorted
+shard/community layout): pids and tids come from sorted ids, untagged
+spans inherit their nearest tagged ancestor's row, and all metadata
+events precede all span events so Perfetto names every track before the
+first slice lands on it.  Cross-shard stitching rides the compact
+:class:`~repro.obs.trace.TraceContext` — honoured only when the sender
+and receiver share a run id.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.engine import build_fleet
+from repro.fleet.loadgen import LoadGenerator
+from repro.obs.fleettrace import (
+    fleet_trace_layout,
+    to_fleet_chrome_trace,
+    write_fleet_trace,
+)
+from repro.obs.trace import TRACER, TraceContext, Tracer
+from repro.simulation.cache import GameSolutionCache
+
+
+class TestLayout:
+    def test_grid_is_sorted_and_deterministic(self):
+        layout = fleet_trace_layout(
+            {"s1": ["c0003"], "s0": ["c0002", "c0000"]}
+        )
+        assert layout["aggregator_pid"] == 1
+        # Shards pid in ascending shard-id order, communities tid in
+        # ascending cid order within each shard.
+        assert layout["shards"]["s0"]["pid"] == 2
+        assert layout["shards"]["s1"]["pid"] == 3
+        assert layout["shards"]["s0"]["communities"] == {
+            "c0000": 2,
+            "c0002": 3,
+        }
+        assert layout["shards"]["s1"]["communities"] == {"c0003": 2}
+        assert layout["community_shard"] == {
+            "c0000": "s0",
+            "c0002": "s0",
+            "c0003": "s1",
+        }
+        # Input iteration order is irrelevant.
+        assert layout == fleet_trace_layout(
+            {"s0": ["c0000", "c0002"], "s1": ["c0003"]}
+        )
+
+    def test_community_owned_twice_is_rejected(self):
+        with pytest.raises(ValueError, match="owned by two shards"):
+            fleet_trace_layout({"s0": ["c0001"], "s1": ["c0001"]})
+
+
+def _recorded_tracer() -> Tracer:
+    """A private tracer holding one tick's worth of nested spans."""
+    tracer = Tracer()
+    tracer.enable(run_id="grid-test")
+    with tracer.span("fleet.tick", category="fleet"):
+        with tracer.span("fleet.shard_tick", category="fleet", shard="s0"):
+            with tracer.span("stream.slot", community="c0001"):
+                with tracer.span("detector.update"):
+                    pass
+        with tracer.span("fleet.shard_tick", category="fleet", shard="s1"):
+            with tracer.span("stream.slot", community="c0002"):
+                pass
+    tracer.disable()
+    return tracer
+
+
+LAYOUT = fleet_trace_layout({"s0": ["c0000", "c0001"], "s1": ["c0002"]})
+
+
+class TestChromeExport:
+    def test_metadata_events_all_precede_span_events(self):
+        doc = to_fleet_chrome_trace(_recorded_tracer(), LAYOUT)
+        phases = [event["ph"] for event in doc["traceEvents"]]
+        first_x = phases.index("X")
+        assert all(ph == "M" for ph in phases[:first_x])
+        assert all(ph == "X" for ph in phases[first_x:])
+
+    def test_every_row_is_named(self):
+        doc = to_fleet_chrome_trace(_recorded_tracer(), LAYOUT)
+        names = {
+            (event["pid"], event["tid"], event["name"]): event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert names[(1, 1, "process_name")] == "repro-fleet:grid-test"
+        assert names[(1, 1, "thread_name")] == "aggregator"
+        assert names[(2, 1, "process_name")] == "shard:s0"
+        assert names[(2, 2, "thread_name")] == "community:c0000"
+        assert names[(2, 3, "thread_name")] == "community:c0001"
+        assert names[(3, 1, "process_name")] == "shard:s1"
+        assert names[(3, 2, "thread_name")] == "community:c0002"
+
+    def test_rows_resolve_identity_and_inherit_from_ancestors(self):
+        doc = to_fleet_chrome_trace(_recorded_tracer(), LAYOUT)
+        rows = {
+            event["name"]: (event["pid"], event["tid"])
+            for event in doc["traceEvents"]
+            if event["ph"] == "X" and event["name"] != "stream.slot"
+        }
+        slot_rows = {
+            event["args"]["community"]: (event["pid"], event["tid"])
+            for event in doc["traceEvents"]
+            if event["ph"] == "X" and event["name"] == "stream.slot"
+        }
+        assert rows["fleet.tick"] == (1, 1)  # untagged → aggregator
+        assert slot_rows["c0001"] == (2, 3)
+        assert slot_rows["c0002"] == (3, 2)
+        # detector.update carries no tags: it inherits c0001's lane
+        # through the parent chain.
+        assert rows["detector.update"] == (2, 3)
+
+    def test_shard_lane_and_unknown_identity_fallback(self):
+        tracer = Tracer()
+        tracer.enable(run_id="grid-test")
+        with tracer.span("fleet.shard_tick", category="fleet", shard="s1"):
+            # A community the layout does not know falls back to the
+            # parent chain, landing on its shard's lane.
+            with tracer.span("stream.slot", community="c9999"):
+                pass
+        tracer.disable()
+        doc = to_fleet_chrome_trace(tracer, LAYOUT)
+        rows = {
+            event["name"]: (event["pid"], event["tid"])
+            for event in doc["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert rows["fleet.shard_tick"] == (3, 1)
+        assert rows["stream.slot"] == (3, 1)
+
+    def test_metadata_block_exports_grid_without_reverse_index(self):
+        doc = to_fleet_chrome_trace(_recorded_tracer(), LAYOUT)
+        meta = doc["metadata"]
+        assert meta["run_id"] == "grid-test"
+        layout = meta["fleet_layout"]
+        assert set(layout) == {"aggregator_pid", "shards"}
+        assert layout["shards"]["s0"]["communities"]["c0001"] == 3
+
+    def test_open_span_exports_with_the_trace_end(self):
+        tracer = Tracer()
+        tracer.enable(run_id="open-test")
+        day = tracer.begin("stream.day", community="c0000")
+        with tracer.span("stream.slot", community="c0000"):
+            pass
+        assert day is not None  # never closed
+        tracer.disable()
+        doc = to_fleet_chrome_trace(tracer, LAYOUT)
+        events = {
+            event["name"]: event
+            for event in doc["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert events["stream.day"]["dur"] >= 0
+        assert (events["stream.day"]["pid"], events["stream.day"]["tid"]) == (
+            2,
+            2,
+        )
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        tracer = _recorded_tracer()
+        out = tmp_path / "nested" / "fleet_trace.json"
+        path = write_fleet_trace(tracer, LAYOUT, out)
+        assert path == out
+        assert json.loads(out.read_text(encoding="utf-8")) == (
+            to_fleet_chrome_trace(tracer, LAYOUT)
+        )
+
+
+class TestTraceContext:
+    def test_round_trip(self):
+        context = TraceContext(run_id="r", span_id=7)
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"run_id": "r", "span_id": 1, "extra": 0},
+            {"run_id": "", "span_id": 1},
+            {"run_id": 3, "span_id": 1},
+            {"span_id": 1},
+            {"run_id": "r", "span_id": 0},
+            {"run_id": "r", "span_id": True},
+            {"run_id": "r", "span_id": "1"},
+            {"run_id": "r"},
+        ],
+    )
+    def test_malformed_payloads_are_rejected(self, payload):
+        with pytest.raises(ValueError):
+            TraceContext.from_dict(payload)
+
+    def test_current_context_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current_context() is None
+        tracer.enable(run_id="ctx-test")
+        with tracer.span("outer") as outer:
+            context = tracer.current_context()
+            assert context == TraceContext(
+                run_id="ctx-test", span_id=outer.span_id
+            )
+        assert tracer.current_context() is None
+        tracer.disable()
+
+
+class TestEnvelopeSplice:
+    """Cross-shard propagation: the envelope span joins the sender's tree."""
+
+    @pytest.fixture()
+    def fleet(self, fleet_config):
+        generator = LoadGenerator(
+            fleet_config, n_communities=2, n_days=1, seed=11
+        )
+        fleet = build_fleet(
+            generator.specs(), n_shards=1, cache=GameSolutionCache()
+        )
+        envelope = next(generator.envelopes())
+        return fleet, envelope
+
+    def _envelope_span(self):
+        spans = [s for s in TRACER.spans() if s.name == "fleet.envelope"]
+        assert len(spans) == 1
+        return spans[0]
+
+    def test_matching_run_id_splices_under_the_sender(self, fleet):
+        engine, envelope = fleet
+        TRACER.enable(run_id="splice-test")
+        try:
+            with TRACER.span("sender.batch") as parent:
+                context = TRACER.current_context()
+                assert context is not None
+            engine.ingest_envelope({**envelope, "trace": context.to_dict()})
+            assert self._envelope_span().parent_id == parent.span_id
+        finally:
+            TRACER.disable()
+            TRACER.enable(run_id="flush")
+            TRACER.disable()
+
+    def test_foreign_run_id_is_ignored(self, fleet):
+        engine, envelope = fleet
+        TRACER.enable(run_id="splice-test")
+        try:
+            foreign = TraceContext(run_id="some-other-run", span_id=1)
+            engine.ingest_envelope({**envelope, "trace": foreign.to_dict()})
+            assert self._envelope_span().parent_id is None
+        finally:
+            TRACER.disable()
+            TRACER.enable(run_id="flush")
+            TRACER.disable()
+
+    def test_malformed_trace_field_rejects_the_envelope(self, fleet):
+        engine, envelope = fleet
+        with pytest.raises(ValueError, match="trace"):
+            engine.ingest_envelope({**envelope, "trace": "not-an-object"})
+        with pytest.raises(ValueError, match="span_id"):
+            engine.ingest_envelope(
+                {**envelope, "trace": {"run_id": "r", "span_id": -1}}
+            )
+
+
+class TestTraceCliSummary:
+    """``repro trace`` auto-detects Chrome-trace exports and summarises."""
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        return write_fleet_trace(
+            _recorded_tracer(), LAYOUT, tmp_path / "fleet_trace.json"
+        )
+
+    def test_table_summary_prints_the_grid(self, trace_file, capsys):
+        from repro.obs.cli import trace_main
+
+        assert trace_main([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "run_id=grid-test" in out
+        assert "shard:s0" in out
+        assert "community:c0001" in out
+        assert "fleet.shard_tick" in out
+
+    def test_json_summary_round_trips(self, trace_file, capsys):
+        from repro.obs.cli import trace_main
+
+        assert trace_main([str(trace_file), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["processes"]["1"] == "repro-fleet:grid-test"
+        assert summary["threads"]["2/3"] == "community:c0001"
+        assert summary["spans"]["fleet.shard_tick"]["count"] == 2
+        assert summary["spans"]["stream.slot"]["count"] == 2
+
+    def test_audit_jsonl_still_takes_the_audit_path(self, tmp_path, capsys):
+        from repro.obs.cli import trace_main
+
+        path = tmp_path / "audit.jsonl"
+        path.write_text(
+            json.dumps({"slot": 0, "day": 0, "kind": "gap", "gap_reason": "drop"})
+            + "\n",
+            encoding="utf-8",
+        )
+        assert trace_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 record(s)" in out

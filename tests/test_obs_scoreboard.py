@@ -1,0 +1,430 @@
+"""Resilience scoreboard: episode math, merge exactness, pure-observer.
+
+The scoreboard is a fold over two event streams the pipeline already
+emits, so the contracts pinned here are arithmetic and behavioural:
+
+- MTTD/MTTR/availability/false-alarm math on hand-built timelines;
+- attack-family attribution via the occurrence ledger;
+- ``state_dict`` round-trips and equals a from-scratch ``rebuild``;
+- ``merge_reports`` is an *exact* integer-sum merge (fold over the
+  concatenation, never an average of averages);
+- attaching a scoreboard to a live engine leaves the timeline bitwise
+  unchanged (the AuditTrail discipline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BatteryConfig,
+    CommunityConfig,
+    DetectionConfig,
+    GameConfig,
+    SolarConfig,
+    TimeGrid,
+)
+from repro.obs.scoreboard import (
+    ResilienceScoreboard,
+    ScoreboardPublisher,
+    attach_scoreboard,
+    merge_reports,
+    scoreboard_from_arrays,
+)
+from repro.perf.counters import PerfRegistry
+from repro.simulation.cache import GameSolutionCache
+from repro.stream.pipeline import SlotDetection, build_synthetic_engine
+
+N_METERS = 2
+
+
+def _det(
+    slot,
+    truth_bits,
+    flag_bits,
+    *,
+    repaired=False,
+    gap=False,
+):
+    """A minimal hand-built verdict; truth_bits=None means unscored."""
+    return SlotDetection(
+        slot=slot,
+        day=slot // 24,
+        flags=np.asarray(flag_bits or [0] * N_METERS, dtype=bool),
+        observation=int(any(flag_bits or [])),
+        action=None,
+        belief_mean=None,
+        repaired=repaired,
+        repaired_count=int(repaired),
+        realized_grid=None,
+        truth=None if truth_bits is None else np.asarray(truth_bits, dtype=bool),
+        gap=gap,
+        gap_reason="dropped" if gap else None,
+    )
+
+
+def _fold(board, timeline):
+    for det in timeline:
+        board.record(det)
+    return board
+
+
+CLEAN = [0, 0]
+HIT = [1, 0]
+
+
+class TestEpisodeMath:
+    def test_detected_episode_mttd_and_mttr(self):
+        # clean, clean, attack onset @2, detect @4, clear @6.
+        timeline = [
+            _det(0, CLEAN, CLEAN),
+            _det(1, CLEAN, CLEAN),
+            _det(2, HIT, CLEAN),
+            _det(3, HIT, CLEAN),
+            _det(4, HIT, HIT),
+            _det(5, HIT, HIT),
+            _det(6, CLEAN, CLEAN),
+        ]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["episodes"] == {
+            "total": 1, "detected": 1, "missed": 0, "resolved": 1, "open": 0,
+        }
+        assert report["mttd"] == {
+            "total_slots": 2, "episodes": 1, "samples": [2], "mean_slots": 2.0,
+        }
+        assert report["mttr"] == {
+            "total_slots": 2, "episodes": 1, "samples": [2], "mean_slots": 2.0,
+        }
+        assert report["slots"] == {"total": 7, "scored": 7, "unscored": 0, "gaps": 0}
+
+    def test_missed_episode(self):
+        timeline = [
+            _det(0, HIT, CLEAN),
+            _det(1, HIT, CLEAN),
+            _det(2, CLEAN, CLEAN),
+        ]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["episodes"]["missed"] == 1
+        assert report["episodes"]["detected"] == 0
+        assert report["mttd"]["mean_slots"] is None
+        assert report["families"]["unattributed"]["missed"] == 1
+
+    def test_repair_counts_as_detection(self):
+        # No flag ever intersects the truth, but a repair is dispatched
+        # while under attack — the operator acted, so the episode counts
+        # as detected at the repair slot.
+        timeline = [
+            _det(0, HIT, CLEAN),
+            _det(1, HIT, CLEAN, repaired=True),
+            _det(2, CLEAN, CLEAN),
+        ]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["episodes"]["detected"] == 1
+        assert report["mttd"]["samples"] == [1]
+        assert report["mttr"]["samples"] == [1]
+
+    def test_open_episode_at_end_of_stream(self):
+        timeline = [_det(0, CLEAN, CLEAN), _det(1, HIT, HIT)]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["episodes"] == {
+            "total": 1, "detected": 1, "missed": 0, "resolved": 0, "open": 1,
+        }
+        # Detected but never resolved: a TTD sample, no TTR sample.
+        assert report["mttd"]["samples"] == [0]
+        assert report["mttr"]["samples"] == []
+
+    def test_gap_slots_count_against_availability(self):
+        timeline = [
+            _det(0, HIT, CLEAN),
+            _det(1, None, None, gap=True),
+            _det(2, None, None, gap=True),
+            _det(3, HIT, HIT),
+            _det(4, CLEAN, CLEAN),
+        ]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["availability"] == {
+            "attacked_slots": 4,
+            "observed_slots": 2,
+            "gap_slots": 2,
+            "fraction": 0.5,
+        }
+        # MTTD still measures wall-clock slots, gaps included.
+        assert report["mttd"]["samples"] == [3]
+
+    def test_gap_outside_episode_is_not_attacked(self):
+        timeline = [_det(0, CLEAN, CLEAN), _det(1, None, None, gap=True)]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["availability"]["attacked_slots"] == 0
+        assert report["availability"]["fraction"] is None
+        assert report["slots"]["gaps"] == 1
+
+    def test_false_alarms_flags_and_repairs(self):
+        timeline = [
+            _det(0, CLEAN, CLEAN),
+            _det(1, CLEAN, HIT),                    # spurious flag
+            _det(2, CLEAN, CLEAN, repaired=True),   # spurious repair
+            _det(3, CLEAN, CLEAN),
+        ]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["false_alarms"] == {
+            "clean_slots": 4, "alarm_slots": 2, "rate": 0.5,
+        }
+
+    def test_unscored_slots_hold_the_episode_open(self):
+        # Externally pushed readings carry no truth: they cannot close
+        # an episode, but they are observed slots while one is open.
+        timeline = [
+            _det(0, HIT, CLEAN),
+            _det(1, None, CLEAN),
+            _det(2, HIT, HIT),
+            _det(3, CLEAN, CLEAN),
+        ]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["episodes"]["total"] == 1
+        assert report["slots"]["unscored"] == 1
+        assert report["availability"]["attacked_slots"] == 3
+        assert report["mttd"]["samples"] == [2]
+
+    def test_confusion_counts_are_per_meter(self):
+        timeline = [_det(0, [1, 0], [0, 1])]
+        report = _fold(ResilienceScoreboard(), timeline).report()
+        assert report["confusion"] == {"tp": 0, "fp": 1, "fn": 1, "tn": 0}
+
+
+class TestFamilyAttribution:
+    def test_latest_mark_at_or_before_onset_wins(self):
+        board = ResilienceScoreboard()
+        board.record_occurrence({"slot": 0, "kind": "ramp"})
+        board.record_occurrence({"slot": 5, "kind": "peak_increase"})
+        _fold(board, [
+            _det(2, HIT, CLEAN),   # onset @2: ramp announced @0
+            _det(3, CLEAN, CLEAN),
+            _det(6, HIT, HIT),     # onset @6: peak_increase @5 shadows ramp
+            _det(7, CLEAN, CLEAN),
+        ])
+        families = board.report()["families"]
+        assert families["ramp"] == {
+            "occurrences": 1, "episodes": 1, "detected": 0, "missed": 1,
+        }
+        assert families["peak_increase"] == {
+            "occurrences": 1, "episodes": 1, "detected": 1, "missed": 0,
+        }
+
+    def test_unannounced_episode_falls_back_to_default(self):
+        board = ResilienceScoreboard(default_family="window")
+        _fold(board, [_det(0, HIT, HIT), _det(1, CLEAN, CLEAN)])
+        assert set(board.report()["families"]) == {"window"}
+
+
+TIMELINE = [
+    _det(0, CLEAN, CLEAN),
+    _det(1, HIT, CLEAN),
+    _det(2, None, None, gap=True),
+    _det(3, HIT, HIT),
+    _det(4, CLEAN, HIT),
+    _det(5, HIT, CLEAN, repaired=True),
+]
+OCCURRENCES = [{"slot": 1, "kind": "spoof"}]
+
+
+class TestStateAndRebuild:
+    def test_state_dict_round_trip(self):
+        board = ResilienceScoreboard()
+        for occ in OCCURRENCES:
+            board.record_occurrence(occ)
+        _fold(board, TIMELINE)  # ends mid-episode (open state serialized)
+        clone = ResilienceScoreboard()
+        clone.load_state(board.state_dict())
+        assert clone.report() == board.report()
+        assert clone.state_dict() == board.state_dict()
+
+    def test_resumed_fold_equals_uninterrupted(self):
+        full = ResilienceScoreboard()
+        for occ in OCCURRENCES:
+            full.record_occurrence(occ)
+        _fold(full, TIMELINE)
+
+        cut = ResilienceScoreboard()
+        for occ in OCCURRENCES:
+            cut.record_occurrence(occ)
+        _fold(cut, TIMELINE[:3])
+        resumed = ResilienceScoreboard()
+        resumed.load_state(cut.state_dict())
+        _fold(resumed, TIMELINE[3:])
+        assert resumed.report() == full.report()
+
+    def test_rebuild_equals_online_fold(self):
+        online = ResilienceScoreboard()
+        for occ in OCCURRENCES:
+            online.record_occurrence(occ)
+        _fold(online, TIMELINE)
+
+        rebuilt = ResilienceScoreboard()
+        rebuilt.rebuild(TIMELINE, OCCURRENCES)
+        assert rebuilt.report() == online.report()
+        # rebuild() resets: calling it twice is idempotent.
+        rebuilt.rebuild(TIMELINE, OCCURRENCES)
+        assert rebuilt.report() == online.report()
+
+
+class TestMerge:
+    def test_merge_equals_fold_over_concatenation(self):
+        # Two self-contained segments (each ends clean) on disjoint
+        # slot ranges: merging the two reports must equal one board
+        # folded over the concatenation, to the last bit.
+        seg_a = [_det(s, HIT if s in (1, 2) else CLEAN, HIT if s == 2 else CLEAN)
+                 for s in range(4)]
+        seg_b = [_det(s, HIT if s == 11 else CLEAN, CLEAN)
+                 for s in range(10, 14)]
+        merged = merge_reports([
+            _fold(ResilienceScoreboard(), seg_a).report(),
+            _fold(ResilienceScoreboard(), seg_b).report(),
+        ])
+        assert merged == _fold(ResilienceScoreboard(), seg_a + seg_b).report()
+
+    def test_merge_recomputes_means_from_sums(self):
+        a = _fold(ResilienceScoreboard(), [
+            _det(0, HIT, HIT), _det(1, CLEAN, CLEAN),
+        ]).report()
+        b = _fold(ResilienceScoreboard(), [
+            _det(0, HIT, CLEAN), _det(1, HIT, CLEAN), _det(2, HIT, HIT),
+            _det(3, CLEAN, CLEAN),
+        ]).report()
+        merged = merge_reports([a, b])
+        # (0 + 2) slots over 2 detected episodes — not mean-of-means 1.0
+        # by luck: check the sums directly.
+        assert merged["mttd"]["total_slots"] == 2
+        assert merged["mttd"]["episodes"] == 2
+        assert merged["mttd"]["mean_slots"] == 1.0  # repro: noqa[FLT001] 2/2 from int sums is exact
+        assert merged["mttd"]["samples"] == [0, 2]
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_reports([])
+        assert merged["slots"]["total"] == 0
+        assert merged["mttd"]["mean_slots"] is None
+        assert merged["availability"]["fraction"] is None
+
+    def test_merge_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError, match="not a scoreboard"):
+            merge_reports([{"format": "something-else"}])
+        with pytest.raises(ValueError, match="version"):
+            merge_reports([{"format": "repro-scoreboard", "version": 99}])
+
+
+class TestArraysPath:
+    def test_batch_arrays_equal_slotwise_fold(self):
+        rng = np.random.default_rng(3)
+        truth = rng.random((30, 3)) < 0.3
+        flags = rng.random((30, 3)) < 0.4
+        repairs = rng.random(30) < 0.2
+        board = scoreboard_from_arrays(
+            truth=truth, flags=flags, repairs=repairs, family="ramp"
+        )
+        manual = ResilienceScoreboard(default_family="ramp")
+        for slot in range(30):
+            manual.fold_slot(
+                slot, flags=flags[slot], truth=truth[slot],
+                repaired=bool(repairs[slot]),
+            )
+        assert board.report() == manual.report()
+        assert board.report()["slots"]["total"] == 30
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            scoreboard_from_arrays(
+                truth=np.zeros((4, 2), dtype=bool),
+                flags=np.zeros((3, 2), dtype=bool),
+                repairs=np.zeros(4, dtype=bool),
+            )
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> CommunityConfig:
+    return CommunityConfig(
+        n_customers=8,
+        appliances_per_customer=(2, 3),
+        pv_adoption=0.5,
+        time=TimeGrid(slots_per_day=24, n_days=1),
+        battery=BatteryConfig(
+            capacity_kwh=1.0, initial_kwh=0.0, max_charge_kw=0.5,
+            max_discharge_kw=0.5,
+        ),
+        solar=SolarConfig(peak_kw=0.7),
+        game=GameConfig(
+            max_rounds=2,
+            inner_iterations=1,
+            ce_samples=8,
+            ce_elites=2,
+            ce_iterations=2,
+            convergence_tol=0.1,
+        ),
+        detection=DetectionConfig(n_monitored_meters=4, hack_probability=0.15),
+        seed=11,
+    )
+
+
+class TestPureObserver:
+    def test_scoreboard_on_equals_scoreboard_off_bitwise(self, tiny_config):
+        cache = GameSolutionCache()
+        plain = build_synthetic_engine(
+            tiny_config, n_days=3, attack_days=(1, 2), cache=cache
+        )
+        plain.run()
+        observed = build_synthetic_engine(
+            tiny_config, n_days=3, attack_days=(1, 2), cache=cache
+        )
+        board = attach_scoreboard(observed.pipeline)
+        observed.run()
+        assert [d.to_dict() for d in observed.timeline] == [
+            d.to_dict() for d in plain.timeline
+        ]
+        report = board.report()
+        assert report["slots"]["total"] == len(observed.timeline)
+        assert report["episodes"]["total"] >= 1
+
+    def test_live_fold_equals_attach_after_the_fact(self, tiny_config):
+        cache = GameSolutionCache()
+        live = build_synthetic_engine(
+            tiny_config, n_days=2, attack_days=(0, 1), cache=cache
+        )
+        live_board = attach_scoreboard(live.pipeline)
+        live.run()
+
+        after = build_synthetic_engine(
+            tiny_config, n_days=2, attack_days=(0, 1), cache=cache
+        )
+        after.run()
+        after_board = attach_scoreboard(after.pipeline)
+        assert after_board.report() == live_board.report()
+
+    def test_attach_is_idempotent(self, tiny_config):
+        engine = build_synthetic_engine(
+            tiny_config, n_days=1, attack_days=(0, 1),
+            cache=GameSolutionCache(),
+        )
+        board = attach_scoreboard(engine.pipeline)
+        assert attach_scoreboard(engine.pipeline) is board
+
+
+class TestPublisher:
+    def test_gauges_and_cursored_samples(self):
+        registry = PerfRegistry()
+        publisher = ScoreboardPublisher(registry, prefix="test.scoreboard")
+        board = _fold(ResilienceScoreboard(), [
+            _det(0, HIT, CLEAN), _det(1, HIT, HIT), _det(2, CLEAN, CLEAN),
+        ])
+        report = board.report()
+        publisher.publish(report, {"c0": report})
+        gauges = registry.gauges()
+        assert gauges["test.scoreboard.episodes"] == 1.0  # repro: noqa[FLT001] gauge set from an int
+        assert gauges["test.scoreboard.availability"] == 1.0  # repro: noqa[FLT001] 1/1 fraction is exact
+        assert registry.histogram("test.scoreboard.mttd_slots").count == 1
+
+        # Re-publishing the same report observes nothing new.
+        publisher.publish(report, {"c0": report})
+        assert registry.histogram("test.scoreboard.mttd_slots").count == 1
+
+        # A new episode's sample is observed exactly once.
+        _fold(board, [_det(3, HIT, HIT), _det(4, CLEAN, CLEAN)])
+        grown = board.report()
+        publisher.publish(grown, {"c0": grown})
+        assert registry.histogram("test.scoreboard.mttd_slots").count == 2
